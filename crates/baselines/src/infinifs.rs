@@ -1,0 +1,621 @@
+//! The InfiniFS baseline: speculative parallel path resolution, CFS-style
+//! relaxed directory modifications, a rename coordinator, and the optional
+//! AM-Cache (§3.3, §6.1).
+//!
+//! Directory ids are *predicted*: a directory's id is a hash of its full
+//! path, so the proxy can issue the lookups of every level concurrently
+//! without waiting for parents. A rename leaves the moved subtree's ids in
+//! place, so predictions under a renamed prefix mispredict and resolution
+//! falls back to sequential steps — InfiniFS's documented behaviour.
+//!
+//! The concurrency envelope is a bounded resolver pool: each resolution
+//! round grabs as many pool permits as it can (at least one) and issues
+//! that many level-queries behind a single injected round trip. Under low
+//! concurrency a 10-level path takes one or two rounds; at high client
+//! counts permits are scarce, rounds shrink toward one query each, and
+//! effective latency approaches sequential resolution — the "7.4 RTTs with
+//! 512 threads" oversubscription effect of §3.3.
+
+use std::collections::HashSet;
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use mantle_index::TopDirPathCache;
+use mantle_rpc::SimNode;
+use mantle_sync::Semaphore;
+use mantle_tafdb::{attr_key, entry_key, Row, TafDb, TafDbOptions};
+use mantle_types::{
+    id::IdAllocator,
+    AttrDelta,
+    BulkLoad,
+    DirAttrMeta,
+    DirEntry,
+    DirStat,
+    InodeId,
+    MetaError,
+    MetaPath,
+    MetadataService,
+    ObjectMeta,
+    OpStats,
+    Permission,
+    Phase,
+    ResolvedPath,
+    Result,
+    SimConfig,
+    ROOT_ID, //
+};
+
+/// InfiniFS deployment options.
+#[derive(Clone, Copy, Debug)]
+pub struct InfiniFsOptions {
+    /// Metadata shards (Table 2: 18 servers, scaled to 8).
+    pub db_shards: usize,
+    /// Total resolver-pool permits shared by all proxy threads. The paper's
+    /// effect ("thread over-provisioning") appears when clients × depth
+    /// exceeds this.
+    pub resolver_pool: usize,
+    /// Maximum speculative queries a single resolution issues per round.
+    pub max_parallel: usize,
+    /// Enable the AM-Cache proxy-side metadata cache (Figure 20).
+    pub amcache: bool,
+    /// Proxy-level retries for rename lock conflicts.
+    pub rename_retries: u32,
+}
+
+impl Default for InfiniFsOptions {
+    fn default() -> Self {
+        InfiniFsOptions {
+            db_shards: 8,
+            resolver_pool: 96,
+            max_parallel: 16,
+            amcache: false,
+            rename_retries: 10_000,
+        }
+    }
+}
+
+/// Predicted directory id: a hash of the full path (FNV-1a, high bit set so
+/// it can never collide with the root id).
+fn predict(path: &MetaPath) -> InodeId {
+    let mut h: u64 = 0xcbf29ce484222325;
+    for comp in path.components() {
+        for b in comp.as_bytes() {
+            h ^= *b as u64;
+            h = h.wrapping_mul(0x100000001b3);
+        }
+        h ^= 0x2f; // Component separator.
+        h = h.wrapping_mul(0x100000001b3);
+    }
+    InodeId(h | (1 << 63))
+}
+
+/// The InfiniFS-style metadata service.
+pub struct InfiniFs {
+    db: Arc<TafDb>,
+    opts: InfiniFsOptions,
+    config: SimConfig,
+    pool: Semaphore,
+    coordinator: SimNode,
+    /// Rename coordinator lock table: source paths of in-flight renames.
+    rename_locks: Mutex<HashSet<MetaPath>>,
+    /// AM-Cache: full-path resolution cache (k = 0).
+    amcache: TopDirPathCache,
+    ids: IdAllocator,
+    clock: std::sync::atomic::AtomicU64,
+}
+
+impl InfiniFs {
+    /// Builds an InfiniFS-style service.
+    pub fn new(sim: SimConfig, opts: InfiniFsOptions) -> Arc<Self> {
+        let db_opts = TafDbOptions {
+            n_shards: opts.db_shards,
+            // No delta records: rename transactions conflict in place, the
+            // source of its dirrename-s retry storms (§6.2).
+            delta_records: false,
+            ..TafDbOptions::default()
+        };
+        Arc::new(InfiniFs {
+            db: TafDb::new(sim, db_opts),
+            opts,
+            config: sim,
+            pool: Semaphore::new(opts.resolver_pool),
+            coordinator: SimNode::new("infinifs-coord", sim.index_node_permits, sim),
+            rename_locks: Mutex::new(HashSet::new()),
+            amcache: TopDirPathCache::new(0, opts.amcache),
+            ids: IdAllocator::new(),
+            clock: std::sync::atomic::AtomicU64::new(1),
+        })
+    }
+
+    /// The underlying sharded table (inspection).
+    pub fn db(&self) -> &Arc<TafDb> {
+        &self.db
+    }
+
+    fn now(&self) -> u64 {
+        self.clock.fetch_add(1, std::sync::atomic::Ordering::Relaxed)
+    }
+
+    /// Speculative parallel resolution with sequential fallback on
+    /// misprediction.
+    fn resolve_dir(&self, path: &MetaPath, stats: &mut OpStats) -> Result<ResolvedPath> {
+        if path.is_root() {
+            return Ok(ResolvedPath { id: ROOT_ID, permission: Permission::ALL });
+        }
+        if let Some(prefix) = self.amcache.prefix_of(path) {
+            if let Some(hit) = self.amcache.get(&prefix) {
+                stats.cache_hits += 1;
+                return Ok(ResolvedPath { id: hit.pid, permission: hit.permission });
+            }
+            stats.cache_misses += 1;
+        }
+
+        let comps: Vec<&str> = path.components().collect();
+        let depth = comps.len();
+
+        // Fire the speculative queries in permit-bounded rounds.
+        let mut rows: Vec<Option<Row>> = Vec::with_capacity(depth);
+        let mut issued = 0;
+        while issued < depth {
+            let mut permits = vec![self.pool.acquire()];
+            while permits.len() < (depth - issued).min(self.opts.max_parallel) {
+                match self.pool.try_acquire() {
+                    Some(g) => permits.push(g),
+                    None => break,
+                }
+            }
+            let width = permits.len();
+            // One injected round trip covers the whole parallel round.
+            mantle_rpc::net_round_trip(&self.config);
+            for j in 0..width {
+                let level = issued + j;
+                let pred_parent = if level == 0 {
+                    ROOT_ID
+                } else {
+                    predict(&path.prefix(level))
+                };
+                rows.push(self.db.get_entry_batched(pred_parent, comps[level], stats));
+            }
+            issued += width;
+        }
+
+        // Validate the chain; mispredicted levels resolve sequentially.
+        let mut pid = ROOT_ID;
+        let mut permission = Permission::ALL;
+        for level in 0..depth {
+            if !permission.allows_traverse() {
+                return Err(MetaError::PermissionDenied(path.to_string()));
+            }
+            let pred_parent = if level == 0 {
+                ROOT_ID
+            } else {
+                predict(&path.prefix(level))
+            };
+            let (id, perm) = if pid == pred_parent {
+                match &rows[level] {
+                    Some(Row::DirAccess { id, permission }) => (*id, *permission),
+                    Some(_) => return Err(MetaError::NotADirectory(comps[level].to_string())),
+                    None => return Err(MetaError::NotFound(path.to_string())),
+                }
+            } else {
+                // Misprediction (renamed ancestor): sequential fallback.
+                self.db.resolve_step(pid, comps[level], stats)?
+            };
+            pid = id;
+            permission = permission.intersect(perm);
+        }
+
+        if let Some(prefix) = self.amcache.prefix_of(path) {
+            self.amcache.try_fill(
+                prefix,
+                mantle_index::cache::CachedPrefix { pid, permission },
+                || true,
+            );
+        }
+        Ok(ResolvedPath { id: pid, permission })
+    }
+
+    fn resolve_parent(
+        &self,
+        path: &MetaPath,
+        stats: &mut OpStats,
+    ) -> Result<(ResolvedPath, String)> {
+        let parent = path
+            .parent()
+            .ok_or_else(|| MetaError::InvalidPath("operation on root".into()))?;
+        let name = path.name().expect("non-root").to_string();
+        Ok((self.resolve_dir(&parent, stats)?, name))
+    }
+
+    /// Acquires the coordinator's rename lock on `src` (one RPC).
+    fn coordinator_lock(&self, src: &MetaPath, dst: &MetaPath, stats: &mut OpStats) -> Result<()> {
+        self.coordinator.rpc(stats, || {
+            let mut locks = self.rename_locks.lock();
+            let conflict = locks.iter().any(|locked| {
+                locked.is_prefix_of(src)
+                    || src.is_prefix_of(locked)
+                    || locked.is_prefix_of(dst)
+                    || dst.is_prefix_of(locked)
+            });
+            if conflict {
+                return Err(MetaError::RenameLocked(src.to_string()));
+            }
+            locks.insert(src.clone());
+            Ok(())
+        })
+    }
+
+    fn coordinator_unlock(&self, src: &MetaPath, stats: &mut OpStats) {
+        self.coordinator.rpc(stats, || {
+            self.rename_locks.lock().remove(src);
+        });
+    }
+}
+
+impl MetadataService for InfiniFs {
+    fn name(&self) -> &'static str {
+        "infinifs"
+    }
+
+    fn lookup(&self, path: &MetaPath, stats: &mut OpStats) -> Result<ResolvedPath> {
+        stats.time(Phase::Lookup, |stats| self.resolve_dir(path, stats))
+    }
+
+    fn mkdir(&self, path: &MetaPath, stats: &mut OpStats) -> Result<InodeId> {
+        let (parent, name) = stats.time(Phase::Lookup, |stats| self.resolve_parent(path, stats))?;
+        stats.time(Phase::Execute, |stats| {
+            if !parent.permission.allows(Permission::WRITE) {
+                return Err(MetaError::PermissionDenied(path.to_string()));
+            }
+            let mut id = predict(path);
+            let now = self.now();
+            // CFS two-transaction strategy: (1) the new directory's own
+            // attribute row, single shard; (2) the entry under the parent
+            // plus the parent-attribute bump, single shard, serialized by
+            // an atomic primitive (latch) instead of aborting.
+            if let Err(MetaError::AlreadyExists(_)) =
+                self.db.insert_row(attr_key(id), Row::DirAttr(DirAttrMeta::new(now, 0)), stats)
+            {
+                // The predicted id is taken: a directory created earlier at
+                // this path was renamed away and kept its id. Fall back to
+                // an unpredictable id — lookups below this directory will
+                // mispredict and resolve sequentially, which is InfiniFS's
+                // documented post-rename behaviour.
+                id = self.ids.alloc();
+                self.db
+                    .insert_row(attr_key(id), Row::DirAttr(DirAttrMeta::new(now, 0)), stats)?;
+            }
+            if let Err(e) = self.db.insert_row(
+                entry_key(parent.id, &name),
+                Row::DirAccess { id, permission: Permission::ALL },
+                stats,
+            ) {
+                let _ = self.db.delete_row(attr_key(id), stats);
+                return Err(e);
+            }
+            self.db.update_attr_latched(
+                parent.id,
+                AttrDelta { nlink: 1, entries: 1, mtime: now },
+                stats,
+            )?;
+            Ok(id)
+        })
+    }
+
+    fn rmdir(&self, path: &MetaPath, stats: &mut OpStats) -> Result<()> {
+        let (parent, name) = stats.time(Phase::Lookup, |stats| self.resolve_parent(path, stats))?;
+        stats.time(Phase::Execute, |stats| {
+            let (dir, _) = self.db.resolve_step(parent.id, &name, stats)?;
+            if !self.db.readdir(dir, stats).is_empty() {
+                return Err(MetaError::NotEmpty(path.to_string()));
+            }
+            let now = self.now();
+            self.db.delete_row(entry_key(parent.id, &name), stats)?;
+            self.db.delete_row(attr_key(dir), stats)?;
+            self.db.update_attr_latched(
+                parent.id,
+                AttrDelta { nlink: -1, entries: -1, mtime: now },
+                stats,
+            )?;
+            self.amcache.invalidate_subtree(path);
+            Ok(())
+        })
+    }
+
+    fn create(&self, path: &MetaPath, size: u64, stats: &mut OpStats) -> Result<InodeId> {
+        let (parent, name) = stats.time(Phase::Lookup, |stats| self.resolve_parent(path, stats))?;
+        stats.time(Phase::Execute, |stats| {
+            if !parent.permission.allows(Permission::WRITE) {
+                return Err(MetaError::PermissionDenied(path.to_string()));
+            }
+            let id = self.ids.alloc();
+            let now = self.now();
+            self.db.insert_row(
+                entry_key(parent.id, &name),
+                Row::Object(ObjectMeta {
+                    pid: parent.id,
+                    name: name.clone(),
+                    id,
+                    size,
+                    blob: 0,
+                    ctime: now,
+                    permission: Permission::ALL,
+                }),
+                stats,
+            )?;
+            self.db.update_attr_latched(
+                parent.id,
+                AttrDelta { nlink: 0, entries: 1, mtime: now },
+                stats,
+            )?;
+            Ok(id)
+        })
+    }
+
+    fn delete(&self, path: &MetaPath, stats: &mut OpStats) -> Result<()> {
+        let (parent, name) = stats.time(Phase::Lookup, |stats| self.resolve_parent(path, stats))?;
+        stats.time(Phase::Execute, |stats| {
+            self.db.get_object(parent.id, &name, stats)?;
+            let now = self.now();
+            self.db.delete_row(entry_key(parent.id, &name), stats)?;
+            self.db.update_attr_latched(
+                parent.id,
+                AttrDelta { nlink: 0, entries: -1, mtime: now },
+                stats,
+            )?;
+            Ok(())
+        })
+    }
+
+    fn objstat(&self, path: &MetaPath, stats: &mut OpStats) -> Result<ObjectMeta> {
+        // InfiniFS "bypasses the execution phase for objstat, handling it
+        // in the lookup phase" (§6.3): the final level rides the same
+        // speculative fan-out.
+        stats.time(Phase::Lookup, |stats| {
+            let (parent, name) = self.resolve_parent(path, stats)?;
+            self.db.get_object(parent.id, &name, stats)
+        })
+    }
+
+    fn dirstat(&self, path: &MetaPath, stats: &mut OpStats) -> Result<DirStat> {
+        let dir = stats.time(Phase::Lookup, |stats| self.resolve_dir(path, stats))?;
+        stats.time(Phase::Execute, |stats| {
+            let attrs = self.db.dir_stat(dir.id, stats)?;
+            Ok(DirStat { id: dir.id, attrs, permission: dir.permission })
+        })
+    }
+
+    fn readdir(&self, path: &MetaPath, stats: &mut OpStats) -> Result<Vec<DirEntry>> {
+        let dir = stats.time(Phase::Lookup, |stats| self.resolve_dir(path, stats))?;
+        stats.time(Phase::Execute, |stats| Ok(self.db.readdir(dir.id, stats)))
+    }
+
+    fn rename_dir(&self, src: &MetaPath, dst: &MetaPath, stats: &mut OpStats) -> Result<()> {
+        if src.is_root() || dst.is_root() {
+            return Err(MetaError::InvalidRename("root cannot be renamed".into()));
+        }
+        if src.is_prefix_of(dst) {
+            return Err(MetaError::RenameLoop { src: src.to_string(), dst: dst.to_string() });
+        }
+        let (src_parent, src_name, dst_parent, dst_name) =
+            stats.time(Phase::Lookup, |stats| {
+                let (sp, sn) = self.resolve_parent(src, stats)?;
+                let (dp, dn) = self.resolve_parent(dst, stats)?;
+                Ok::<_, MetaError>((sp, sn, dp, dn))
+            })?;
+
+        // Coordinator lock with retry (the paper's rename coordinator runs
+        // on its own servers; conflicts abort and retry).
+        let mut attempts = 0u32;
+        loop {
+            match stats.time(Phase::LoopDetect, |stats| self.coordinator_lock(src, dst, stats)) {
+                Ok(()) => break,
+                Err(MetaError::RenameLocked(_)) if attempts < self.opts.rename_retries => {
+                    attempts += 1;
+                    stats.rename_retries += 1;
+                    if self.config.rtt_micros == 0 {
+                        std::thread::yield_now();
+                    } else {
+                        std::thread::sleep(std::time::Duration::from_micros(
+                            (50u64 << attempts.min(6)).min(3_000),
+                        ));
+                    }
+                }
+                Err(e) => return Err(e),
+            }
+        }
+
+        let out = stats.time(Phase::Execute, |stats| {
+            let (src_id, src_perm) = self.db.resolve_step(src_parent.id, &src_name, stats)?;
+            let now = self.now();
+            let mut ops = vec![
+                mantle_tafdb::TxnOp::Delete { key: entry_key(src_parent.id, &src_name) },
+                mantle_tafdb::TxnOp::InsertUnique {
+                    key: entry_key(dst_parent.id, &dst_name),
+                    row: Row::DirAccess { id: src_id, permission: src_perm },
+                },
+            ];
+            if src_parent.id == dst_parent.id {
+                ops.push(mantle_tafdb::TxnOp::AttrUpdate {
+                    dir: src_parent.id,
+                    delta: AttrDelta { nlink: 0, entries: 0, mtime: now },
+                });
+            } else {
+                ops.push(mantle_tafdb::TxnOp::AttrUpdate {
+                    dir: src_parent.id,
+                    delta: AttrDelta { nlink: -1, entries: -1, mtime: now },
+                });
+                ops.push(mantle_tafdb::TxnOp::AttrUpdate {
+                    dir: dst_parent.id,
+                    delta: AttrDelta { nlink: 1, entries: 1, mtime: now },
+                });
+            }
+            // Distributed transaction with in-place attribute updates: the
+            // no-wait conflicts under dirrename-s retry inside execute().
+            self.db.execute(&ops, stats)?;
+            self.amcache.invalidate_subtree(src);
+            Ok(())
+        });
+        let mut unlock_stats = OpStats::new();
+        self.coordinator_unlock(src, &mut unlock_stats);
+        stats.absorb(&unlock_stats);
+        out
+    }
+}
+
+impl BulkLoad for InfiniFs {
+    fn bulk_dir(&self, path: &MetaPath) -> InodeId {
+        let mut pid = ROOT_ID;
+        let mut current = MetaPath::root();
+        for comp in path.components() {
+            current = current.child(comp);
+            match self.db.raw_get(&entry_key(pid, comp)) {
+                Some(Row::DirAccess { id, .. }) => pid = id,
+                Some(_) => panic!("bulk_dir crosses an object in {path}"),
+                None => {
+                    // Directory ids must match the speculative prediction.
+                    let id = predict(&current);
+                    let now = self.now();
+                    self.db.raw_put(
+                        entry_key(pid, comp),
+                        Row::DirAccess { id, permission: Permission::ALL },
+                    );
+                    self.db
+                        .raw_put(attr_key(id), Row::DirAttr(DirAttrMeta::new(now, 0)));
+                    if let Some(Row::DirAttr(mut attrs)) = self.db.raw_get(&attr_key(pid)) {
+                        attrs.apply_delta(&AttrDelta { nlink: 1, entries: 1, mtime: now });
+                        self.db.raw_put(attr_key(pid), Row::DirAttr(attrs));
+                    }
+                    pid = id;
+                }
+            }
+        }
+        pid
+    }
+
+    fn bulk_object(&self, path: &MetaPath, size: u64) {
+        let parent = path.parent().expect("objects cannot be the root");
+        let name = path.name().expect("non-root");
+        let pid = self.bulk_dir(&parent);
+        let id = self.ids.alloc();
+        let now = self.now();
+        self.db.raw_put(
+            entry_key(pid, name),
+            Row::Object(ObjectMeta {
+                pid,
+                name: name.to_string(),
+                id,
+                size,
+                blob: 0,
+                ctime: now,
+                permission: Permission::ALL,
+            }),
+        );
+        if let Some(Row::DirAttr(mut attrs)) = self.db.raw_get(&attr_key(pid)) {
+            attrs.apply_delta(&AttrDelta { nlink: 0, entries: 1, mtime: now });
+            self.db.raw_put(attr_key(pid), Row::DirAttr(attrs));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(s: &str) -> MetaPath {
+        MetaPath::parse(s).unwrap()
+    }
+
+    fn svc() -> Arc<InfiniFs> {
+        InfiniFs::new(SimConfig::instant(), InfiniFsOptions::default())
+    }
+
+    #[test]
+    fn prediction_is_stable_and_collision_safe_for_root() {
+        assert_eq!(predict(&p("/a/b")), predict(&p("/a/b")));
+        assert_ne!(predict(&p("/a/b")), predict(&p("/a/c")));
+        assert_ne!(predict(&p("/a")), ROOT_ID);
+        // Concatenation ambiguity is broken by the separator byte.
+        assert_ne!(predict(&p("/ab")), predict(&p("/a/b")));
+    }
+
+    #[test]
+    fn speculative_lookup_resolves_unrenamed_chain() {
+        let f = svc();
+        f.bulk_dir(&p("/a/b/c/d/e"));
+        let mut stats = OpStats::new();
+        let resolved = f.lookup(&p("/a/b/c/d/e"), &mut stats).unwrap();
+        assert_eq!(resolved.id, predict(&p("/a/b/c/d/e")));
+        // All five levels queried (speculatively), none sequentially re-run.
+        assert_eq!(stats.rpcs, 5);
+    }
+
+    #[test]
+    fn rename_causes_misprediction_then_fallback_still_resolves() {
+        let f = svc();
+        f.bulk_dir(&p("/a/b/c"));
+        f.bulk_dir(&p("/z"));
+        let mut stats = OpStats::new();
+        f.rename_dir(&p("/a/b"), &p("/z/b2"), &mut stats).unwrap();
+        // The moved directory kept its old id (= predict("/a/b")), so the
+        // speculative query for level "c" under predict("/z/b2") misses and
+        // resolution falls back to sequential steps — but still succeeds.
+        let mut lstats = OpStats::new();
+        let resolved = f.lookup(&p("/z/b2/c"), &mut lstats).unwrap();
+        assert_eq!(resolved.id, predict(&p("/a/b/c")));
+        assert!(
+            lstats.rpcs > 3,
+            "misprediction must add sequential fallback RPCs, got {}",
+            lstats.rpcs
+        );
+    }
+
+    #[test]
+    fn object_lifecycle_with_cfs_mkdir() {
+        let f = svc();
+        let mut stats = OpStats::new();
+        f.mkdir(&p("/d"), &mut stats).unwrap();
+        f.mkdir(&p("/d/e"), &mut stats).unwrap();
+        f.create(&p("/d/e/o"), 11, &mut stats).unwrap();
+        assert_eq!(f.objstat(&p("/d/e/o"), &mut stats).unwrap().size, 11);
+        assert_eq!(f.dirstat(&p("/d/e"), &mut stats).unwrap().attrs.entries, 1);
+        f.delete(&p("/d/e/o"), &mut stats).unwrap();
+        f.rmdir(&p("/d/e"), &mut stats).unwrap();
+        assert!(f.lookup(&p("/d/e"), &mut stats).is_err());
+    }
+
+    #[test]
+    fn concurrent_renames_of_same_source_conflict_on_coordinator() {
+        let f = svc();
+        f.bulk_dir(&p("/s"));
+        f.bulk_dir(&p("/t1"));
+        f.bulk_dir(&p("/t2"));
+        // Hold the lock manually, then observe the conflict.
+        let mut stats = OpStats::new();
+        f.coordinator_lock(&p("/s"), &p("/t1/x"), &mut stats).unwrap();
+        assert!(matches!(
+            f.coordinator_lock(&p("/s"), &p("/t2/y"), &mut stats),
+            Err(MetaError::RenameLocked(_))
+        ));
+        f.coordinator_unlock(&p("/s"), &mut stats);
+        f.coordinator_lock(&p("/s"), &p("/t2/y"), &mut stats).unwrap();
+        f.coordinator_unlock(&p("/s"), &mut stats);
+    }
+
+    #[test]
+    fn amcache_hits_skip_rpcs() {
+        let mut opts = InfiniFsOptions::default();
+        opts.amcache = true;
+        let f = InfiniFs::new(SimConfig::instant(), opts);
+        f.bulk_dir(&p("/a/b/c"));
+        let mut s1 = OpStats::new();
+        f.lookup(&p("/a/b/c"), &mut s1).unwrap();
+        assert_eq!(s1.cache_misses, 1);
+        assert_eq!(s1.rpcs, 3);
+        let mut s2 = OpStats::new();
+        f.lookup(&p("/a/b/c"), &mut s2).unwrap();
+        assert_eq!(s2.cache_hits, 1);
+        assert_eq!(s2.rpcs, 0, "AM-Cache hit should bypass all metadata RPCs");
+    }
+}

@@ -1,0 +1,87 @@
+//! Micro-benchmarks of the path-resolution hot paths.
+//!
+//! These measure the *local CPU* cost (instant substrate: no injected
+//! delays), isolating the algorithmic differences: cached vs uncached
+//! IndexNode resolution, depth sensitivity, and the baselines' resolve
+//! loops.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use mantle_baselines::{Tectonic, TectonicOptions};
+use mantle_core::MantleCluster;
+use mantle_index::IndexSm;
+use mantle_raft::StateMachine;
+use mantle_types::{BulkLoad, InodeId, MetaPath, MetadataService, OpStats, Permission, SimConfig};
+
+fn deep_path(depth: usize) -> MetaPath {
+    let mut p = MetaPath::root();
+    for i in 0..depth {
+        p = p.child(&format!("L{i}"));
+    }
+    p
+}
+
+fn build_sm(depth: usize, k: usize, cache: bool) -> IndexSm {
+    let sm = IndexSm::new(SimConfig::instant(), k, cache);
+    let mut pid = mantle_types::ROOT_ID;
+    for i in 0..depth {
+        let id = InodeId(100 + i as u64);
+        sm.apply(
+            0,
+            &mantle_index::IndexCmd::InsertDir {
+                pid,
+                name: std::sync::Arc::from(format!("L{i}").as_str()),
+                id,
+                permission: Permission::ALL,
+            },
+        );
+        pid = id;
+    }
+    sm
+}
+
+fn bench_index_resolve(c: &mut Criterion) {
+    let mut group = c.benchmark_group("index_resolve");
+    for depth in [2usize, 5, 10, 20] {
+        let path = deep_path(depth);
+        let cold = build_sm(depth, 3, false);
+        group.bench_with_input(BenchmarkId::new("uncached", depth), &depth, |b, _| {
+            b.iter(|| {
+                let out = cold.resolve(&path);
+                assert!(out.result.is_ok());
+            })
+        });
+        let warm = build_sm(depth, 3, true);
+        warm.resolve(&path); // Fill the cache.
+        group.bench_with_input(BenchmarkId::new("cached_k3", depth), &depth, |b, _| {
+            b.iter(|| {
+                let out = warm.resolve(&path);
+                assert!(out.result.is_ok());
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_end_to_end_lookup(c: &mut Criterion) {
+    let mut group = c.benchmark_group("service_lookup_depth10");
+    let path = deep_path(10);
+
+    let mantle = MantleCluster::build(SimConfig::instant(), 4);
+    mantle.bulk_dir(&path);
+    group.bench_function("mantle", |b| {
+        let mut stats = OpStats::new();
+        b.iter(|| mantle.lookup(&path, &mut stats).unwrap())
+    });
+
+    let tectonic = Tectonic::new(SimConfig::instant(), TectonicOptions::default());
+    tectonic.bulk_dir(&path);
+    group.bench_function("tectonic", |b| {
+        let mut stats = OpStats::new();
+        b.iter(|| tectonic.lookup(&path, &mut stats).unwrap())
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_index_resolve, bench_end_to_end_lookup);
+criterion_main!(benches);

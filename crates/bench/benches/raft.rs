@@ -1,0 +1,70 @@
+//! Micro-benchmarks of the Raft substrate: proposal latency with and
+//! without log batching, and ReadIndex follower reads.
+
+use std::sync::Arc;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use mantle_raft::{RaftGroup, RaftOptions, StateMachine};
+use mantle_rpc::SimNode;
+use mantle_types::{OpStats, SimConfig};
+
+struct NopSm;
+
+impl StateMachine for NopSm {
+    type Command = u64;
+
+    fn apply(&self, _index: u64, _cmd: &u64) {}
+
+    fn barrier() -> u64 {
+        u64::MAX
+    }
+}
+
+fn group(log_batching: bool, learners: usize) -> RaftGroup<NopSm> {
+    let config = SimConfig::instant();
+    let nodes = (0..3 + learners)
+        .map(|i| Arc::new(SimNode::new(format!("r{i}"), usize::MAX, config)))
+        .collect();
+    let opts = RaftOptions {
+        log_batching,
+        heartbeat_interval: std::time::Duration::from_millis(2),
+        ..RaftOptions::default()
+    };
+    RaftGroup::new(config, opts, nodes, 3, |_| NopSm)
+}
+
+fn bench_propose(c: &mut Criterion) {
+    let mut bench_group = c.benchmark_group("raft_propose");
+    for batching in [true, false] {
+        let g = group(batching, 0);
+        let leader = g.leader().expect("bootstrap leader");
+        let name = if batching { "batched" } else { "unbatched" };
+        bench_group.bench_function(name, |b| {
+            b.iter(|| leader.propose(7).unwrap())
+        });
+    }
+    bench_group.finish();
+}
+
+fn bench_read_index(c: &mut Criterion) {
+    let mut bench_group = c.benchmark_group("raft_read_index");
+    let g = group(true, 1);
+    let leader = g.leader().expect("bootstrap leader");
+    for i in 0..100 {
+        leader.propose(i).unwrap();
+    }
+    bench_group.bench_function("leader_local", |b| {
+        let mut stats = OpStats::new();
+        b.iter(|| leader.read_index(&mut stats).unwrap())
+    });
+    let learner = g.replica(3).clone();
+    bench_group.bench_function("learner_readindex", |b| {
+        let mut stats = OpStats::new();
+        b.iter(|| learner.read_index(&mut stats).unwrap())
+    });
+    bench_group.finish();
+}
+
+criterion_group!(benches, bench_propose, bench_read_index);
+criterion_main!(benches);

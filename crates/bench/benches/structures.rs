@@ -1,0 +1,108 @@
+//! Micro-benchmarks of the IndexNode's concurrent structures
+//! (TopDirPathCache, PrefixTree, RemovalList) and the latency histogram.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use mantle_index::cache::CachedPrefix;
+use mantle_index::TopDirPathCache;
+use mantle_sync::{PrefixTree, RemovalList};
+use mantle_types::hist::Histogram;
+use mantle_types::{InodeId, MetaPath, Permission};
+
+fn path(i: usize) -> MetaPath {
+    MetaPath::parse(&format!("/a{}/b{}/c{}", i % 17, i % 129, i)).expect("valid")
+}
+
+fn bench_prefix_tree(c: &mut Criterion) {
+    let mut group = c.benchmark_group("prefix_tree");
+    let tree = PrefixTree::new();
+    for i in 0..10_000 {
+        tree.insert(&path(i));
+    }
+    group.bench_function("contains_hit", |b| {
+        b.iter(|| assert!(tree.contains(&path(5_000))))
+    });
+    group.bench_function("insert_remove", |b| {
+        let p = MetaPath::parse("/bench/target/leaf").unwrap();
+        b.iter(|| {
+            tree.insert(&p);
+            tree.remove(&p);
+        })
+    });
+    group.bench_function("remove_subtree_small", |b| {
+        b.iter(|| {
+            let prefix = MetaPath::parse("/a1/b1").unwrap();
+            // Re-insert a few entries under the prefix, then detach them.
+            for i in 0..8 {
+                tree.insert(&prefix.child(&format!("x{i}")));
+            }
+            let removed = tree.remove_subtree(&prefix);
+            assert!(removed.len() >= 8);
+        })
+    });
+    group.finish();
+}
+
+fn bench_removal_list(c: &mut Criterion) {
+    let mut group = c.benchmark_group("removal_list");
+    let empty = RemovalList::new();
+    let probe = path(7);
+    group.bench_function("conflicts_empty_fastpath", |b| {
+        b.iter(|| assert!(!empty.conflicts_with(&probe)))
+    });
+    let busy = RemovalList::new();
+    for i in 0..8 {
+        busy.insert(path(i * 1000 + 1));
+    }
+    group.bench_function("conflicts_nonempty", |b| {
+        b.iter(|| busy.conflicts_with(&probe))
+    });
+    group.finish();
+}
+
+fn bench_cache(c: &mut Criterion) {
+    let mut group = c.benchmark_group("topdir_cache");
+    let cache = TopDirPathCache::new(3, true);
+    let deep = MetaPath::parse("/w/x/y/z/q/r").unwrap();
+    let prefix = cache.prefix_of(&deep).unwrap();
+    cache.try_fill(
+        prefix.clone(),
+        CachedPrefix { pid: InodeId(5), permission: Permission::ALL },
+        || true,
+    );
+    group.bench_function("probe_hit", |b| {
+        b.iter(|| assert!(cache.get(&prefix).is_some()))
+    });
+    group.bench_function("probe_miss", |b| {
+        let miss = MetaPath::parse("/nope/nothere").unwrap();
+        b.iter(|| assert!(cache.get(&miss).is_none()))
+    });
+    group.finish();
+}
+
+fn bench_histogram(c: &mut Criterion) {
+    let mut group = c.benchmark_group("histogram");
+    group.bench_function("record", |b| {
+        let mut h = Histogram::new();
+        let mut v = 1u64;
+        b.iter(|| {
+            v = v.wrapping_mul(6364136223846793005).wrapping_add(1);
+            h.record(v >> 40);
+        })
+    });
+    let mut filled = Histogram::new();
+    for i in 0..1_000_000u64 {
+        filled.record(i % 100_000);
+    }
+    group.bench_function("quantile", |b| b.iter(|| filled.quantile(0.999)));
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_prefix_tree,
+    bench_removal_list,
+    bench_cache,
+    bench_histogram
+);
+criterion_main!(benches);

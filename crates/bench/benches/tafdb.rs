@@ -1,0 +1,121 @@
+//! Micro-benchmarks of TafDB's transaction machinery: single-shard vs 2PC
+//! commits, and delta-record appends vs in-place attribute merges.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use mantle_tafdb::{attr_key, entry_key, Row, TafDb, TafDbOptions, TxnOp};
+use mantle_types::{AttrDelta, DirAttrMeta, InodeId, OpStats, Permission, SimConfig, ROOT_ID};
+
+fn db(delta: bool) -> std::sync::Arc<TafDb> {
+    let opts = TafDbOptions { delta_records: delta, ..TafDbOptions::default() };
+    TafDb::new(SimConfig::instant(), opts)
+}
+
+fn bench_txn_commit(c: &mut Criterion) {
+    let mut group = c.benchmark_group("tafdb_txn");
+
+    // Single-shard create-like transaction.
+    let single = db(true);
+    let mut n = 0u64;
+    group.bench_function("single_shard_insert", |b| {
+        let mut stats = OpStats::new();
+        b.iter(|| {
+            n += 1;
+            let ops = [
+                TxnOp::InsertUnique {
+                    key: entry_key(ROOT_ID, &format!("o{n}")),
+                    row: Row::Object(mantle_types::ObjectMeta {
+                        pid: ROOT_ID,
+                        name: format!("o{n}"),
+                        id: InodeId(n + 10),
+                        size: 1,
+                        blob: 0,
+                        ctime: 0,
+                        permission: Permission::ALL,
+                    }),
+                },
+                TxnOp::AttrUpdate {
+                    dir: ROOT_ID,
+                    delta: AttrDelta { nlink: 0, entries: 1, mtime: 1 },
+                },
+            ];
+            single.execute(&ops, &mut stats).unwrap()
+        })
+    });
+
+    // Cross-shard (2PC) mkdir-like transaction.
+    let multi = db(true);
+    let mut m = 0u64;
+    group.bench_function("two_phase_mkdir", |b| {
+        let mut stats = OpStats::new();
+        b.iter(|| {
+            m += 1;
+            let id = InodeId(1_000_000 + m);
+            let ops = [
+                TxnOp::InsertUnique {
+                    key: entry_key(ROOT_ID, &format!("d{m}")),
+                    row: Row::DirAccess { id, permission: Permission::ALL },
+                },
+                TxnOp::Put { key: attr_key(id), row: Row::DirAttr(DirAttrMeta::new(0, 0)) },
+                TxnOp::AttrUpdate {
+                    dir: ROOT_ID,
+                    delta: AttrDelta { nlink: 1, entries: 1, mtime: 1 },
+                },
+            ];
+            multi.execute(&ops, &mut stats).unwrap()
+        })
+    });
+    group.finish();
+}
+
+fn bench_attr_update_paths(c: &mut Criterion) {
+    let mut group = c.benchmark_group("tafdb_attr_update");
+    let ops = [TxnOp::AttrUpdate {
+        dir: ROOT_ID,
+        delta: AttrDelta { nlink: 0, entries: 1, mtime: 1 },
+    }];
+
+    // In-place (cold directory).
+    let inplace = db(false);
+    group.bench_function("in_place", |b| {
+        let mut stats = OpStats::new();
+        b.iter(|| inplace.execute(&ops, &mut stats).unwrap())
+    });
+
+    // Latched (the Tectonic/LocoFS baseline path).
+    let latched = db(false);
+    group.bench_function("latched", |b| {
+        let mut stats = OpStats::new();
+        b.iter(|| {
+            latched
+                .update_attr_latched(
+                    ROOT_ID,
+                    AttrDelta { nlink: 0, entries: 1, mtime: 1 },
+                    &mut stats,
+                )
+                .unwrap()
+        })
+    });
+    group.finish();
+}
+
+fn bench_dirstat_with_deltas(c: &mut Criterion) {
+    let mut group = c.benchmark_group("tafdb_dirstat");
+    for n_deltas in [0usize, 16, 256] {
+        let db = db(true);
+        for i in 0..n_deltas {
+            db.raw_put(
+                mantle_store::RowKey::delta(ROOT_ID, "/_ATTR", mantle_types::TxnId(i as u64 + 1)),
+                Row::Delta(AttrDelta { nlink: 0, entries: 1, mtime: 0 }),
+            );
+        }
+        group.bench_function(format!("merge_{n_deltas}_deltas"), |b| {
+            let mut stats = OpStats::new();
+            b.iter(|| db.dir_stat(ROOT_ID, &mut stats).unwrap())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_txn_commit, bench_attr_update_paths, bench_dirstat_with_deltas);
+criterion_main!(benches);

@@ -1,0 +1,32 @@
+//! Figure 13: latency breakdown (lookup / loop-detection / execution) of
+//! object and directory read operations across the four systems.
+//!
+//! Mantle should show the lowest lookup share at every operation.
+
+use mantle_bench::runner::measure;
+use mantle_bench::{Report, Scale, SystemKind, SystemUnderTest};
+use mantle_types::SimConfig;
+use mantle_workloads::{ConflictMode, MdOp};
+
+fn main() {
+    let scale = Scale::from_env();
+    // CPU-faithful envelope (DESIGN.md §1): per-level resolution CPU at the
+    // paper's measured magnitude, with a scaled-down core budget, so the
+    // central-node saturation that orders these curves (LocoFS's directory
+    // server ceiling vs Mantle's cache + follower spread) binds below the
+    // simulation host's own ceiling.
+    let mut sim = SimConfig::default();
+    sim.index_node_permits = 4;
+    sim.index_level_micros = 25;
+    let mut report = Report::new("fig13", "latency breakdown of read operations");
+    for op in [MdOp::Create, MdOp::Delete, MdOp::ObjStat, MdOp::DirStat] {
+        report.line(format!("-- {} --", op.label()));
+        for kind in SystemKind::ALL {
+            let sut = SystemUnderTest::build(kind, sim);
+            let row = measure(&sut, op, ConflictMode::Exclusive, scale);
+            report.line(row.pretty());
+            report.row(&row);
+        }
+    }
+    report.finish();
+}

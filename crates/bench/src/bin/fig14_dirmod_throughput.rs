@@ -1,0 +1,31 @@
+//! Figure 14: throughput of directory modification operations
+//! (mkdir-e, mkdir-s, dirrename-e, dirrename-s) across the four systems.
+//!
+//! The headline: Mantle's delta records keep the `-s` (all threads in one
+//! shared directory) throughput close to `-e`, while the baselines collapse
+//! (latch serialization for Tectonic/LocoFS, transaction retries for
+//! InfiniFS's dirrename).
+
+use mantle_bench::runner::measure;
+use mantle_bench::{Report, Scale, SystemKind, SystemUnderTest};
+use mantle_types::SimConfig;
+use mantle_workloads::{ConflictMode, MdOp};
+
+fn main() {
+    let scale = Scale::from_env();
+    let sim = SimConfig::default();
+    let mut report = Report::new("fig14", "directory modification throughput");
+    for op in [MdOp::Mkdir, MdOp::DirRename] {
+        for conflict in [ConflictMode::Exclusive, ConflictMode::Shared] {
+            let suffix = if conflict == ConflictMode::Exclusive { "e" } else { "s" };
+            report.line(format!("-- {}-{} --", op.label(), suffix));
+            for kind in SystemKind::ALL {
+                let sut = SystemUnderTest::build(kind, sim);
+                let row = measure(&sut, op, conflict, scale);
+                report.line(row.pretty());
+                report.row(&row);
+            }
+        }
+    }
+    report.finish();
+}

@@ -1,0 +1,29 @@
+//! Figure 15: latency breakdown of directory modification operations.
+//!
+//! Mantle merges lookup into loop detection for dirrename (zero lookup
+//! time, §6.3); the baselines pay multi-RPC lookups plus contended
+//! execution.
+
+use mantle_bench::runner::measure;
+use mantle_bench::{Report, Scale, SystemKind, SystemUnderTest};
+use mantle_types::SimConfig;
+use mantle_workloads::{ConflictMode, MdOp};
+
+fn main() {
+    let scale = Scale::from_env();
+    let sim = SimConfig::default();
+    let mut report = Report::new("fig15", "latency breakdown of directory modifications");
+    for op in [MdOp::Mkdir, MdOp::DirRename] {
+        for conflict in [ConflictMode::Exclusive, ConflictMode::Shared] {
+            let suffix = if conflict == ConflictMode::Exclusive { "e" } else { "s" };
+            report.line(format!("-- {}-{} --", op.label(), suffix));
+            for kind in SystemKind::ALL {
+                let sut = SystemUnderTest::build(kind, sim);
+                let row = measure(&sut, op, conflict, scale);
+                report.line(row.pretty());
+                report.row(&row);
+            }
+        }
+    }
+    report.finish();
+}

@@ -1,0 +1,89 @@
+//! Figure 20: effect of adding AM-Cache-style metadata caching to InfiniFS
+//! and to Mantle, on both application workloads.
+//!
+//! Expected shape: caching barely moves the Analytics workload (dominated
+//! by directory modification contention), helps InfiniFS substantially on
+//! Audio, and helps Mantle only a little — its single-RPC lookup leaves
+//! less to save.
+
+use serde::Serialize;
+
+use mantle_baselines::InfiniFsOptions;
+use mantle_bench::report::fmt_us;
+use mantle_bench::{Report, Scale, SystemUnderTest};
+use mantle_core::MantleConfig;
+use mantle_types::SimConfig;
+use mantle_workloads::apps::{run_analytics, run_audio};
+use mantle_workloads::{AnalyticsConfig, AudioConfig};
+
+#[derive(Serialize)]
+struct Row {
+    system: &'static str,
+    cache: bool,
+    workload: &'static str,
+    completion_ms: f64,
+}
+
+fn build(system: &'static str, cache: bool, sim: SimConfig) -> SystemUnderTest {
+    match system {
+        "infinifs" => SystemUnderTest::infinifs(sim, InfiniFsOptions { amcache: cache, ..InfiniFsOptions::default() }),
+        "mantle" => SystemUnderTest::mantle(MantleConfig { sim, amcache: cache, ..MantleConfig::default() }),
+        _ => unreachable!(),
+    }
+}
+
+fn main() {
+    let scale = Scale::from_env();
+    let sim = SimConfig::default();
+    let mut report = Report::new("fig20", "impact of adding metadata caching (AM-Cache)");
+    for system in ["infinifs", "mantle"] {
+        for cache in [false, true] {
+            for workload in ["analytics", "audio"] {
+                let sut = build(system, cache, sim);
+                let completion = match workload {
+                    "analytics" => run_analytics(
+                        sut.svc().as_ref(),
+                        None,
+                        AnalyticsConfig {
+                            queries: 4,
+                            tasks_per_query: scale.app_tasks / 4,
+                            parts_per_task: 2,
+                            threads: scale.threads.min(64),
+                            part_size: 1 << 20,
+                            data_access: false,
+                        },
+                    )
+                    .completion,
+                    _ => run_audio(
+                        sut.svc().as_ref(),
+                        None,
+                        AudioConfig {
+                            files: scale.app_tasks,
+                            segments_per_file: 8,
+                            threads: scale.threads.min(64),
+                            segment_size: 256 * 1024,
+                            depth: scale.depth,
+                            data_access: false,
+                        },
+                    )
+                    .completion,
+                };
+                let row = Row {
+                    system,
+                    cache,
+                    workload,
+                    completion_ms: completion.as_secs_f64() * 1e3,
+                };
+                report.line(format!(
+                    "{:<9} cache={:<5} {:<10} completion {:>10}",
+                    row.system,
+                    row.cache,
+                    row.workload,
+                    fmt_us(row.completion_ms * 1e3)
+                ));
+                report.row(&row);
+            }
+        }
+    }
+    report.finish();
+}

@@ -1,0 +1,91 @@
+//! Table printing and JSON result persistence.
+
+use std::io::Write;
+use std::path::PathBuf;
+
+use serde::Serialize;
+
+/// Collects printable rows and persists them to `results/<name>.json`.
+pub struct Report {
+    name: &'static str,
+    title: &'static str,
+    rows: Vec<serde_json::Value>,
+}
+
+impl Report {
+    /// Starts a report for one figure/table.
+    pub fn new(name: &'static str, title: &'static str) -> Self {
+        println!("=== {name}: {title} ===");
+        Report { name, title, rows: Vec::new() }
+    }
+
+    /// Records one result row (also used for the JSON dump).
+    pub fn row<T: Serialize>(&mut self, row: &T) {
+        self.rows
+            .push(serde_json::to_value(row).expect("serializable row"));
+    }
+
+    /// Prints a free-form line (it is not persisted).
+    pub fn line(&self, text: impl AsRef<str>) {
+        println!("{}", text.as_ref());
+    }
+
+    /// Writes `results/<name>.json` and prints the path.
+    pub fn finish(self) {
+        let dir = PathBuf::from("results");
+        if std::fs::create_dir_all(&dir).is_err() {
+            eprintln!("warning: cannot create results/; skipping JSON dump");
+            return;
+        }
+        let path = dir.join(format!("{}.json", self.name));
+        let payload = serde_json::json!({
+            "figure": self.name,
+            "title": self.title,
+            "rows": self.rows,
+        });
+        match std::fs::File::create(&path) {
+            Ok(mut f) => {
+                let _ = writeln!(f, "{}", serde_json::to_string_pretty(&payload).expect("json"));
+                println!("[results written to {}]", path.display());
+            }
+            Err(e) => eprintln!("warning: cannot write {}: {e}", path.display()),
+        }
+    }
+}
+
+/// Formats an ops/s figure compactly ("58.8K", "1.89M").
+pub fn fmt_ops(ops: f64) -> String {
+    if ops >= 1e6 {
+        format!("{:.2}M", ops / 1e6)
+    } else if ops >= 1e3 {
+        format!("{:.1}K", ops / 1e3)
+    } else {
+        format!("{ops:.0}")
+    }
+}
+
+/// Formats microseconds.
+pub fn fmt_us(us: f64) -> String {
+    if us >= 1e6 {
+        format!("{:.2}s", us / 1e6)
+    } else if us >= 1e3 {
+        format!("{:.2}ms", us / 1e3)
+    } else {
+        format!("{us:.0}us")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn formatting() {
+        assert_eq!(fmt_ops(1_890_000.0), "1.89M");
+        assert_eq!(fmt_ops(58_800.0), "58.8K");
+        assert_eq!(fmt_ops(42.0), "42");
+        assert_eq!(fmt_us(250.0), "250us");
+        assert_eq!(fmt_us(5_200.0), "5.20ms");
+        assert_eq!(fmt_us(2_000_000.0), "2.00s");
+    }
+}

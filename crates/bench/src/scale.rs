@@ -1,0 +1,75 @@
+//! Run-size presets.
+//!
+//! The paper drives 512–2048 mdtest clients from 32 machines; this
+//! reproduction runs everything on one machine, so harnesses scale thread
+//! counts and op counts down while keeping ratios intact. `MANTLE_SCALE=full`
+//! selects the larger preset.
+
+/// Harness run sizes.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Scale {
+    /// Client threads for throughput experiments (paper: 512).
+    pub threads: usize,
+    /// Operations per thread.
+    pub ops_per_thread: usize,
+    /// Path depth (paper: 10).
+    pub depth: usize,
+    /// Entries for namespace-shape experiments.
+    pub namespace_entries: usize,
+    /// Thread sweep for Figure 19b.
+    pub thread_sweep: &'static [usize],
+    /// Namespace-size sweep for Figure 19a.
+    pub size_sweep: &'static [usize],
+    /// Application workload multiplier.
+    pub app_tasks: usize,
+}
+
+impl Scale {
+    /// Quick preset (default): finishes in a few minutes on one core.
+    pub fn quick() -> Self {
+        Scale {
+            threads: 64,
+            ops_per_thread: 30,
+            depth: 10,
+            namespace_entries: 20_000,
+            thread_sweep: &[8, 16, 32, 64, 128, 256],
+            size_sweep: &[10_000, 50_000, 100_000, 200_000],
+            app_tasks: 64,
+        }
+    }
+
+    /// Full preset: closer to the paper's client counts.
+    pub fn full() -> Self {
+        Scale {
+            threads: 256,
+            ops_per_thread: 60,
+            depth: 10,
+            namespace_entries: 200_000,
+            thread_sweep: &[16, 32, 64, 128, 256, 512],
+            size_sweep: &[50_000, 200_000, 500_000, 1_000_000],
+            app_tasks: 192,
+        }
+    }
+
+    /// Reads `MANTLE_SCALE` (`quick`/`full`), defaulting to quick.
+    pub fn from_env() -> Self {
+        match std::env::var("MANTLE_SCALE").as_deref() {
+            Ok("full") => Scale::full(),
+            _ => Scale::quick(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_are_ordered() {
+        let q = Scale::quick();
+        let f = Scale::full();
+        assert!(f.threads > q.threads);
+        assert!(f.namespace_entries > q.namespace_entries);
+        assert_eq!(q.depth, 10);
+    }
+}

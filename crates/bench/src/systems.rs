@@ -1,0 +1,148 @@
+//! The four systems under test, behind one object-safe surface.
+
+use std::sync::Arc;
+
+use mantle_baselines::{InfiniFs, InfiniFsOptions, LocoFs, LocoFsOptions, Tectonic, TectonicOptions};
+use mantle_core::{MantleCluster, MantleConfig};
+use mantle_types::{BulkLoad, MetadataService, SimConfig};
+
+/// Everything a harness needs from a system under test.
+pub trait Evaluated: MetadataService + BulkLoad + Send + Sync {}
+
+impl<S: MetadataService + BulkLoad + Send + Sync> Evaluated for S {}
+
+/// Which system to build.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum SystemKind {
+    /// The paper's system.
+    Mantle,
+    /// DBtable baseline.
+    Tectonic,
+    /// Speculative-resolution baseline.
+    InfiniFs,
+    /// Tiered baseline.
+    LocoFs,
+}
+
+impl SystemKind {
+    /// All four, in the paper's usual ordering (worst-to-best on reads).
+    pub const ALL: [SystemKind; 4] = [
+        SystemKind::Tectonic,
+        SystemKind::InfiniFs,
+        SystemKind::LocoFs,
+        SystemKind::Mantle,
+    ];
+
+    /// Display label.
+    pub fn label(self) -> &'static str {
+        match self {
+            SystemKind::Mantle => "mantle",
+            SystemKind::Tectonic => "tectonic",
+            SystemKind::InfiniFs => "infinifs",
+            SystemKind::LocoFs => "locofs",
+        }
+    }
+}
+
+/// A built system plus its handle for special accesses (ablation knobs,
+/// data service).
+pub struct SystemUnderTest {
+    kind: SystemKind,
+    svc: Arc<dyn Evaluated>,
+    mantle: Option<Arc<MantleCluster>>,
+}
+
+impl SystemUnderTest {
+    /// Builds `kind` with its Table 2-equivalent scaled deployment.
+    pub fn build(kind: SystemKind, sim: SimConfig) -> Self {
+        match kind {
+            SystemKind::Mantle => Self::mantle(MantleConfig { sim, ..MantleConfig::default() }),
+            SystemKind::Tectonic => SystemUnderTest {
+                kind,
+                svc: Tectonic::new(sim, TectonicOptions::default()),
+                mantle: None,
+            },
+            SystemKind::InfiniFs => SystemUnderTest {
+                kind,
+                svc: InfiniFs::new(sim, InfiniFsOptions::default()),
+                mantle: None,
+            },
+            SystemKind::LocoFs => SystemUnderTest {
+                kind,
+                svc: LocoFs::new(sim, LocoFsOptions::default()),
+                mantle: None,
+            },
+        }
+    }
+
+    /// Wraps a custom-configured Tectonic (Figure 4's transactional
+    /// DBtable variant).
+    pub fn tectonic_custom(svc: std::sync::Arc<Tectonic>) -> Self {
+        SystemUnderTest { kind: SystemKind::Tectonic, svc, mantle: None }
+    }
+
+    /// Builds InfiniFS with explicit options (Figure 20's AM-Cache run).
+    pub fn infinifs(sim: SimConfig, opts: InfiniFsOptions) -> Self {
+        SystemUnderTest {
+            kind: SystemKind::InfiniFs,
+            svc: InfiniFs::new(sim, opts),
+            mantle: None,
+        }
+    }
+
+    /// Builds Mantle with an explicit configuration (ablations, k-sweeps,
+    /// follower/learner variants).
+    pub fn mantle(config: MantleConfig) -> Self {
+        let cluster = MantleCluster::with_config(config);
+        SystemUnderTest {
+            kind: SystemKind::Mantle,
+            svc: cluster.clone(),
+            mantle: Some(cluster),
+        }
+    }
+
+    /// The system kind.
+    pub fn kind(&self) -> SystemKind {
+        self.kind
+    }
+
+    /// Display label.
+    pub fn label(&self) -> &'static str {
+        self.kind.label()
+    }
+
+    /// The service under test.
+    pub fn svc(&self) -> &Arc<dyn Evaluated> {
+        &self.svc
+    }
+
+    /// The Mantle cluster handle, when this system is Mantle.
+    pub fn mantle_cluster(&self) -> Option<&Arc<MantleCluster>> {
+        self.mantle.as_ref()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mantle_types::{MetaPath, OpStats};
+
+    #[test]
+    fn all_four_systems_serve_the_same_workload() {
+        for kind in SystemKind::ALL {
+            let sut = SystemUnderTest::build(kind, SimConfig::instant());
+            let svc = sut.svc();
+            let mut stats = OpStats::new();
+            let dir = MetaPath::parse("/a/b/c").unwrap();
+            svc.bulk_dir(&dir);
+            svc.bulk_object(&dir.child("o"), 5);
+            assert!(svc.lookup(&dir, &mut stats).is_ok(), "{kind:?}");
+            assert_eq!(
+                svc.objstat(&dir.child("o"), &mut stats).unwrap().size,
+                5,
+                "{kind:?}"
+            );
+            assert_eq!(svc.name(), kind.label());
+        }
+    }
+}

@@ -1,0 +1,126 @@
+//! The data service: simulated object storage.
+//!
+//! §3 characterizes data access for small objects as "a single RPC plus
+//! tens of microseconds for device access". The data service models exactly
+//! that: a pool of storage nodes, one RPC to a node chosen round-robin, and
+//! one device-latency injection per access. Object *contents* are not
+//! materialized — experiments only need the timing and the size bookkeeping.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use parking_lot::Mutex;
+
+use mantle_rpc::SimNode;
+use mantle_types::{MetaError, OpStats, Result, SimConfig};
+
+/// A pool of simulated data servers.
+pub struct DataService {
+    nodes: Vec<SimNode>,
+    blobs: Mutex<HashMap<u64, u64>>,
+    next_blob: AtomicU64,
+    rr: AtomicU64,
+    config: SimConfig,
+}
+
+impl DataService {
+    /// Creates a pool of `n_nodes` data servers.
+    pub fn new(config: SimConfig, n_nodes: usize) -> Self {
+        assert!(n_nodes >= 1);
+        DataService {
+            nodes: (0..n_nodes)
+                .map(|i| SimNode::new(format!("data{i}"), config.db_node_permits, config))
+                .collect(),
+            blobs: Mutex::new(HashMap::new()),
+            next_blob: AtomicU64::new(1),
+            rr: AtomicU64::new(0),
+            config,
+        }
+    }
+
+    fn node(&self) -> &SimNode {
+        let i = self.rr.fetch_add(1, Ordering::Relaxed) as usize;
+        &self.nodes[i % self.nodes.len()]
+    }
+
+    /// Writes an object of `size` bytes, returning its blob handle.
+    pub fn write(&self, size: u64, stats: &mut OpStats) -> u64 {
+        let blob = self.next_blob.fetch_add(1, Ordering::Relaxed);
+        self.node().rpc(stats, || {
+            mantle_rpc::device_access(&self.config);
+            self.blobs.lock().insert(blob, size);
+        });
+        blob
+    }
+
+    /// Reads an object by blob handle, returning its size.
+    ///
+    /// # Errors
+    ///
+    /// [`MetaError::NotFound`] for an unknown handle.
+    pub fn read(&self, blob: u64, stats: &mut OpStats) -> Result<u64> {
+        self.node().rpc(stats, || {
+            mantle_rpc::device_access(&self.config);
+            self.blobs
+                .lock()
+                .get(&blob)
+                .copied()
+                .ok_or_else(|| MetaError::NotFound(format!("blob {blob}")))
+        })
+    }
+
+    /// Deletes a blob. Unknown handles are ignored (idempotent GC-style
+    /// deletion, as in real object stores).
+    pub fn delete(&self, blob: u64, stats: &mut OpStats) {
+        self.node().rpc(stats, || {
+            mantle_rpc::device_access(&self.config);
+            self.blobs.lock().remove(&blob);
+        });
+    }
+
+    /// Registers a blob without paying simulated delays (bulk population).
+    pub fn raw_write(&self, size: u64) -> u64 {
+        let blob = self.next_blob.fetch_add(1, Ordering::Relaxed);
+        self.blobs.lock().insert(blob, size);
+        blob
+    }
+
+    /// Number of stored blobs.
+    pub fn len(&self) -> usize {
+        self.blobs.lock().len()
+    }
+
+    /// Whether no blobs are stored.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn write_read_delete_cycle() {
+        let data = DataService::new(SimConfig::instant(), 4);
+        let mut stats = OpStats::new();
+        let blob = data.write(4096, &mut stats);
+        assert_eq!(data.read(blob, &mut stats).unwrap(), 4096);
+        data.delete(blob, &mut stats);
+        assert!(matches!(
+            data.read(blob, &mut stats),
+            Err(MetaError::NotFound(_))
+        ));
+        // 1 RPC per access.
+        assert_eq!(stats.rpcs, 4);
+    }
+
+    #[test]
+    fn raw_write_skips_accounting() {
+        let data = DataService::new(SimConfig::instant(), 1);
+        let blob = data.raw_write(100);
+        let mut stats = OpStats::new();
+        assert_eq!(data.read(blob, &mut stats).unwrap(), 100);
+        assert_eq!(data.len(), 1);
+    }
+}

@@ -1,0 +1,526 @@
+//! The replicated IndexNode state machine and its lookup workflow.
+
+use std::sync::Arc;
+
+use mantle_raft::StateMachine;
+use mantle_sync::RemovalList;
+use mantle_types::{
+    ClientUuid,
+    InodeId,
+    MetaError,
+    MetaPath,
+    Permission,
+    ResolvedPath,
+    Result,
+    SimConfig,
+    ROOT_ID, //
+};
+
+use crate::cache::{CachedPrefix, TopDirPathCache};
+use crate::table::{IndexEntry, IndexTable};
+
+/// A Raft-replicated IndexTable mutation.
+///
+/// Every command is deterministic: the leader validates before proposing,
+/// so apply never fails; cache-invalidation information travels inside the
+/// command ("operations requiring cache invalidation append the full paths
+/// of affected directories to the Raft logs", §5.1.3).
+#[derive(Clone, Debug)]
+pub enum IndexCmd {
+    /// Raft term-start barrier; applies as a no-op.
+    Noop,
+    /// mkdir: register a new directory's access metadata.
+    InsertDir {
+        /// Parent directory id.
+        pid: InodeId,
+        /// Directory name.
+        name: Arc<str>,
+        /// New directory id.
+        id: InodeId,
+        /// Permission mask.
+        permission: Permission,
+    },
+    /// rmdir: drop a directory's access metadata.
+    ///
+    /// §5.1.2 argues rmdir needs no RemovalList entry (an empty directory
+    /// cannot be the prefix of a live deeper path); we still invalidate the
+    /// exact cached prefix so a later re-creation under the same name can
+    /// never resurrect a stale id.
+    RemoveDir {
+        /// Parent directory id.
+        pid: InodeId,
+        /// Directory name.
+        name: Arc<str>,
+        /// Full path, for cache invalidation.
+        path: MetaPath,
+    },
+    /// setattr: change a directory's permission mask (invalidates every
+    /// cached prefix underneath, since aggregated permissions changed).
+    SetPermission {
+        /// Parent directory id.
+        pid: InodeId,
+        /// Directory name.
+        name: Arc<str>,
+        /// New permission mask.
+        permission: Permission,
+        /// Full path, for cache invalidation.
+        path: MetaPath,
+    },
+    /// dirrename step 4+5 (Figure 9): record the source path in the
+    /// RemovalList and set its lock bit.
+    RenamePrepare {
+        /// Source parent id.
+        src_pid: InodeId,
+        /// Source name.
+        src_name: Arc<str>,
+        /// Owning request (idempotent re-entry on proxy failover, §5.3).
+        uuid: ClientUuid,
+        /// Full source path.
+        src_path: MetaPath,
+    },
+    /// dirrename step 8b: move the access-metadata edge, clear the lock
+    /// ("released when the access metadata of the source directory is
+    /// deleted"), invalidate, and drop the RemovalList entry.
+    RenameCommit {
+        /// Source parent id.
+        src_pid: InodeId,
+        /// Source name.
+        src_name: Arc<str>,
+        /// Destination parent id.
+        dst_pid: InodeId,
+        /// Destination name.
+        dst_name: Arc<str>,
+        /// Owning request.
+        uuid: ClientUuid,
+        /// Full source path.
+        src_path: MetaPath,
+    },
+    /// dirrename failure path: release the lock and the RemovalList entry.
+    RenameAbort {
+        /// Source parent id.
+        src_pid: InodeId,
+        /// Source name.
+        src_name: Arc<str>,
+        /// Owning request.
+        uuid: ClientUuid,
+        /// Full source path.
+        src_path: MetaPath,
+    },
+}
+
+/// The outcome of one local path resolution.
+#[derive(Clone, Debug)]
+pub struct ResolveOutcome {
+    /// The resolution result.
+    pub result: Result<ResolvedPath>,
+    /// Whether the TopDirPathCache served the prefix.
+    pub cache_hit: bool,
+    /// Whether the path was deep enough to consult the cache at all.
+    pub cacheable: bool,
+    /// IndexTable levels walked.
+    pub levels_walked: usize,
+}
+
+/// Per-replica IndexNode state: IndexTable + TopDirPathCache + RemovalList.
+pub struct IndexSm {
+    /// The directory access-metadata index.
+    pub table: IndexTable,
+    /// The prefix cache.
+    pub cache: TopDirPathCache,
+    /// In-flight-modification list guarding the cache.
+    pub removal: RemovalList,
+    config: SimConfig,
+    /// The namespace root's directory id (multi-namespace deployments give
+    /// each namespace a distinct root inside the shared TafDB, §7.1).
+    root: InodeId,
+}
+
+impl IndexSm {
+    /// Creates an empty state machine. `k`/`cache_enabled` configure the
+    /// TopDirPathCache (§5.1.1).
+    pub fn new(config: SimConfig, k: usize, cache_enabled: bool) -> Self {
+        Self::with_root(config, k, cache_enabled, ROOT_ID)
+    }
+
+    /// Creates a state machine whose walks start at `root` instead of the
+    /// default namespace root.
+    pub fn with_root(config: SimConfig, k: usize, cache_enabled: bool, root: InodeId) -> Self {
+        IndexSm {
+            table: IndexTable::new(),
+            cache: TopDirPathCache::new(k, cache_enabled),
+            removal: RemovalList::new(),
+            config,
+            root,
+        }
+    }
+
+    /// The namespace root id this replica resolves from.
+    pub fn root(&self) -> InodeId {
+        self.root
+    }
+
+    /// Resolves a *directory* path against this replica's local state —
+    /// Figure 7's workflow: RemovalList scan, TopDirPathCache probe,
+    /// IndexTable walk, conditional cache fill.
+    pub fn resolve(&self, path: &MetaPath) -> ResolveOutcome {
+        if path.is_root() {
+            return ResolveOutcome {
+                result: Ok(ResolvedPath { id: self.root, permission: Permission::ALL }),
+                cache_hit: false,
+                cacheable: false,
+                levels_walked: 0,
+            };
+        }
+        // Step 1: scan the RemovalList (lock-free when empty).
+        let conflict = self.removal.conflicts_with(path);
+        let version = self.removal.version();
+        let cacheable = self.cache.prefix_of(path).is_some();
+        let prefix = if conflict { None } else { self.cache.prefix_of(path) };
+
+        // Step 2: probe TopDirPathCache with the truncated prefix.
+        if let Some(ref prefix) = prefix {
+            if let Some(hit) = self.cache.get(prefix) {
+                let (result, levels) =
+                    self.walk(path, prefix.depth(), hit.pid, hit.permission);
+                return ResolveOutcome {
+                    result,
+                    cache_hit: true,
+                    cacheable,
+                    levels_walked: levels,
+                };
+            }
+        }
+
+        // Step 3: full level-by-level walk through the IndexTable.
+        let (result, levels) = self.walk(path, 0, self.root, Permission::ALL);
+
+        // Cache fill: only when the prefix was cacheable, resolution
+        // succeeded, and no modification raced us (timestamp check).
+        if let (Some(prefix), Ok(_)) = (prefix, &result) {
+            if let Some((prefix_pid, prefix_perm)) = self.resolve_at_depth(path, prefix.depth()) {
+                self.cache.try_fill(
+                    prefix,
+                    CachedPrefix { pid: prefix_pid, permission: prefix_perm },
+                    || self.removal.version() == version && !self.removal.conflicts_with(path),
+                );
+            }
+        }
+        ResolveOutcome {
+            result,
+            cache_hit: false,
+            cacheable,
+            levels_walked: levels,
+        }
+    }
+
+    /// Walks `path` components `[start_depth, ..)` from `pid`, intersecting
+    /// permissions. Returns the result and the number of levels walked.
+    fn walk(
+        &self,
+        path: &MetaPath,
+        start_depth: usize,
+        mut pid: InodeId,
+        mut permission: Permission,
+    ) -> (Result<ResolvedPath>, usize) {
+        let mut levels = 0;
+        for comp in path.components().skip(start_depth) {
+            levels += 1;
+            if !permission.allows_traverse() {
+                self.charge_levels(levels);
+                return (Err(MetaError::PermissionDenied(path.to_string())), levels);
+            }
+            match self.table.get(pid, comp) {
+                Some(entry) => {
+                    pid = entry.id;
+                    permission = permission.intersect(entry.permission);
+                }
+                None => {
+                    self.charge_levels(levels);
+                    return (Err(MetaError::NotFound(path.to_string())), levels);
+                }
+            }
+        }
+        self.charge_levels(levels);
+        (Ok(ResolvedPath { id: pid, permission }), levels)
+    }
+
+    /// Injects the per-level CPU cost of the local IndexTable accesses
+    /// (§5.1) as one delay: micro-sleeps per level would overshoot the OS
+    /// timer resolution by an order of magnitude and distort the model.
+    fn charge_levels(&self, levels: usize) {
+        mantle_rpc::inject_delay(std::time::Duration::from_micros(
+            self.config.index_level_micros * levels as u64,
+        ));
+    }
+
+    /// Re-derives `(pid, permission)` at `depth` along `path` without
+    /// injected per-level cost (the walk above already paid it).
+    fn resolve_at_depth(&self, path: &MetaPath, depth: usize) -> Option<(InodeId, Permission)> {
+        let mut pid = self.root;
+        let mut permission = Permission::ALL;
+        for comp in path.components().take(depth) {
+            let entry = self.table.get(pid, comp)?;
+            pid = entry.id;
+            permission = permission.intersect(entry.permission);
+        }
+        Some((pid, permission))
+    }
+}
+
+impl StateMachine for IndexSm {
+    type Command = IndexCmd;
+
+    fn apply(&self, _index: u64, cmd: &IndexCmd) {
+        match cmd {
+            IndexCmd::Noop => {}
+            IndexCmd::InsertDir { pid, name, id, permission } => {
+                self.table.insert(
+                    *pid,
+                    name,
+                    IndexEntry { id: *id, permission: *permission, lock: None },
+                );
+            }
+            IndexCmd::RemoveDir { pid, name, path } => {
+                self.table.remove(*pid, name);
+                self.cache.invalidate_subtree(path);
+            }
+            IndexCmd::SetPermission { pid, name, permission, path } => {
+                // Block cache use for the subtree while the change lands,
+                // exactly the dirrename dance but without a lock bit.
+                self.removal.insert(path.clone());
+                self.table.update(*pid, name, |e| e.permission = *permission);
+                self.cache.invalidate_subtree(path);
+                self.removal.remove(path);
+            }
+            IndexCmd::RenamePrepare { src_pid, src_name, uuid, src_path } => {
+                self.removal.insert(src_path.clone());
+                self.table.try_lock(*src_pid, src_name, *uuid);
+            }
+            IndexCmd::RenameCommit {
+                src_pid,
+                src_name,
+                dst_pid,
+                dst_name,
+                uuid: _,
+                src_path,
+            } => {
+                if let Some(mut entry) = self.table.remove(*src_pid, src_name) {
+                    entry.lock = None;
+                    self.table.insert(*dst_pid, dst_name, entry);
+                }
+                self.cache.invalidate_subtree(src_path);
+                self.removal.remove(src_path);
+            }
+            IndexCmd::RenameAbort { src_pid, src_name, uuid, src_path } => {
+                self.table.unlock(*src_pid, src_name, *uuid);
+                self.removal.remove(src_path);
+            }
+        }
+    }
+
+    fn barrier() -> IndexCmd {
+        IndexCmd::Noop
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(s: &str) -> MetaPath {
+        MetaPath::parse(s).unwrap()
+    }
+
+    fn sm(k: usize, cache: bool) -> IndexSm {
+        let sm = IndexSm::new(SimConfig::instant(), k, cache);
+        // Build /a/b/c/d/e with ids 2..=6.
+        let names = ["a", "b", "c", "d", "e"];
+        let mut pid = ROOT_ID;
+        for (i, name) in names.iter().enumerate() {
+            let id = InodeId(2 + i as u64);
+            sm.apply(
+                0,
+                &IndexCmd::InsertDir {
+                    pid,
+                    name: Arc::from(*name),
+                    id,
+                    permission: Permission::ALL,
+                },
+            );
+            pid = id;
+        }
+        sm
+    }
+
+    #[test]
+    fn resolve_walks_to_leaf() {
+        let sm = sm(3, true);
+        let out = sm.resolve(&p("/a/b/c/d/e"));
+        assert_eq!(out.result.unwrap().id, InodeId(6));
+        assert!(!out.cache_hit);
+        assert_eq!(out.levels_walked, 5);
+        assert!(out.cacheable);
+    }
+
+    #[test]
+    fn second_resolve_hits_cache_and_walks_less() {
+        let sm = sm(3, true);
+        sm.resolve(&p("/a/b/c/d/e"));
+        assert_eq!(sm.cache.stats().entries, 1);
+        let out = sm.resolve(&p("/a/b/c/d/e"));
+        assert!(out.cache_hit);
+        assert_eq!(out.levels_walked, 3);
+        assert_eq!(out.result.unwrap().id, InodeId(6));
+    }
+
+    #[test]
+    fn root_resolves_trivially() {
+        let sm = sm(3, true);
+        let out = sm.resolve(&MetaPath::root());
+        assert_eq!(out.result.unwrap().id, ROOT_ID);
+        assert_eq!(out.levels_walked, 0);
+    }
+
+    #[test]
+    fn missing_component_is_not_found() {
+        let sm = sm(3, true);
+        assert!(matches!(
+            sm.resolve(&p("/a/b/zzz/d/e")).result,
+            Err(MetaError::NotFound(_))
+        ));
+        // The failed resolution must not have polluted the cache.
+        assert_eq!(sm.cache.stats().entries, 0);
+    }
+
+    #[test]
+    fn permission_aggregation_denies_traversal() {
+        let sm = sm(3, true);
+        // Remove exec from /a/b.
+        sm.apply(
+            0,
+            &IndexCmd::SetPermission {
+                pid: InodeId(2),
+                name: Arc::from("b"),
+                permission: Permission(0b110),
+                path: p("/a/b"),
+            },
+        );
+        assert!(matches!(
+            sm.resolve(&p("/a/b/c/d/e")).result,
+            Err(MetaError::PermissionDenied(_))
+        ));
+        // /a/b itself still resolves (traversal checks apply to ancestors).
+        let out = sm.resolve(&p("/a/b")).result.unwrap();
+        assert_eq!(out.id, InodeId(3));
+        assert!(!out.permission.allows(Permission::EXEC));
+    }
+
+    #[test]
+    fn removal_list_conflict_bypasses_cache() {
+        let sm = sm(3, true);
+        sm.resolve(&p("/a/b/c/d/e")); // Fill cache with /a/b.
+        sm.removal.insert(p("/a/b"));
+        let out = sm.resolve(&p("/a/b/c/d/e"));
+        assert!(!out.cache_hit, "conflicting lookup must bypass the cache");
+        assert_eq!(out.levels_walked, 5);
+        sm.removal.remove(&p("/a/b"));
+        assert!(sm.resolve(&p("/a/b/c/d/e")).cache_hit);
+    }
+
+    #[test]
+    fn rename_moves_edge_and_invalidates() {
+        let sm = sm(2, true);
+        // Cache a prefix under the soon-to-move directory.
+        sm.resolve(&p("/a/b/c/d/e"));
+        assert_eq!(sm.cache.stats().entries, 1);
+        let uuid = ClientUuid(9);
+        sm.apply(
+            0,
+            &IndexCmd::RenamePrepare {
+                src_pid: InodeId(3),
+                src_name: Arc::from("c"),
+                uuid,
+                src_path: p("/a/b/c"),
+            },
+        );
+        assert!(sm.table.is_locked(InodeId(3), "c"));
+        assert!(sm.removal.conflicts_with(&p("/a/b/c/d")));
+        sm.apply(
+            0,
+            &IndexCmd::RenameCommit {
+                src_pid: InodeId(3),
+                src_name: Arc::from("c"),
+                dst_pid: ROOT_ID,
+                dst_name: Arc::from("moved"),
+                uuid,
+                src_path: p("/a/b/c"),
+            },
+        );
+        // Commit scrubbed the stale prefix before any new lookup ran.
+        assert_eq!(sm.cache.stats().entries, 0);
+        // Old path gone, new path resolves, lock cleared.
+        assert!(matches!(
+            sm.resolve(&p("/a/b/c")).result,
+            Err(MetaError::NotFound(_))
+        ));
+        assert_eq!(sm.resolve(&p("/moved/d/e")).result.unwrap().id, InodeId(6));
+        assert!(!sm.table.is_locked(ROOT_ID, "moved"));
+        assert!(sm.removal.is_empty());
+        // The successful lookup of the new location refilled the cache.
+        assert_eq!(sm.cache.stats().entries, 1);
+    }
+
+    #[test]
+    fn rename_abort_releases_lock_and_removal() {
+        let sm = sm(3, true);
+        let uuid = ClientUuid(4);
+        sm.apply(
+            0,
+            &IndexCmd::RenamePrepare {
+                src_pid: InodeId(3),
+                src_name: Arc::from("c"),
+                uuid,
+                src_path: p("/a/b/c"),
+            },
+        );
+        sm.apply(
+            0,
+            &IndexCmd::RenameAbort {
+                src_pid: InodeId(3),
+                src_name: Arc::from("c"),
+                uuid,
+                src_path: p("/a/b/c"),
+            },
+        );
+        assert!(!sm.table.is_locked(InodeId(3), "c"));
+        assert!(sm.removal.is_empty());
+        // The directory is still where it was.
+        assert_eq!(sm.resolve(&p("/a/b/c")).result.unwrap().id, InodeId(4));
+    }
+
+    #[test]
+    fn remove_dir_invalidates_exact_prefix() {
+        let sm = sm(2, true);
+        sm.resolve(&p("/a/b/c/d/e")); // Caches /a/b/c.
+        assert_eq!(sm.cache.stats().entries, 1);
+        sm.apply(
+            0,
+            &IndexCmd::RemoveDir { pid: InodeId(3), name: Arc::from("c"), path: p("/a/b/c") },
+        );
+        assert_eq!(sm.cache.stats().entries, 0);
+        assert!(matches!(
+            sm.resolve(&p("/a/b/c")).result,
+            Err(MetaError::NotFound(_))
+        ));
+    }
+
+    #[test]
+    fn disabled_cache_never_hits() {
+        let sm = sm(3, false);
+        sm.resolve(&p("/a/b/c/d/e"));
+        let out = sm.resolve(&p("/a/b/c/d/e"));
+        assert!(!out.cache_hit);
+        assert!(!out.cacheable);
+        assert_eq!(out.levels_walked, 5);
+    }
+}

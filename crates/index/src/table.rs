@@ -1,0 +1,209 @@
+//! The IndexTable: `(pid, dirname) → (id, permission, lock bit)` (Figure 6).
+
+use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+
+use parking_lot::RwLock;
+
+use mantle_types::{ClientUuid, InodeId, Permission};
+
+/// Access metadata of one directory, as stored on the IndexNode.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct IndexEntry {
+    /// The directory's id.
+    pub id: InodeId,
+    /// The directory's permission mask.
+    pub permission: Permission,
+    /// Rename lock bit: the UUID of the request holding it (§5.2.2/§5.3).
+    pub lock: Option<ClientUuid>,
+}
+
+type Key = (InodeId, Arc<str>);
+
+/// A striped concurrent hash index over directory access metadata.
+///
+/// Lookups take a short shared lock on one stripe; Raft apply takes an
+/// exclusive lock on one stripe. 64 stripes keep reader contention
+/// negligible at lookup rates.
+pub struct IndexTable {
+    stripes: Vec<RwLock<HashMap<Key, IndexEntry>>>,
+    mask: usize,
+    len: AtomicUsize,
+}
+
+impl Default for IndexTable {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl IndexTable {
+    /// Creates an empty table with 64 stripes.
+    pub fn new() -> Self {
+        let n = 64;
+        IndexTable {
+            stripes: (0..n).map(|_| RwLock::new(HashMap::new())).collect(),
+            mask: n - 1,
+            len: AtomicUsize::new(0),
+        }
+    }
+
+    fn stripe(&self, pid: InodeId, name: &str) -> &RwLock<HashMap<Key, IndexEntry>> {
+        let mut h = std::collections::hash_map::DefaultHasher::new();
+        pid.hash(&mut h);
+        name.hash(&mut h);
+        &self.stripes[(h.finish() as usize) & self.mask]
+    }
+
+    /// Reads the entry of `name` under `pid`.
+    pub fn get(&self, pid: InodeId, name: &str) -> Option<IndexEntry> {
+        self.stripe(pid, name)
+            .read()
+            .get(&(pid, Arc::from(name)) as &Key)
+            .cloned()
+    }
+
+    /// Inserts or replaces an entry.
+    pub fn insert(&self, pid: InodeId, name: &str, entry: IndexEntry) {
+        let prev = self
+            .stripe(pid, name)
+            .write()
+            .insert((pid, Arc::from(name)), entry);
+        if prev.is_none() {
+            self.len.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Removes an entry, returning it.
+    pub fn remove(&self, pid: InodeId, name: &str) -> Option<IndexEntry> {
+        let removed = self
+            .stripe(pid, name)
+            .write()
+            .remove(&(pid, Arc::from(name)) as &Key);
+        if removed.is_some() {
+            self.len.fetch_sub(1, Ordering::Relaxed);
+        }
+        removed
+    }
+
+    /// Updates an entry in place; returns `false` when absent.
+    pub fn update(&self, pid: InodeId, name: &str, f: impl FnOnce(&mut IndexEntry)) -> bool {
+        let mut stripe = self.stripe(pid, name).write();
+        match stripe.get_mut(&(pid, Arc::from(name)) as &Key) {
+            Some(e) => {
+                f(e);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Sets the rename lock bit if it is clear or already held by `uuid`
+    /// (idempotent re-entry after proxy failover, §5.3). Returns whether the
+    /// lock is now held by `uuid`.
+    pub fn try_lock(&self, pid: InodeId, name: &str, uuid: ClientUuid) -> bool {
+        let mut stripe = self.stripe(pid, name).write();
+        match stripe.get_mut(&(pid, Arc::from(name)) as &Key) {
+            Some(e) => match e.lock {
+                None => {
+                    e.lock = Some(uuid);
+                    true
+                }
+                Some(holder) => holder == uuid,
+            },
+            None => false,
+        }
+    }
+
+    /// Clears the lock bit if held by `uuid`.
+    pub fn unlock(&self, pid: InodeId, name: &str, uuid: ClientUuid) {
+        self.update(pid, name, |e| {
+            if e.lock == Some(uuid) {
+                e.lock = None;
+            }
+        });
+    }
+
+    /// Whether the entry's lock bit is set (by anyone).
+    pub fn is_locked(&self, pid: InodeId, name: &str) -> bool {
+        self.get(pid, name).is_some_and(|e| e.lock.is_some())
+    }
+
+    /// Number of entries (≈ directories in the namespace).
+    pub fn len(&self) -> usize {
+        self.len.load(Ordering::Relaxed)
+    }
+
+    /// Whether the table is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mantle_types::ROOT_ID;
+
+    fn entry(id: u64) -> IndexEntry {
+        IndexEntry { id: InodeId(id), permission: Permission::ALL, lock: None }
+    }
+
+    #[test]
+    fn insert_get_remove() {
+        let t = IndexTable::new();
+        t.insert(ROOT_ID, "a", entry(5));
+        assert_eq!(t.get(ROOT_ID, "a").unwrap().id, InodeId(5));
+        assert!(t.get(ROOT_ID, "b").is_none());
+        assert_eq!(t.len(), 1);
+        // Replacing does not change len.
+        t.insert(ROOT_ID, "a", entry(6));
+        assert_eq!(t.len(), 1);
+        assert_eq!(t.remove(ROOT_ID, "a").unwrap().id, InodeId(6));
+        assert!(t.is_empty());
+    }
+
+    #[test]
+    fn lock_bit_semantics() {
+        let t = IndexTable::new();
+        t.insert(ROOT_ID, "d", entry(5));
+        let u1 = mantle_types::ClientUuid(1);
+        let u2 = mantle_types::ClientUuid(2);
+        assert!(t.try_lock(ROOT_ID, "d", u1));
+        // Re-entry by the same uuid succeeds (proxy failover retry).
+        assert!(t.try_lock(ROOT_ID, "d", u1));
+        // Another request is refused.
+        assert!(!t.try_lock(ROOT_ID, "d", u2));
+        assert!(t.is_locked(ROOT_ID, "d"));
+        // Only the holder's unlock clears it.
+        t.unlock(ROOT_ID, "d", u2);
+        assert!(t.is_locked(ROOT_ID, "d"));
+        t.unlock(ROOT_ID, "d", u1);
+        assert!(!t.is_locked(ROOT_ID, "d"));
+        assert!(t.try_lock(ROOT_ID, "d", u2));
+    }
+
+    #[test]
+    fn lock_on_missing_entry_fails() {
+        let t = IndexTable::new();
+        assert!(!t.try_lock(ROOT_ID, "ghost", mantle_types::ClientUuid(1)));
+    }
+
+    #[test]
+    fn concurrent_inserts_count_correctly() {
+        let t = std::sync::Arc::new(IndexTable::new());
+        std::thread::scope(|s| {
+            for i in 0..8u64 {
+                let t = t.clone();
+                s.spawn(move || {
+                    for j in 0..100u64 {
+                        t.insert(InodeId(i), &format!("n{j}"), entry(i * 1000 + j));
+                    }
+                });
+            }
+        });
+        assert_eq!(t.len(), 800);
+    }
+}

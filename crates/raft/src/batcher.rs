@@ -1,0 +1,104 @@
+//! Batched leader `commitIndex` queries for ReadIndex follower reads.
+//!
+//! §5.1.3: "To minimize the overhead imposed on the leader, queries for the
+//! commitIndex are batched." Concurrent follower-side readers coalesce into
+//! one leader round trip: the first reader becomes the batch leader and
+//! performs the query; readers that arrive while it is in flight share its
+//! result. Any commitIndex fetched *after* a reader arrived is a valid
+//! linearization point for that reader, so sharing is safe.
+
+use parking_lot::{Condvar, Mutex};
+
+#[derive(Default)]
+struct State {
+    /// Generation counter of completed fetches.
+    generation: u64,
+    /// Result of the last completed fetch.
+    last_value: u64,
+    /// Whether a fetch is in flight.
+    fetching: bool,
+}
+
+/// Coalesces concurrent commit-index queries into shared fetches.
+#[derive(Default)]
+pub struct CommitIndexBatcher {
+    state: Mutex<State>,
+    cv: Condvar,
+}
+
+impl CommitIndexBatcher {
+    /// Creates an idle batcher.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Returns a commit index fetched at-or-after the caller's arrival,
+    /// using `fetch` to perform the actual leader query. `fetch` may be
+    /// called by this thread (batch leader) or skipped entirely (joined an
+    /// in-flight batch... in which case the *next* completed fetch is used).
+    pub fn query(&self, fetch: impl FnOnce() -> u64) -> u64 {
+        let mut state = self.state.lock();
+        let arrival_gen = state.generation;
+        loop {
+            // A fetch completed after we arrived: its value is valid for us.
+            if state.generation > arrival_gen {
+                return state.last_value;
+            }
+            if !state.fetching {
+                state.fetching = true;
+                drop(state);
+                let value = fetch();
+                state = self.state.lock();
+                state.fetching = false;
+                state.generation += 1;
+                state.last_value = value;
+                self.cv.notify_all();
+                return value;
+            }
+            self.cv.wait(&mut state);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicU64, Ordering};
+    use std::sync::Arc;
+    use std::time::Duration;
+
+    #[test]
+    fn single_caller_fetches() {
+        let b = CommitIndexBatcher::new();
+        assert_eq!(b.query(|| 42), 42);
+        assert_eq!(b.query(|| 43), 43);
+    }
+
+    #[test]
+    fn concurrent_callers_share_fetches() {
+        let b = Arc::new(CommitIndexBatcher::new());
+        let fetches = Arc::new(AtomicU64::new(0));
+        let handles: Vec<_> = (0..16)
+            .map(|_| {
+                let (b, fetches) = (b.clone(), fetches.clone());
+                std::thread::spawn(move || {
+                    for _ in 0..20 {
+                        let v = b.query(|| {
+                            fetches.fetch_add(1, Ordering::SeqCst);
+                            // A slow "RPC" so others pile up behind it.
+                            std::thread::sleep(Duration::from_micros(300));
+                            7
+                        });
+                        assert_eq!(v, 7);
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        let n = fetches.load(Ordering::SeqCst);
+        assert!(n < 320, "expected batching, got {n} fetches for 320 queries");
+        assert!(n >= 1);
+    }
+}

@@ -1,0 +1,344 @@
+//! Raft group construction and lifecycle.
+
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use parking_lot::Mutex;
+
+use mantle_rpc::SimNode;
+use mantle_types::SimConfig;
+
+use crate::replica::{RaftError, RaftOptions, RaftReplica, StateMachine};
+
+/// A Raft group of `n_voters` voting replicas followed by learners.
+///
+/// Replica 0 is bootstrapped as the initial leader. Background threads
+/// (appliers + election tickers, plus per-peer replicators while leading)
+/// are owned by the group and joined on drop.
+pub struct RaftGroup<SM: StateMachine> {
+    replicas: Vec<Arc<RaftReplica<SM>>>,
+    n_voters: usize,
+    threads: Mutex<Vec<JoinHandle<()>>>,
+}
+
+impl<SM: StateMachine> RaftGroup<SM> {
+    /// Builds a group with one state machine per replica.
+    ///
+    /// `nodes` supplies the simulated server each replica runs on; its
+    /// length defines the group size and must be at least `n_voters`.
+    pub fn new(
+        config: SimConfig,
+        opts: RaftOptions,
+        nodes: Vec<Arc<SimNode>>,
+        n_voters: usize,
+        mut sm_factory: impl FnMut(usize) -> SM,
+    ) -> Self {
+        assert!(n_voters >= 1 && nodes.len() >= n_voters);
+        let group_size = nodes.len();
+        let replicas: Vec<Arc<RaftReplica<SM>>> = nodes
+            .into_iter()
+            .enumerate()
+            .map(|(id, node)| {
+                RaftReplica::new(id, n_voters, group_size, sm_factory(id), node, config, opts)
+            })
+            .collect();
+        for r in &replicas {
+            r.set_peers(replicas.iter().map(Arc::downgrade).collect());
+        }
+
+        let mut threads = Vec::new();
+        for r in &replicas {
+            let applier = Arc::clone(r);
+            threads.push(
+                std::thread::Builder::new()
+                    .name(format!("raft-apply-{}", r.id()))
+                    .spawn(move || applier.apply_loop())
+                    .expect("spawn applier"),
+            );
+            if !r.is_learner() {
+                let ticker = Arc::clone(r);
+                threads.push(
+                    std::thread::Builder::new()
+                        .name(format!("raft-tick-{}", r.id()))
+                        .spawn(move || ticker.tick_loop())
+                        .expect("spawn ticker"),
+                );
+            }
+        }
+        replicas[0].bootstrap_leader();
+
+        RaftGroup {
+            replicas,
+            n_voters,
+            threads: Mutex::new(threads),
+        }
+    }
+
+    /// All replicas (voters first, then learners).
+    pub fn replicas(&self) -> &[Arc<RaftReplica<SM>>] {
+        &self.replicas
+    }
+
+    /// The replica with the given id.
+    pub fn replica(&self, id: usize) -> &Arc<RaftReplica<SM>> {
+        &self.replicas[id]
+    }
+
+    /// Number of voting members.
+    pub fn n_voters(&self) -> usize {
+        self.n_voters
+    }
+
+    /// The current leader, if any replica claims leadership.
+    pub fn leader(&self) -> Option<Arc<RaftReplica<SM>>> {
+        self.replicas.iter().find(|r| r.is_leader()).cloned()
+    }
+
+    /// Waits until some replica is leader.
+    ///
+    /// # Errors
+    ///
+    /// [`RaftError::Unavailable`] if no leader emerges within `timeout`.
+    pub fn await_leader(&self, timeout: Duration) -> Result<Arc<RaftReplica<SM>>, RaftError> {
+        let deadline = Instant::now() + timeout;
+        loop {
+            if let Some(l) = self.leader() {
+                return Ok(l);
+            }
+            if Instant::now() > deadline {
+                return Err(RaftError::Unavailable);
+            }
+            std::thread::sleep(Duration::from_millis(5));
+        }
+    }
+
+    /// Crashes replica `id` (fails its RPCs, pauses its apply loop).
+    pub fn crash(&self, id: usize) {
+        self.replicas[id].crash();
+    }
+
+    /// Recovers replica `id` as a follower with its log intact.
+    pub fn recover(&self, id: usize) {
+        self.replicas[id].recover();
+    }
+}
+
+impl<SM: StateMachine> Drop for RaftGroup<SM> {
+    fn drop(&mut self) {
+        for r in &self.replicas {
+            r.begin_shutdown();
+        }
+        for t in self.threads.lock().drain(..) {
+            let _ = t.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mantle_types::OpStats;
+    use parking_lot::Mutex as PlMutex;
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    /// A state machine that records applied commands.
+    struct RecordingSm {
+        applied: PlMutex<Vec<u64>>,
+        count: AtomicU64,
+    }
+
+    impl RecordingSm {
+        fn new() -> Self {
+            RecordingSm {
+                applied: PlMutex::new(Vec::new()),
+                count: AtomicU64::new(0),
+            }
+        }
+    }
+
+    impl StateMachine for RecordingSm {
+        type Command = u64;
+
+        fn apply(&self, _index: u64, cmd: &u64) {
+            if *cmd == u64::MAX {
+                return; // Term-start barrier.
+            }
+            self.applied.lock().push(*cmd);
+            self.count.fetch_add(1, Ordering::SeqCst);
+        }
+
+        fn barrier() -> u64 {
+            u64::MAX
+        }
+    }
+
+    fn test_group(n_voters: usize, n_learners: usize) -> RaftGroup<RecordingSm> {
+        let config = SimConfig::instant();
+        let nodes = (0..n_voters + n_learners)
+            .map(|i| Arc::new(SimNode::new(format!("raft{i}"), usize::MAX, config)))
+            .collect();
+        let opts = RaftOptions {
+            heartbeat_interval: Duration::from_millis(5),
+            election_timeout_min: Duration::from_millis(50),
+            election_timeout_max: Duration::from_millis(100),
+            ..RaftOptions::default()
+        };
+        RaftGroup::new(config, opts, nodes, n_voters, |_| RecordingSm::new())
+    }
+
+    #[test]
+    fn bootstrap_leader_proposes_and_applies() {
+        let group = test_group(3, 0);
+        let leader = group.leader().expect("bootstrap leader");
+        assert_eq!(leader.id(), 0);
+        for i in 0..20 {
+            let idx = leader.propose(i).unwrap();
+            // Index 1 is the term-start barrier.
+            assert_eq!(idx, i + 2);
+        }
+        assert_eq!(
+            *leader.state_machine().applied.lock(),
+            (0..20).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn followers_catch_up() {
+        let group = test_group(3, 1);
+        let leader = group.leader().unwrap();
+        for i in 0..50 {
+            leader.propose(i).unwrap();
+        }
+        // Replication is asynchronous for followers; poll briefly.
+        let deadline = Instant::now() + Duration::from_secs(5);
+        loop {
+            let all_caught_up = group
+                .replicas()
+                .iter()
+                .all(|r| r.state_machine().count.load(Ordering::SeqCst) == 50);
+            if all_caught_up {
+                break;
+            }
+            assert!(Instant::now() < deadline, "followers did not catch up");
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        for r in group.replicas() {
+            assert_eq!(
+                *r.state_machine().applied.lock(),
+                (0..50).collect::<Vec<_>>()
+            );
+        }
+    }
+
+    #[test]
+    fn propose_on_follower_is_rejected() {
+        let group = test_group(3, 0);
+        group.await_leader(Duration::from_secs(1)).unwrap();
+        let follower = group
+            .replicas()
+            .iter()
+            .find(|r| !r.is_leader())
+            .unwrap();
+        match follower.propose(1) {
+            Err(RaftError::NotLeader(_)) => {}
+            other => panic!("expected NotLeader, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn read_index_on_follower_sees_committed_writes() {
+        let group = test_group(3, 1);
+        let leader = group.leader().unwrap();
+        for i in 0..10 {
+            leader.propose(i).unwrap();
+        }
+        let learner = group.replica(3);
+        assert!(learner.is_learner());
+        let mut stats = OpStats::new();
+        let ci = learner.read_index(&mut stats).unwrap();
+        assert!(ci >= 10);
+        assert!(learner.last_applied() >= 10);
+        assert_eq!(learner.state_machine().count.load(Ordering::SeqCst), 10);
+        assert_eq!(stats.rpcs, 1, "batch leader pays one leader RPC");
+    }
+
+    #[test]
+    fn leader_failover_elects_new_leader_and_preserves_log() {
+        let group = test_group(3, 0);
+        let leader = group.leader().unwrap();
+        for i in 0..10 {
+            leader.propose(i).unwrap();
+        }
+        group.crash(leader.id());
+        let new_leader = group.await_leader(Duration::from_secs(5)).unwrap();
+        assert_ne!(new_leader.id(), leader.id());
+        // The new leader must retain all committed entries and accept more.
+        for i in 10..15 {
+            new_leader.propose(i).unwrap();
+        }
+        assert_eq!(
+            *new_leader.state_machine().applied.lock(),
+            (0..15).collect::<Vec<_>>()
+        );
+        // Old leader recovers as follower and catches up.
+        group.recover(leader.id());
+        let deadline = Instant::now() + Duration::from_secs(5);
+        while leader.state_machine().count.load(Ordering::SeqCst) < 15 {
+            assert!(Instant::now() < deadline, "recovered replica did not catch up");
+            std::thread::sleep(Duration::from_millis(10));
+        }
+        assert!(!leader.is_leader() || leader.term() > 1);
+    }
+
+    #[test]
+    fn learners_do_not_vote() {
+        let group = test_group(1, 2);
+        let leader = group.leader().unwrap();
+        assert_eq!(leader.id(), 0);
+        // With a single voter, quorum is 1: proposals commit immediately.
+        leader.propose(7).unwrap();
+        assert_eq!(leader.state_machine().count.load(Ordering::SeqCst), 1);
+        for r in group.replicas().iter().skip(1) {
+            assert!(r.is_learner());
+            assert!(!r.is_leader());
+        }
+    }
+
+    #[test]
+    fn log_batching_reduces_fsyncs() {
+        // Compare fsync counts with and without batching under concurrency.
+        let run = |batching: bool| -> (u64, u64) {
+            let mut config = SimConfig::instant();
+            config.fsync_micros = 500;
+            let nodes = (0..3)
+                .map(|i| Arc::new(SimNode::new(format!("raft{i}"), usize::MAX, config)))
+                .collect();
+            let opts = RaftOptions {
+                log_batching: batching,
+                heartbeat_interval: Duration::from_millis(5),
+                ..RaftOptions::default()
+            };
+            let group = RaftGroup::new(config, opts, nodes, 3, |_| RecordingSm::new());
+            let leader = group.leader().unwrap();
+            std::thread::scope(|s| {
+                for t in 0..8 {
+                    let leader = &leader;
+                    s.spawn(move || {
+                        for i in 0..10 {
+                            leader.propose(t * 100 + i).unwrap();
+                        }
+                    });
+                }
+            });
+            (leader.wal_fsyncs(), 80)
+        };
+        let (batched, total) = run(true);
+        let (unbatched, _) = run(false);
+        assert_eq!(unbatched, total);
+        assert!(
+            batched < unbatched,
+            "batched={batched} should be < unbatched={unbatched}"
+        );
+    }
+}

@@ -1,0 +1,36 @@
+//! Raft consensus for the IndexNode replication group (§4, §5.1.3, §5.2.3).
+//!
+//! Mantle replicates every IndexNode update through a Raft group so that the
+//! single-node directory index stays available; this crate implements the
+//! protocol pieces the paper's optimizations build on:
+//!
+//! * **Log batching** (§5.2.3): follower/leader durability goes through a
+//!   group-commit WAL; concurrent proposals share one injected fsync, and
+//!   an `AppendEntries` RPC carrying a batch of entries pays one flush.
+//!   Disabling [`RaftOptions::log_batching`] reproduces the Figure 16
+//!   `+raftlogbatch` ablation baseline.
+//! * **Follower reads via ReadIndex** (§5.1.3): a follower asks the leader
+//!   for the latest `commitIndex`, waits until its local `applyIndex`
+//!   catches up, and then serves the read locally. Concurrent queries are
+//!   batched ([`batcher::CommitIndexBatcher`]) "to minimize the overhead
+//!   imposed on the leader".
+//! * **Learner replicas** (§5.1.3): non-voting members that receive the log
+//!   and serve ReadIndex reads, adding read capacity without growing the
+//!   quorum.
+//! * **Leader election and failover** (§5.3): replicas time out on missing
+//!   heartbeats, campaign, and the group re-elects; killed replicas keep
+//!   their (simulated-durable) log and can rejoin.
+//!
+//! The "network" between replicas is direct method calls with injected
+//! round-trip delays, and each replica's handlers execute inside its
+//! [`mantle_rpc::SimNode`] capacity envelope — see DESIGN.md §1.
+
+pub mod batcher;
+pub mod group;
+pub mod log;
+pub mod replica;
+
+pub use batcher::CommitIndexBatcher;
+pub use group::RaftGroup;
+pub use log::LogEntry;
+pub use replica::{RaftError, RaftOptions, RaftReplica, Role, StateMachine};

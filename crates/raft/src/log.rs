@@ -1,0 +1,170 @@
+//! The replicated log.
+
+/// One log entry: a term and a state-machine command.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct LogEntry<C> {
+    /// Term in which the entry was appended by a leader.
+    pub term: u64,
+    /// The command to apply.
+    pub cmd: C,
+}
+
+/// In-memory log with 1-based external indices (index 0 = "empty log").
+#[derive(Debug)]
+pub struct RaftLog<C> {
+    entries: Vec<LogEntry<C>>,
+}
+
+impl<C: Clone> Default for RaftLog<C> {
+    fn default() -> Self {
+        RaftLog { entries: Vec::new() }
+    }
+}
+
+impl<C: Clone> RaftLog<C> {
+    /// Index of the last entry (0 when empty).
+    pub fn last_index(&self) -> u64 {
+        self.entries.len() as u64
+    }
+
+    /// Term of the last entry (0 when empty).
+    pub fn last_term(&self) -> u64 {
+        self.entries.last().map_or(0, |e| e.term)
+    }
+
+    /// Term of the entry at `index` (0 for index 0; `None` past the end).
+    pub fn term_at(&self, index: u64) -> Option<u64> {
+        if index == 0 {
+            return Some(0);
+        }
+        self.entries.get(index as usize - 1).map(|e| e.term)
+    }
+
+    /// Appends one entry, returning its index.
+    pub fn append(&mut self, entry: LogEntry<C>) -> u64 {
+        self.entries.push(entry);
+        self.entries.len() as u64
+    }
+
+    /// The entry at 1-based `index`.
+    pub fn get(&self, index: u64) -> Option<&LogEntry<C>> {
+        if index == 0 {
+            return None;
+        }
+        self.entries.get(index as usize - 1)
+    }
+
+    /// Clones entries in `(from, to]` (1-based, `from` exclusive), capped at
+    /// `max` entries — the replication batch.
+    pub fn slice(&self, from: u64, max: usize) -> Vec<LogEntry<C>> {
+        let start = from as usize;
+        let end = (start + max).min(self.entries.len());
+        if start >= end {
+            return Vec::new();
+        }
+        self.entries[start..end].to_vec()
+    }
+
+    /// Follower-side append: verifies the `(prev_index, prev_term)`
+    /// consistency check, truncates conflicting suffixes, and appends the
+    /// missing entries. Returns the new last index, or `None` when the
+    /// consistency check fails.
+    pub fn try_append(
+        &mut self,
+        prev_index: u64,
+        prev_term: u64,
+        batch: &[LogEntry<C>],
+    ) -> Option<u64> {
+        match self.term_at(prev_index) {
+            Some(t) if t == prev_term => {}
+            _ => return None,
+        }
+        for (i, entry) in batch.iter().enumerate() {
+            let index = prev_index + 1 + i as u64;
+            match self.term_at(index) {
+                Some(t) if t == entry.term => continue, // Already have it.
+                Some(_) => {
+                    // Conflict: truncate this and everything after.
+                    self.entries.truncate(index as usize - 1);
+                    self.entries.push(entry.clone());
+                }
+                None => {
+                    self.entries.push(entry.clone());
+                }
+            }
+        }
+        Some(self.last_index().max(prev_index + batch.len() as u64))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn e(term: u64, cmd: u32) -> LogEntry<u32> {
+        LogEntry { term, cmd }
+    }
+
+    #[test]
+    fn append_and_indexing() {
+        let mut log = RaftLog::default();
+        assert_eq!(log.last_index(), 0);
+        assert_eq!(log.term_at(0), Some(0));
+        assert_eq!(log.append(e(1, 10)), 1);
+        assert_eq!(log.append(e(1, 11)), 2);
+        assert_eq!(log.last_index(), 2);
+        assert_eq!(log.last_term(), 1);
+        assert_eq!(log.get(1).unwrap().cmd, 10);
+        assert!(log.get(0).is_none());
+        assert!(log.get(3).is_none());
+    }
+
+    #[test]
+    fn slice_batches() {
+        let mut log = RaftLog::default();
+        for i in 0..10 {
+            log.append(e(1, i));
+        }
+        let batch = log.slice(3, 4);
+        assert_eq!(batch.len(), 4);
+        assert_eq!(batch[0].cmd, 3);
+        assert!(log.slice(10, 4).is_empty());
+        assert_eq!(log.slice(8, 100).len(), 2);
+    }
+
+    #[test]
+    fn try_append_happy_path() {
+        let mut log = RaftLog::default();
+        assert_eq!(log.try_append(0, 0, &[e(1, 0), e(1, 1)]), Some(2));
+        assert_eq!(log.try_append(2, 1, &[e(1, 2)]), Some(3));
+        assert_eq!(log.last_index(), 3);
+    }
+
+    #[test]
+    fn try_append_rejects_gap_and_term_mismatch() {
+        let mut log = RaftLog::default();
+        log.try_append(0, 0, &[e(1, 0)]);
+        assert_eq!(log.try_append(5, 1, &[e(1, 9)]), None); // Gap.
+        assert_eq!(log.try_append(1, 9, &[e(1, 9)]), None); // Wrong prev term.
+    }
+
+    #[test]
+    fn try_append_truncates_conflicts() {
+        let mut log = RaftLog::default();
+        log.try_append(0, 0, &[e(1, 0), e(1, 1), e(1, 2)]);
+        // New leader in term 2 overwrites index 2 onwards.
+        assert_eq!(log.try_append(1, 1, &[e(2, 7)]), Some(2));
+        assert_eq!(log.last_index(), 2);
+        assert_eq!(log.get(2).unwrap().term, 2);
+        assert_eq!(log.get(2).unwrap().cmd, 7);
+    }
+
+    #[test]
+    fn try_append_idempotent_for_duplicates() {
+        let mut log = RaftLog::default();
+        log.try_append(0, 0, &[e(1, 0), e(1, 1)]);
+        // Retransmission of the same batch leaves the log unchanged.
+        assert_eq!(log.try_append(0, 0, &[e(1, 0), e(1, 1)]), Some(2));
+        assert_eq!(log.last_index(), 2);
+    }
+}

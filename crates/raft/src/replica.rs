@@ -1,0 +1,730 @@
+//! A single Raft replica: roles, log replication, elections, ReadIndex.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, OnceLock, Weak};
+use std::time::{Duration, Instant};
+
+use parking_lot::{Condvar, Mutex};
+
+use mantle_rpc::SimNode;
+use mantle_store::GroupCommitWal;
+use mantle_types::{OpStats, SimConfig};
+
+use crate::batcher::CommitIndexBatcher;
+use crate::log::{LogEntry, RaftLog};
+
+/// The replicated state machine a Raft group drives.
+///
+/// Each replica owns an independent instance and applies committed commands
+/// in log order; §4: "all nodes maintain identical in-memory data
+/// structures, which are independently constructed by each node".
+pub trait StateMachine: Send + Sync + 'static {
+    /// The replicated command type.
+    type Command: Clone + Send + Sync + 'static;
+
+    /// Applies the committed entry at `index`. Must be deterministic.
+    fn apply(&self, index: u64, cmd: &Self::Command);
+
+    /// A no-op command the leader appends on taking office. Committing it
+    /// is what allows a new leader to advance the commit index over entries
+    /// from previous terms (Raft §5.4.2's current-term commit rule).
+    fn barrier() -> Self::Command;
+}
+
+/// Protocol tuning knobs.
+#[derive(Clone, Copy, Debug)]
+pub struct RaftOptions {
+    /// Share fsyncs across concurrently appended entries (§5.2.3). Turning
+    /// this off reproduces the Figure 16 pre-`+raftlogbatch` baseline.
+    pub log_batching: bool,
+    /// Leader heartbeat interval.
+    pub heartbeat_interval: Duration,
+    /// Minimum randomized election timeout.
+    pub election_timeout_min: Duration,
+    /// Maximum randomized election timeout.
+    pub election_timeout_max: Duration,
+    /// Maximum entries per AppendEntries RPC — the replication pipeline
+    /// depth. Together with the per-round network+fsync cost this bounds a
+    /// group's commit throughput ("Mantle's throughput is bound to a single
+    /// Raft group", §6.3).
+    pub max_batch: usize,
+}
+
+impl Default for RaftOptions {
+    fn default() -> Self {
+        RaftOptions {
+            log_batching: true,
+            heartbeat_interval: Duration::from_millis(20),
+            election_timeout_min: Duration::from_millis(150),
+            election_timeout_max: Duration::from_millis(300),
+            max_batch: 16,
+        }
+    }
+}
+
+/// A replica's current role.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Role {
+    /// Accepts proposals and drives replication.
+    Leader,
+    /// Replicates the leader's log; may campaign.
+    Follower,
+    /// Campaigning for leadership.
+    Candidate,
+    /// Non-voting read replica (§5.1.3).
+    Learner,
+}
+
+/// Errors surfaced to Raft clients.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RaftError {
+    /// This replica is not the leader; the hint names the believed leader.
+    NotLeader(Option<usize>),
+    /// The replica is crashed or shutting down.
+    Unavailable,
+    /// The proposed entry was overwritten by a newer leader before commit.
+    Superseded,
+}
+
+impl std::fmt::Display for RaftError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RaftError::NotLeader(hint) => write!(f, "not leader (hint: {hint:?})"),
+            RaftError::Unavailable => write!(f, "replica unavailable"),
+            RaftError::Superseded => write!(f, "entry superseded by new leader"),
+        }
+    }
+}
+
+impl std::error::Error for RaftError {}
+
+/// AppendEntries response.
+#[derive(Clone, Copy, Debug)]
+pub struct AppendResult {
+    term: u64,
+    success: bool,
+    match_index: u64,
+    reachable: bool,
+}
+
+/// RequestVote response.
+#[derive(Clone, Copy, Debug)]
+pub struct VoteResult {
+    term: u64,
+    granted: bool,
+    reachable: bool,
+}
+
+struct Inner<C> {
+    term: u64,
+    voted_for: Option<usize>,
+    role: Role,
+    log: RaftLog<C>,
+    commit_index: u64,
+    last_applied: u64,
+    last_heartbeat: Instant,
+    leader_hint: Option<usize>,
+    /// Leader-only: next log index to send to each peer.
+    next_index: Vec<u64>,
+    /// Leader-only: highest durably replicated index per peer.
+    match_index: Vec<u64>,
+    /// Bumped on each leadership acquisition; stale replicators exit.
+    leader_epoch: u64,
+}
+
+/// One member of a Raft group.
+pub struct RaftReplica<SM: StateMachine> {
+    id: usize,
+    n_voters: usize,
+    group_size: usize,
+    learner: bool,
+    inner: Mutex<Inner<SM::Command>>,
+    /// Signaled when commit_index or last_applied advances.
+    apply_cv: Condvar,
+    /// Signaled when new entries are appended (wakes replicators).
+    log_cv: Condvar,
+    sm: Arc<SM>,
+    wal: GroupCommitWal,
+    node: Arc<SimNode>,
+    alive: AtomicBool,
+    shutdown: AtomicBool,
+    peers: OnceLock<Vec<Weak<RaftReplica<SM>>>>,
+    read_batcher: CommitIndexBatcher,
+    config: SimConfig,
+    opts: RaftOptions,
+}
+
+impl<SM: StateMachine> RaftReplica<SM> {
+    pub(crate) fn new(
+        id: usize,
+        n_voters: usize,
+        group_size: usize,
+        sm: SM,
+        node: Arc<SimNode>,
+        config: SimConfig,
+        opts: RaftOptions,
+    ) -> Arc<Self> {
+        let learner = id >= n_voters;
+        Arc::new(RaftReplica {
+            id,
+            n_voters,
+            group_size,
+            learner,
+            inner: Mutex::new(Inner {
+                term: 0,
+                voted_for: None,
+                role: if learner { Role::Learner } else { Role::Follower },
+                log: RaftLog::default(),
+                commit_index: 0,
+                last_applied: 0,
+                last_heartbeat: Instant::now(),
+                leader_hint: None,
+                next_index: vec![1; group_size],
+                match_index: vec![0; group_size],
+                leader_epoch: 0,
+            }),
+            apply_cv: Condvar::new(),
+            log_cv: Condvar::new(),
+            sm: Arc::new(sm),
+            wal: GroupCommitWal::new(config, opts.log_batching),
+            node,
+            alive: AtomicBool::new(true),
+            shutdown: AtomicBool::new(false),
+            peers: OnceLock::new(),
+            read_batcher: CommitIndexBatcher::new(),
+            config,
+            opts,
+        })
+    }
+
+    pub(crate) fn set_peers(&self, peers: Vec<Weak<RaftReplica<SM>>>) {
+        self.peers
+            .set(peers)
+            .map_err(|_| ())
+            .expect("peers set once");
+    }
+
+    fn peer(&self, i: usize) -> Option<Arc<RaftReplica<SM>>> {
+        self.peers.get()?.get(i)?.upgrade()
+    }
+
+    // --- accessors -------------------------------------------------------
+
+    /// This replica's id within the group.
+    pub fn id(&self) -> usize {
+        self.id
+    }
+
+    /// Whether this replica is a non-voting learner.
+    pub fn is_learner(&self) -> bool {
+        self.learner
+    }
+
+    /// Current role.
+    pub fn role(&self) -> Role {
+        self.inner.lock().role
+    }
+
+    /// Current term.
+    pub fn term(&self) -> u64 {
+        self.inner.lock().term
+    }
+
+    /// Whether this replica currently leads.
+    pub fn is_leader(&self) -> bool {
+        self.alive() && self.inner.lock().role == Role::Leader
+    }
+
+    /// Whether the replica is up.
+    pub fn alive(&self) -> bool {
+        self.alive.load(Ordering::Acquire) && !self.shutdown.load(Ordering::Acquire)
+    }
+
+    /// Highest committed log index.
+    pub fn commit_index(&self) -> u64 {
+        self.inner.lock().commit_index
+    }
+
+    /// Highest applied log index.
+    pub fn last_applied(&self) -> u64 {
+        self.inner.lock().last_applied
+    }
+
+    /// The replica's state machine.
+    pub fn state_machine(&self) -> &SM {
+        &self.sm
+    }
+
+    /// The simulated server this replica runs on.
+    pub fn node(&self) -> &Arc<SimNode> {
+        &self.node
+    }
+
+    /// Physical fsyncs performed by this replica's log.
+    pub fn wal_fsyncs(&self) -> u64 {
+        self.wal.fsyncs()
+    }
+
+    // --- failure injection ------------------------------------------------
+
+    /// Simulates a crash: the replica stops answering and proposing. Its
+    /// log survives (it was durable), matching a restart from disk.
+    pub fn crash(&self) {
+        self.alive.store(false, Ordering::Release);
+        let _g = self.inner.lock();
+        self.apply_cv.notify_all();
+        self.log_cv.notify_all();
+    }
+
+    /// Brings a crashed replica back as a follower.
+    pub fn recover(&self) {
+        {
+            let mut g = self.inner.lock();
+            if g.role == Role::Leader || g.role == Role::Candidate {
+                g.role = Role::Follower;
+            }
+            g.last_heartbeat = Instant::now();
+        }
+        self.alive.store(true, Ordering::Release);
+    }
+
+    pub(crate) fn begin_shutdown(&self) {
+        self.shutdown.store(true, Ordering::Release);
+        let _g = self.inner.lock();
+        self.apply_cv.notify_all();
+        self.log_cv.notify_all();
+    }
+
+    // --- client API -------------------------------------------------------
+
+    /// Proposes a command; returns its log index once committed *and*
+    /// applied on this (leader) replica.
+    ///
+    /// # Errors
+    ///
+    /// [`RaftError::NotLeader`] when called on a non-leader,
+    /// [`RaftError::Unavailable`] if the replica dies while waiting, and
+    /// [`RaftError::Superseded`] if a new leader overwrote the entry.
+    pub fn propose(&self, cmd: SM::Command) -> Result<u64, RaftError> {
+        if !self.alive() {
+            return Err(RaftError::Unavailable);
+        }
+        let (my_index, my_term) = {
+            let mut g = self.inner.lock();
+            if g.role != Role::Leader {
+                return Err(RaftError::NotLeader(g.leader_hint));
+            }
+            let term = g.term;
+            let index = g.log.append(LogEntry { term, cmd });
+            self.log_cv.notify_all();
+            (index, term)
+        };
+
+        // Leader durability: group-committed fsync outside the lock.
+        self.wal.append();
+
+        let mut g = self.inner.lock();
+        if g.match_index[self.id] < my_index {
+            g.match_index[self.id] = my_index;
+        }
+        self.advance_commit(&mut g);
+        loop {
+            if g.last_applied >= my_index {
+                return match g.log.term_at(my_index) {
+                    Some(t) if t == my_term => Ok(my_index),
+                    _ => Err(RaftError::Superseded),
+                };
+            }
+            if g.log.term_at(my_index) != Some(my_term) {
+                return Err(RaftError::Superseded);
+            }
+            if !self.alive() {
+                return Err(RaftError::Unavailable);
+            }
+            self.apply_cv
+                .wait_for(&mut g, Duration::from_millis(10));
+        }
+    }
+
+    /// ReadIndex (§5.1.3): obtains a linearization-safe commit index and
+    /// waits until the local apply index reaches it. On the leader this is
+    /// the local commit index; on followers/learners the leader is queried
+    /// (batched) at the cost of one RPC for the batch leader.
+    ///
+    /// # Errors
+    ///
+    /// [`RaftError::Unavailable`] when no leader is reachable or this
+    /// replica dies while waiting.
+    pub fn read_index(&self, stats: &mut OpStats) -> Result<u64, RaftError> {
+        if !self.alive() {
+            return Err(RaftError::Unavailable);
+        }
+        {
+            let g = self.inner.lock();
+            if g.role == Role::Leader {
+                return Ok(g.commit_index);
+            }
+        }
+        const NO_LEADER: u64 = u64::MAX;
+        let ci = self.read_batcher.query(|| {
+            let leader = (0..self.group_size)
+                .filter(|i| *i != self.id)
+                .filter_map(|i| self.peer(i))
+                .find(|p| p.is_leader());
+            match leader {
+                Some(l) => l.node.rpc(stats, || l.commit_index()),
+                None => NO_LEADER,
+            }
+        });
+        if ci == NO_LEADER {
+            return Err(RaftError::Unavailable);
+        }
+
+        let mut g = self.inner.lock();
+        while g.last_applied < ci {
+            if !self.alive() {
+                return Err(RaftError::Unavailable);
+            }
+            self.apply_cv
+                .wait_for(&mut g, Duration::from_millis(10));
+        }
+        Ok(ci)
+    }
+
+    // --- RPC handlers -----------------------------------------------------
+
+    /// AppendEntries handler (also the heartbeat).
+    pub(crate) fn append_entries(
+        &self,
+        term: u64,
+        leader_id: usize,
+        prev_index: u64,
+        prev_term: u64,
+        batch: Vec<LogEntry<SM::Command>>,
+        leader_commit: u64,
+    ) -> AppendResult {
+        if !self.alive() {
+            return AppendResult { term: 0, success: false, match_index: 0, reachable: false };
+        }
+        self.node.execute(|| {
+            let mut g = self.inner.lock();
+            if term < g.term {
+                return AppendResult {
+                    term: g.term,
+                    success: false,
+                    match_index: 0,
+                    reachable: true,
+                };
+            }
+            if term > g.term {
+                g.term = term;
+                g.voted_for = None;
+            }
+            g.role = if self.learner { Role::Learner } else { Role::Follower };
+            g.last_heartbeat = Instant::now();
+            g.leader_hint = Some(leader_id);
+
+            let appended = g.log.try_append(prev_index, prev_term, &batch);
+            let Some(new_last) = appended else {
+                // Consistency check failed; help the leader back off fast.
+                let hint = g.log.last_index();
+                return AppendResult {
+                    term: g.term,
+                    success: false,
+                    match_index: hint,
+                    reachable: true,
+                };
+            };
+            let n_new = batch.len();
+            drop(g);
+
+            // Durability outside the lock: one fsync per batch when log
+            // batching is on, one per entry otherwise (§5.2.3).
+            if n_new > 0 {
+                if self.opts.log_batching {
+                    self.wal.append();
+                } else {
+                    for _ in 0..n_new {
+                        self.wal.append();
+                    }
+                }
+            }
+
+            let mut g = self.inner.lock();
+            let target = leader_commit.min(new_last);
+            if target > g.commit_index {
+                g.commit_index = target;
+                self.apply_cv.notify_all();
+            }
+            AppendResult {
+                term: g.term,
+                success: true,
+                match_index: prev_index + n_new as u64,
+                reachable: true,
+            }
+        })
+    }
+
+    /// RequestVote handler.
+    pub(crate) fn request_vote(
+        &self,
+        term: u64,
+        candidate: usize,
+        last_log_index: u64,
+        last_log_term: u64,
+    ) -> VoteResult {
+        if !self.alive() {
+            return VoteResult { term: 0, granted: false, reachable: false };
+        }
+        self.node.execute(|| {
+            let mut g = self.inner.lock();
+            if term > g.term {
+                g.term = term;
+                g.voted_for = None;
+                if g.role == Role::Leader || g.role == Role::Candidate {
+                    g.role = Role::Follower;
+                }
+            }
+            let up_to_date = last_log_term > g.log.last_term()
+                || (last_log_term == g.log.last_term() && last_log_index >= g.log.last_index());
+            let granted = term >= g.term
+                && up_to_date
+                && !self.learner
+                && (g.voted_for.is_none() || g.voted_for == Some(candidate));
+            if granted {
+                g.voted_for = Some(candidate);
+                g.last_heartbeat = Instant::now();
+            }
+            VoteResult { term: g.term, granted, reachable: true }
+        })
+    }
+
+    // --- leader machinery ---------------------------------------------------
+
+    fn advance_commit(&self, g: &mut Inner<SM::Command>) {
+        if g.role != Role::Leader {
+            return;
+        }
+        // Median-of-voters match index = highest quorum-replicated index.
+        let mut matches: Vec<u64> = g.match_index[..self.n_voters].to_vec();
+        matches.sort_unstable_by(|a, b| b.cmp(a));
+        let quorum_index = matches[self.n_voters / 2];
+        // Raft safety: only commit entries from the current term directly.
+        if quorum_index > g.commit_index && g.log.term_at(quorum_index) == Some(g.term) {
+            g.commit_index = quorum_index;
+            self.apply_cv.notify_all();
+        }
+    }
+
+    fn become_leader(self: &Arc<Self>, g: &mut Inner<SM::Command>) {
+        g.role = Role::Leader;
+        g.leader_hint = Some(self.id);
+        g.leader_epoch += 1;
+        let last = g.log.last_index();
+        for i in 0..self.group_size {
+            g.next_index[i] = last + 1;
+            g.match_index[i] = 0;
+        }
+        // Term-start barrier: replicating it commits every prior-term entry.
+        let barrier_idx = g.log.append(LogEntry { term: g.term, cmd: SM::barrier() });
+        g.match_index[self.id] = barrier_idx;
+        self.advance_commit(g);
+        self.log_cv.notify_all();
+        let epoch = g.leader_epoch;
+        for peer_id in 0..self.group_size {
+            if peer_id == self.id {
+                continue;
+            }
+            let me = Arc::clone(self);
+            std::thread::Builder::new()
+                .name(format!("raft-repl-{}-{}", self.id, peer_id))
+                .spawn(move || me.replicate_loop(peer_id, epoch))
+                .expect("spawn replicator");
+        }
+    }
+
+    /// Bootstraps this replica as the initial leader (group construction).
+    pub(crate) fn bootstrap_leader(self: &Arc<Self>) {
+        let mut g = self.inner.lock();
+        g.term = 1;
+        self.become_leader(&mut g);
+    }
+
+    fn replicate_loop(self: Arc<Self>, peer_id: usize, epoch: u64) {
+        loop {
+            if self.shutdown.load(Ordering::Acquire) || !self.alive.load(Ordering::Acquire) {
+                return;
+            }
+            // Gather the next batch (or wait up to a heartbeat interval).
+            let (term, prev_index, prev_term, batch, commit) = {
+                let mut g = self.inner.lock();
+                if g.role != Role::Leader || g.leader_epoch != epoch {
+                    return;
+                }
+                if g.log.last_index() < g.next_index[peer_id] {
+                    self.log_cv.wait_for(&mut g, self.opts.heartbeat_interval);
+                    if g.role != Role::Leader || g.leader_epoch != epoch {
+                        return;
+                    }
+                }
+                let prev_index = g.next_index[peer_id] - 1;
+                let prev_term = g.log.term_at(prev_index).unwrap_or(0);
+                let batch = g.log.slice(prev_index, self.opts.max_batch);
+                (g.term, prev_index, prev_term, batch, g.commit_index)
+            };
+
+            let Some(peer) = self.peer(peer_id) else {
+                return;
+            };
+            let n = batch.len() as u64;
+            mantle_rpc::net_round_trip(&self.config);
+            let resp = peer.append_entries(term, self.id, prev_index, prev_term, batch, commit);
+
+            if !resp.reachable {
+                std::thread::sleep(self.opts.heartbeat_interval);
+                continue;
+            }
+            let mut g = self.inner.lock();
+            if resp.term > g.term {
+                g.term = resp.term;
+                g.voted_for = None;
+                g.role = Role::Follower;
+                return;
+            }
+            if g.role != Role::Leader || g.leader_epoch != epoch {
+                return;
+            }
+            if resp.success {
+                g.next_index[peer_id] = prev_index + n + 1;
+                g.match_index[peer_id] = g.match_index[peer_id].max(prev_index + n);
+                self.advance_commit(&mut g);
+            } else {
+                // Back off using the follower's hint.
+                g.next_index[peer_id] = (resp.match_index + 1).min(g.next_index[peer_id]).max(1);
+                if g.next_index[peer_id] > 1 && resp.match_index + 1 == g.next_index[peer_id] {
+                    // Hint already applied.
+                } else if g.next_index[peer_id] > 1 {
+                    g.next_index[peer_id] -= 1;
+                }
+            }
+        }
+    }
+
+    // --- elections ---------------------------------------------------------
+
+    pub(crate) fn tick_loop(self: Arc<Self>) {
+        let mut timeout = self.random_timeout();
+        loop {
+            std::thread::sleep(Duration::from_millis(5));
+            if self.shutdown.load(Ordering::Acquire) {
+                return;
+            }
+            if !self.alive.load(Ordering::Acquire) || self.learner {
+                continue;
+            }
+            let should_campaign = {
+                let g = self.inner.lock();
+                g.role != Role::Leader && g.last_heartbeat.elapsed() > timeout
+            };
+            if should_campaign {
+                self.campaign();
+                timeout = self.random_timeout();
+            }
+        }
+    }
+
+    fn random_timeout(&self) -> Duration {
+        // Deterministic per-call jitter from a splitmix64 step; keeps the
+        // raft crate free of a rand dependency.
+        use std::sync::atomic::AtomicU64;
+        static SEED: AtomicU64 = AtomicU64::new(0x9E3779B97F4A7C15);
+        let mut z = SEED.fetch_add(0x9E3779B97F4A7C15, Ordering::Relaxed);
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+        z ^= z >> 31;
+        let min = self.opts.election_timeout_min.as_millis() as u64;
+        let max = self.opts.election_timeout_max.as_millis() as u64;
+        Duration::from_millis(min + z % (max - min).max(1))
+    }
+
+    fn campaign(self: &Arc<Self>) {
+        let (term, last_index, last_term) = {
+            let mut g = self.inner.lock();
+            g.term += 1;
+            g.role = Role::Candidate;
+            g.voted_for = Some(self.id);
+            g.last_heartbeat = Instant::now();
+            (g.term, g.log.last_index(), g.log.last_term())
+        };
+        let mut votes = 1; // Own vote.
+        for peer_id in 0..self.n_voters {
+            if peer_id == self.id {
+                continue;
+            }
+            let Some(peer) = self.peer(peer_id) else {
+                continue;
+            };
+            mantle_rpc::net_round_trip(&self.config);
+            let resp = peer.request_vote(term, self.id, last_index, last_term);
+            if !resp.reachable {
+                continue;
+            }
+            if resp.term > term {
+                let mut g = self.inner.lock();
+                if resp.term > g.term {
+                    g.term = resp.term;
+                    g.voted_for = None;
+                    g.role = Role::Follower;
+                }
+                return;
+            }
+            if resp.granted {
+                votes += 1;
+            }
+        }
+        if votes > self.n_voters / 2 {
+            let mut g = self.inner.lock();
+            if g.term == term && g.role == Role::Candidate {
+                self.become_leader(&mut g);
+            }
+        }
+    }
+
+    // --- apply loop ---------------------------------------------------------
+
+    pub(crate) fn apply_loop(self: Arc<Self>) {
+        // Entries are applied in batches and waiters are woken once per
+        // batch: notifying every proposer after every entry turns the
+        // applier into a thundering-herd bottleneck under write load.
+        const APPLY_BATCH: u64 = 64;
+        loop {
+            let batch = {
+                let mut g = self.inner.lock();
+                loop {
+                    if self.shutdown.load(Ordering::Acquire) {
+                        return;
+                    }
+                    if self.alive.load(Ordering::Acquire) && g.last_applied < g.commit_index {
+                        let from = g.last_applied + 1;
+                        let to = g.commit_index.min(g.last_applied + APPLY_BATCH);
+                        let cmds: Vec<(u64, SM::Command)> = (from..=to)
+                            .map(|i| {
+                                (i, g.log.get(i).expect("committed entry exists").cmd.clone())
+                            })
+                            .collect();
+                        break cmds;
+                    }
+                    self.apply_cv.wait_for(&mut g, Duration::from_millis(20));
+                }
+            };
+            let last = batch.last().expect("non-empty batch").0;
+            for (index, cmd) in &batch {
+                self.sm.apply(*index, cmd);
+            }
+            let mut g = self.inner.lock();
+            debug_assert_eq!(g.last_applied + 1, batch[0].0);
+            g.last_applied = last;
+            self.apply_cv.notify_all();
+        }
+    }
+}

@@ -1,0 +1,123 @@
+//! Property tests for the Raft log: the follower-side `try_append`
+//! maintains the Log Matching property against arbitrary (consistent)
+//! leader histories.
+
+use mantle_raft::LogEntry;
+use proptest::prelude::*;
+
+// RaftLog is crate-private; exercise the same semantics through two logs
+// replayed from a reference history, as a follower would.
+//
+// We model a "leader history": a sequence of (term, cmd) entries where
+// terms are non-decreasing. A follower receives arbitrary overlapping
+// windows of that history (as AppendEntries batches, possibly duplicated
+// or reordered *within the rules*: a batch is only accepted if its
+// prev-entry matches). The property: after any accepted sequence, the
+// follower log is a prefix-consistent copy of the history.
+
+#[derive(Clone, Debug)]
+struct History {
+    entries: Vec<LogEntry<u32>>,
+}
+
+fn arb_history() -> impl Strategy<Value = History> {
+    prop::collection::vec((1u64..4, any::<u32>()), 1..30).prop_map(|raw| {
+        let mut term = 1;
+        let entries = raw
+            .into_iter()
+            .map(|(bump, cmd)| {
+                term += bump / 3; // Non-decreasing terms with occasional bumps.
+                LogEntry { term, cmd }
+            })
+            .collect();
+        History { entries }
+    })
+}
+
+/// A simple reference follower built on the public semantics.
+struct Follower {
+    entries: Vec<LogEntry<u32>>,
+}
+
+impl Follower {
+    fn term_at(&self, index: usize) -> Option<u64> {
+        if index == 0 {
+            return Some(0);
+        }
+        self.entries.get(index - 1).map(|e| e.term)
+    }
+
+    /// Mirrors `RaftLog::try_append` semantics.
+    fn try_append(&mut self, prev: usize, prev_term: u64, batch: &[LogEntry<u32>]) -> bool {
+        if self.term_at(prev) != Some(prev_term) {
+            return false;
+        }
+        for (i, entry) in batch.iter().enumerate() {
+            let index = prev + 1 + i;
+            match self.term_at(index) {
+                Some(t) if t == entry.term => continue,
+                Some(_) => {
+                    self.entries.truncate(index - 1);
+                    self.entries.push(entry.clone());
+                }
+                None => self.entries.push(entry.clone()),
+            }
+        }
+        true
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Replaying arbitrary windows of a single leader history leaves the
+    /// follower holding an exact prefix of that history, and every accepted
+    /// append is idempotent.
+    #[test]
+    fn windows_of_one_history_converge(
+        history in arb_history(),
+        windows in prop::collection::vec((0usize..30, 1usize..10), 1..20),
+    ) {
+        let mut follower = Follower { entries: Vec::new() };
+        for (start, len) in windows {
+            let start = start.min(history.entries.len());
+            let end = (start + len).min(history.entries.len());
+            let prev_term = if start == 0 { 0 } else { history.entries[start - 1].term };
+            let batch = &history.entries[start..end];
+            let accepted = follower.try_append(start, prev_term, batch);
+            if accepted {
+                // Idempotence: replaying the same window changes nothing.
+                let snapshot = follower.entries.clone();
+                prop_assert!(follower.try_append(start, prev_term, batch));
+                prop_assert_eq!(&follower.entries, &snapshot);
+            }
+            // Invariant: follower is always a prefix of the history.
+            prop_assert!(follower.entries.len() <= history.entries.len());
+            for (i, e) in follower.entries.iter().enumerate() {
+                prop_assert_eq!(e, &history.entries[i], "diverged at {}", i);
+            }
+        }
+    }
+
+    /// A batch from a *newer* history (higher-term suffix) overwrites the
+    /// follower's conflicting suffix — the Log Matching repair path.
+    #[test]
+    fn conflicting_suffix_is_repaired(
+        history in arb_history(),
+        fork_at in 0usize..20,
+    ) {
+        let mut follower = Follower { entries: Vec::new() };
+        // Fully replicate the old history.
+        prop_assert!(follower.try_append(0, 0, &history.entries));
+        let fork_at = fork_at.min(history.entries.len());
+        // New leader: same prefix, higher-term suffix with different cmds.
+        let new_term = history.entries.last().map_or(1, |e| e.term) + 1;
+        let mut new_history = history.entries[..fork_at].to_vec();
+        for i in 0..3 {
+            new_history.push(LogEntry { term: new_term, cmd: 9_000_000 + i });
+        }
+        let prev_term = if fork_at == 0 { 0 } else { new_history[fork_at - 1].term };
+        prop_assert!(follower.try_append(fork_at, prev_term, &new_history[fork_at..]));
+        prop_assert_eq!(&follower.entries, &new_history);
+    }
+}

@@ -1,0 +1,52 @@
+//! Simulated datacenter substrate.
+//!
+//! The paper evaluates on a 53-server cluster. This crate replaces that
+//! hardware with in-process [`SimNode`]s (DESIGN.md §1):
+//!
+//! * an RPC to a node costs one injected network round trip
+//!   ([`SimConfig::rtt_micros`]) — the quantity every lookup-latency figure
+//!   in the paper is really measuring (Table 1 counts RTTs);
+//! * each node owns a bounded permit pool (its "cores"); requests hold a
+//!   permit for the injected service time plus their real compute, so a
+//!   saturated node produces genuine queueing delay — the effect behind the
+//!   single-node ceilings of Figures 12, 14 and 19b;
+//! * every RPC is counted into the caller's [`mantle_types::OpStats`] so
+//!   harnesses can report RPCs per operation.
+//!
+//! Durability (fsync) and storage-device delays are provided as free
+//! functions used by the Raft log and the data service.
+
+pub mod node;
+
+pub use node::{NodeSnapshot, SimNode};
+
+use std::time::Duration;
+
+use mantle_types::SimConfig;
+
+/// Sleeps for `d`, skipping the syscall entirely for zero durations (the
+/// unit-test configuration).
+#[inline]
+pub fn inject_delay(d: Duration) {
+    if !d.is_zero() {
+        std::thread::sleep(d);
+    }
+}
+
+/// Injects one network round trip.
+#[inline]
+pub fn net_round_trip(config: &SimConfig) {
+    inject_delay(config.rtt());
+}
+
+/// Injects one log/WAL fsync.
+#[inline]
+pub fn fsync(config: &SimConfig) {
+    inject_delay(config.fsync());
+}
+
+/// Injects one storage-device (SSD) access.
+#[inline]
+pub fn device_access(config: &SimConfig) {
+    inject_delay(config.device());
+}

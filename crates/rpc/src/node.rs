@@ -1,0 +1,157 @@
+//! Simulated metadata/storage server nodes.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+
+use mantle_sync::Semaphore;
+use mantle_types::{OpStats, SimConfig};
+
+/// One simulated server.
+///
+/// A node is addressed by in-process method calls; [`SimNode::rpc`] makes a
+/// call look like a remote request (network round trip + admission queue +
+/// service time), while [`SimNode::execute`] models node-local work (no
+/// network, but still bounded by the node's capacity).
+pub struct SimNode {
+    name: String,
+    config: SimConfig,
+    capacity: Semaphore,
+    served: AtomicU64,
+    busy_nanos: AtomicU64,
+}
+
+impl SimNode {
+    /// Creates a node with `permits` concurrent request slots.
+    pub fn new(name: impl Into<String>, permits: usize, config: SimConfig) -> Self {
+        SimNode {
+            name: name.into(),
+            config,
+            capacity: Semaphore::new(permits),
+            served: AtomicU64::new(0),
+            busy_nanos: AtomicU64::new(0),
+        }
+    }
+
+    /// The node's display name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The substrate timing configuration this node was built with.
+    pub fn config(&self) -> &SimConfig {
+        &self.config
+    }
+
+    /// Executes `f` as a *remote* request against this node: injects one
+    /// network round trip, waits for an execution permit, charges the
+    /// service time, and records the RPC in `stats`.
+    pub fn rpc<R>(&self, stats: &mut OpStats, f: impl FnOnce() -> R) -> R {
+        stats.rpc();
+        crate::net_round_trip(&self.config);
+        self.execute(f)
+    }
+
+    /// Executes `f` as *node-local* work: admission + service time, no
+    /// network round trip and no RPC accounting.
+    pub fn execute<R>(&self, f: impl FnOnce() -> R) -> R {
+        let start = Instant::now();
+        let _permit = self.capacity.acquire();
+        crate::inject_delay(self.config.service());
+        let out = f();
+        self.served.fetch_add(1, Ordering::Relaxed);
+        self.busy_nanos
+            .fetch_add(start.elapsed().as_nanos() as u64, Ordering::Relaxed);
+        out
+    }
+
+    /// A point-in-time view of the node's accounting counters.
+    pub fn snapshot(&self) -> NodeSnapshot {
+        NodeSnapshot {
+            name: self.name.clone(),
+            served: self.served.load(Ordering::Relaxed),
+            busy_nanos: self.busy_nanos.load(Ordering::Relaxed),
+            permits: self.capacity.capacity(),
+        }
+    }
+}
+
+impl std::fmt::Debug for SimNode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "SimNode({}, served={})",
+            self.name,
+            self.served.load(Ordering::Relaxed)
+        )
+    }
+}
+
+/// Accounting snapshot of a [`SimNode`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct NodeSnapshot {
+    /// Node name.
+    pub name: String,
+    /// Requests completed.
+    pub served: u64,
+    /// Cumulative wall time spent inside requests (including queueing).
+    pub busy_nanos: u64,
+    /// Configured permit count.
+    pub permits: usize,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+    use std::time::Duration;
+
+    #[test]
+    fn rpc_counts_and_serves() {
+        let node = SimNode::new("db0", usize::MAX, SimConfig::instant());
+        let mut stats = OpStats::new();
+        let out = node.rpc(&mut stats, || 7);
+        assert_eq!(out, 7);
+        assert_eq!(stats.rpcs, 1);
+        assert_eq!(node.snapshot().served, 1);
+    }
+
+    #[test]
+    fn execute_does_not_count_rpc() {
+        let node = SimNode::new("db0", usize::MAX, SimConfig::instant());
+        let mut stats = OpStats::new();
+        node.execute(|| ());
+        assert_eq!(stats.rpcs, 0);
+        stats.end();
+        assert_eq!(node.snapshot().served, 1);
+    }
+
+    #[test]
+    fn rpc_injects_round_trip_delay() {
+        let mut config = SimConfig::instant();
+        config.rtt_micros = 2_000;
+        let node = SimNode::new("db0", usize::MAX, config);
+        let mut stats = OpStats::new();
+        let start = Instant::now();
+        node.rpc(&mut stats, || ());
+        assert!(start.elapsed() >= Duration::from_micros(2_000));
+    }
+
+    #[test]
+    fn saturated_node_queues_requests() {
+        let mut config = SimConfig::instant();
+        config.service_micros = 5_000;
+        // One permit: two concurrent requests must serialize.
+        let node = Arc::new(SimNode::new("dir0", 1, config));
+        let n2 = node.clone();
+        let start = Instant::now();
+        let h = std::thread::spawn(move || n2.execute(|| ()));
+        node.execute(|| ());
+        h.join().unwrap();
+        assert!(
+            start.elapsed() >= Duration::from_micros(10_000),
+            "two 5ms requests on a 1-permit node must take >= 10ms, took {:?}",
+            start.elapsed()
+        );
+        assert_eq!(node.snapshot().served, 2);
+    }
+}

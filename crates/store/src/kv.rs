@@ -1,0 +1,273 @@
+//! The ordered row store.
+
+use std::collections::BTreeMap;
+use std::ops::Bound;
+use std::sync::Arc;
+
+use parking_lot::RwLock;
+
+use mantle_types::{InodeId, TxnId};
+
+/// Composite primary key of a metadata row: `(pid, name, ts)`.
+///
+/// `ts` is [`TxnId::BASE`] (zero) for ordinary rows; delta records carry
+/// their transaction timestamp (§5.2.1, Figure 8). Ordering is
+/// lexicographic over the tuple, so all rows of one directory are adjacent
+/// (directory locality, §2.3) and all delta records of one attribute row
+/// are adjacent after it.
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct RowKey {
+    /// Parent directory id.
+    pub pid: InodeId,
+    /// Entry name (or the reserved `/_ATTR` for attribute/delta rows).
+    pub name: Arc<str>,
+    /// Transaction timestamp; zero for base rows.
+    pub ts: TxnId,
+}
+
+impl RowKey {
+    /// A base (non-delta) row key.
+    pub fn base(pid: InodeId, name: &str) -> Self {
+        RowKey {
+            pid,
+            name: Arc::from(name),
+            ts: TxnId::BASE,
+        }
+    }
+
+    /// A delta-record key.
+    pub fn delta(pid: InodeId, name: &str, ts: TxnId) -> Self {
+        RowKey {
+            pid,
+            name: Arc::from(name),
+            ts,
+        }
+    }
+}
+
+/// An in-memory ordered row store, generic over the row value.
+///
+/// Thread safety: a reader-writer lock around a B-tree. Critical sections
+/// are short (clone in, clone out); transaction-level isolation is provided
+/// above this layer by [`crate::LockManager`], not by holding the map lock.
+pub struct KvStore<V: Clone> {
+    map: RwLock<BTreeMap<RowKey, V>>,
+}
+
+impl<V: Clone> Default for KvStore<V> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<V: Clone> KvStore<V> {
+    /// Creates an empty store.
+    pub fn new() -> Self {
+        KvStore {
+            map: RwLock::new(BTreeMap::new()),
+        }
+    }
+
+    /// Reads one row.
+    pub fn get(&self, key: &RowKey) -> Option<V> {
+        self.map.read().get(key).cloned()
+    }
+
+    /// Whether a row exists.
+    pub fn contains(&self, key: &RowKey) -> bool {
+        self.map.read().contains_key(key)
+    }
+
+    /// Inserts or replaces a row, returning the previous value.
+    pub fn put(&self, key: RowKey, value: V) -> Option<V> {
+        self.map.write().insert(key, value)
+    }
+
+    /// Inserts a row only if absent; returns `false` (without writing) when
+    /// the key already exists.
+    pub fn put_if_absent(&self, key: RowKey, value: V) -> bool {
+        let mut map = self.map.write();
+        if map.contains_key(&key) {
+            return false;
+        }
+        map.insert(key, value);
+        true
+    }
+
+    /// Removes a row, returning its value.
+    pub fn delete(&self, key: &RowKey) -> Option<V> {
+        self.map.write().remove(key)
+    }
+
+    /// Read-modify-write of one row under the map's write lock. `f`
+    /// receives the current value and returns the new one (`None` deletes).
+    /// Returns whether the row existed.
+    pub fn update<R>(&self, key: &RowKey, f: impl FnOnce(Option<&V>) -> (Option<V>, R)) -> R {
+        let mut map = self.map.write();
+        let current = map.get(key);
+        let (next, out) = f(current);
+        match next {
+            Some(v) => {
+                map.insert(key.clone(), v);
+            }
+            None => {
+                map.remove(key);
+            }
+        }
+        out
+    }
+
+    /// All rows of directory `pid` with names in `[name_from, ..)`, capped
+    /// at `limit`. Passing `""` scans the whole directory.
+    pub fn scan_dir(&self, pid: InodeId, name_from: &str, limit: usize) -> Vec<(RowKey, V)> {
+        let from = RowKey {
+            pid,
+            name: Arc::from(name_from),
+            ts: TxnId::BASE,
+        };
+        let to = RowKey {
+            pid: InodeId(pid.0 + 1),
+            name: Arc::from(""),
+            ts: TxnId::BASE,
+        };
+        self.map
+            .read()
+            .range((Bound::Included(from), Bound::Excluded(to)))
+            .take(limit)
+            .map(|(k, v)| (k.clone(), v.clone()))
+            .collect()
+    }
+
+    /// All rows `(pid, name, *)` — the base row and every delta record of
+    /// one logical entry, in timestamp order.
+    pub fn scan_versions(&self, pid: InodeId, name: &str) -> Vec<(RowKey, V)> {
+        let from = RowKey::base(pid, name);
+        let map = self.map.read();
+        map.range((Bound::Included(from), Bound::Unbounded))
+            .take_while(|(k, _)| k.pid == pid && k.name.as_ref() == name)
+            .map(|(k, v)| (k.clone(), v.clone()))
+            .collect()
+    }
+
+    /// Applies puts and deletes in one critical section. Delta-record
+    /// compaction uses this so a concurrent `dirstat` scan never sees the
+    /// merged base row *and* the already-folded delta records together.
+    pub fn apply_batch(&self, puts: Vec<(RowKey, V)>, deletes: &[RowKey]) {
+        let mut map = self.map.write();
+        for (k, v) in puts {
+            map.insert(k, v);
+        }
+        for k in deletes {
+            map.remove(k);
+        }
+    }
+
+    /// Deletes a set of keys in one critical section (compaction uses this
+    /// to retire delta records atomically with the base-row update).
+    pub fn delete_batch(&self, keys: &[RowKey]) -> usize {
+        let mut map = self.map.write();
+        keys.iter().filter(|k| map.remove(k).is_some()).count()
+    }
+
+    /// Runs `f` with exclusive access to the underlying map — the escape
+    /// hatch for multi-key atomic maintenance (delta-record folding, rmdir's
+    /// attr-and-delta cleanup) that must be invisible to concurrent scans.
+    pub fn with_write<R>(&self, f: impl FnOnce(&mut BTreeMap<RowKey, V>) -> R) -> R {
+        f(&mut self.map.write())
+    }
+
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        self.map.read().len()
+    }
+
+    /// Whether the store is empty.
+    pub fn is_empty(&self) -> bool {
+        self.map.read().is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn key(pid: u64, name: &str) -> RowKey {
+        RowKey::base(InodeId(pid), name)
+    }
+
+    #[test]
+    fn put_get_delete_round_trip() {
+        let s: KvStore<u32> = KvStore::new();
+        assert!(s.put(key(1, "a"), 10).is_none());
+        assert_eq!(s.put(key(1, "a"), 11), Some(10));
+        assert_eq!(s.get(&key(1, "a")), Some(11));
+        assert_eq!(s.delete(&key(1, "a")), Some(11));
+        assert!(s.get(&key(1, "a")).is_none());
+    }
+
+    #[test]
+    fn put_if_absent_is_atomic_check() {
+        let s: KvStore<u32> = KvStore::new();
+        assert!(s.put_if_absent(key(1, "a"), 1));
+        assert!(!s.put_if_absent(key(1, "a"), 2));
+        assert_eq!(s.get(&key(1, "a")), Some(1));
+    }
+
+    #[test]
+    fn scan_dir_is_bounded_by_pid() {
+        let s: KvStore<u32> = KvStore::new();
+        s.put(key(1, "a"), 1);
+        s.put(key(1, "b"), 2);
+        s.put(key(2, "a"), 3);
+        let rows = s.scan_dir(InodeId(1), "", 10);
+        assert_eq!(rows.len(), 2);
+        assert_eq!(rows[0].1, 1);
+        assert_eq!(rows[1].1, 2);
+        // Resume from a name.
+        let rows = s.scan_dir(InodeId(1), "b", 10);
+        assert_eq!(rows.len(), 1);
+        assert_eq!(rows[0].1, 2);
+        // Limit applies.
+        assert_eq!(s.scan_dir(InodeId(1), "", 1).len(), 1);
+    }
+
+    #[test]
+    fn scan_versions_returns_base_and_deltas_in_order() {
+        let s: KvStore<u32> = KvStore::new();
+        s.put(RowKey::delta(InodeId(5), "/_ATTR", TxnId(30)), 300);
+        s.put(RowKey::base(InodeId(5), "/_ATTR"), 0);
+        s.put(RowKey::delta(InodeId(5), "/_ATTR", TxnId(10)), 100);
+        s.put(RowKey::base(InodeId(5), "other"), 9);
+        let rows = s.scan_versions(InodeId(5), "/_ATTR");
+        let ts: Vec<u64> = rows.iter().map(|(k, _)| k.ts.0).collect();
+        assert_eq!(ts, vec![0, 10, 30]);
+    }
+
+    #[test]
+    fn update_inserts_and_deletes() {
+        let s: KvStore<u32> = KvStore::new();
+        let existed = s.update(&key(1, "a"), |cur| {
+            assert!(cur.is_none());
+            (Some(5), false)
+        });
+        assert!(!existed);
+        let doubled = s.update(&key(1, "a"), |cur| {
+            let v = cur.copied().unwrap() * 2;
+            (Some(v), true)
+        });
+        assert!(doubled);
+        assert_eq!(s.get(&key(1, "a")), Some(10));
+        s.update(&key(1, "a"), |_| (None, ()));
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn delete_batch_counts_removed() {
+        let s: KvStore<u32> = KvStore::new();
+        s.put(key(1, "a"), 1);
+        s.put(key(1, "b"), 2);
+        let n = s.delete_batch(&[key(1, "a"), key(1, "zz")]);
+        assert_eq!(n, 1);
+        assert_eq!(s.len(), 1);
+    }
+}

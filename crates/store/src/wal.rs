@@ -1,0 +1,160 @@
+//! Write-ahead log with group commit.
+//!
+//! Durable commits pay an fsync. Under load, many transactions commit
+//! concurrently; group commit lets them share a single flush: the first
+//! committer becomes the batch leader, performs one injected fsync for
+//! every waiter that joined while the previous flush was in flight, and
+//! wakes them. This is the same amortization Mantle applies to the
+//! IndexNode's Raft log (§5.2.3, "batched Raft submissions"); TafDB shards
+//! use it for transaction durability.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use parking_lot::{Condvar, Mutex};
+
+use mantle_types::SimConfig;
+
+#[derive(Default)]
+struct State {
+    /// Sequence number of the last durable batch.
+    flushed: u64,
+    /// Sequence number of the last enqueued record.
+    enqueued: u64,
+    /// Whether a leader is currently flushing.
+    flushing: bool,
+}
+
+/// A WAL whose appends share injected fsyncs when `group_commit` is on.
+pub struct GroupCommitWal {
+    state: Mutex<State>,
+    cv: Condvar,
+    config: SimConfig,
+    group_commit: bool,
+    fsyncs: AtomicU64,
+    appends: AtomicU64,
+}
+
+impl GroupCommitWal {
+    /// Creates a WAL. With `group_commit = false` every append pays its own
+    /// fsync (the un-batched baseline of Figure 16).
+    pub fn new(config: SimConfig, group_commit: bool) -> Self {
+        GroupCommitWal {
+            state: Mutex::new(State::default()),
+            cv: Condvar::new(),
+            config,
+            group_commit,
+            fsyncs: AtomicU64::new(0),
+            appends: AtomicU64::new(0),
+        }
+    }
+
+    /// Appends one record and returns once it is durable.
+    pub fn append(&self) {
+        self.appends.fetch_add(1, Ordering::Relaxed);
+        if !self.group_commit {
+            self.fsyncs.fetch_add(1, Ordering::Relaxed);
+            mantle_rpc_fsync(&self.config);
+            return;
+        }
+
+        let mut state = self.state.lock();
+        state.enqueued += 1;
+        let my_seq = state.enqueued;
+        loop {
+            if state.flushed >= my_seq {
+                return;
+            }
+            if !state.flushing {
+                // Become the batch leader: flush everything enqueued so far.
+                state.flushing = true;
+                let flush_to = state.enqueued;
+                drop(state);
+
+                self.fsyncs.fetch_add(1, Ordering::Relaxed);
+                mantle_rpc_fsync(&self.config);
+
+                state = self.state.lock();
+                state.flushed = state.flushed.max(flush_to);
+                state.flushing = false;
+                self.cv.notify_all();
+                if state.flushed >= my_seq {
+                    return;
+                }
+            } else {
+                self.cv.wait(&mut state);
+            }
+        }
+    }
+
+    /// Number of physical fsyncs performed.
+    pub fn fsyncs(&self) -> u64 {
+        self.fsyncs.load(Ordering::Relaxed)
+    }
+
+    /// Number of records appended.
+    pub fn appends(&self) -> u64 {
+        self.appends.load(Ordering::Relaxed)
+    }
+}
+
+/// Injects the fsync delay (thin wrapper so this module has no direct
+/// dependency on `mantle-rpc`, avoiding a cycle).
+fn mantle_rpc_fsync(config: &SimConfig) {
+    let d = config.fsync();
+    if !d.is_zero() {
+        std::thread::sleep(d);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn ungrouped_wal_fsyncs_every_append() {
+        let wal = GroupCommitWal::new(SimConfig::instant(), false);
+        for _ in 0..10 {
+            wal.append();
+        }
+        assert_eq!(wal.fsyncs(), 10);
+        assert_eq!(wal.appends(), 10);
+    }
+
+    #[test]
+    fn grouped_wal_amortizes_fsyncs() {
+        let mut config = SimConfig::instant();
+        config.fsync_micros = 2_000;
+        let wal = Arc::new(GroupCommitWal::new(config, true));
+        let handles: Vec<_> = (0..16)
+            .map(|_| {
+                let wal = wal.clone();
+                std::thread::spawn(move || {
+                    for _ in 0..5 {
+                        wal.append();
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(wal.appends(), 80);
+        assert!(
+            wal.fsyncs() < 80,
+            "group commit must batch: {} fsyncs for 80 appends",
+            wal.fsyncs()
+        );
+        assert!(wal.fsyncs() >= 1);
+    }
+
+    #[test]
+    fn grouped_wal_single_thread_still_durable() {
+        let wal = GroupCommitWal::new(SimConfig::instant(), true);
+        for _ in 0..5 {
+            wal.append();
+        }
+        // Sequential appends cannot batch; each becomes its own leader.
+        assert_eq!(wal.fsyncs(), 5);
+    }
+}

@@ -1,0 +1,167 @@
+//! A counting semaphore used to model per-node request capacity.
+//!
+//! Every simulated metadata server owns a semaphore whose permit count
+//! stands in for its core count (DESIGN.md §1). A request holds a permit for
+//! its service time; when a node saturates, additional requests queue on the
+//! semaphore and the queueing delay shows up in measured latency exactly as
+//! it would on a saturated real server.
+
+use parking_lot::{Condvar, Mutex};
+
+/// A counting semaphore with RAII guards.
+///
+/// Constructed with `usize::MAX` permits, the semaphore becomes a no-op
+/// (used by unit tests that model unbounded capacity).
+pub struct Semaphore {
+    state: Mutex<usize>,
+    cv: Condvar,
+    capacity: usize,
+}
+
+impl Semaphore {
+    /// Creates a semaphore with `permits` concurrent holders.
+    pub fn new(permits: usize) -> Self {
+        Semaphore {
+            state: Mutex::new(permits),
+            cv: Condvar::new(),
+            capacity: permits,
+        }
+    }
+
+    /// Whether this semaphore never blocks.
+    #[inline]
+    pub fn is_unbounded(&self) -> bool {
+        self.capacity == usize::MAX
+    }
+
+    /// Acquires one permit, blocking until available.
+    pub fn acquire(&self) -> SemaphoreGuard<'_> {
+        if self.is_unbounded() {
+            return SemaphoreGuard { sem: self, active: false };
+        }
+        let mut permits = self.state.lock();
+        while *permits == 0 {
+            self.cv.wait(&mut permits);
+        }
+        *permits -= 1;
+        SemaphoreGuard { sem: self, active: true }
+    }
+
+    /// Attempts to acquire a permit without blocking.
+    pub fn try_acquire(&self) -> Option<SemaphoreGuard<'_>> {
+        if self.is_unbounded() {
+            return Some(SemaphoreGuard { sem: self, active: false });
+        }
+        let mut permits = self.state.lock();
+        if *permits == 0 {
+            return None;
+        }
+        *permits -= 1;
+        Some(SemaphoreGuard { sem: self, active: true })
+    }
+
+    /// Number of permits currently available (capacity for unbounded).
+    pub fn available(&self) -> usize {
+        if self.is_unbounded() {
+            usize::MAX
+        } else {
+            *self.state.lock()
+        }
+    }
+
+    /// The configured permit count.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    fn release(&self) {
+        let mut permits = self.state.lock();
+        *permits += 1;
+        drop(permits);
+        self.cv.notify_one();
+    }
+}
+
+impl std::fmt::Debug for Semaphore {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Semaphore({}/{})", self.available(), self.capacity)
+    }
+}
+
+/// RAII permit; releasing happens on drop.
+pub struct SemaphoreGuard<'a> {
+    sem: &'a Semaphore,
+    active: bool,
+}
+
+impl Drop for SemaphoreGuard<'_> {
+    fn drop(&mut self) {
+        if self.active {
+            self.sem.release();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::Arc;
+
+    #[test]
+    fn permits_bound_concurrency() {
+        let sem = Arc::new(Semaphore::new(4));
+        let peak = Arc::new(AtomicUsize::new(0));
+        let cur = Arc::new(AtomicUsize::new(0));
+        let handles: Vec<_> = (0..32)
+            .map(|_| {
+                let (sem, peak, cur) = (sem.clone(), peak.clone(), cur.clone());
+                std::thread::spawn(move || {
+                    for _ in 0..50 {
+                        let _g = sem.acquire();
+                        let now = cur.fetch_add(1, Ordering::SeqCst) + 1;
+                        peak.fetch_max(now, Ordering::SeqCst);
+                        std::thread::yield_now();
+                        cur.fetch_sub(1, Ordering::SeqCst);
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert!(peak.load(Ordering::SeqCst) <= 4);
+        assert_eq!(sem.available(), 4);
+    }
+
+    #[test]
+    fn try_acquire_fails_when_exhausted() {
+        let sem = Semaphore::new(1);
+        let g = sem.try_acquire().unwrap();
+        assert!(sem.try_acquire().is_none());
+        drop(g);
+        assert!(sem.try_acquire().is_some());
+    }
+
+    #[test]
+    fn unbounded_never_blocks() {
+        let sem = Semaphore::new(usize::MAX);
+        let _guards: Vec<_> = (0..1000).map(|_| sem.acquire()).collect();
+        assert!(sem.try_acquire().is_some());
+        assert!(sem.is_unbounded());
+    }
+
+    #[test]
+    fn guard_drop_wakes_waiter() {
+        let sem = Arc::new(Semaphore::new(1));
+        let g = sem.acquire();
+        let sem2 = sem.clone();
+        let h = std::thread::spawn(move || {
+            let _g = sem2.acquire();
+        });
+        std::thread::sleep(std::time::Duration::from_millis(10));
+        drop(g);
+        h.join().unwrap();
+        assert_eq!(sem.available(), 1);
+    }
+}

@@ -1,0 +1,877 @@
+//! The sharded database: shards, two-phase commit, delta records,
+//! compaction, and the latched update path used by the baselines.
+
+use std::collections::{HashMap, HashSet};
+use std::ops::Bound;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Weak};
+use std::time::{Duration, Instant};
+
+use parking_lot::Mutex;
+
+use mantle_rpc::SimNode;
+use mantle_store::{GroupCommitWal, KvStore, LockManager, LockMode, RowKey};
+use mantle_sync::LatchTable;
+use mantle_types::record::ATTR_ROW_NAME;
+use mantle_types::{
+    AttrDelta,
+    DirAttrMeta,
+    DirEntry,
+    EntryKind,
+    InodeId,
+    MetaError,
+    ObjectMeta,
+    OpStats,
+    Permission,
+    Result,
+    SimConfig,
+    TxnId,
+    ROOT_ID, //
+};
+
+use crate::schema::{attr_key, delta_key, entry_key, Row};
+use crate::txn::{Prepared, ShardPrepared, TxnOp, WriteCmd};
+
+/// TafDB tuning knobs.
+#[derive(Clone, Copy, Debug)]
+pub struct TafDbOptions {
+    /// Number of shards (one per simulated DB server). The paper deploys 18
+    /// TafDB servers; the scaled default is 8.
+    pub n_shards: usize,
+    /// Master switch for delta records (§5.2.1); off reproduces the
+    /// pre-`+delta record` ablation baseline of Figure 16.
+    pub delta_records: bool,
+    /// Aborts within [`Self::hot_window`] that flip a directory into delta
+    /// mode ("activated only under sustained contention").
+    pub delta_abort_threshold: u32,
+    /// Window over which aborts are counted.
+    pub hot_window: Duration,
+    /// How long a directory stays in delta mode after its last use.
+    pub hot_ttl: Duration,
+    /// Period of the background delta compactor.
+    pub compact_interval: Duration,
+    /// Share WAL fsyncs across concurrent commits.
+    pub group_commit: bool,
+    /// Transparent retries for retryable (conflict) errors.
+    pub max_txn_retries: u32,
+}
+
+impl Default for TafDbOptions {
+    fn default() -> Self {
+        TafDbOptions {
+            n_shards: 8,
+            delta_records: true,
+            delta_abort_threshold: 3,
+            hot_window: Duration::from_millis(100),
+            hot_ttl: Duration::from_secs(2),
+            compact_interval: Duration::from_millis(20),
+            group_commit: true,
+            max_txn_retries: 10_000,
+        }
+    }
+}
+
+/// Snapshot of TafDB's internal counters.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct DbCounters {
+    /// Committed transactions.
+    pub txns_committed: u64,
+    /// Aborted prepare attempts (lock conflicts, validation failures).
+    pub txns_aborted: u64,
+    /// Delta records appended.
+    pub delta_appends: u64,
+    /// In-place attribute merges.
+    pub inplace_updates: u64,
+    /// Compactor folds (directories compacted).
+    pub compactions: u64,
+    /// Blocking latched attribute updates (baseline path).
+    pub latched_updates: u64,
+}
+
+#[derive(Default)]
+struct HotState {
+    aborts: u32,
+    window_start: Option<Instant>,
+    hot_until: Option<Instant>,
+}
+
+struct Shard {
+    store: KvStore<Row>,
+    locks: LockManager,
+    latches: LatchTable,
+    wal: GroupCommitWal,
+    node: Arc<SimNode>,
+    /// Directories with (possibly) outstanding delta records.
+    delta_dirs: Mutex<HashSet<InodeId>>,
+    /// Contention tracker for selective delta activation.
+    hot: Mutex<HashMap<InodeId, HotState>>,
+}
+
+impl Shard {
+    fn record_abort(&self, dir: InodeId, opts: &TafDbOptions) {
+        let mut hot = self.hot.lock();
+        let state = hot.entry(dir).or_default();
+        let now = Instant::now();
+        match state.window_start {
+            Some(w) if now.duration_since(w) <= opts.hot_window => state.aborts += 1,
+            _ => {
+                state.window_start = Some(now);
+                state.aborts = 1;
+            }
+        }
+        if state.aborts >= opts.delta_abort_threshold {
+            state.hot_until = Some(now + opts.hot_ttl);
+        }
+    }
+
+    /// Whether `dir` is in delta mode; refreshes the mode's TTL when it is
+    /// (delta mode persists while the directory keeps being updated).
+    fn is_hot(&self, dir: InodeId, opts: &TafDbOptions) -> bool {
+        let mut hot = self.hot.lock();
+        let Some(state) = hot.get_mut(&dir) else {
+            return false;
+        };
+        let now = Instant::now();
+        match state.hot_until {
+            Some(until) if until > now => {
+                state.hot_until = Some(now + opts.hot_ttl);
+                true
+            }
+            _ => false,
+        }
+    }
+}
+
+/// The sharded metadata database.
+pub struct TafDb {
+    shards: Vec<Shard>,
+    oracle: AtomicU64,
+    config: SimConfig,
+    opts: TafDbOptions,
+    shutdown: Arc<AtomicBool>,
+    compactor: Mutex<Option<std::thread::JoinHandle<()>>>,
+    txns_committed: AtomicU64,
+    txns_aborted: AtomicU64,
+    delta_appends: AtomicU64,
+    inplace_updates: AtomicU64,
+    compactions: AtomicU64,
+    latched_updates: AtomicU64,
+}
+
+impl TafDb {
+    /// Builds a database with `opts.n_shards` shards and bootstraps the
+    /// namespace root's attribute row. A background compactor thread folds
+    /// delta records until the database is dropped.
+    pub fn new(config: SimConfig, opts: TafDbOptions) -> Arc<Self> {
+        assert!(opts.n_shards >= 1);
+        let shards = (0..opts.n_shards)
+            .map(|i| Shard {
+                store: KvStore::new(),
+                locks: LockManager::new(1024),
+                latches: LatchTable::new(1024),
+                wal: GroupCommitWal::new(config, opts.group_commit),
+                node: Arc::new(SimNode::new(
+                    format!("tafdb{i}"),
+                    config.db_node_permits,
+                    config,
+                )),
+                delta_dirs: Mutex::new(HashSet::new()),
+                hot: Mutex::new(HashMap::new()),
+            })
+            .collect();
+        let db = Arc::new(TafDb {
+            shards,
+            oracle: AtomicU64::new(1),
+            config,
+            opts,
+            shutdown: Arc::new(AtomicBool::new(false)),
+            compactor: Mutex::new(None),
+            txns_committed: AtomicU64::new(0),
+            txns_aborted: AtomicU64::new(0),
+            delta_appends: AtomicU64::new(0),
+            inplace_updates: AtomicU64::new(0),
+            compactions: AtomicU64::new(0),
+            latched_updates: AtomicU64::new(0),
+        });
+        db.raw_put(attr_key(ROOT_ID), Row::DirAttr(DirAttrMeta::new(0, 0)));
+
+        let weak: Weak<TafDb> = Arc::downgrade(&db);
+        let shutdown = Arc::clone(&db.shutdown);
+        let interval = opts.compact_interval;
+        let handle = std::thread::Builder::new()
+            .name("tafdb-compactor".into())
+            .spawn(move || {
+                while !shutdown.load(Ordering::Acquire) {
+                    std::thread::sleep(interval);
+                    let Some(db) = weak.upgrade() else { return };
+                    db.compact_once();
+                }
+            })
+            .expect("spawn compactor");
+        *db.compactor.lock() = Some(handle);
+        db
+    }
+
+    /// The shard index owning rows routed by `pid`.
+    pub fn shard_of(&self, pid: InodeId) -> usize {
+        // Fibonacci hashing keeps directory locality (all rows of one pid
+        // colocate) while spreading directories across shards.
+        (pid.0.wrapping_mul(0x9E3779B97F4A7C15) >> 33) as usize % self.shards.len()
+    }
+
+    /// Number of shards.
+    pub fn n_shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The simulated server of shard `i` (for load inspection).
+    pub fn shard_node(&self, i: usize) -> &Arc<SimNode> {
+        &self.shards[i].node
+    }
+
+    /// The database's timing configuration.
+    pub fn config(&self) -> &SimConfig {
+        &self.config
+    }
+
+    /// The database's options.
+    pub fn options(&self) -> &TafDbOptions {
+        &self.opts
+    }
+
+    /// Counter snapshot.
+    pub fn counters(&self) -> DbCounters {
+        DbCounters {
+            txns_committed: self.txns_committed.load(Ordering::Relaxed),
+            txns_aborted: self.txns_aborted.load(Ordering::Relaxed),
+            delta_appends: self.delta_appends.load(Ordering::Relaxed),
+            inplace_updates: self.inplace_updates.load(Ordering::Relaxed),
+            compactions: self.compactions.load(Ordering::Relaxed),
+            latched_updates: self.latched_updates.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Allocates a transaction timestamp.
+    pub fn begin(&self) -> TxnId {
+        TxnId(self.oracle.fetch_add(1, Ordering::Relaxed))
+    }
+
+    // --- direct (population / test) access --------------------------------
+
+    /// Writes a row directly, bypassing RPC, locking and the WAL. Used only
+    /// for bulk namespace population before an experiment.
+    pub fn raw_put(&self, key: RowKey, row: Row) {
+        self.shards[self.shard_of(key.pid)].store.put(key, row);
+    }
+
+    /// Reads a row directly (tests/diagnostics).
+    pub fn raw_get(&self, key: &RowKey) -> Option<Row> {
+        self.shards[self.shard_of(key.pid)].store.get(key)
+    }
+
+    /// Total rows across shards.
+    pub fn total_rows(&self) -> usize {
+        self.shards.iter().map(|s| s.store.len()).sum()
+    }
+
+    /// Number of outstanding delta records for `dir` (tests/diagnostics).
+    pub fn pending_deltas(&self, dir: InodeId) -> usize {
+        let shard = &self.shards[self.shard_of(dir)];
+        shard
+            .store
+            .scan_versions(dir, ATTR_ROW_NAME)
+            .iter()
+            .filter(|(k, _)| k.ts != TxnId::BASE)
+            .count()
+    }
+
+    // --- reads (one RPC to the owning shard) -------------------------------
+
+    /// Reads the entry row of `name` under `pid`.
+    pub fn get_entry(&self, pid: InodeId, name: &str, stats: &mut OpStats) -> Option<Row> {
+        let shard = &self.shards[self.shard_of(pid)];
+        shard.node.rpc(stats, || shard.store.get(&entry_key(pid, name)))
+    }
+
+    /// Entry read that does *not* inject a network round trip — for callers
+    /// modelling a parallel fan-out where one injected round trip covers a
+    /// whole batch of concurrently issued queries (InfiniFS's speculative
+    /// resolution). The RPC is still counted and still consumes shard-node
+    /// capacity.
+    pub fn get_entry_batched(&self, pid: InodeId, name: &str, stats: &mut OpStats) -> Option<Row> {
+        let shard = &self.shards[self.shard_of(pid)];
+        stats.rpc();
+        shard.node.execute(|| shard.store.get(&entry_key(pid, name)))
+    }
+
+    /// One step of level-by-level path resolution: child directory id and
+    /// permission of `name` under `pid`.
+    ///
+    /// # Errors
+    ///
+    /// [`MetaError::NotFound`] if absent, [`MetaError::NotADirectory`] if
+    /// the entry is an object.
+    pub fn resolve_step(
+        &self,
+        pid: InodeId,
+        name: &str,
+        stats: &mut OpStats,
+    ) -> Result<(InodeId, Permission)> {
+        match self.get_entry(pid, name, stats) {
+            Some(Row::DirAccess { id, permission }) => Ok((id, permission)),
+            Some(_) => Err(MetaError::NotADirectory(name.to_string())),
+            None => Err(MetaError::NotFound(name.to_string())),
+        }
+    }
+
+    /// Reads object metadata.
+    ///
+    /// # Errors
+    ///
+    /// [`MetaError::NotFound`] / [`MetaError::IsADirectory`].
+    pub fn get_object(&self, pid: InodeId, name: &str, stats: &mut OpStats) -> Result<ObjectMeta> {
+        match self.get_entry(pid, name, stats) {
+            Some(Row::Object(o)) => Ok(o),
+            Some(_) => Err(MetaError::IsADirectory(name.to_string())),
+            None => Err(MetaError::NotFound(name.to_string())),
+        }
+    }
+
+    /// Reads a directory's attributes, merging outstanding delta records
+    /// (the read-side cost of §5.2.1).
+    ///
+    /// # Errors
+    ///
+    /// [`MetaError::NotFound`] when the directory has no attribute row.
+    pub fn dir_stat(&self, dir: InodeId, stats: &mut OpStats) -> Result<DirAttrMeta> {
+        let shard = &self.shards[self.shard_of(dir)];
+        shard.node.rpc(stats, || {
+            let rows = shard.store.scan_versions(dir, ATTR_ROW_NAME);
+            let mut iter = rows.into_iter();
+            let Some((first_key, Row::DirAttr(mut attrs))) = iter.next() else {
+                return Err(MetaError::NotFound(format!("dir {dir}")));
+            };
+            debug_assert_eq!(first_key.ts, TxnId::BASE);
+            for (_, row) in iter {
+                if let Row::Delta(d) = row {
+                    attrs.apply_delta(&d);
+                }
+            }
+            Ok(attrs)
+        })
+    }
+
+    /// Paged child listing: up to `limit` entries of `pid` with names
+    /// strictly after `start_after` — a bounded range scan on the ordered
+    /// shard store (the backing of the COSS `LIST` API). The second return
+    /// is whether more entries follow.
+    pub fn readdir_page(
+        &self,
+        pid: InodeId,
+        start_after: Option<&str>,
+        limit: usize,
+        stats: &mut OpStats,
+    ) -> (Vec<DirEntry>, bool) {
+        let shard = &self.shards[self.shard_of(pid)];
+        shard.node.rpc(stats, || {
+            // Fetch limit + 1 to learn whether the listing is truncated;
+            // `start_after` itself is excluded from the page.
+            let from = start_after.unwrap_or("");
+            let mut rows: Vec<DirEntry> = shard
+                .store
+                .scan_dir(pid, from, limit + 3)
+                .into_iter()
+                .filter(|(k, _)| {
+                    k.name.as_ref() != ATTR_ROW_NAME
+                        && start_after.is_none_or(|a| k.name.as_ref() > a)
+                })
+                .filter_map(|(k, row)| match row {
+                    Row::DirAccess { id, .. } => Some(DirEntry {
+                        name: k.name.to_string(),
+                        kind: EntryKind::Dir,
+                        id,
+                    }),
+                    Row::Object(o) => Some(DirEntry {
+                        name: k.name.to_string(),
+                        kind: EntryKind::Object,
+                        id: o.id,
+                    }),
+                    _ => None,
+                })
+                .take(limit + 1)
+                .collect();
+            let truncated = rows.len() > limit;
+            rows.truncate(limit);
+            (rows, truncated)
+        })
+    }
+
+    /// Lists the direct children of `pid`.
+    pub fn readdir(&self, pid: InodeId, stats: &mut OpStats) -> Vec<DirEntry> {
+        let shard = &self.shards[self.shard_of(pid)];
+        shard.node.rpc(stats, || {
+            shard
+                .store
+                .scan_dir(pid, "", usize::MAX)
+                .into_iter()
+                .filter(|(k, _)| k.name.as_ref() != ATTR_ROW_NAME)
+                .filter_map(|(k, row)| match row {
+                    Row::DirAccess { id, .. } => Some(DirEntry {
+                        name: k.name.to_string(),
+                        kind: EntryKind::Dir,
+                        id,
+                    }),
+                    Row::Object(o) => Some(DirEntry {
+                        name: k.name.to_string(),
+                        kind: EntryKind::Object,
+                        id: o.id,
+                    }),
+                    _ => None,
+                })
+                .collect()
+        })
+    }
+
+    // --- baseline write paths ----------------------------------------------
+
+    /// Inserts a row if absent, with WAL durability — the relaxed-
+    /// consistency single-row write Tectonic uses (§6.1: "we relax the
+    /// consistency and avoid using distributed transactions").
+    ///
+    /// # Errors
+    ///
+    /// [`MetaError::AlreadyExists`] when the key is taken.
+    pub fn insert_row(&self, key: RowKey, row: Row, stats: &mut OpStats) -> Result<()> {
+        let shard = &self.shards[self.shard_of(key.pid)];
+        shard.node.rpc(stats, || {
+            if !shard.store.put_if_absent(key.clone(), row) {
+                return Err(MetaError::AlreadyExists(key.name.to_string()));
+            }
+            shard.wal.append();
+            Ok(())
+        })
+    }
+
+    /// Deletes a row (attr rows drag their delta records along), with WAL
+    /// durability.
+    ///
+    /// # Errors
+    ///
+    /// [`MetaError::NotFound`] when the key is absent.
+    pub fn delete_row(&self, key: RowKey, stats: &mut OpStats) -> Result<()> {
+        let shard = &self.shards[self.shard_of(key.pid)];
+        shard.node.rpc(stats, || {
+            let existed = Self::delete_with_deltas(shard, &key);
+            if !existed {
+                return Err(MetaError::NotFound(key.name.to_string()));
+            }
+            shard.wal.append();
+            Ok(())
+        })
+    }
+
+    /// Serialized (blocking-latch) attribute update — the baseline behaviour
+    /// the paper attributes to Tectonic and LocoFS under mkdir-s (§6.3).
+    ///
+    /// # Errors
+    ///
+    /// [`MetaError::NotFound`] when the directory's attribute row is gone.
+    pub fn update_attr_latched(
+        &self,
+        dir: InodeId,
+        delta: AttrDelta,
+        stats: &mut OpStats,
+    ) -> Result<()> {
+        let shard = &self.shards[self.shard_of(dir)];
+        shard.node.rpc(stats, || {
+            let _latch = shard.latches.exclusive(&dir.raw());
+            let found = shard.store.update(&attr_key(dir), |cur| match cur {
+                Some(Row::DirAttr(a)) => {
+                    let mut merged = a.clone();
+                    merged.apply_delta(&delta);
+                    (Some(Row::DirAttr(merged)), true)
+                }
+                other => (other.cloned(), false),
+            });
+            if !found {
+                return Err(MetaError::NotFound(format!("dir {dir}")));
+            }
+            shard.wal.append();
+            self.latched_updates.fetch_add(1, Ordering::Relaxed);
+            Ok(())
+        })
+    }
+
+    // --- transactions -------------------------------------------------------
+
+    /// Runs `ops` as one transaction with transparent retry on conflicts
+    /// (exponential backoff), using the single-RPC fast path when every op
+    /// routes to one shard and 2PC otherwise.
+    ///
+    /// # Errors
+    ///
+    /// Validation errors pass through; [`MetaError::TxnConflict`] is
+    /// returned once retries are exhausted.
+    pub fn execute(&self, ops: &[TxnOp], stats: &mut OpStats) -> Result<TxnId> {
+        let mut attempt: u32 = 0;
+        loop {
+            let txn = self.begin();
+            let outcome = if self.single_shard(ops).is_some() {
+                self.execute_single_shard(txn, ops, stats)
+            } else {
+                match self.prepare(txn, ops, stats) {
+                    Ok(p) => {
+                        self.commit(p, stats);
+                        Ok(txn)
+                    }
+                    Err(e) => Err(e),
+                }
+            };
+            match outcome {
+                Ok(txn) => return Ok(txn),
+                Err(e) if e.is_retryable() && attempt < self.opts.max_txn_retries => {
+                    stats.txn_retries += 1;
+                    attempt += 1;
+                    self.backoff(attempt);
+                }
+                Err(MetaError::TxnConflict { .. }) => {
+                    return Err(MetaError::TxnConflict { retries: attempt })
+                }
+                Err(e) => return Err(e),
+            }
+        }
+    }
+
+    fn single_shard(&self, ops: &[TxnOp]) -> Option<usize> {
+        let first = self.shard_of(ops.first()?.routing_pid());
+        ops.iter()
+            .all(|op| self.shard_of(op.routing_pid()) == first)
+            .then_some(first)
+    }
+
+    /// Prepare phase of 2PC: validates `ops` and acquires their row locks on
+    /// every participating shard (one parallel RPC fan-out).
+    ///
+    /// # Errors
+    ///
+    /// On any failure all acquired locks are released and the error is
+    /// returned; [`MetaError::TxnConflict`] signals a retryable conflict.
+    pub fn prepare(&self, txn: TxnId, ops: &[TxnOp], stats: &mut OpStats) -> Result<Prepared> {
+        // Group ops per shard, preserving op order within each shard.
+        let mut groups: Vec<(usize, Vec<&TxnOp>)> = Vec::new();
+        for op in ops {
+            let shard = self.shard_of(op.routing_pid());
+            match groups.iter_mut().find(|(s, _)| *s == shard) {
+                Some((_, v)) => v.push(op),
+                None => groups.push((shard, vec![op])),
+            }
+        }
+
+        // One fan-out round trip covers the parallel per-shard prepares.
+        mantle_rpc::net_round_trip(&self.config);
+        let mut prepared = Vec::with_capacity(groups.len());
+        for (shard_idx, shard_ops) in &groups {
+            stats.rpc();
+            // The round trip was already injected once for the fan-out.
+            let result = self.shards[*shard_idx]
+                .node
+                .execute(|| self.prepare_on_shard(*shard_idx, txn, shard_ops));
+            match result {
+                Ok(sp) => prepared.push(sp),
+                Err(e) => {
+                    self.release_prepared(&prepared, txn, stats);
+                    self.txns_aborted.fetch_add(1, Ordering::Relaxed);
+                    return Err(e);
+                }
+            }
+        }
+        Ok(Prepared { txn, shards: prepared })
+    }
+
+    fn prepare_on_shard(
+        &self,
+        shard_idx: usize,
+        txn: TxnId,
+        ops: &[&TxnOp],
+    ) -> Result<ShardPrepared> {
+        let shard = &self.shards[shard_idx];
+        let mut locks: Vec<RowKey> = Vec::new();
+        let mut writes: Vec<WriteCmd> = Vec::new();
+
+        let fail = |locks: &[RowKey], err: MetaError| -> MetaError {
+            shard.locks.unlock_all(locks, txn);
+            err
+        };
+
+        for op in ops {
+            match op {
+                TxnOp::InsertUnique { key, row } => {
+                    if let Err(_owner) = shard.locks.try_lock(key, txn, LockMode::Exclusive) {
+                        return Err(fail(&locks, MetaError::TxnConflict { retries: 0 }));
+                    }
+                    locks.push(key.clone());
+                    if shard.store.contains(key) {
+                        return Err(fail(&locks, MetaError::AlreadyExists(key.name.to_string())));
+                    }
+                    writes.push(WriteCmd::Put(key.clone(), row.clone()));
+                }
+                TxnOp::Put { key, row } => {
+                    if shard.locks.try_lock(key, txn, LockMode::Exclusive).is_err() {
+                        return Err(fail(&locks, MetaError::TxnConflict { retries: 0 }));
+                    }
+                    locks.push(key.clone());
+                    writes.push(WriteCmd::Put(key.clone(), row.clone()));
+                }
+                TxnOp::Delete { key } => {
+                    if shard.locks.try_lock(key, txn, LockMode::Exclusive).is_err() {
+                        if key.name.as_ref() == ATTR_ROW_NAME {
+                            shard.record_abort(key.pid, &self.opts);
+                        }
+                        return Err(fail(&locks, MetaError::TxnConflict { retries: 0 }));
+                    }
+                    locks.push(key.clone());
+                    if !shard.store.contains(key) {
+                        return Err(fail(&locks, MetaError::NotFound(key.name.to_string())));
+                    }
+                    writes.push(WriteCmd::Delete(key.clone()));
+                }
+                TxnOp::ExpectExists { key } => {
+                    if shard.locks.try_lock(key, txn, LockMode::Shared).is_err() {
+                        return Err(fail(&locks, MetaError::TxnConflict { retries: 0 }));
+                    }
+                    locks.push(key.clone());
+                    if !shard.store.contains(key) {
+                        return Err(fail(&locks, MetaError::NotFound(key.name.to_string())));
+                    }
+                }
+                TxnOp::ExpectEmptyDir { dir } => {
+                    let has_children = shard
+                        .store
+                        .scan_dir(*dir, "", usize::MAX)
+                        .iter()
+                        .any(|(k, _)| k.name.as_ref() != ATTR_ROW_NAME);
+                    if has_children {
+                        return Err(fail(&locks, MetaError::NotEmpty(format!("dir {dir}"))));
+                    }
+                }
+                TxnOp::AttrUpdate { dir, delta } => {
+                    let key = attr_key(*dir);
+                    if self.opts.delta_records && shard.is_hot(*dir, &self.opts) {
+                        // Hot path: shared lock + conflict-free delta append.
+                        if shard.locks.try_lock(&key, txn, LockMode::Shared).is_err() {
+                            return Err(fail(&locks, MetaError::TxnConflict { retries: 0 }));
+                        }
+                        locks.push(key.clone());
+                        if !shard.store.contains(&key) {
+                            return Err(fail(&locks, MetaError::NotFound(format!("dir {dir}"))));
+                        }
+                        writes.push(WriteCmd::AppendDelta(*dir, txn, *delta));
+                    } else {
+                        // Cold path: exclusive lock + in-place merge.
+                        if shard.locks.try_lock(&key, txn, LockMode::Exclusive).is_err() {
+                            shard.record_abort(*dir, &self.opts);
+                            return Err(fail(&locks, MetaError::TxnConflict { retries: 0 }));
+                        }
+                        locks.push(key.clone());
+                        if !shard.store.contains(&key) {
+                            return Err(fail(&locks, MetaError::NotFound(format!("dir {dir}"))));
+                        }
+                        writes.push(WriteCmd::MergeAttr(key, *delta));
+                    }
+                }
+            }
+        }
+        Ok(ShardPrepared { shard: shard_idx, locks, writes })
+    }
+
+    /// Commit phase of 2PC: applies planned writes, makes them durable, and
+    /// releases locks (one parallel RPC fan-out).
+    pub fn commit(&self, prepared: Prepared, stats: &mut OpStats) {
+        mantle_rpc::net_round_trip(&self.config);
+        for sp in &prepared.shards {
+            stats.rpc();
+            let shard = &self.shards[sp.shard];
+            shard.node.execute(|| {
+                for w in &sp.writes {
+                    self.apply_write(sp.shard, w);
+                }
+                if !sp.writes.is_empty() {
+                    shard.wal.append();
+                }
+                shard.locks.unlock_all(&sp.locks, prepared.txn);
+            });
+        }
+        self.txns_committed.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Aborts a prepared transaction, releasing every acquired lock.
+    pub fn abort(&self, prepared: Prepared, stats: &mut OpStats) {
+        self.release_prepared(&prepared.shards, prepared.txn, stats);
+        self.txns_aborted.fetch_add(1, Ordering::Relaxed);
+    }
+
+    fn release_prepared(&self, shards: &[ShardPrepared], txn: TxnId, stats: &mut OpStats) {
+        if shards.is_empty() {
+            return;
+        }
+        mantle_rpc::net_round_trip(&self.config);
+        for sp in shards {
+            stats.rpc();
+            let shard = &self.shards[sp.shard];
+            shard.node.execute(|| shard.locks.unlock_all(&sp.locks, txn));
+        }
+    }
+
+    fn execute_single_shard(&self, txn: TxnId, ops: &[TxnOp], stats: &mut OpStats) -> Result<TxnId> {
+        let shard_idx = self.single_shard(ops).expect("checked by caller");
+        let shard = &self.shards[shard_idx];
+        let op_refs: Vec<&TxnOp> = ops.iter().collect();
+        shard.node.rpc(stats, || {
+            let sp = match self.prepare_on_shard(shard_idx, txn, &op_refs) {
+                Ok(sp) => sp,
+                Err(e) => {
+                    self.txns_aborted.fetch_add(1, Ordering::Relaxed);
+                    return Err(e);
+                }
+            };
+            for w in &sp.writes {
+                self.apply_write(shard_idx, w);
+            }
+            if !sp.writes.is_empty() {
+                shard.wal.append();
+            }
+            shard.locks.unlock_all(&sp.locks, txn);
+            self.txns_committed.fetch_add(1, Ordering::Relaxed);
+            Ok(txn)
+        })
+    }
+
+    fn apply_write(&self, shard_idx: usize, w: &WriteCmd) {
+        let shard = &self.shards[shard_idx];
+        match w {
+            WriteCmd::Put(key, row) => {
+                shard.store.put(key.clone(), row.clone());
+            }
+            WriteCmd::Delete(key) => {
+                Self::delete_with_deltas(shard, key);
+            }
+            WriteCmd::MergeAttr(key, delta) => {
+                shard.store.update(key, |cur| match cur {
+                    Some(Row::DirAttr(a)) => {
+                        let mut merged = a.clone();
+                        merged.apply_delta(delta);
+                        (Some(Row::DirAttr(merged)), ())
+                    }
+                    other => (other.cloned(), ()),
+                });
+                self.inplace_updates.fetch_add(1, Ordering::Relaxed);
+            }
+            WriteCmd::AppendDelta(dir, ts, delta) => {
+                shard.store.put(delta_key(*dir, *ts), Row::Delta(*delta));
+                shard.delta_dirs.lock().insert(*dir);
+                self.delta_appends.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+    }
+
+    /// Deletes `key`; when it is an attribute row, its directory's delta
+    /// records go with it (under the compaction latch). Returns whether the
+    /// base row existed.
+    fn delete_with_deltas(shard: &Shard, key: &RowKey) -> bool {
+        if key.name.as_ref() != ATTR_ROW_NAME {
+            return shard.store.delete(key).is_some();
+        }
+        let _latch = shard.latches.exclusive(&key.pid.raw());
+        shard.delta_dirs.lock().remove(&key.pid);
+        shard.store.with_write(|map| {
+            let existed = map.remove(key).is_some();
+            let from = RowKey::delta(key.pid, ATTR_ROW_NAME, TxnId(1));
+            let deltas: Vec<RowKey> = map
+                .range((Bound::Included(from), Bound::Unbounded))
+                .take_while(|(k, _)| k.pid == key.pid && k.name.as_ref() == ATTR_ROW_NAME)
+                .map(|(k, _)| k.clone())
+                .collect();
+            for k in deltas {
+                map.remove(&k);
+            }
+            existed
+        })
+    }
+
+    fn backoff(&self, attempt: u32) {
+        if self.config.rtt_micros == 0 {
+            std::thread::yield_now();
+            return;
+        }
+        let micros = (50u64 << attempt.min(6)).min(3_000);
+        std::thread::sleep(Duration::from_micros(micros));
+    }
+
+    // --- compaction ---------------------------------------------------------
+
+    /// One compactor sweep: folds outstanding delta records of every
+    /// registered directory into its base attribute row (§5.2.1). Public so
+    /// tests and benches can force a deterministic fold.
+    pub fn compact_once(&self) {
+        for shard in &self.shards {
+            let dirs: Vec<InodeId> = shard.delta_dirs.lock().iter().copied().collect();
+            for dir in dirs {
+                // Shared latch: deletion of the directory is excluded while
+                // folding, but concurrent delta appends proceed.
+                let _latch = shard.latches.shared(&dir.raw());
+                let folded = shard.store.with_write(|map| {
+                    let base = attr_key(dir);
+                    let Some(Row::DirAttr(mut attrs)) = map.get(&base).cloned() else {
+                        return 0;
+                    };
+                    let from = RowKey::delta(dir, ATTR_ROW_NAME, TxnId(1));
+                    let deltas: Vec<(RowKey, AttrDelta)> = map
+                        .range((Bound::Included(from), Bound::Unbounded))
+                        .take_while(|(k, _)| k.pid == dir && k.name.as_ref() == ATTR_ROW_NAME)
+                        .filter_map(|(k, v)| match v {
+                            Row::Delta(d) => Some((k.clone(), *d)),
+                            _ => None,
+                        })
+                        .collect();
+                    for (_, d) in &deltas {
+                        attrs.apply_delta(d);
+                    }
+                    if deltas.is_empty() {
+                        return 0;
+                    }
+                    map.insert(base, Row::DirAttr(attrs));
+                    for (k, _) in &deltas {
+                        map.remove(k);
+                    }
+                    deltas.len()
+                });
+                if folded > 0 {
+                    self.compactions.fetch_add(1, Ordering::Relaxed);
+                }
+                // Deregister only if no deltas snuck in after the fold.
+                let mut reg = shard.delta_dirs.lock();
+                let still_has = shard
+                    .store
+                    .scan_versions(dir, ATTR_ROW_NAME)
+                    .iter()
+                    .any(|(k, _)| k.ts != TxnId::BASE);
+                if !still_has {
+                    reg.remove(&dir);
+                }
+            }
+        }
+    }
+}
+
+impl Drop for TafDb {
+    fn drop(&mut self) {
+        self.shutdown.store(true, Ordering::Release);
+        if let Some(h) = self.compactor.lock().take() {
+            // The compactor briefly holds a strong reference; if the final
+            // drop happens on its own thread, joining would self-deadlock.
+            if h.thread().id() != std::thread::current().id() {
+                let _ = h.join();
+            }
+        }
+    }
+}

@@ -1,0 +1,26 @@
+//! TafDB: the scalable, sharded metadata database (§4, §5.2.1).
+//!
+//! TafDB stores *all* metadata of every namespace as one logical table
+//! keyed `(pid, name, ts)` and partitioned by `pid` across shards, each
+//! shard living on its own simulated server. It provides:
+//!
+//! * **single-shard reads** — entry lookups, `dirstat` (merging delta
+//!   records), `readdir` — each one proxy RPC to the owning shard;
+//! * **distributed transactions** — two-phase commit with no-wait row
+//!   locking; conflicting transactions abort and retry, which is the
+//!   contention behaviour the paper measures (§3.2, Figure 4b);
+//! * **delta records** (§5.2.1) — under sustained contention on a
+//!   directory's attribute row, in-place updates are replaced by
+//!   conflict-free appends keyed `(dir, "/_ATTR", ts_txn)`; a background
+//!   compactor folds them into the base row under a shared latch;
+//! * **blocking latched updates** — the serialized parent-attribute update
+//!   used by the Tectonic and LocoFS baselines (§6.3: "modifications to the
+//!   parent directory's attribute are serialized by a latch").
+
+pub mod db;
+pub mod schema;
+pub mod txn;
+
+pub use db::{DbCounters, TafDb, TafDbOptions};
+pub use schema::{attr_key, entry_key, Row};
+pub use txn::{Prepared, TxnOp};

@@ -1,0 +1,93 @@
+//! The MetaTable schema (Figure 2 / Figure 8).
+
+use mantle_store::RowKey;
+use mantle_types::record::ATTR_ROW_NAME;
+use mantle_types::{AttrDelta, DirAttrMeta, InodeId, ObjectMeta, Permission, TxnId};
+
+/// One MetaTable row.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Row {
+    /// A directory *entry* under its parent: key `(pid, name, 0)`.
+    /// Holds the access metadata (id + permission); Figure 6.
+    DirAccess {
+        /// The directory's own id.
+        id: InodeId,
+        /// The directory's permission mask.
+        permission: Permission,
+    },
+    /// A directory's *attribute* row: key `(dir, "/_ATTR", 0)`.
+    DirAttr(DirAttrMeta),
+    /// A delta record: key `(dir, "/_ATTR", ts_txn)` (§5.2.1).
+    Delta(AttrDelta),
+    /// An object's metadata row: key `(pid, name, 0)`.
+    Object(ObjectMeta),
+}
+
+impl Row {
+    /// The directory id carried by a `DirAccess` row.
+    pub fn as_dir_access(&self) -> Option<(InodeId, Permission)> {
+        match self {
+            Row::DirAccess { id, permission } => Some((*id, *permission)),
+            _ => None,
+        }
+    }
+
+    /// The attribute payload of a `DirAttr` row.
+    pub fn as_dir_attr(&self) -> Option<&DirAttrMeta> {
+        match self {
+            Row::DirAttr(a) => Some(a),
+            _ => None,
+        }
+    }
+
+    /// The object payload of an `Object` row.
+    pub fn as_object(&self) -> Option<&ObjectMeta> {
+        match self {
+            Row::Object(o) => Some(o),
+            _ => None,
+        }
+    }
+}
+
+/// Key of the entry row of `name` under directory `pid`.
+pub fn entry_key(pid: InodeId, name: &str) -> RowKey {
+    RowKey::base(pid, name)
+}
+
+/// Key of the attribute row of directory `dir`.
+pub fn attr_key(dir: InodeId) -> RowKey {
+    RowKey::base(dir, ATTR_ROW_NAME)
+}
+
+/// Key of a delta record of directory `dir` stamped by transaction `ts`.
+pub fn delta_key(dir: InodeId, ts: TxnId) -> RowKey {
+    RowKey::delta(dir, ATTR_ROW_NAME, ts)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn keys_sort_attr_rows_before_entries() {
+        // `/_ATTR` must sort before any user-visible name so scans can skip
+        // it cheaply ('/' < '0' < 'A' in ASCII).
+        let dir = InodeId(7);
+        assert!(attr_key(dir) < entry_key(dir, "0"));
+        assert!(attr_key(dir) < entry_key(dir, "a"));
+        assert!(attr_key(dir) < delta_key(dir, TxnId(1)));
+        assert!(delta_key(dir, TxnId(1)) < delta_key(dir, TxnId(2)));
+    }
+
+    #[test]
+    fn row_accessors() {
+        let access = Row::DirAccess { id: InodeId(3), permission: Permission::ALL };
+        assert_eq!(access.as_dir_access(), Some((InodeId(3), Permission::ALL)));
+        assert!(access.as_dir_attr().is_none());
+        assert!(access.as_object().is_none());
+
+        let attr = Row::DirAttr(DirAttrMeta::new(1, 0));
+        assert!(attr.as_dir_attr().is_some());
+        assert!(attr.as_dir_access().is_none());
+    }
+}

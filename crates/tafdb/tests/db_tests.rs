@@ -1,0 +1,347 @@
+//! TafDB behaviour tests: transactions, contention, delta records,
+//! compaction.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use mantle_tafdb::{attr_key, entry_key, Row, TafDb, TafDbOptions, TxnOp};
+use mantle_types::{
+    AttrDelta, DirAttrMeta, InodeId, MetaError, OpStats, Permission, SimConfig, ROOT_ID,
+};
+
+fn db_with(opts: TafDbOptions) -> Arc<TafDb> {
+    TafDb::new(SimConfig::instant(), opts)
+}
+
+fn db() -> Arc<TafDb> {
+    db_with(TafDbOptions::default())
+}
+
+#[test]
+fn mkdir_txn_commits_all_rows() {
+    let db = db();
+    let mut stats = OpStats::new();
+    let ops = vec![
+        TxnOp::InsertUnique {
+            key: entry_key(ROOT_ID, "a"),
+            row: Row::DirAccess { id: InodeId(100), permission: Permission::ALL },
+        },
+        TxnOp::Put {
+            key: attr_key(InodeId(100)),
+            row: Row::DirAttr(DirAttrMeta::new(1, 0)),
+        },
+        TxnOp::AttrUpdate {
+            dir: ROOT_ID,
+            delta: AttrDelta { nlink: 1, entries: 1, mtime: 1 },
+        },
+    ];
+    db.execute(&ops, &mut stats).unwrap();
+    assert!(db.raw_get(&entry_key(ROOT_ID, "a")).is_some());
+    assert!(db.raw_get(&attr_key(InodeId(100))).is_some());
+    let attrs = db.dir_stat(ROOT_ID, &mut stats).unwrap();
+    assert_eq!(attrs.nlink, 3);
+    assert_eq!(attrs.entries, 1);
+    assert_eq!(db.counters().txns_committed, 1);
+}
+
+#[test]
+fn duplicate_insert_fails_with_already_exists() {
+    let db = db();
+    let mut stats = OpStats::new();
+    let op = |id: u64| {
+        vec![TxnOp::InsertUnique {
+            key: entry_key(ROOT_ID, "dup"),
+            row: Row::DirAccess { id: InodeId(id), permission: Permission::ALL },
+        }]
+    };
+    db.execute(&op(1), &mut stats).unwrap();
+    match db.execute(&op(2), &mut stats) {
+        Err(MetaError::AlreadyExists(_)) => {}
+        other => panic!("expected AlreadyExists, got {other:?}"),
+    }
+}
+
+#[test]
+fn attr_update_on_missing_dir_is_not_found() {
+    let db = db();
+    let mut stats = OpStats::new();
+    let ops = vec![TxnOp::AttrUpdate {
+        dir: InodeId(999),
+        delta: AttrDelta { nlink: 1, entries: 1, mtime: 0 },
+    }];
+    assert!(matches!(
+        db.execute(&ops, &mut stats),
+        Err(MetaError::NotFound(_))
+    ));
+}
+
+#[test]
+fn cross_shard_txn_uses_two_phase_commit() {
+    let db = db();
+    let mut stats = OpStats::new();
+    // Find two directories living on different shards.
+    let a = InodeId(2);
+    let b = (3..100)
+        .map(InodeId)
+        .find(|x| db.shard_of(*x) != db.shard_of(a))
+        .expect("some id maps to a different shard");
+    db.raw_put(attr_key(a), Row::DirAttr(DirAttrMeta::new(0, 0)));
+    db.raw_put(attr_key(b), Row::DirAttr(DirAttrMeta::new(0, 0)));
+
+    let before = stats.rpcs;
+    let ops = vec![
+        TxnOp::AttrUpdate { dir: a, delta: AttrDelta { nlink: 0, entries: 1, mtime: 5 } },
+        TxnOp::AttrUpdate { dir: b, delta: AttrDelta { nlink: 0, entries: 1, mtime: 5 } },
+    ];
+    db.execute(&ops, &mut stats).unwrap();
+    // 2 shards x (prepare + commit) = 4 RPCs.
+    assert_eq!(stats.rpcs - before, 4);
+    assert_eq!(db.dir_stat(a, &mut stats).unwrap().entries, 1);
+    assert_eq!(db.dir_stat(b, &mut stats).unwrap().entries, 1);
+}
+
+#[test]
+fn single_shard_txn_is_one_rpc() {
+    let db = db();
+    let mut stats = OpStats::new();
+    let ops = vec![TxnOp::AttrUpdate {
+        dir: ROOT_ID,
+        delta: AttrDelta { nlink: 0, entries: 0, mtime: 9 },
+    }];
+    db.execute(&ops, &mut stats).unwrap();
+    assert_eq!(stats.rpcs, 1);
+}
+
+#[test]
+fn contention_activates_delta_records_and_compaction_folds() {
+    let mut opts = TafDbOptions::default();
+    opts.delta_abort_threshold = 2;
+    // A non-zero fsync keeps row locks held across the commit flush so the
+    // no-wait conflicts the paper describes actually materialize.
+    let mut config = SimConfig::instant();
+    config.fsync_micros = 100;
+    let db = TafDb::new(config, opts);
+
+    // Hammer the root attr row from many threads; the first conflicts abort
+    // and retry, then delta mode kicks in and appends become conflict-free.
+    let threads = 8;
+    let per_thread = 50;
+    std::thread::scope(|s| {
+        for _ in 0..threads {
+            let db = &db;
+            s.spawn(move || {
+                let mut stats = OpStats::new();
+                for _ in 0..per_thread {
+                    let ops = vec![TxnOp::AttrUpdate {
+                        dir: ROOT_ID,
+                        delta: AttrDelta { nlink: 1, entries: 1, mtime: 1 },
+                    }];
+                    db.execute(&ops, &mut stats).unwrap();
+                }
+            });
+        }
+    });
+    let counters = db.counters();
+    assert!(
+        counters.delta_appends > 0,
+        "sustained contention must activate delta records: {counters:?}"
+    );
+
+    // dirstat merges base + outstanding deltas: the count must be exact
+    // regardless of compaction progress.
+    let mut stats = OpStats::new();
+    let attrs = db.dir_stat(ROOT_ID, &mut stats).unwrap();
+    assert_eq!(attrs.entries, (threads * per_thread) as i64);
+
+    // After an explicit fold, no deltas remain and the stat is unchanged.
+    db.compact_once();
+    assert_eq!(db.pending_deltas(ROOT_ID), 0);
+    let attrs = db.dir_stat(ROOT_ID, &mut stats).unwrap();
+    assert_eq!(attrs.entries, (threads * per_thread) as i64);
+    assert!(db.counters().compactions > 0);
+}
+
+#[test]
+fn delta_disabled_still_correct_but_aborts_more() {
+    let run = |delta: bool| -> (u64, i64) {
+        let mut opts = TafDbOptions::default();
+        opts.delta_records = delta;
+        opts.delta_abort_threshold = 2;
+        let mut config = SimConfig::instant();
+        config.fsync_micros = 100;
+        let db = TafDb::new(config, opts);
+        std::thread::scope(|s| {
+            for _ in 0..8 {
+                let db = &db;
+                s.spawn(move || {
+                    let mut stats = OpStats::new();
+                    for _ in 0..30 {
+                        let ops = vec![TxnOp::AttrUpdate {
+                            dir: ROOT_ID,
+                            delta: AttrDelta { nlink: 0, entries: 1, mtime: 1 },
+                        }];
+                        db.execute(&ops, &mut stats).unwrap();
+                    }
+                });
+            }
+        });
+        let mut stats = OpStats::new();
+        let entries = db.dir_stat(ROOT_ID, &mut stats).unwrap().entries;
+        (db.counters().txns_aborted, entries)
+    };
+    let (aborts_with, entries_with) = run(true);
+    let (aborts_without, entries_without) = run(false);
+    assert_eq!(entries_with, 240);
+    assert_eq!(entries_without, 240);
+    // Both runs abort during the ramp-up, but only the delta run stops.
+    assert!(
+        aborts_without > aborts_with,
+        "delta records should cut aborts: with={aborts_with} without={aborts_without}"
+    );
+}
+
+#[test]
+fn rmdir_deletes_attr_row_and_lingering_deltas() {
+    let db = db();
+    let mut stats = OpStats::new();
+    let dir = InodeId(50);
+    db.raw_put(entry_key(ROOT_ID, "d"), Row::DirAccess { id: dir, permission: Permission::ALL });
+    db.raw_put(attr_key(dir), Row::DirAttr(DirAttrMeta::new(0, 0)));
+    // Simulate lingering (committed) deltas.
+    db.raw_put(
+        mantle_store::RowKey::delta(dir, "/_ATTR", mantle_types::TxnId(77)),
+        Row::Delta(AttrDelta { nlink: 1, entries: 1, mtime: 0 }),
+    );
+    assert_eq!(db.pending_deltas(dir), 1);
+
+    let ops = vec![
+        TxnOp::Delete { key: attr_key(dir) },
+        TxnOp::ExpectEmptyDir { dir },
+        TxnOp::Delete { key: entry_key(ROOT_ID, "d") },
+    ];
+    db.execute(&ops, &mut stats).unwrap();
+    assert!(db.raw_get(&attr_key(dir)).is_none());
+    assert_eq!(db.pending_deltas(dir), 0);
+    assert!(db.raw_get(&entry_key(ROOT_ID, "d")).is_none());
+}
+
+#[test]
+fn expect_empty_dir_blocks_rmdir_of_populated_dir() {
+    let db = db();
+    let mut stats = OpStats::new();
+    let dir = InodeId(60);
+    db.raw_put(attr_key(dir), Row::DirAttr(DirAttrMeta::new(0, 0)));
+    db.raw_put(entry_key(dir, "child"), Row::DirAccess { id: InodeId(61), permission: Permission::ALL });
+    let ops = vec![
+        TxnOp::Delete { key: attr_key(dir) },
+        TxnOp::ExpectEmptyDir { dir },
+    ];
+    assert!(matches!(db.execute(&ops, &mut stats), Err(MetaError::NotEmpty(_))));
+    // The abort released locks; the attr row survives.
+    assert!(db.raw_get(&attr_key(dir)).is_some());
+}
+
+#[test]
+fn readdir_lists_children_and_skips_attr_rows() {
+    let db = db();
+    let mut stats = OpStats::new();
+    db.raw_put(entry_key(ROOT_ID, "dir1"), Row::DirAccess { id: InodeId(5), permission: Permission::ALL });
+    db.raw_put(
+        entry_key(ROOT_ID, "obj1"),
+        Row::Object(mantle_types::ObjectMeta {
+            pid: ROOT_ID,
+            name: "obj1".into(),
+            id: InodeId(6),
+            size: 10,
+            blob: 0,
+            ctime: 0,
+            permission: Permission::ALL,
+        }),
+    );
+    let mut names: Vec<String> = db
+        .readdir(ROOT_ID, &mut stats)
+        .into_iter()
+        .map(|e| e.name)
+        .collect();
+    names.sort();
+    assert_eq!(names, vec!["dir1", "obj1"]);
+}
+
+#[test]
+fn latched_update_serializes_without_aborts() {
+    let db = db();
+    let done = Arc::new(AtomicU64::new(0));
+    std::thread::scope(|s| {
+        for _ in 0..8 {
+            let (db, done) = (&db, done.clone());
+            s.spawn(move || {
+                let mut stats = OpStats::new();
+                for _ in 0..50 {
+                    db.update_attr_latched(
+                        ROOT_ID,
+                        AttrDelta { nlink: 0, entries: 1, mtime: 1 },
+                        &mut stats,
+                    )
+                    .unwrap();
+                    done.fetch_add(1, Ordering::SeqCst);
+                }
+            });
+        }
+    });
+    assert_eq!(done.load(Ordering::SeqCst), 400);
+    let mut stats = OpStats::new();
+    assert_eq!(db.dir_stat(ROOT_ID, &mut stats).unwrap().entries, 400);
+    assert_eq!(db.counters().txns_aborted, 0);
+    assert_eq!(db.counters().latched_updates, 400);
+}
+
+#[test]
+fn insert_and_delete_row_roundtrip() {
+    let db = db();
+    let mut stats = OpStats::new();
+    let key = entry_key(ROOT_ID, "x");
+    db.insert_row(key.clone(), Row::DirAccess { id: InodeId(9), permission: Permission::ALL }, &mut stats)
+        .unwrap();
+    assert!(matches!(
+        db.insert_row(key.clone(), Row::DirAccess { id: InodeId(10), permission: Permission::ALL }, &mut stats),
+        Err(MetaError::AlreadyExists(_))
+    ));
+    db.delete_row(key.clone(), &mut stats).unwrap();
+    assert!(matches!(
+        db.delete_row(key, &mut stats),
+        Err(MetaError::NotFound(_))
+    ));
+}
+
+#[test]
+fn resolve_step_distinguishes_kinds() {
+    let db = db();
+    let mut stats = OpStats::new();
+    db.raw_put(entry_key(ROOT_ID, "d"), Row::DirAccess { id: InodeId(5), permission: Permission::ALL });
+    db.raw_put(
+        entry_key(ROOT_ID, "o"),
+        Row::Object(mantle_types::ObjectMeta {
+            pid: ROOT_ID,
+            name: "o".into(),
+            id: InodeId(6),
+            size: 1,
+            blob: 0,
+            ctime: 0,
+            permission: Permission::ALL,
+        }),
+    );
+    assert_eq!(db.resolve_step(ROOT_ID, "d", &mut stats).unwrap().0, InodeId(5));
+    assert!(matches!(
+        db.resolve_step(ROOT_ID, "o", &mut stats),
+        Err(MetaError::NotADirectory(_))
+    ));
+    assert!(matches!(
+        db.resolve_step(ROOT_ID, "zzz", &mut stats),
+        Err(MetaError::NotFound(_))
+    ));
+    assert!(db.get_object(ROOT_ID, "o", &mut stats).is_ok());
+    assert!(matches!(
+        db.get_object(ROOT_ID, "d", &mut stats),
+        Err(MetaError::IsADirectory(_))
+    ));
+}

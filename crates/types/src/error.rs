@@ -1,0 +1,108 @@
+//! The error surface of the metadata services.
+
+use std::fmt;
+
+/// Errors returned by metadata operations across all evaluated systems.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum MetaError {
+    /// A path component (or the target itself) does not exist.
+    NotFound(String),
+    /// The target already exists (create/mkdir collision).
+    AlreadyExists(String),
+    /// A non-final path component is an object, not a directory.
+    NotADirectory(String),
+    /// The target of an object operation is a directory.
+    IsADirectory(String),
+    /// rmdir on a non-empty directory.
+    NotEmpty(String),
+    /// Permission check failed during resolution or execution.
+    PermissionDenied(String),
+    /// The path failed to parse.
+    InvalidPath(String),
+    /// A transaction aborted due to a write-write or lock conflict and
+    /// exhausted its retries.
+    TxnConflict {
+        /// Number of attempts made before giving up.
+        retries: u32,
+    },
+    /// A dirrename conflicted with another in-flight rename (lock bit held).
+    RenameLocked(String),
+    /// A dirrename would create a cycle (destination inside source).
+    RenameLoop {
+        /// Source directory path.
+        src: String,
+        /// Destination directory path.
+        dst: String,
+    },
+    /// Invalid rename (e.g. root as source, destination parent missing).
+    InvalidRename(String),
+    /// A component of the service is unavailable (leader down, no quorum).
+    Unavailable(String),
+    /// The operation timed out.
+    Timeout(String),
+    /// Internal invariant violation; indicates a bug.
+    Internal(String),
+}
+
+impl MetaError {
+    /// Whether a client should transparently retry the operation.
+    pub fn is_retryable(&self) -> bool {
+        matches!(
+            self,
+            MetaError::TxnConflict { .. }
+                | MetaError::RenameLocked(_)
+                | MetaError::Unavailable(_)
+                | MetaError::Timeout(_)
+        )
+    }
+}
+
+impl fmt::Display for MetaError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MetaError::NotFound(p) => write!(f, "not found: {p}"),
+            MetaError::AlreadyExists(p) => write!(f, "already exists: {p}"),
+            MetaError::NotADirectory(p) => write!(f, "not a directory: {p}"),
+            MetaError::IsADirectory(p) => write!(f, "is a directory: {p}"),
+            MetaError::NotEmpty(p) => write!(f, "directory not empty: {p}"),
+            MetaError::PermissionDenied(p) => write!(f, "permission denied: {p}"),
+            MetaError::InvalidPath(p) => write!(f, "invalid path: {p}"),
+            MetaError::TxnConflict { retries } => {
+                write!(f, "transaction conflict after {retries} retries")
+            }
+            MetaError::RenameLocked(p) => write!(f, "rename lock conflict on: {p}"),
+            MetaError::RenameLoop { src, dst } => {
+                write!(f, "rename would create a loop: {src} -> {dst}")
+            }
+            MetaError::InvalidRename(m) => write!(f, "invalid rename: {m}"),
+            MetaError::Unavailable(m) => write!(f, "service unavailable: {m}"),
+            MetaError::Timeout(m) => write!(f, "timed out: {m}"),
+            MetaError::Internal(m) => write!(f, "internal error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for MetaError {}
+
+/// Convenience alias used across the workspace.
+pub type Result<T, E = MetaError> = std::result::Result<T, E>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn retryability_classification() {
+        assert!(MetaError::TxnConflict { retries: 3 }.is_retryable());
+        assert!(MetaError::RenameLocked("/a".into()).is_retryable());
+        assert!(MetaError::Unavailable("leader".into()).is_retryable());
+        assert!(!MetaError::NotFound("/a".into()).is_retryable());
+        assert!(!MetaError::RenameLoop { src: "/a".into(), dst: "/a/b".into() }.is_retryable());
+    }
+
+    #[test]
+    fn display_is_informative() {
+        let e = MetaError::RenameLoop { src: "/a".into(), dst: "/a/b".into() };
+        assert!(e.to_string().contains("/a/b"));
+    }
+}

@@ -1,0 +1,244 @@
+//! Log-bucketed latency histogram.
+//!
+//! The CDF figures (Figure 11) and the tail-latency observations in §6.2
+//! need percentile queries over millions of samples without storing them
+//! all. This histogram uses logarithmic buckets (~4.6% relative error),
+//! the standard approach of HdrHistogram-style recorders.
+
+use serde::{Deserialize, Serialize};
+
+const SUB_BUCKETS: usize = 16;
+const MAX_EXP: usize = 48; // Covers > 3 days in nanoseconds.
+const BUCKETS: usize = MAX_EXP * SUB_BUCKETS;
+
+/// A mergeable latency histogram over `u64` values (nanoseconds by
+/// convention).
+#[derive(Clone, Serialize, Deserialize)]
+pub struct Histogram {
+    counts: Vec<u64>,
+    total: u64,
+    sum: u128,
+    min: u64,
+    max: u64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Histogram {
+    /// Creates an empty histogram.
+    pub fn new() -> Self {
+        Histogram {
+            counts: vec![0; BUCKETS],
+            total: 0,
+            sum: 0,
+            min: u64::MAX,
+            max: 0,
+        }
+    }
+
+    #[inline]
+    fn bucket(value: u64) -> usize {
+        // Values below SUB_BUCKETS map to their own buckets exactly; above
+        // that, bucket = (exponent, top bits) for bounded relative error.
+        if value < SUB_BUCKETS as u64 {
+            return value as usize;
+        }
+        let exp = 63 - value.leading_zeros() as usize;
+        let sub = ((value >> (exp - 4)) & 0xF) as usize;
+        ((exp - 3) * SUB_BUCKETS + sub).min(BUCKETS - 1)
+    }
+
+    #[inline]
+    fn bucket_value(idx: usize) -> u64 {
+        if idx < SUB_BUCKETS {
+            return idx as u64;
+        }
+        let exp = idx / SUB_BUCKETS + 3;
+        let sub = (idx % SUB_BUCKETS) as u64;
+        (1u64 << exp) | (sub << (exp - 4))
+    }
+
+    /// Records one value.
+    #[inline]
+    pub fn record(&mut self, value: u64) {
+        self.counts[Self::bucket(value)] += 1;
+        self.total += 1;
+        self.sum += value as u128;
+        self.min = self.min.min(value);
+        self.max = self.max.max(value);
+    }
+
+    /// Number of recorded values.
+    pub fn count(&self) -> u64 {
+        self.total
+    }
+
+    /// Mean of recorded values, 0 when empty.
+    pub fn mean(&self) -> f64 {
+        if self.total == 0 {
+            return 0.0;
+        }
+        self.sum as f64 / self.total as f64
+    }
+
+    /// Smallest recorded value, 0 when empty.
+    pub fn min(&self) -> u64 {
+        if self.total == 0 {
+            0
+        } else {
+            self.min
+        }
+    }
+
+    /// Largest recorded value.
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Approximate value at quantile `q` in `[0, 1]`.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.total == 0 {
+            return 0;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * self.total as f64).ceil() as u64).max(1);
+        let mut seen = 0;
+        for (idx, &c) in self.counts.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                return Self::bucket_value(idx).clamp(self.min, self.max);
+            }
+        }
+        self.max
+    }
+
+    /// Merges another histogram into this one.
+    pub fn merge(&mut self, other: &Histogram) {
+        for (a, b) in self.counts.iter_mut().zip(&other.counts) {
+            *a += b;
+        }
+        self.total += other.total;
+        self.sum += other.sum;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+
+    /// Emits `(value, cumulative_fraction)` points for plotting a CDF.
+    pub fn cdf_points(&self) -> Vec<(u64, f64)> {
+        let mut points = Vec::new();
+        if self.total == 0 {
+            return points;
+        }
+        let mut seen = 0u64;
+        for (idx, &c) in self.counts.iter().enumerate() {
+            if c == 0 {
+                continue;
+            }
+            seen += c;
+            points.push((
+                Self::bucket_value(idx).clamp(self.min, self.max),
+                seen as f64 / self.total as f64,
+            ));
+        }
+        points
+    }
+}
+
+impl std::fmt::Debug for Histogram {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "Histogram(n={}, mean={:.0}, p50={}, p99={}, max={})",
+            self.total,
+            self.mean(),
+            self.quantile(0.5),
+            self.quantile(0.99),
+            self.max
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_for_small_values() {
+        let mut h = Histogram::new();
+        for v in 0..16 {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 16);
+        assert_eq!(h.min(), 0);
+        assert_eq!(h.max(), 15);
+        assert_eq!(h.quantile(0.0), 0);
+    }
+
+    #[test]
+    fn quantiles_bounded_relative_error() {
+        let mut h = Histogram::new();
+        for v in 1..=100_000u64 {
+            h.record(v * 10);
+        }
+        for q in [0.1, 0.5, 0.9, 0.99, 0.999] {
+            let exact = (q * 100_000.0) as u64 * 10;
+            let approx = h.quantile(q);
+            let err = (approx as f64 - exact as f64).abs() / exact as f64;
+            assert!(err < 0.07, "q={q}: exact={exact} approx={approx} err={err}");
+        }
+    }
+
+    #[test]
+    fn merge_combines_counts() {
+        let mut a = Histogram::new();
+        let mut b = Histogram::new();
+        for v in 0..1000 {
+            a.record(v);
+            b.record(v + 1000);
+        }
+        a.merge(&b);
+        assert_eq!(a.count(), 2000);
+        assert_eq!(a.max(), 1999);
+        assert_eq!(a.min(), 0);
+        let median = a.quantile(0.5);
+        assert!((900..=1100).contains(&median), "median={median}");
+    }
+
+    #[test]
+    fn cdf_points_monotone() {
+        let mut h = Histogram::new();
+        for v in [5u64, 50, 500, 5000, 50000] {
+            for _ in 0..10 {
+                h.record(v);
+            }
+        }
+        let pts = h.cdf_points();
+        assert!(!pts.is_empty());
+        for w in pts.windows(2) {
+            assert!(w[0].0 <= w[1].0);
+            assert!(w[0].1 <= w[1].1);
+        }
+        assert!((pts.last().unwrap().1 - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_histogram_is_safe() {
+        let h = Histogram::new();
+        assert_eq!(h.quantile(0.5), 0);
+        assert_eq!(h.mean(), 0.0);
+        assert_eq!(h.min(), 0);
+        assert!(h.cdf_points().is_empty());
+    }
+
+    #[test]
+    fn huge_values_do_not_panic() {
+        let mut h = Histogram::new();
+        h.record(u64::MAX);
+        h.record(1);
+        assert_eq!(h.count(), 2);
+        assert!(h.quantile(1.0) >= 1);
+    }
+}

@@ -1,0 +1,264 @@
+//! Per-operation phase accounting.
+//!
+//! The paper's latency-breakdown figures (Figures 4a, 13, 15) split every
+//! metadata operation into three phases: *lookup* (path resolution), *loop
+//! detection* (dirrename only), and *execution*. Every service in this
+//! reproduction threads an [`OpStats`] through its code paths and charges
+//! wall time to the active phase, which the benchmark harnesses then
+//! aggregate.
+
+use std::time::{Duration, Instant};
+
+/// The phases of a metadata operation (§6.3).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Phase {
+    /// Path resolution: obtaining the parent directory id.
+    Lookup,
+    /// Rename loop detection (dirrename only).
+    LoopDetect,
+    /// Reading or updating metadata using the resolved id.
+    Execute,
+}
+
+impl Phase {
+    /// All phases in breakdown order.
+    pub const ALL: [Phase; 3] = [Phase::Lookup, Phase::LoopDetect, Phase::Execute];
+
+    #[inline]
+    fn idx(self) -> usize {
+        match self {
+            Phase::Lookup => 0,
+            Phase::LoopDetect => 1,
+            Phase::Execute => 2,
+        }
+    }
+
+    /// Human-readable label used in harness output.
+    pub fn label(self) -> &'static str {
+        match self {
+            Phase::Lookup => "lookup",
+            Phase::LoopDetect => "loop_detect",
+            Phase::Execute => "execute",
+        }
+    }
+}
+
+/// Accumulated statistics for one metadata operation.
+#[derive(Clone, Debug, Default)]
+pub struct OpStats {
+    phase_nanos: [u64; 3],
+    /// RPC round trips issued (proxy <-> metadata servers).
+    pub rpcs: u32,
+    /// Transaction aborts that led to a retry.
+    pub txn_retries: u32,
+    /// Rename-lock conflicts that led to a retry.
+    pub rename_retries: u32,
+    /// TopDirPathCache (or AM-Cache) hits.
+    pub cache_hits: u32,
+    /// Cache misses.
+    pub cache_misses: u32,
+    current: Option<(usize, Instant)>,
+}
+
+impl OpStats {
+    /// A fresh, empty recorder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Starts charging time to `phase`, ending any phase in progress.
+    pub fn begin(&mut self, phase: Phase) {
+        self.end();
+        self.current = Some((phase.idx(), Instant::now()));
+    }
+
+    /// Stops the phase in progress, if any.
+    pub fn end(&mut self) {
+        if let Some((idx, start)) = self.current.take() {
+            self.phase_nanos[idx] += start.elapsed().as_nanos() as u64;
+        }
+    }
+
+    /// Runs `f` with its wall time charged to `phase`, then restores the
+    /// previously active phase (if any).
+    pub fn time<R>(&mut self, phase: Phase, f: impl FnOnce(&mut Self) -> R) -> R {
+        let prev = self.current.map(|(idx, _)| idx);
+        self.begin(phase);
+        let out = f(self);
+        self.end();
+        if let Some(idx) = prev {
+            self.current = Some((idx, Instant::now()));
+        }
+        out
+    }
+
+    /// Nanoseconds charged to `phase` so far.
+    pub fn phase_nanos(&self, phase: Phase) -> u64 {
+        self.phase_nanos[phase.idx()]
+    }
+
+    /// Total nanoseconds across all phases.
+    pub fn total_nanos(&self) -> u64 {
+        self.phase_nanos.iter().sum()
+    }
+
+    /// Total duration across all phases.
+    pub fn total(&self) -> Duration {
+        Duration::from_nanos(self.total_nanos())
+    }
+
+    /// Records one RPC round trip.
+    #[inline]
+    pub fn rpc(&mut self) {
+        self.rpcs += 1;
+    }
+
+    /// Merges another recorder's counters into this one (phase times add;
+    /// used when an operation internally retries).
+    pub fn absorb(&mut self, other: &OpStats) {
+        for i in 0..3 {
+            self.phase_nanos[i] += other.phase_nanos[i];
+        }
+        self.rpcs += other.rpcs;
+        self.txn_retries += other.txn_retries;
+        self.rename_retries += other.rename_retries;
+        self.cache_hits += other.cache_hits;
+        self.cache_misses += other.cache_misses;
+    }
+}
+
+/// Aggregate of many operations' [`OpStats`], used by the figure harnesses.
+#[derive(Clone, Debug, Default)]
+pub struct OpStatsAgg {
+    /// Number of operations aggregated.
+    pub count: u64,
+    /// Sum of per-phase nanoseconds.
+    pub phase_nanos: [u64; 3],
+    /// Sum of RPC counts.
+    pub rpcs: u64,
+    /// Sum of transaction retries.
+    pub txn_retries: u64,
+    /// Sum of rename retries.
+    pub rename_retries: u64,
+    /// Sum of cache hits.
+    pub cache_hits: u64,
+    /// Sum of cache misses.
+    pub cache_misses: u64,
+}
+
+impl OpStatsAgg {
+    /// Adds one operation's stats.
+    pub fn add(&mut self, s: &OpStats) {
+        self.count += 1;
+        for (i, p) in Phase::ALL.iter().enumerate() {
+            self.phase_nanos[i] += s.phase_nanos(*p);
+        }
+        self.rpcs += s.rpcs as u64;
+        self.txn_retries += s.txn_retries as u64;
+        self.rename_retries += s.rename_retries as u64;
+        self.cache_hits += s.cache_hits as u64;
+        self.cache_misses += s.cache_misses as u64;
+    }
+
+    /// Merges another aggregate (for combining per-thread aggregates).
+    pub fn merge(&mut self, other: &OpStatsAgg) {
+        self.count += other.count;
+        for i in 0..3 {
+            self.phase_nanos[i] += other.phase_nanos[i];
+        }
+        self.rpcs += other.rpcs;
+        self.txn_retries += other.txn_retries;
+        self.rename_retries += other.rename_retries;
+        self.cache_hits += other.cache_hits;
+        self.cache_misses += other.cache_misses;
+    }
+
+    /// Mean nanoseconds per op charged to `phase`.
+    pub fn mean_phase_nanos(&self, phase: Phase) -> f64 {
+        if self.count == 0 {
+            return 0.0;
+        }
+        self.phase_nanos[phase.idx()] as f64 / self.count as f64
+    }
+
+    /// Mean total latency per op, in microseconds.
+    pub fn mean_total_micros(&self) -> f64 {
+        if self.count == 0 {
+            return 0.0;
+        }
+        self.phase_nanos.iter().sum::<u64>() as f64 / self.count as f64 / 1_000.0
+    }
+
+    /// Mean RPCs per operation.
+    pub fn mean_rpcs(&self) -> f64 {
+        if self.count == 0 {
+            return 0.0;
+        }
+        self.rpcs as f64 / self.count as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn phases_accumulate_independently() {
+        let mut s = OpStats::new();
+        s.time(Phase::Lookup, |_| std::thread::sleep(Duration::from_millis(2)));
+        s.time(Phase::Execute, |_| std::thread::sleep(Duration::from_millis(1)));
+        assert!(s.phase_nanos(Phase::Lookup) >= 2_000_000);
+        assert!(s.phase_nanos(Phase::Execute) >= 1_000_000);
+        assert_eq!(s.phase_nanos(Phase::LoopDetect), 0);
+        assert!(s.total_nanos() >= 3_000_000);
+    }
+
+    #[test]
+    fn nested_time_restores_outer_phase() {
+        let mut s = OpStats::new();
+        s.begin(Phase::Execute);
+        std::thread::sleep(Duration::from_millis(1));
+        s.time(Phase::Lookup, |_| std::thread::sleep(Duration::from_millis(1)));
+        std::thread::sleep(Duration::from_millis(1));
+        s.end();
+        assert!(s.phase_nanos(Phase::Execute) >= 2_000_000);
+        assert!(s.phase_nanos(Phase::Lookup) >= 1_000_000);
+    }
+
+    #[test]
+    fn absorb_adds_counters() {
+        let mut a = OpStats::new();
+        a.rpc();
+        let mut b = OpStats::new();
+        b.rpc();
+        b.txn_retries = 2;
+        a.absorb(&b);
+        assert_eq!(a.rpcs, 2);
+        assert_eq!(a.txn_retries, 2);
+    }
+
+    #[test]
+    fn aggregation_means() {
+        let mut agg = OpStatsAgg::default();
+        for _ in 0..4 {
+            let mut s = OpStats::new();
+            s.rpc();
+            s.rpc();
+            agg.add(&s);
+        }
+        assert_eq!(agg.count, 4);
+        assert!((agg.mean_rpcs() - 2.0).abs() < f64::EPSILON);
+
+        let mut other = OpStatsAgg::default();
+        other.add(&OpStats::new());
+        agg.merge(&other);
+        assert_eq!(agg.count, 5);
+    }
+
+    #[test]
+    fn end_without_begin_is_noop() {
+        let mut s = OpStats::new();
+        s.end();
+        assert_eq!(s.total_nanos(), 0);
+    }
+}

@@ -1,0 +1,112 @@
+//! Property tests over paths, permissions and histograms.
+
+use mantle_types::hist::Histogram;
+use mantle_types::{MetaPath, Permission};
+use proptest::prelude::*;
+
+fn arb_path() -> impl Strategy<Value = MetaPath> {
+    prop::collection::vec("[a-z]{1,6}", 0..8).prop_map(|comps| {
+        MetaPath::parse(&format!("/{}", comps.join("/"))).expect("valid components")
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Display → parse is the identity.
+    #[test]
+    fn path_display_parse_round_trip(path in arb_path()) {
+        let reparsed = MetaPath::parse(&path.to_string()).unwrap();
+        prop_assert_eq!(reparsed, path);
+    }
+
+    /// parent() strips exactly one component; child() undoes it.
+    #[test]
+    fn parent_child_inverse(path in arb_path()) {
+        if let (Some(parent), Some(name)) = (path.parent(), path.name()) {
+            prop_assert_eq!(parent.depth() + 1, path.depth());
+            prop_assert_eq!(parent.child(name), path.clone());
+            prop_assert!(parent.is_prefix_of(&path));
+        } else {
+            prop_assert!(path.is_root());
+        }
+    }
+
+    /// prefix(n) is always a prefix; prefixes are totally ordered by depth.
+    #[test]
+    fn prefixes_are_prefixes(path in arb_path(), n in 0usize..10) {
+        let prefix = path.prefix(n);
+        prop_assert!(prefix.is_prefix_of(&path));
+        prop_assert_eq!(prefix.depth(), n.min(path.depth()));
+    }
+
+    /// lca_depth is symmetric, bounded by both depths, and the shared
+    /// prefix at that depth matches.
+    #[test]
+    fn lca_properties(a in arb_path(), b in arb_path()) {
+        let d = a.lca_depth(&b);
+        prop_assert_eq!(d, b.lca_depth(&a));
+        prop_assert!(d <= a.depth() && d <= b.depth());
+        prop_assert_eq!(a.prefix(d), b.prefix(d));
+        if d < a.depth() && d < b.depth() {
+            prop_assert_ne!(a.prefix(d + 1), b.prefix(d + 1));
+        }
+    }
+
+    /// rebase moves a path between prefixes and is reversible.
+    #[test]
+    fn rebase_round_trip(base in arb_path(), suffix in arb_path(), dst in arb_path()) {
+        let mut path = base.clone();
+        for comp in suffix.components() {
+            path = path.child(comp);
+        }
+        let moved = path.rebase(&base, &dst).expect("base is a prefix");
+        prop_assert_eq!(moved.depth(), dst.depth() + suffix.depth());
+        let back = moved.rebase(&dst, &base).expect("dst is a prefix");
+        prop_assert_eq!(back, path);
+    }
+
+    /// Permission aggregation is monotone: adding masks never grants more.
+    #[test]
+    fn permission_aggregation_monotone(masks in prop::collection::vec(0u16..8, 0..6), extra in 0u16..8) {
+        let perms: Vec<Permission> = masks.iter().map(|m| Permission(*m)).collect();
+        let agg = Permission::aggregate(perms.clone());
+        let mut with_extra = perms;
+        with_extra.push(Permission(extra));
+        let agg2 = Permission::aggregate(with_extra);
+        // agg2 ⊆ agg.
+        prop_assert!(agg.allows(agg2));
+    }
+
+    /// Histogram quantiles are monotone, bounded by min/max, and count is
+    /// exact; merging equals recording the concatenation.
+    #[test]
+    fn histogram_properties(a in prop::collection::vec(0u64..1_000_000, 1..200),
+                            b in prop::collection::vec(0u64..1_000_000, 0..200)) {
+        let mut ha = Histogram::new();
+        for v in &a { ha.record(*v); }
+        let mut hb = Histogram::new();
+        for v in &b { hb.record(*v); }
+
+        prop_assert_eq!(ha.count(), a.len() as u64);
+        let exact_min = *a.iter().min().unwrap();
+        let exact_max = *a.iter().max().unwrap();
+        prop_assert_eq!(ha.min(), exact_min);
+        prop_assert_eq!(ha.max(), exact_max);
+        let mut prev = 0;
+        for q in [0.0, 0.25, 0.5, 0.75, 0.9, 0.99, 1.0] {
+            let v = ha.quantile(q);
+            prop_assert!(v >= prev, "quantiles must be monotone");
+            prop_assert!(v >= exact_min && v <= exact_max);
+            prev = v;
+        }
+
+        let mut merged = ha.clone();
+        merged.merge(&hb);
+        let mut concat = Histogram::new();
+        for v in a.iter().chain(&b) { concat.record(*v); }
+        prop_assert_eq!(merged.count(), concat.count());
+        prop_assert_eq!(merged.quantile(0.5), concat.quantile(0.5));
+        prop_assert_eq!(merged.max(), concat.max());
+    }
+}

@@ -1,0 +1,50 @@
+//! The AI audio preprocessing workload of §6.2, with data access enabled:
+//! scan deep-pathed input objects, split each into small segment objects.
+//!
+//! ```text
+//! cargo run --release --example audio_preprocessing
+//! ```
+
+use mantle::prelude::*;
+use mantle::workloads::apps::run_audio;
+use mantle::workloads::AudioConfig;
+
+fn main() {
+    let sim = SimConfig::default();
+    let cluster = MantleCluster::build(sim, 8);
+    let config = AudioConfig {
+        files: 48,
+        segments_per_file: 8,
+        threads: 16,
+        segment_size: 256 * 1024,
+        depth: 10,
+        data_access: true,
+    };
+
+    println!(
+        "audio preprocessing: {} files -> {} segments at depth {} (data access on)",
+        config.files,
+        config.files * config.segments_per_file,
+        config.depth
+    );
+    let report = run_audio(&*cluster, Some(cluster.data()), config);
+    println!(
+        "completion: {:.1} ms ({} failures)",
+        report.completion.as_secs_f64() * 1e3,
+        report.failed
+    );
+    for op in ["objstat", "create"] {
+        let h = &report.op_latency[op];
+        println!(
+            "  {op:<8} p50 {:>7.0} us  p99 {:>7.0} us  max {:>7.0} us",
+            h.quantile(0.5) as f64 / 1e3,
+            h.quantile(0.99) as f64 / 1e3,
+            h.max() as f64 / 1e3
+        );
+    }
+    println!(
+        "data service now stores {} blobs; TopDirPathCache stats: {:?}",
+        cluster.data().len(),
+        cluster.index().cache_stats()[0]
+    );
+}

@@ -1,0 +1,54 @@
+//! Generates an ns4-shaped namespace (Figure 3) and prints its shape: the
+//! entry counts, the object/directory split, and the access-depth
+//! distribution.
+//!
+//! ```text
+//! cargo run --release --example namespace_explorer
+//! ```
+
+use mantle::prelude::*;
+use mantle::workloads::{NamespaceHandle, NamespaceSpec};
+
+fn main() {
+    // Population bypasses the simulated delays, so the instant substrate
+    // is fine here: only the namespace *shape* matters.
+    let cluster = MantleCluster::build(SimConfig::instant(), 8);
+    let spec = NamespaceSpec::figure3(1.0)
+        .into_iter()
+        .find(|s| s.name == "ns4")
+        .expect("ns4 preset");
+    println!(
+        "populating {} entries shaped like {} (paper: {:.1}B entries)…",
+        spec.entries,
+        spec.name,
+        spec.paper_entries / 1e9
+    );
+    let ns = NamespaceHandle::populate(&*cluster, spec);
+    let stats = ns.stats();
+    println!(
+        "entries {}  objects {} ({:.1}%)  dirs {}",
+        stats.entries,
+        stats.objects,
+        100.0 * stats.objects as f64 / stats.entries as f64,
+        stats.dirs
+    );
+    println!(
+        "object depth: mean {:.1}, max {} (paper ns4: mean 10.6, max up to 95)",
+        stats.mean_object_depth, stats.max_object_depth
+    );
+    println!("depth histogram (objects per depth):");
+    let peak = stats.depth_histogram.iter().copied().max().unwrap_or(1);
+    for (depth, &count) in stats.depth_histogram.iter().enumerate() {
+        if count == 0 {
+            continue;
+        }
+        let bar = "#".repeat((count * 50 / peak).max(1));
+        println!("  {depth:>3} | {bar} {count}");
+    }
+
+    // The populated namespace is immediately queryable.
+    let mut stats = OpStats::new();
+    let sample = &ns.objects[ns.objects.len() / 2];
+    let meta = cluster.objstat(sample, &mut stats).unwrap();
+    println!("sample objstat({sample}) -> {} bytes in {} RPCs", meta.size, stats.rpcs);
+}

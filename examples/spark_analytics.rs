@@ -1,0 +1,48 @@
+//! The §3.2 motivating scenario: interactive Spark analytics whose tasks
+//! commit results by renaming temporary directories into one shared output
+//! directory — run against Mantle and against the DBtable baseline.
+//!
+//! ```text
+//! cargo run --release --example spark_analytics
+//! ```
+
+use mantle::baselines::tectonic::{Tectonic, TectonicOptions};
+use mantle::prelude::*;
+use mantle::workloads::apps::run_analytics;
+use mantle::workloads::AnalyticsConfig;
+
+fn main() {
+    let sim = SimConfig::default();
+    let config = AnalyticsConfig {
+        queries: 4,
+        tasks_per_query: 16,
+        parts_per_task: 2,
+        threads: 16,
+        part_size: 1 << 20,
+        data_access: false,
+    };
+
+    println!("Spark-style commit storm: {} tasks renaming into shared output dirs", config.queries * config.tasks_per_query);
+
+    let mantle = MantleCluster::build(sim, 8);
+    let report = run_analytics(&*mantle, None, config);
+    println!(
+        "mantle   : {:>8.1} ms  (dirrename p99 {:.2} ms, {} failures)",
+        report.completion.as_secs_f64() * 1e3,
+        report.op_latency["dirrename"].quantile(0.99) as f64 / 1e6,
+        report.failed
+    );
+
+    // The DBtable baseline with full transactions suffers the §3.2 retry
+    // storm on the shared directory's attribute row.
+    let dbtable = Tectonic::new(sim, TectonicOptions { transactional: true, ..TectonicOptions::default() });
+    let report = run_analytics(&*dbtable, None, config);
+    println!(
+        "dbtable  : {:>8.1} ms  (dirrename p99 {:.2} ms, {} failures)",
+        report.completion.as_secs_f64() * 1e3,
+        report.op_latency["dirrename"].quantile(0.99) as f64 / 1e6,
+        report.failed
+    );
+
+    println!("(Mantle's delta records + single-RPC rename coordination absorb the contention.)");
+}

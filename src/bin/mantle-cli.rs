@@ -1,0 +1,207 @@
+//! Interactive shell for exploring a simulated Mantle deployment.
+//!
+//! ```text
+//! cargo run --release --bin mantle-cli
+//! mantle> mkdir /data
+//! mantle> create /data/obj 4096
+//! mantle> ls /data
+//! mantle> mv /data /archive
+//! mantle> stats
+//! ```
+
+use std::io::{BufRead, Write};
+
+use mantle::prelude::*;
+use mantle::types::EntryKind;
+use mantle::workloads::{NamespaceHandle, NamespaceSpec};
+
+fn main() {
+    // Real datacenter-ish timings so latencies printed per command are
+    // meaningful; population commands bypass them.
+    let cluster = MantleCluster::build(SimConfig::default(), 8);
+    println!("mantle-cli — simulated Mantle deployment (8 TafDB shards, 3 IndexNode replicas)");
+    println!("type `help` for commands");
+
+    let stdin = std::io::stdin();
+    loop {
+        print!("mantle> ");
+        let _ = std::io::stdout().flush();
+        let mut line = String::new();
+        match stdin.lock().read_line(&mut line) {
+            Ok(0) => break,
+            Ok(_) => {}
+            Err(_) => break,
+        }
+        let parts: Vec<&str> = line.split_whitespace().collect();
+        let Some(&cmd) = parts.first() else { continue };
+        if cmd == "quit" || cmd == "exit" {
+            break;
+        }
+        let started = std::time::Instant::now();
+        let mut stats = OpStats::new();
+        let outcome = run_command(&cluster, cmd, &parts[1..], &mut stats);
+        stats.end();
+        match outcome {
+            Ok(Some(output)) => {
+                println!("{output}");
+                println!(
+                    "[{:?}, {} rpc, {} retries]",
+                    started.elapsed(),
+                    stats.rpcs,
+                    stats.txn_retries + stats.rename_retries
+                );
+            }
+            Ok(None) => {}
+            Err(e) => println!("error: {e}"),
+        }
+    }
+}
+
+fn parse(path: &str) -> Result<MetaPath> {
+    MetaPath::parse(path)
+}
+
+fn run_command(
+    cluster: &std::sync::Arc<MantleCluster>,
+    cmd: &str,
+    args: &[&str],
+    stats: &mut OpStats,
+) -> Result<Option<String>> {
+    let svc = cluster.service();
+    let need = |n: usize| -> Result<()> {
+        if args.len() < n {
+            return Err(MetaError::InvalidPath(format!("{cmd}: expected {n} argument(s)")));
+        }
+        Ok(())
+    };
+    let out = match cmd {
+        "help" => Some(
+            "commands:\n  mkdir <path>              create a directory\n  create <path> [size]      create an object\n  ls <path> [after]         list (pages of 20)\n  stat <path>               object or directory status\n  rm <path>                 delete an object\n  rmdir <path>              remove an empty directory\n  mv <src> <dst>            rename a directory\n  lookup <path>             resolve a directory path\n  populate <entries>        bulk-load an ns4-shaped namespace\n  stats                     service counters\n  crash <replica> | recover <replica>\n  quit"
+                .to_string(),
+        ),
+        "mkdir" => {
+            need(1)?;
+            let id = svc.mkdir(&parse(args[0])?, stats)?;
+            Some(format!("created directory {} (id {id})", args[0]))
+        }
+        "create" => {
+            need(1)?;
+            let size = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(4096);
+            let id = svc.create(&parse(args[0])?, size, stats)?;
+            Some(format!("created object {} ({size} bytes, id {id})", args[0]))
+        }
+        "ls" => {
+            need(1)?;
+            let (page, truncated) =
+                svc.list(&parse(args[0])?, args.get(1).copied(), 20, stats)?;
+            let mut lines: Vec<String> = page
+                .iter()
+                .map(|e| {
+                    format!(
+                        "{}  {}",
+                        if e.kind == EntryKind::Dir { "d" } else { "-" },
+                        e.name
+                    )
+                })
+                .collect();
+            if truncated {
+                let last = page.last().expect("truncated page is full").name.clone();
+                lines.push(format!("... more (continue with: ls {} {last})", args[0]));
+            }
+            if lines.is_empty() {
+                lines.push("(empty)".into());
+            }
+            Some(lines.join("\n"))
+        }
+        "stat" => {
+            need(1)?;
+            let path = parse(args[0])?;
+            match svc.objstat(&path, stats) {
+                Ok(meta) => Some(format!(
+                    "object id {} size {} ctime {} perm {:?}",
+                    meta.id, meta.size, meta.ctime, meta.permission
+                )),
+                Err(MetaError::IsADirectory(_)) => {
+                    let st = svc.dirstat(&path, stats)?;
+                    Some(format!(
+                        "directory id {} entries {} nlink {} mtime {}",
+                        st.id, st.attrs.entries, st.attrs.nlink, st.attrs.mtime
+                    ))
+                }
+                Err(e) => return Err(e),
+            }
+        }
+        "rm" => {
+            need(1)?;
+            svc.delete(&parse(args[0])?, stats)?;
+            Some(format!("deleted {}", args[0]))
+        }
+        "rmdir" => {
+            need(1)?;
+            svc.rmdir(&parse(args[0])?, stats)?;
+            Some(format!("removed {}", args[0]))
+        }
+        "mv" => {
+            need(2)?;
+            svc.rename_dir(&parse(args[0])?, &parse(args[1])?, stats)?;
+            Some(format!("renamed {} -> {}", args[0], args[1]))
+        }
+        "lookup" => {
+            need(1)?;
+            let resolved = svc.lookup(&parse(args[0])?, stats)?;
+            Some(format!(
+                "id {} aggregated permission {:?}",
+                resolved.id, resolved.permission
+            ))
+        }
+        "populate" => {
+            need(1)?;
+            let entries: usize = args[0]
+                .parse()
+                .map_err(|_| MetaError::InvalidPath("populate: bad count".into()))?;
+            let mut spec = NamespaceSpec::figure3(1.0)
+                .into_iter()
+                .find(|s| s.name == "ns4")
+                .expect("ns4 preset");
+            spec.entries = entries;
+            let ns = NamespaceHandle::populate(&**cluster, spec);
+            let shape = ns.stats();
+            Some(format!(
+                "populated {} objects + {} dirs (mean depth {:.1})",
+                shape.objects, shape.dirs, shape.mean_object_depth
+            ))
+        }
+        "stats" => {
+            let db = cluster.db().counters();
+            let caches = cluster.index().cache_stats();
+            Some(format!(
+                "tafdb: {} rows, {} txns committed, {} aborted, {} delta appends, {} compactions\nindex: {} dirs, caches {:?}",
+                cluster.db().total_rows(),
+                db.txns_committed,
+                db.txns_aborted,
+                db.delta_appends,
+                db.compactions,
+                cluster.index().table_len(),
+                caches
+            ))
+        }
+        "crash" => {
+            need(1)?;
+            let id: usize = args[0]
+                .parse()
+                .map_err(|_| MetaError::InvalidPath("crash: bad replica id".into()))?;
+            cluster.index().group().crash(id);
+            Some(format!("crashed IndexNode replica {id}"))
+        }
+        "recover" => {
+            need(1)?;
+            let id: usize = args[0]
+                .parse()
+                .map_err(|_| MetaError::InvalidPath("recover: bad replica id".into()))?;
+            cluster.index().group().recover(id);
+            Some(format!("recovered IndexNode replica {id}"))
+        }
+        other => Some(format!("unknown command {other:?}; try `help`")),
+    };
+    Ok(out)
+}

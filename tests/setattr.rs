@@ -1,0 +1,86 @@
+//! Permission changes (`setattr`): persistence, aggregation along paths,
+//! and cache invalidation (§5.1.2 lists setattr with dirrename as the
+//! RemovalList-protected modifications).
+
+use mantle::prelude::*;
+
+fn p(s: &str) -> MetaPath {
+    MetaPath::parse(s).unwrap()
+}
+
+#[test]
+fn setattr_changes_aggregated_permissions() {
+    let cluster = MantleCluster::build(SimConfig::instant(), 4);
+    let svc = cluster.service();
+    let mut stats = OpStats::new();
+    svc.mkdir(&p("/a"), &mut stats).unwrap();
+    svc.mkdir(&p("/a/b"), &mut stats).unwrap();
+    svc.mkdir(&p("/a/b/c"), &mut stats).unwrap();
+    svc.create(&p("/a/b/c/o"), 1, &mut stats).unwrap();
+
+    // Remove traversal from /a/b: everything beneath becomes unreachable.
+    cluster
+        .setattr(&p("/a/b"), Permission(0b110), &mut stats)
+        .unwrap();
+    assert!(matches!(
+        svc.lookup(&p("/a/b/c"), &mut stats),
+        Err(MetaError::PermissionDenied(_))
+    ));
+    assert!(matches!(
+        svc.objstat(&p("/a/b/c/o"), &mut stats),
+        Err(MetaError::PermissionDenied(_))
+    ));
+    // /a/b itself still resolves; its own mask lost EXEC.
+    let resolved = svc.lookup(&p("/a/b"), &mut stats).unwrap();
+    assert!(!resolved.permission.allows(Permission::EXEC));
+
+    // Restore and everything comes back.
+    cluster.setattr(&p("/a/b"), Permission::ALL, &mut stats).unwrap();
+    assert_eq!(svc.objstat(&p("/a/b/c/o"), &mut stats).unwrap().size, 1);
+}
+
+#[test]
+fn setattr_invalidates_warm_cache_on_every_replica() {
+    let mut config = MantleConfig::with_sim(SimConfig::instant(), 4);
+    config.index.k = 1;
+    config.index.learners = 1;
+    let cluster = MantleCluster::with_config(config);
+    let svc = cluster.service();
+    let mut stats = OpStats::new();
+    svc.mkdir(&p("/a"), &mut stats).unwrap();
+    svc.mkdir(&p("/a/b"), &mut stats).unwrap();
+    svc.mkdir(&p("/a/b/c"), &mut stats).unwrap();
+
+    // Warm every replica's cache through round-robin lookups.
+    for _ in 0..12 {
+        svc.lookup(&p("/a/b/c"), &mut stats).unwrap();
+    }
+    assert!(cluster.index().cache_stats().iter().any(|s| s.entries > 0));
+
+    cluster.setattr(&p("/a"), Permission(0b110), &mut stats).unwrap();
+    // No replica may serve the stale aggregated permission.
+    for _ in 0..12 {
+        assert!(matches!(
+            svc.lookup(&p("/a/b/c"), &mut stats),
+            Err(MetaError::PermissionDenied(_))
+        ));
+    }
+}
+
+#[test]
+fn setattr_on_missing_or_object_path_fails() {
+    let cluster = MantleCluster::build(SimConfig::instant(), 4);
+    let svc = cluster.service();
+    let mut stats = OpStats::new();
+    svc.mkdir(&p("/d"), &mut stats).unwrap();
+    svc.create(&p("/d/o"), 1, &mut stats).unwrap();
+    assert!(matches!(
+        cluster.setattr(&p("/ghost"), Permission::ALL, &mut stats),
+        Err(MetaError::NotFound(_))
+    ));
+    // Objects have no directory access metadata to update.
+    assert!(matches!(
+        cluster.setattr(&p("/d/o"), Permission::ALL, &mut stats),
+        Err(MetaError::NotFound(_))
+    ));
+}

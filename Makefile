@@ -1,0 +1,18 @@
+# Mirror of the justfile for environments without `just`.
+# `make verify` = format check + clippy (warnings are errors) + tests.
+
+.PHONY: verify fmt-check clippy test fmt
+
+verify: fmt-check clippy test
+
+fmt-check:
+	cargo fmt --check
+
+clippy:
+	cargo clippy --workspace --all-targets -- -D warnings
+
+test:
+	cargo test --workspace -q
+
+fmt:
+	cargo fmt

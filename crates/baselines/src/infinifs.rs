@@ -134,19 +134,26 @@ impl InfiniFs {
     }
 
     fn now(&self) -> u64 {
-        self.clock.fetch_add(1, std::sync::atomic::Ordering::Relaxed)
+        self.clock
+            .fetch_add(1, std::sync::atomic::Ordering::Relaxed)
     }
 
     /// Speculative parallel resolution with sequential fallback on
     /// misprediction.
     fn resolve_dir(&self, path: &MetaPath, stats: &mut OpStats) -> Result<ResolvedPath> {
         if path.is_root() {
-            return Ok(ResolvedPath { id: ROOT_ID, permission: Permission::ALL });
+            return Ok(ResolvedPath {
+                id: ROOT_ID,
+                permission: Permission::ALL,
+            });
         }
         if let Some(prefix) = self.amcache.prefix_of(path) {
             if let Some(hit) = self.amcache.get(&prefix) {
                 stats.cache_hits += 1;
-                return Ok(ResolvedPath { id: hit.pid, permission: hit.permission });
+                return Ok(ResolvedPath {
+                    id: hit.pid,
+                    permission: hit.permission,
+                });
             }
             stats.cache_misses += 1;
         }
@@ -200,6 +207,7 @@ impl InfiniFs {
                 }
             } else {
                 // Misprediction (renamed ancestor): sequential fallback.
+                mantle_obs::counter("infinifs_mispredictions_total", &[]).inc();
                 self.db.resolve_step(pid, comps[level], stats)?
             };
             pid = id;
@@ -213,7 +221,10 @@ impl InfiniFs {
                 || true,
             );
         }
-        Ok(ResolvedPath { id: pid, permission })
+        Ok(ResolvedPath {
+            id: pid,
+            permission,
+        })
     }
 
     fn resolve_parent(
@@ -275,7 +286,8 @@ impl MetadataService for InfiniFs {
             // plus the parent-attribute bump, single shard, serialized by
             // an atomic primitive (latch) instead of aborting.
             if let Err(MetaError::AlreadyExists(_)) =
-                self.db.insert_row(attr_key(id), Row::DirAttr(DirAttrMeta::new(now, 0)), stats)
+                self.db
+                    .insert_row(attr_key(id), Row::DirAttr(DirAttrMeta::new(now, 0)), stats)
             {
                 // The predicted id is taken: a directory created earlier at
                 // this path was renamed away and kept its id. Fall back to
@@ -288,7 +300,10 @@ impl MetadataService for InfiniFs {
             }
             if let Err(e) = self.db.insert_row(
                 entry_key(parent.id, &name),
-                Row::DirAccess { id, permission: Permission::ALL },
+                Row::DirAccess {
+                    id,
+                    permission: Permission::ALL,
+                },
                 stats,
             ) {
                 let _ = self.db.delete_row(attr_key(id), stats);
@@ -296,7 +311,11 @@ impl MetadataService for InfiniFs {
             }
             self.db.update_attr_latched(
                 parent.id,
-                AttrDelta { nlink: 1, entries: 1, mtime: now },
+                AttrDelta {
+                    nlink: 1,
+                    entries: 1,
+                    mtime: now,
+                },
                 stats,
             )?;
             Ok(id)
@@ -315,7 +334,11 @@ impl MetadataService for InfiniFs {
             self.db.delete_row(attr_key(dir), stats)?;
             self.db.update_attr_latched(
                 parent.id,
-                AttrDelta { nlink: -1, entries: -1, mtime: now },
+                AttrDelta {
+                    nlink: -1,
+                    entries: -1,
+                    mtime: now,
+                },
                 stats,
             )?;
             self.amcache.invalidate_subtree(path);
@@ -346,7 +369,11 @@ impl MetadataService for InfiniFs {
             )?;
             self.db.update_attr_latched(
                 parent.id,
-                AttrDelta { nlink: 0, entries: 1, mtime: now },
+                AttrDelta {
+                    nlink: 0,
+                    entries: 1,
+                    mtime: now,
+                },
                 stats,
             )?;
             Ok(id)
@@ -361,7 +388,11 @@ impl MetadataService for InfiniFs {
             self.db.delete_row(entry_key(parent.id, &name), stats)?;
             self.db.update_attr_latched(
                 parent.id,
-                AttrDelta { nlink: 0, entries: -1, mtime: now },
+                AttrDelta {
+                    nlink: 0,
+                    entries: -1,
+                    mtime: now,
+                },
                 stats,
             )?;
             Ok(())
@@ -382,7 +413,11 @@ impl MetadataService for InfiniFs {
         let dir = stats.time(Phase::Lookup, |stats| self.resolve_dir(path, stats))?;
         stats.time(Phase::Execute, |stats| {
             let attrs = self.db.dir_stat(dir.id, stats)?;
-            Ok(DirStat { id: dir.id, attrs, permission: dir.permission })
+            Ok(DirStat {
+                id: dir.id,
+                attrs,
+                permission: dir.permission,
+            })
         })
     }
 
@@ -396,20 +431,24 @@ impl MetadataService for InfiniFs {
             return Err(MetaError::InvalidRename("root cannot be renamed".into()));
         }
         if src.is_prefix_of(dst) {
-            return Err(MetaError::RenameLoop { src: src.to_string(), dst: dst.to_string() });
+            return Err(MetaError::RenameLoop {
+                src: src.to_string(),
+                dst: dst.to_string(),
+            });
         }
-        let (src_parent, src_name, dst_parent, dst_name) =
-            stats.time(Phase::Lookup, |stats| {
-                let (sp, sn) = self.resolve_parent(src, stats)?;
-                let (dp, dn) = self.resolve_parent(dst, stats)?;
-                Ok::<_, MetaError>((sp, sn, dp, dn))
-            })?;
+        let (src_parent, src_name, dst_parent, dst_name) = stats.time(Phase::Lookup, |stats| {
+            let (sp, sn) = self.resolve_parent(src, stats)?;
+            let (dp, dn) = self.resolve_parent(dst, stats)?;
+            Ok::<_, MetaError>((sp, sn, dp, dn))
+        })?;
 
         // Coordinator lock with retry (the paper's rename coordinator runs
         // on its own servers; conflicts abort and retry).
         let mut attempts = 0u32;
         loop {
-            match stats.time(Phase::LoopDetect, |stats| self.coordinator_lock(src, dst, stats)) {
+            match stats.time(Phase::LoopDetect, |stats| {
+                self.coordinator_lock(src, dst, stats)
+            }) {
                 Ok(()) => break,
                 Err(MetaError::RenameLocked(_)) if attempts < self.opts.rename_retries => {
                     attempts += 1;
@@ -430,25 +469,42 @@ impl MetadataService for InfiniFs {
             let (src_id, src_perm) = self.db.resolve_step(src_parent.id, &src_name, stats)?;
             let now = self.now();
             let mut ops = vec![
-                mantle_tafdb::TxnOp::Delete { key: entry_key(src_parent.id, &src_name) },
+                mantle_tafdb::TxnOp::Delete {
+                    key: entry_key(src_parent.id, &src_name),
+                },
                 mantle_tafdb::TxnOp::InsertUnique {
                     key: entry_key(dst_parent.id, &dst_name),
-                    row: Row::DirAccess { id: src_id, permission: src_perm },
+                    row: Row::DirAccess {
+                        id: src_id,
+                        permission: src_perm,
+                    },
                 },
             ];
             if src_parent.id == dst_parent.id {
                 ops.push(mantle_tafdb::TxnOp::AttrUpdate {
                     dir: src_parent.id,
-                    delta: AttrDelta { nlink: 0, entries: 0, mtime: now },
+                    delta: AttrDelta {
+                        nlink: 0,
+                        entries: 0,
+                        mtime: now,
+                    },
                 });
             } else {
                 ops.push(mantle_tafdb::TxnOp::AttrUpdate {
                     dir: src_parent.id,
-                    delta: AttrDelta { nlink: -1, entries: -1, mtime: now },
+                    delta: AttrDelta {
+                        nlink: -1,
+                        entries: -1,
+                        mtime: now,
+                    },
                 });
                 ops.push(mantle_tafdb::TxnOp::AttrUpdate {
                     dir: dst_parent.id,
-                    delta: AttrDelta { nlink: 1, entries: 1, mtime: now },
+                    delta: AttrDelta {
+                        nlink: 1,
+                        entries: 1,
+                        mtime: now,
+                    },
                 });
             }
             // Distributed transaction with in-place attribute updates: the
@@ -479,12 +535,19 @@ impl BulkLoad for InfiniFs {
                     let now = self.now();
                     self.db.raw_put(
                         entry_key(pid, comp),
-                        Row::DirAccess { id, permission: Permission::ALL },
+                        Row::DirAccess {
+                            id,
+                            permission: Permission::ALL,
+                        },
                     );
                     self.db
                         .raw_put(attr_key(id), Row::DirAttr(DirAttrMeta::new(now, 0)));
                     if let Some(Row::DirAttr(mut attrs)) = self.db.raw_get(&attr_key(pid)) {
-                        attrs.apply_delta(&AttrDelta { nlink: 1, entries: 1, mtime: now });
+                        attrs.apply_delta(&AttrDelta {
+                            nlink: 1,
+                            entries: 1,
+                            mtime: now,
+                        });
                         self.db.raw_put(attr_key(pid), Row::DirAttr(attrs));
                     }
                     pid = id;
@@ -513,7 +576,11 @@ impl BulkLoad for InfiniFs {
             }),
         );
         if let Some(Row::DirAttr(mut attrs)) = self.db.raw_get(&attr_key(pid)) {
-            attrs.apply_delta(&AttrDelta { nlink: 0, entries: 1, mtime: now });
+            attrs.apply_delta(&AttrDelta {
+                nlink: 0,
+                entries: 1,
+                mtime: now,
+            });
             self.db.raw_put(attr_key(pid), Row::DirAttr(attrs));
         }
     }
@@ -593,20 +660,24 @@ mod tests {
         f.bulk_dir(&p("/t2"));
         // Hold the lock manually, then observe the conflict.
         let mut stats = OpStats::new();
-        f.coordinator_lock(&p("/s"), &p("/t1/x"), &mut stats).unwrap();
+        f.coordinator_lock(&p("/s"), &p("/t1/x"), &mut stats)
+            .unwrap();
         assert!(matches!(
             f.coordinator_lock(&p("/s"), &p("/t2/y"), &mut stats),
             Err(MetaError::RenameLocked(_))
         ));
         f.coordinator_unlock(&p("/s"), &mut stats);
-        f.coordinator_lock(&p("/s"), &p("/t2/y"), &mut stats).unwrap();
+        f.coordinator_lock(&p("/s"), &p("/t2/y"), &mut stats)
+            .unwrap();
         f.coordinator_unlock(&p("/s"), &mut stats);
     }
 
     #[test]
     fn amcache_hits_skip_rpcs() {
-        let mut opts = InfiniFsOptions::default();
-        opts.amcache = true;
+        let opts = InfiniFsOptions {
+            amcache: true,
+            ..InfiniFsOptions::default()
+        };
         let f = InfiniFs::new(SimConfig::instant(), opts);
         f.bulk_dir(&p("/a/b/c"));
         let mut s1 = OpStats::new();

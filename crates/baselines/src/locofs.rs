@@ -165,7 +165,10 @@ impl LocoSm {
                 None => return Err(MetaError::NotFound(path.to_string())),
             }
         }
-        Ok(ResolvedPath { id: pid, permission })
+        Ok(ResolvedPath {
+            id: pid,
+            permission,
+        })
     }
 
     fn bump(&self, dir: InodeId, delta: &AttrDelta) {
@@ -175,15 +178,29 @@ impl LocoSm {
     }
 
     fn insert_dir(&self, pid: InodeId, name: &str, id: InodeId, now: u64) {
-        self.table
-            .insert(pid, name, IndexEntry { id, permission: Permission::ALL, lock: None });
+        self.table.insert(
+            pid,
+            name,
+            IndexEntry {
+                id,
+                permission: Permission::ALL,
+                lock: None,
+            },
+        );
         self.attrs.lock().insert(id, DirAttrMeta::new(now, 0));
         self.children
             .lock()
             .entry(pid)
             .or_default()
             .push((name.to_string(), id));
-        self.bump(pid, &AttrDelta { nlink: 1, entries: 1, mtime: now });
+        self.bump(
+            pid,
+            &AttrDelta {
+                nlink: 1,
+                entries: 1,
+                mtime: now,
+            },
+        );
     }
 }
 
@@ -209,9 +226,22 @@ impl StateMachine for LocoSm {
                 if let Some(list) = self.children.lock().get_mut(pid) {
                     list.retain(|(n, _)| n != name.as_ref());
                 }
-                self.bump(*pid, &AttrDelta { nlink: -1, entries: -1, mtime: *now });
+                self.bump(
+                    *pid,
+                    &AttrDelta {
+                        nlink: -1,
+                        entries: -1,
+                        mtime: *now,
+                    },
+                );
             }
-            LocoCmd::Rename { src_pid, src_name, dst_pid, dst_name, now } => {
+            LocoCmd::Rename {
+                src_pid,
+                src_name,
+                dst_pid,
+                dst_name,
+                now,
+            } => {
                 if self.table.get(*dst_pid, dst_name).is_some() {
                     return; // A racing rename/mkdir took the destination.
                 }
@@ -228,10 +258,31 @@ impl StateMachine for LocoSm {
                         .push((dst_name.to_string(), id));
                     drop(children);
                     if src_pid == dst_pid {
-                        self.bump(*src_pid, &AttrDelta { nlink: 0, entries: 0, mtime: *now });
+                        self.bump(
+                            *src_pid,
+                            &AttrDelta {
+                                nlink: 0,
+                                entries: 0,
+                                mtime: *now,
+                            },
+                        );
                     } else {
-                        self.bump(*src_pid, &AttrDelta { nlink: -1, entries: -1, mtime: *now });
-                        self.bump(*dst_pid, &AttrDelta { nlink: 1, entries: 1, mtime: *now });
+                        self.bump(
+                            *src_pid,
+                            &AttrDelta {
+                                nlink: -1,
+                                entries: -1,
+                                mtime: *now,
+                            },
+                        );
+                        self.bump(
+                            *dst_pid,
+                            &AttrDelta {
+                                nlink: 1,
+                                entries: 1,
+                                mtime: *now,
+                            },
+                        );
                     }
                 }
             }
@@ -256,10 +307,17 @@ impl LocoFs {
     /// Builds a LocoFS-style deployment.
     pub fn new(sim: SimConfig, opts: LocoFsOptions) -> Arc<Self> {
         let nodes: Vec<Arc<SimNode>> = (0..opts.dir_replicas)
-            .map(|i| Arc::new(SimNode::new(format!("locodir{i}"), sim.index_node_permits, sim)))
+            .map(|i| {
+                Arc::new(SimNode::new(
+                    format!("locodir{i}"),
+                    sim.index_node_permits,
+                    sim,
+                ))
+            })
             .collect();
-        let dir_server =
-            RaftGroup::new(sim, opts.raft, nodes, opts.dir_replicas, |_| LocoSm::new(sim));
+        let dir_server = RaftGroup::new(sim, opts.raft, nodes, opts.dir_replicas, |_| {
+            LocoSm::new(sim)
+        });
         let db_opts = TafDbOptions {
             n_shards: opts.db_shards,
             delta_records: false,
@@ -274,7 +332,8 @@ impl LocoFs {
     }
 
     fn now(&self) -> u64 {
-        self.clock.fetch_add(1, std::sync::atomic::Ordering::Relaxed)
+        self.clock
+            .fetch_add(1, std::sync::atomic::Ordering::Relaxed)
     }
 
     fn leader(&self) -> Result<Arc<RaftReplica<LocoSm>>> {
@@ -353,7 +412,15 @@ impl MetadataService for LocoFs {
                 return Err(MetaError::AlreadyExists(path.to_string()));
             }
             let leader = self.leader()?;
-            Self::propose(&leader, LocoCmd::Mkdir { pid, name: Arc::from(name.as_str()), id, now })?;
+            Self::propose(
+                &leader,
+                LocoCmd::Mkdir {
+                    pid,
+                    name: Arc::from(name.as_str()),
+                    id,
+                    now,
+                },
+            )?;
             Ok(id)
         })
     }
@@ -428,10 +495,17 @@ impl MetadataService for LocoFs {
                 stats,
             )?;
             self.dir_rpc_propose(stats, |_| {
-                Ok(((), LocoCmd::Bump {
-                    dir: pid,
-                    delta: AttrDelta { nlink: 0, entries: 1, mtime: now },
-                }))
+                Ok((
+                    (),
+                    LocoCmd::Bump {
+                        dir: pid,
+                        delta: AttrDelta {
+                            nlink: 0,
+                            entries: 1,
+                            mtime: now,
+                        },
+                    },
+                ))
             })?;
             Ok(id)
         })
@@ -443,16 +517,24 @@ impl MetadataService for LocoFs {
             .ok_or_else(|| MetaError::InvalidPath("operation on root".into()))?;
         let name = path.name().expect("non-root").to_string();
         let pid = stats.time(Phase::Lookup, |stats| {
-            self.dir_rpc(stats, |l| l.state_machine().resolve(&parent)).map(|r| r.id)
+            self.dir_rpc(stats, |l| l.state_machine().resolve(&parent))
+                .map(|r| r.id)
         })?;
         stats.time(Phase::Execute, |stats| {
             self.db.get_object(pid, &name, stats)?;
             self.db.delete_row(entry_key(pid, &name), stats)?;
             self.dir_rpc_propose(stats, |_| {
-                Ok(((), LocoCmd::Bump {
-                    dir: pid,
-                    delta: AttrDelta { nlink: 0, entries: -1, mtime: self.now() },
-                }))
+                Ok((
+                    (),
+                    LocoCmd::Bump {
+                        dir: pid,
+                        delta: AttrDelta {
+                            nlink: 0,
+                            entries: -1,
+                            mtime: self.now(),
+                        },
+                    },
+                ))
             })?;
             Ok(())
         })
@@ -464,9 +546,12 @@ impl MetadataService for LocoFs {
             .ok_or_else(|| MetaError::InvalidPath("operation on root".into()))?;
         let name = path.name().expect("non-root").to_string();
         let pid = stats.time(Phase::Lookup, |stats| {
-            self.dir_rpc(stats, |l| l.state_machine().resolve(&parent)).map(|r| r.id)
+            self.dir_rpc(stats, |l| l.state_machine().resolve(&parent))
+                .map(|r| r.id)
         })?;
-        stats.time(Phase::Execute, |stats| self.db.get_object(pid, &name, stats))
+        stats.time(Phase::Execute, |stats| {
+            self.db.get_object(pid, &name, stats)
+        })
     }
 
     fn dirstat(&self, path: &MetaPath, stats: &mut OpStats) -> Result<DirStat> {
@@ -483,7 +568,11 @@ impl MetadataService for LocoFs {
                     .get(&resolved.id)
                     .cloned()
                     .ok_or_else(|| MetaError::Internal("missing attrs".into()))?;
-                Ok(DirStat { id: resolved.id, attrs, permission: resolved.permission })
+                Ok(DirStat {
+                    id: resolved.id,
+                    attrs,
+                    permission: resolved.permission,
+                })
             })
         })
     }
@@ -541,7 +630,11 @@ impl MetadataService for LocoFs {
                 if sm.table.get(dst_parent.id, dst_name).is_some() {
                     return Err(MetaError::AlreadyExists(dst.to_string()));
                 }
-                if self.db.raw_get(&entry_key(dst_parent.id, dst_name)).is_some() {
+                if self
+                    .db
+                    .raw_get(&entry_key(dst_parent.id, dst_name))
+                    .is_some()
+                {
                     return Err(MetaError::AlreadyExists(dst.to_string()));
                 }
                 let cmd = LocoCmd::Rename {
@@ -561,7 +654,12 @@ impl BulkLoad for LocoFs {
     fn bulk_dir(&self, path: &MetaPath) -> InodeId {
         let mut pid = ROOT_ID;
         for comp in path.components() {
-            let existing = self.dir_server.replica(0).state_machine().table.get(pid, comp);
+            let existing = self
+                .dir_server
+                .replica(0)
+                .state_machine()
+                .table
+                .get(pid, comp);
             match existing {
                 Some(e) => pid = e.id,
                 None => {
@@ -596,8 +694,14 @@ impl BulkLoad for LocoFs {
             }),
         );
         for r in self.dir_server.replicas() {
-            r.state_machine()
-                .bump(pid, &AttrDelta { nlink: 0, entries: 1, mtime: now });
+            r.state_machine().bump(
+                pid,
+                &AttrDelta {
+                    nlink: 0,
+                    entries: 1,
+                    mtime: now,
+                },
+            );
         }
     }
 }

@@ -49,7 +49,10 @@ pub struct TectonicOptions {
 
 impl Default for TectonicOptions {
     fn default() -> Self {
-        TectonicOptions { db_shards: 10, transactional: false }
+        TectonicOptions {
+            db_shards: 10,
+            transactional: false,
+        }
     }
 }
 
@@ -85,7 +88,8 @@ impl Tectonic {
     }
 
     fn now(&self) -> u64 {
-        self.clock.fetch_add(1, std::sync::atomic::Ordering::Relaxed)
+        self.clock
+            .fetch_add(1, std::sync::atomic::Ordering::Relaxed)
     }
 
     /// Level-by-level traversal: one RPC per component (the dotted arrows
@@ -101,7 +105,10 @@ impl Tectonic {
             pid = id;
             permission = permission.intersect(perm);
         }
-        Ok(ResolvedPath { id: pid, permission })
+        Ok(ResolvedPath {
+            id: pid,
+            permission,
+        })
     }
 
     fn resolve_parent(
@@ -141,7 +148,10 @@ impl MetadataService for Tectonic {
                 let ops = [
                     mantle_tafdb::TxnOp::InsertUnique {
                         key: entry_key(parent.id, &name),
-                        row: Row::DirAccess { id, permission: Permission::ALL },
+                        row: Row::DirAccess {
+                            id,
+                            permission: Permission::ALL,
+                        },
                     },
                     mantle_tafdb::TxnOp::Put {
                         key: attr_key(id),
@@ -149,7 +159,11 @@ impl MetadataService for Tectonic {
                     },
                     mantle_tafdb::TxnOp::AttrUpdate {
                         dir: parent.id,
-                        delta: AttrDelta { nlink: 1, entries: 1, mtime: now },
+                        delta: AttrDelta {
+                            nlink: 1,
+                            entries: 1,
+                            mtime: now,
+                        },
                     },
                 ];
                 self.db.execute(&ops, stats)?;
@@ -158,14 +172,21 @@ impl MetadataService for Tectonic {
             // Relaxed consistency: three independent writes, no transaction.
             self.db.insert_row(
                 entry_key(parent.id, &name),
-                Row::DirAccess { id, permission: Permission::ALL },
+                Row::DirAccess {
+                    id,
+                    permission: Permission::ALL,
+                },
                 stats,
             )?;
             self.db
                 .insert_row(attr_key(id), Row::DirAttr(DirAttrMeta::new(now, 0)), stats)?;
             self.db.update_attr_latched(
                 parent.id,
-                AttrDelta { nlink: 1, entries: 1, mtime: now },
+                AttrDelta {
+                    nlink: 1,
+                    entries: 1,
+                    mtime: now,
+                },
                 stats,
             )?;
             Ok(id)
@@ -188,7 +209,11 @@ impl MetadataService for Tectonic {
             self.db.delete_row(attr_key(dir), stats)?;
             self.db.update_attr_latched(
                 parent.id,
-                AttrDelta { nlink: -1, entries: -1, mtime: now },
+                AttrDelta {
+                    nlink: -1,
+                    entries: -1,
+                    mtime: now,
+                },
                 stats,
             )?;
             Ok(())
@@ -218,7 +243,11 @@ impl MetadataService for Tectonic {
             )?;
             self.db.update_attr_latched(
                 parent.id,
-                AttrDelta { nlink: 0, entries: 1, mtime: now },
+                AttrDelta {
+                    nlink: 0,
+                    entries: 1,
+                    mtime: now,
+                },
                 stats,
             )?;
             Ok(id)
@@ -233,7 +262,11 @@ impl MetadataService for Tectonic {
             self.db.delete_row(entry_key(parent.id, &name), stats)?;
             self.db.update_attr_latched(
                 parent.id,
-                AttrDelta { nlink: 0, entries: -1, mtime: now },
+                AttrDelta {
+                    nlink: 0,
+                    entries: -1,
+                    mtime: now,
+                },
                 stats,
             )?;
             Ok(())
@@ -242,14 +275,20 @@ impl MetadataService for Tectonic {
 
     fn objstat(&self, path: &MetaPath, stats: &mut OpStats) -> Result<ObjectMeta> {
         let (parent, name) = stats.time(Phase::Lookup, |stats| self.resolve_parent(path, stats))?;
-        stats.time(Phase::Execute, |stats| self.db.get_object(parent.id, &name, stats))
+        stats.time(Phase::Execute, |stats| {
+            self.db.get_object(parent.id, &name, stats)
+        })
     }
 
     fn dirstat(&self, path: &MetaPath, stats: &mut OpStats) -> Result<DirStat> {
         let dir = stats.time(Phase::Lookup, |stats| self.resolve_dir(path, stats))?;
         stats.time(Phase::Execute, |stats| {
             let attrs = self.db.dir_stat(dir.id, stats)?;
-            Ok(DirStat { id: dir.id, attrs, permission: dir.permission })
+            Ok(DirStat {
+                id: dir.id,
+                attrs,
+                permission: dir.permission,
+            })
         })
     }
 
@@ -265,38 +304,57 @@ impl MetadataService for Tectonic {
         // Proxy-side loop detection on the (unlocked) paths — the relaxed
         // consistency of the re-implementation.
         if src.is_prefix_of(dst) {
-            return Err(MetaError::RenameLoop { src: src.to_string(), dst: dst.to_string() });
+            return Err(MetaError::RenameLoop {
+                src: src.to_string(),
+                dst: dst.to_string(),
+            });
         }
-        let (src_parent, src_name, dst_parent, dst_name) =
-            stats.time(Phase::Lookup, |stats| {
-                let (sp, sn) = self.resolve_parent(src, stats)?;
-                let (dp, dn) = self.resolve_parent(dst, stats)?;
-                Ok::<_, MetaError>((sp, sn, dp, dn))
-            })?;
+        let (src_parent, src_name, dst_parent, dst_name) = stats.time(Phase::Lookup, |stats| {
+            let (sp, sn) = self.resolve_parent(src, stats)?;
+            let (dp, dn) = self.resolve_parent(dst, stats)?;
+            Ok::<_, MetaError>((sp, sn, dp, dn))
+        })?;
         stats.time(Phase::Execute, |stats| {
             let (src_id, src_perm) = self.db.resolve_step(src_parent.id, &src_name, stats)?;
             let now = self.now();
             if self.transactional {
                 let mut ops = vec![
-                    mantle_tafdb::TxnOp::Delete { key: entry_key(src_parent.id, &src_name) },
+                    mantle_tafdb::TxnOp::Delete {
+                        key: entry_key(src_parent.id, &src_name),
+                    },
                     mantle_tafdb::TxnOp::InsertUnique {
                         key: entry_key(dst_parent.id, &dst_name),
-                        row: Row::DirAccess { id: src_id, permission: src_perm },
+                        row: Row::DirAccess {
+                            id: src_id,
+                            permission: src_perm,
+                        },
                     },
                 ];
                 if src_parent.id == dst_parent.id {
                     ops.push(mantle_tafdb::TxnOp::AttrUpdate {
                         dir: src_parent.id,
-                        delta: AttrDelta { nlink: 0, entries: 0, mtime: now },
+                        delta: AttrDelta {
+                            nlink: 0,
+                            entries: 0,
+                            mtime: now,
+                        },
                     });
                 } else {
                     ops.push(mantle_tafdb::TxnOp::AttrUpdate {
                         dir: src_parent.id,
-                        delta: AttrDelta { nlink: -1, entries: -1, mtime: now },
+                        delta: AttrDelta {
+                            nlink: -1,
+                            entries: -1,
+                            mtime: now,
+                        },
                     });
                     ops.push(mantle_tafdb::TxnOp::AttrUpdate {
                         dir: dst_parent.id,
-                        delta: AttrDelta { nlink: 1, entries: 1, mtime: now },
+                        delta: AttrDelta {
+                            nlink: 1,
+                            entries: 1,
+                            mtime: now,
+                        },
                     });
                 }
                 self.db.execute(&ops, stats)?;
@@ -304,25 +362,41 @@ impl MetadataService for Tectonic {
             }
             self.db.insert_row(
                 entry_key(dst_parent.id, &dst_name),
-                Row::DirAccess { id: src_id, permission: src_perm },
+                Row::DirAccess {
+                    id: src_id,
+                    permission: src_perm,
+                },
                 stats,
             )?;
-            self.db.delete_row(entry_key(src_parent.id, &src_name), stats)?;
+            self.db
+                .delete_row(entry_key(src_parent.id, &src_name), stats)?;
             if src_parent.id == dst_parent.id {
                 self.db.update_attr_latched(
                     src_parent.id,
-                    AttrDelta { nlink: 0, entries: 0, mtime: now },
+                    AttrDelta {
+                        nlink: 0,
+                        entries: 0,
+                        mtime: now,
+                    },
                     stats,
                 )?;
             } else {
                 self.db.update_attr_latched(
                     src_parent.id,
-                    AttrDelta { nlink: -1, entries: -1, mtime: now },
+                    AttrDelta {
+                        nlink: -1,
+                        entries: -1,
+                        mtime: now,
+                    },
                     stats,
                 )?;
                 self.db.update_attr_latched(
                     dst_parent.id,
-                    AttrDelta { nlink: 1, entries: 1, mtime: now },
+                    AttrDelta {
+                        nlink: 1,
+                        entries: 1,
+                        mtime: now,
+                    },
                     stats,
                 )?;
             }
@@ -343,12 +417,19 @@ impl BulkLoad for Tectonic {
                     let now = self.now();
                     self.db.raw_put(
                         entry_key(pid, comp),
-                        Row::DirAccess { id, permission: Permission::ALL },
+                        Row::DirAccess {
+                            id,
+                            permission: Permission::ALL,
+                        },
                     );
                     self.db
                         .raw_put(attr_key(id), Row::DirAttr(DirAttrMeta::new(now, 0)));
                     if let Some(Row::DirAttr(mut attrs)) = self.db.raw_get(&attr_key(pid)) {
-                        attrs.apply_delta(&AttrDelta { nlink: 1, entries: 1, mtime: now });
+                        attrs.apply_delta(&AttrDelta {
+                            nlink: 1,
+                            entries: 1,
+                            mtime: now,
+                        });
                         self.db.raw_put(attr_key(pid), Row::DirAttr(attrs));
                     }
                     pid = id;
@@ -377,7 +458,11 @@ impl BulkLoad for Tectonic {
             }),
         );
         if let Some(Row::DirAttr(mut attrs)) = self.db.raw_get(&attr_key(pid)) {
-            attrs.apply_delta(&AttrDelta { nlink: 0, entries: 1, mtime: now });
+            attrs.apply_delta(&AttrDelta {
+                nlink: 0,
+                entries: 1,
+                mtime: now,
+            });
             self.db.raw_put(attr_key(pid), Row::DirAttr(attrs));
         }
     }
@@ -402,7 +487,10 @@ mod tests {
         let mut lstats = OpStats::new();
         let resolved = t.lookup(&p("/a/b/c/d/e"), &mut lstats).unwrap();
         assert!(resolved.id.raw() > 1);
-        assert_eq!(lstats.rpcs, 5, "level-by-level resolution: one RPC per level");
+        assert_eq!(
+            lstats.rpcs, 5,
+            "level-by-level resolution: one RPC per level"
+        );
     }
 
     #[test]

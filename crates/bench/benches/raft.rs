@@ -40,9 +40,7 @@ fn bench_propose(c: &mut Criterion) {
         let g = group(batching, 0);
         let leader = g.leader().expect("bootstrap leader");
         let name = if batching { "batched" } else { "unbatched" };
-        bench_group.bench_function(name, |b| {
-            b.iter(|| leader.propose(7).unwrap())
-        });
+        bench_group.bench_function(name, |b| b.iter(|| leader.propose(7).unwrap()));
     }
     bench_group.finish();
 }

@@ -67,7 +67,10 @@ fn bench_cache(c: &mut Criterion) {
     let prefix = cache.prefix_of(&deep).unwrap();
     cache.try_fill(
         prefix.clone(),
-        CachedPrefix { pid: InodeId(5), permission: Permission::ALL },
+        CachedPrefix {
+            pid: InodeId(5),
+            permission: Permission::ALL,
+        },
         || true,
     );
     group.bench_function("probe_hit", |b| {

@@ -7,7 +7,10 @@ use mantle_tafdb::{attr_key, entry_key, Row, TafDb, TafDbOptions, TxnOp};
 use mantle_types::{AttrDelta, DirAttrMeta, InodeId, OpStats, Permission, SimConfig, ROOT_ID};
 
 fn db(delta: bool) -> std::sync::Arc<TafDb> {
-    let opts = TafDbOptions { delta_records: delta, ..TafDbOptions::default() };
+    let opts = TafDbOptions {
+        delta_records: delta,
+        ..TafDbOptions::default()
+    };
     TafDb::new(SimConfig::instant(), opts)
 }
 
@@ -36,7 +39,11 @@ fn bench_txn_commit(c: &mut Criterion) {
                 },
                 TxnOp::AttrUpdate {
                     dir: ROOT_ID,
-                    delta: AttrDelta { nlink: 0, entries: 1, mtime: 1 },
+                    delta: AttrDelta {
+                        nlink: 0,
+                        entries: 1,
+                        mtime: 1,
+                    },
                 },
             ];
             single.execute(&ops, &mut stats).unwrap()
@@ -54,12 +61,22 @@ fn bench_txn_commit(c: &mut Criterion) {
             let ops = [
                 TxnOp::InsertUnique {
                     key: entry_key(ROOT_ID, &format!("d{m}")),
-                    row: Row::DirAccess { id, permission: Permission::ALL },
+                    row: Row::DirAccess {
+                        id,
+                        permission: Permission::ALL,
+                    },
                 },
-                TxnOp::Put { key: attr_key(id), row: Row::DirAttr(DirAttrMeta::new(0, 0)) },
+                TxnOp::Put {
+                    key: attr_key(id),
+                    row: Row::DirAttr(DirAttrMeta::new(0, 0)),
+                },
                 TxnOp::AttrUpdate {
                     dir: ROOT_ID,
-                    delta: AttrDelta { nlink: 1, entries: 1, mtime: 1 },
+                    delta: AttrDelta {
+                        nlink: 1,
+                        entries: 1,
+                        mtime: 1,
+                    },
                 },
             ];
             multi.execute(&ops, &mut stats).unwrap()
@@ -72,7 +89,11 @@ fn bench_attr_update_paths(c: &mut Criterion) {
     let mut group = c.benchmark_group("tafdb_attr_update");
     let ops = [TxnOp::AttrUpdate {
         dir: ROOT_ID,
-        delta: AttrDelta { nlink: 0, entries: 1, mtime: 1 },
+        delta: AttrDelta {
+            nlink: 0,
+            entries: 1,
+            mtime: 1,
+        },
     }];
 
     // In-place (cold directory).
@@ -90,7 +111,11 @@ fn bench_attr_update_paths(c: &mut Criterion) {
             latched
                 .update_attr_latched(
                     ROOT_ID,
-                    AttrDelta { nlink: 0, entries: 1, mtime: 1 },
+                    AttrDelta {
+                        nlink: 0,
+                        entries: 1,
+                        mtime: 1,
+                    },
                     &mut stats,
                 )
                 .unwrap()
@@ -106,7 +131,11 @@ fn bench_dirstat_with_deltas(c: &mut Criterion) {
         for i in 0..n_deltas {
             db.raw_put(
                 mantle_store::RowKey::delta(ROOT_ID, "/_ATTR", mantle_types::TxnId(i as u64 + 1)),
-                Row::Delta(AttrDelta { nlink: 0, entries: 1, mtime: 0 }),
+                Row::Delta(AttrDelta {
+                    nlink: 0,
+                    entries: 1,
+                    mtime: 0,
+                }),
             );
         }
         group.bench_function(format!("merge_{n_deltas}_deltas"), |b| {
@@ -117,5 +146,10 @@ fn bench_dirstat_with_deltas(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_txn_commit, bench_attr_update_paths, bench_dirstat_with_deltas);
+criterion_group!(
+    benches,
+    bench_txn_commit,
+    bench_attr_update_paths,
+    bench_dirstat_with_deltas
+);
 criterion_main!(benches);

@@ -41,13 +41,18 @@ fn main() {
         ("rdma", 50, 4, 10),
     ];
     for (stack, rtt, service, level) in stacks {
-        let mut sim = SimConfig::default();
-        sim.rtt_micros = rtt;
-        sim.service_micros = service;
-        sim.index_level_micros = level;
-        sim.index_node_permits = 1;
+        let sim = SimConfig {
+            rtt_micros: rtt,
+            service_micros: service,
+            index_level_micros: level,
+            index_node_permits: 1,
+            ..SimConfig::default()
+        };
         // Single-replica reads: measure *per-node* capacity like the PoC.
-        let mut config = MantleConfig { sim, ..MantleConfig::default() };
+        let mut config = MantleConfig {
+            sim,
+            ..MantleConfig::default()
+        };
         config.index.follower_reads = false;
         // Raw resolution capacity, as in the PoC: no prefix cache in front.
         config.index.path_cache = false;
@@ -69,8 +74,11 @@ fn main() {
         };
         report.line(format!(
             "{:<11} rtt {:>4}us service {:>2}us -> {:>9} lookups/s (mean {:.0}us)",
-            row.stack, row.rtt_micros, row.service_micros,
-            fmt_ops(row.throughput), row.mean_us
+            row.stack,
+            row.rtt_micros,
+            row.service_micros,
+            fmt_ops(row.throughput),
+            row.mean_us
         ));
         report.row(&row);
     }

@@ -30,7 +30,16 @@ fn main() {
     let mut report = Report::new("fig03", "characteristics of five real-world namespaces");
     report.line(format!(
         "{:<5} {:>12} {:>9} {:>8} {:>7} {:>8} {:>11} {:>10} {:>9} {:>9}",
-        "ns", "paper(B)", "entries", "objects", "dirs", "obj%", "paper depth", "mean depth", "p50", "p90"
+        "ns",
+        "paper(B)",
+        "entries",
+        "objects",
+        "dirs",
+        "obj%",
+        "paper depth",
+        "mean depth",
+        "p50",
+        "p90"
     ));
     let spec_scale = scale.namespace_entries as f64 / 20_000.0;
     for spec in NamespaceSpec::figure3(spec_scale) {

@@ -15,14 +15,23 @@ use mantle_workloads::{ConflictMode, MdOp};
 /// distributed transactions (unlike the relaxed §6.1 Tectonic baseline).
 fn dbtable(sim: SimConfig) -> SystemUnderTest {
     let _ = SystemKind::Tectonic;
-    let svc = Tectonic::new(sim, TectonicOptions { transactional: true, ..TectonicOptions::default() });
+    let svc = Tectonic::new(
+        sim,
+        TectonicOptions {
+            transactional: true,
+            ..TectonicOptions::default()
+        },
+    );
     SystemUnderTest::tectonic_custom(svc)
 }
 
 fn main() {
     let scale = Scale::from_env();
     let sim = SimConfig::default();
-    let mut report = Report::new("fig04", "DBtable-based service bottlenecks (Tectonic baseline)");
+    let mut report = Report::new(
+        "fig04",
+        "DBtable-based service bottlenecks (Tectonic baseline)",
+    );
 
     report.line("-- (a) latency breakdown: lookup should dominate --");
     for op in [MdOp::ObjStat, MdOp::DirStat, MdOp::Delete] {
@@ -41,7 +50,10 @@ fn main() {
     let mut pairs: Vec<(MdOp, f64, f64)> = Vec::new();
     for op in [MdOp::Mkdir, MdOp::DirRename] {
         let mut thpt = [0.0f64; 2];
-        for (i, conflict) in [ConflictMode::Exclusive, ConflictMode::Shared].iter().enumerate() {
+        for (i, conflict) in [ConflictMode::Exclusive, ConflictMode::Shared]
+            .iter()
+            .enumerate()
+        {
             let sut = dbtable(sim);
             let row: OpRow = measure(&sut, op, *conflict, scale);
             thpt[i] = row.throughput;

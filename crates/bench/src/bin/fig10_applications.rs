@@ -34,7 +34,10 @@ fn systems(sim: mantle_types::SimConfig) -> Vec<(&'static str, SystemUnderTest)>
             "dbtable",
             SystemUnderTest::tectonic_custom(Tectonic::new(
                 sim,
-                TectonicOptions { transactional: true, ..TectonicOptions::default() },
+                TectonicOptions {
+                    transactional: true,
+                    ..TectonicOptions::default()
+                },
             )),
         ),
     );
@@ -66,7 +69,11 @@ fn main() {
     for data_access in [false, true] {
         report.line(format!(
             "-- data access {} --",
-            if data_access { "enabled (Fig 10b)" } else { "disabled (Fig 10a)" }
+            if data_access {
+                "enabled (Fig 10b)"
+            } else {
+                "disabled (Fig 10a)"
+            }
         ));
         for (label, sut) in systems(sim) {
             let data = DataService::new(sim, 4);
@@ -74,7 +81,10 @@ fn main() {
             let a = run_analytics(
                 sut.svc().as_ref(),
                 data_ref,
-                AnalyticsConfig { data_access, ..analytics },
+                AnalyticsConfig {
+                    data_access,
+                    ..analytics
+                },
             );
             let row = Row {
                 workload: "analytics",
@@ -95,7 +105,10 @@ fn main() {
             let b = run_audio(
                 sut.svc().as_ref(),
                 data_ref,
-                AudioConfig { data_access, ..audio },
+                AudioConfig {
+                    data_access,
+                    ..audio
+                },
             );
             let row = Row {
                 workload: "audio",

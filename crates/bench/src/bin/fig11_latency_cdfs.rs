@@ -7,9 +7,9 @@ use serde::Serialize;
 use mantle_bench::report::fmt_us;
 use mantle_bench::{Report, Scale, SystemKind, SystemUnderTest};
 use mantle_types::hist::Histogram;
+use mantle_types::SimConfig;
 use mantle_workloads::apps::{run_analytics, run_audio};
 use mantle_workloads::{AnalyticsConfig, AudioConfig};
-use mantle_types::SimConfig;
 
 #[derive(Serialize)]
 struct Row {
@@ -23,7 +23,13 @@ struct Row {
     cdf: Vec<(u64, f64)>,
 }
 
-fn summarize(report: &mut Report, workload: &'static str, system: &'static str, op: &str, h: &Histogram) {
+fn summarize(
+    report: &mut Report,
+    workload: &'static str,
+    system: &'static str,
+    op: &str,
+    h: &Histogram,
+) {
     let row = Row {
         workload,
         op: op.to_string(),
@@ -50,7 +56,10 @@ fn summarize(report: &mut Report, workload: &'static str, system: &'static str, 
 fn main() {
     let scale = Scale::from_env();
     let sim = SimConfig::default();
-    let mut report = Report::new("fig11", "latency CDFs of metadata operations in applications");
+    let mut report = Report::new(
+        "fig11",
+        "latency CDFs of metadata operations in applications",
+    );
 
     for kind in SystemKind::ALL {
         let sut = SystemUnderTest::build(kind, sim);

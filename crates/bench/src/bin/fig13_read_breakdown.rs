@@ -15,9 +15,11 @@ fn main() {
     // central-node saturation that orders these curves (LocoFS's directory
     // server ceiling vs Mantle's cache + follower spread) binds below the
     // simulation host's own ceiling.
-    let mut sim = SimConfig::default();
-    sim.index_node_permits = 4;
-    sim.index_level_micros = 25;
+    let sim = SimConfig {
+        index_node_permits: 4,
+        index_level_micros: 25,
+        ..SimConfig::default()
+    };
     let mut report = Report::new("fig13", "latency breakdown of read operations");
     for op in [MdOp::Create, MdOp::Delete, MdOp::ObjStat, MdOp::DirStat] {
         report.line(format!("-- {} --", op.label()));

@@ -17,7 +17,11 @@ fn main() {
     let mut report = Report::new("fig14", "directory modification throughput");
     for op in [MdOp::Mkdir, MdOp::DirRename] {
         for conflict in [ConflictMode::Exclusive, ConflictMode::Shared] {
-            let suffix = if conflict == ConflictMode::Exclusive { "e" } else { "s" };
+            let suffix = if conflict == ConflictMode::Exclusive {
+                "e"
+            } else {
+                "s"
+            };
             report.line(format!("-- {}-{} --", op.label(), suffix));
             for kind in SystemKind::ALL {
                 let sut = SystemUnderTest::build(kind, sim);

@@ -22,7 +22,10 @@ struct Row {
 }
 
 fn variant(sim: SimConfig, stage: usize) -> MantleConfig {
-    let mut config = MantleConfig { sim, ..MantleConfig::default() };
+    let mut config = MantleConfig {
+        sim,
+        ..MantleConfig::default()
+    };
     config.index.path_cache = stage >= 1;
     config.index.raft.log_batching = stage >= 2;
     config.db.delta_records = stage >= 3;
@@ -36,9 +39,11 @@ fn main() {
     // CPU-faithful envelope: the path cache and follower reads save
     // IndexNode CPU; with the default (latency-oriented) per-level cost of
     // 2 µs their effect would vanish under the host's own noise.
-    let mut sim = SimConfig::default();
-    sim.index_node_permits = 4;
-    sim.index_level_micros = 25;
+    let sim = SimConfig {
+        index_node_permits: 4,
+        index_level_micros: 25,
+        ..SimConfig::default()
+    };
     let stages = [
         "mantle-base",
         "+pathcache",
@@ -52,7 +57,11 @@ fn main() {
         (MdOp::Mkdir, ConflictMode::Exclusive),
         (MdOp::DirRename, ConflictMode::Shared),
     ] {
-        let suffix = if conflict == ConflictMode::Shared { "s" } else { "e" };
+        let suffix = if conflict == ConflictMode::Shared {
+            "s"
+        } else {
+            "e"
+        };
         report.line(format!("-- {}-{} --", op.label(), suffix));
         let mut base = 0.0f64;
         for (stage, name) in stages.iter().enumerate() {

@@ -38,9 +38,14 @@ fn main() {
     // default substrate under-charges per-level CPU (2 µs) to keep
     // latency-oriented figures clean; this figure measures exactly that
     // CPU trade-off, so it restores the faithful per-level cost.
-    let mut sim = SimConfig::default();
-    sim.index_level_micros = 50;
-    let mut report = Report::new("fig18", "impact of k in TopDirPathCache (ns4-shaped namespace)");
+    let sim = SimConfig {
+        index_level_micros: 50,
+        ..SimConfig::default()
+    };
+    let mut report = Report::new(
+        "fig18",
+        "impact of k in TopDirPathCache (ns4-shaped namespace)",
+    );
 
     let mut spec = NamespaceSpec::figure3(scale.namespace_entries as f64 / 20_000.0)
         .into_iter()
@@ -50,7 +55,10 @@ fn main() {
 
     let mut k1 = (0.0f64, 0.0f64); // (latency, bytes)
     for k in 1..=5usize {
-        let mut config = MantleConfig { sim, ..MantleConfig::default() };
+        let mut config = MantleConfig {
+            sim,
+            ..MantleConfig::default()
+        };
         config.index.follower_reads = false;
         config.index.k = k;
         let sut = SystemUnderTest::mantle(config);

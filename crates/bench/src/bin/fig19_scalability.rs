@@ -32,11 +32,17 @@ struct ThreadRow {
 fn main() {
     let scale = Scale::from_env();
     let sim = SimConfig::default();
-    let mut report = Report::new("fig19", "Mantle scalability: namespace size and client threads");
+    let mut report = Report::new(
+        "fig19",
+        "Mantle scalability: namespace size and client threads",
+    );
 
     report.line("-- (a) throughput vs namespace size --");
     for &entries in scale.size_sweep {
-        let sut = SystemUnderTest::mantle(MantleConfig { sim, ..MantleConfig::default() });
+        let sut = SystemUnderTest::mantle(MantleConfig {
+            sim,
+            ..MantleConfig::default()
+        });
         let mut spec = NamespaceSpec::tiny();
         spec.entries = entries;
         spec.seed = 5;
@@ -50,7 +56,11 @@ fn main() {
                 scale.ops_per_thread,
                 scale.depth,
             );
-            let row = SizeRow { entries, op: op.label(), throughput: m.throughput };
+            let row = SizeRow {
+                entries,
+                op: op.label(),
+                throughput: m.throughput,
+            };
             report.line(format!(
                 "entries {:>9}  {:<8} {:>10} ops/s",
                 row.entries,
@@ -72,36 +82,54 @@ fn main() {
     let mut cpu_sim = sim;
     cpu_sim.index_node_permits = 1;
     cpu_sim.index_level_micros = 25;
-    let variants: [(&'static str, Box<dyn Fn() -> SystemUnderTest>); 4] = [
+    type BuildFn = Box<dyn Fn() -> SystemUnderTest>;
+    let variants: [(&'static str, BuildFn); 4] = [
         ("objstat", {
             Box::new(move || {
-                let mut config = MantleConfig { sim: cpu_sim, ..MantleConfig::default() };
+                let mut config = MantleConfig {
+                    sim: cpu_sim,
+                    ..MantleConfig::default()
+                };
                 config.index.follower_reads = false;
                 SystemUnderTest::mantle(config)
             })
         }),
         ("objstat+followers", {
             Box::new(move || {
-                let mut config = MantleConfig { sim: cpu_sim, ..MantleConfig::default() };
+                let mut config = MantleConfig {
+                    sim: cpu_sim,
+                    ..MantleConfig::default()
+                };
                 config.index.follower_reads = true;
                 SystemUnderTest::mantle(config)
             })
         }),
         ("objstat+learners", {
             Box::new(move || {
-                let mut config = MantleConfig { sim: cpu_sim, ..MantleConfig::default() };
+                let mut config = MantleConfig {
+                    sim: cpu_sim,
+                    ..MantleConfig::default()
+                };
                 config.index.follower_reads = true;
                 config.index.learners = 2;
                 SystemUnderTest::mantle(config)
             })
         }),
         ("create", {
-            let sim = sim;
-            Box::new(move || SystemUnderTest::mantle(MantleConfig { sim, ..MantleConfig::default() }))
+            Box::new(move || {
+                SystemUnderTest::mantle(MantleConfig {
+                    sim,
+                    ..MantleConfig::default()
+                })
+            })
         }),
     ];
     for (name, build) in &variants {
-        let op = if *name == "create" { MdOp::Create } else { MdOp::ObjStat };
+        let op = if *name == "create" {
+            MdOp::Create
+        } else {
+            MdOp::ObjStat
+        };
         for &threads in scale.thread_sweep {
             let sut = build();
             let m = measure_at(
@@ -112,7 +140,11 @@ fn main() {
                 scale.ops_per_thread,
                 scale.depth,
             );
-            let row = ThreadRow { variant: name, threads, throughput: m.throughput };
+            let row = ThreadRow {
+                variant: name,
+                threads,
+                throughput: m.throughput,
+            };
             report.line(format!(
                 "{:<18} threads {:>4}  {:>10} ops/s",
                 row.variant,

@@ -26,8 +26,18 @@ struct Row {
 
 fn build(system: &'static str, cache: bool, sim: SimConfig) -> SystemUnderTest {
     match system {
-        "infinifs" => SystemUnderTest::infinifs(sim, InfiniFsOptions { amcache: cache, ..InfiniFsOptions::default() }),
-        "mantle" => SystemUnderTest::mantle(MantleConfig { sim, amcache: cache, ..MantleConfig::default() }),
+        "infinifs" => SystemUnderTest::infinifs(
+            sim,
+            InfiniFsOptions {
+                amcache: cache,
+                ..InfiniFsOptions::default()
+            },
+        ),
+        "mantle" => SystemUnderTest::mantle(MantleConfig {
+            sim,
+            amcache: cache,
+            ..MantleConfig::default()
+        }),
         _ => unreachable!(),
     }
 }
@@ -41,32 +51,36 @@ fn main() {
             for workload in ["analytics", "audio"] {
                 let sut = build(system, cache, sim);
                 let completion = match workload {
-                    "analytics" => run_analytics(
-                        sut.svc().as_ref(),
-                        None,
-                        AnalyticsConfig {
-                            queries: 4,
-                            tasks_per_query: scale.app_tasks / 4,
-                            parts_per_task: 2,
-                            threads: scale.threads.min(64),
-                            part_size: 1 << 20,
-                            data_access: false,
-                        },
-                    )
-                    .completion,
-                    _ => run_audio(
-                        sut.svc().as_ref(),
-                        None,
-                        AudioConfig {
-                            files: scale.app_tasks,
-                            segments_per_file: 8,
-                            threads: scale.threads.min(64),
-                            segment_size: 256 * 1024,
-                            depth: scale.depth,
-                            data_access: false,
-                        },
-                    )
-                    .completion,
+                    "analytics" => {
+                        run_analytics(
+                            sut.svc().as_ref(),
+                            None,
+                            AnalyticsConfig {
+                                queries: 4,
+                                tasks_per_query: scale.app_tasks / 4,
+                                parts_per_task: 2,
+                                threads: scale.threads.min(64),
+                                part_size: 1 << 20,
+                                data_access: false,
+                            },
+                        )
+                        .completion
+                    }
+                    _ => {
+                        run_audio(
+                            sut.svc().as_ref(),
+                            None,
+                            AudioConfig {
+                                files: scale.app_tasks,
+                                segments_per_file: 8,
+                                threads: scale.threads.min(64),
+                                segment_size: 256 * 1024,
+                                depth: scale.depth,
+                                data_access: false,
+                            },
+                        )
+                        .completion
+                    }
                 };
                 let row = Row {
                     system,

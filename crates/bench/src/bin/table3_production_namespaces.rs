@@ -27,13 +27,19 @@ struct Row {
 fn main() {
     let scale = Scale::from_env();
     let sim = SimConfig::default();
-    let mut report = Report::new("table3", "Cluster-C namespaces: shape + peak throughput probes");
+    let mut report = Report::new(
+        "table3",
+        "Cluster-C namespaces: shape + peak throughput probes",
+    );
     report.line(format!(
         "{:<4} {:>9} {:>8} {:>8} {:>12} {:>12}",
         "ns", "objects", "dirs", "small%", "peak lookup", "peak mkdir"
     ));
     for spec in NamespaceSpec::table3(scale.namespace_entries as f64 / 20_000.0) {
-        let sut = SystemUnderTest::mantle(MantleConfig { sim, ..MantleConfig::default() });
+        let sut = SystemUnderTest::mantle(MantleConfig {
+            sim,
+            ..MantleConfig::default()
+        });
         let ns = NamespaceHandle::populate(sut.svc().as_ref(), spec.clone());
         let stats = ns.stats();
         let lookup = measure_at(

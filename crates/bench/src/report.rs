@@ -16,7 +16,11 @@ impl Report {
     /// Starts a report for one figure/table.
     pub fn new(name: &'static str, title: &'static str) -> Self {
         println!("=== {name}: {title} ===");
-        Report { name, title, rows: Vec::new() }
+        Report {
+            name,
+            title,
+            rows: Vec::new(),
+        }
     }
 
     /// Records one result row (also used for the JSON dump).
@@ -30,7 +34,10 @@ impl Report {
         println!("{}", text.as_ref());
     }
 
-    /// Writes `results/<name>.json` and prints the path.
+    /// Writes `results/<name>.json` and prints the path. With
+    /// `MANTLE_METRICS=1` a snapshot of the global metrics registry is also
+    /// persisted to `results/<name>.metrics.json` (see DESIGN.md
+    /// §Observability).
     pub fn finish(self) {
         let dir = PathBuf::from("results");
         if std::fs::create_dir_all(&dir).is_err() {
@@ -43,14 +50,31 @@ impl Report {
             "title": self.title,
             "rows": self.rows,
         });
-        match std::fs::File::create(&path) {
-            Ok(mut f) => {
-                let _ = writeln!(f, "{}", serde_json::to_string_pretty(&payload).expect("json"));
-                println!("[results written to {}]", path.display());
-            }
+        match write_json(&path, &payload) {
+            Ok(()) => println!("[results written to {}]", path.display()),
             Err(e) => eprintln!("warning: cannot write {}: {e}", path.display()),
         }
+        if std::env::var_os("MANTLE_METRICS").is_some_and(|v| v != "0") {
+            let mpath = dir.join(format!("{}.metrics.json", self.name));
+            let snapshot = serde_json::to_value(mantle_obs::snapshot()).expect("snapshot");
+            match write_json(&mpath, &snapshot) {
+                Ok(()) => println!("[metrics written to {}]", mpath.display()),
+                Err(e) => eprintln!("warning: cannot write {}: {e}", mpath.display()),
+            }
+        }
     }
+}
+
+/// Writes pretty-printed JSON, propagating (rather than discarding) the
+/// I/O error so `finish` can report a full disk or unwritable path.
+fn write_json(path: &std::path::Path, payload: &serde_json::Value) -> std::io::Result<()> {
+    let mut f = std::fs::File::create(path)?;
+    writeln!(
+        f,
+        "{}",
+        serde_json::to_string_pretty(payload).expect("json")
+    )?;
+    f.flush()
 }
 
 /// Formats an ops/s figure compactly ("58.8K", "1.89M").

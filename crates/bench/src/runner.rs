@@ -50,8 +50,14 @@ impl OpRow {
             system: system.to_string(),
             op: report.config.op.label().to_string(),
             mode: match (report.config.op, report.config.conflict) {
-                (MdOp::Mkdir | MdOp::Rmdir | MdOp::DirRename | MdOp::Create, ConflictMode::Shared) => "s".into(),
-                (MdOp::Mkdir | MdOp::Rmdir | MdOp::DirRename | MdOp::Create, ConflictMode::Exclusive) => "e".into(),
+                (
+                    MdOp::Mkdir | MdOp::Rmdir | MdOp::DirRename | MdOp::Create,
+                    ConflictMode::Shared,
+                ) => "s".into(),
+                (
+                    MdOp::Mkdir | MdOp::Rmdir | MdOp::DirRename | MdOp::Create,
+                    ConflictMode::Exclusive,
+                ) => "e".into(),
                 _ => "-".into(),
             },
             threads: report.config.threads,

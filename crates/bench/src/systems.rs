@@ -2,7 +2,9 @@
 
 use std::sync::Arc;
 
-use mantle_baselines::{InfiniFs, InfiniFsOptions, LocoFs, LocoFsOptions, Tectonic, TectonicOptions};
+use mantle_baselines::{
+    InfiniFs, InfiniFsOptions, LocoFs, LocoFsOptions, Tectonic, TectonicOptions,
+};
 use mantle_core::{MantleCluster, MantleConfig};
 use mantle_types::{BulkLoad, MetadataService, SimConfig};
 
@@ -56,7 +58,10 @@ impl SystemUnderTest {
     /// Builds `kind` with its Table 2-equivalent scaled deployment.
     pub fn build(kind: SystemKind, sim: SimConfig) -> Self {
         match kind {
-            SystemKind::Mantle => Self::mantle(MantleConfig { sim, ..MantleConfig::default() }),
+            SystemKind::Mantle => Self::mantle(MantleConfig {
+                sim,
+                ..MantleConfig::default()
+            }),
             SystemKind::Tectonic => SystemUnderTest {
                 kind,
                 svc: Tectonic::new(sim, TectonicOptions::default()),
@@ -78,7 +83,11 @@ impl SystemUnderTest {
     /// Wraps a custom-configured Tectonic (Figure 4's transactional
     /// DBtable variant).
     pub fn tectonic_custom(svc: std::sync::Arc<Tectonic>) -> Self {
-        SystemUnderTest { kind: SystemKind::Tectonic, svc, mantle: None }
+        SystemUnderTest {
+            kind: SystemKind::Tectonic,
+            svc,
+            mantle: None,
+        }
     }
 
     /// Builds InfiniFS with explicit options (Figure 20's AM-Cache run).

@@ -30,6 +30,61 @@ use mantle_types::{
 
 use crate::data::DataService;
 
+/// Per-operation service counters (`service_ops_total{system,op}`), created
+/// once per cluster so the per-op cost is a single atomic increment.
+pub struct SvcMetrics {
+    lookup: mantle_obs::Counter,
+    mkdir: mantle_obs::Counter,
+    rmdir: mantle_obs::Counter,
+    create: mantle_obs::Counter,
+    delete: mantle_obs::Counter,
+    objstat: mantle_obs::Counter,
+    dirstat: mantle_obs::Counter,
+    readdir: mantle_obs::Counter,
+    list: mantle_obs::Counter,
+    rename: mantle_obs::Counter,
+    setattr: mantle_obs::Counter,
+}
+
+impl SvcMetrics {
+    /// Creates the counter set for `system` (the service's `name()`).
+    pub fn new(system: &str) -> Self {
+        let op =
+            |o: &str| mantle_obs::counter("service_ops_total", &[("system", system), ("op", o)]);
+        SvcMetrics {
+            lookup: op("lookup"),
+            mkdir: op("mkdir"),
+            rmdir: op("rmdir"),
+            create: op("create"),
+            delete: op("delete"),
+            objstat: op("objstat"),
+            dirstat: op("dirstat"),
+            readdir: op("readdir"),
+            list: op("list"),
+            rename: op("rename_dir"),
+            setattr: op("setattr"),
+        }
+    }
+
+    /// The counter for `op` (a [`MetadataService`] method name).
+    pub fn op(&self, op: &str) -> &mantle_obs::Counter {
+        match op {
+            "lookup" => &self.lookup,
+            "mkdir" => &self.mkdir,
+            "rmdir" => &self.rmdir,
+            "create" => &self.create,
+            "delete" => &self.delete,
+            "objstat" => &self.objstat,
+            "dirstat" => &self.dirstat,
+            "readdir" => &self.readdir,
+            "list" => &self.list,
+            "rename_dir" => &self.rename,
+            "setattr" => &self.setattr,
+            other => panic!("unknown service op {other:?}"),
+        }
+    }
+}
+
 /// Full configuration of a Mantle deployment.
 #[derive(Clone, Copy, Debug)]
 pub struct MantleConfig {
@@ -68,7 +123,10 @@ impl MantleConfig {
     /// A configuration using `sim` everywhere, with `db_shards` TafDB
     /// shards.
     pub fn with_sim(sim: SimConfig, db_shards: usize) -> Self {
-        let mut config = MantleConfig { sim, ..MantleConfig::default() };
+        let mut config = MantleConfig {
+            sim,
+            ..MantleConfig::default()
+        };
         config.db.n_shards = db_shards;
         config
     }
@@ -87,6 +145,7 @@ pub struct MantleCluster {
     root: InodeId,
     /// Proxy-side AM-Cache (Figure 20): full-path resolutions, k = 0.
     amcache: TopDirPathCache,
+    ops: SvcMetrics,
 }
 
 impl MantleCluster {
@@ -94,7 +153,13 @@ impl MantleCluster {
     pub fn with_config(config: MantleConfig) -> Arc<Self> {
         let db = TafDb::new(config.sim, config.db);
         let data = Arc::new(DataService::new(config.sim, config.data_nodes));
-        Self::with_shared(config, db, data, Arc::new(IdAllocator::new()), mantle_types::ROOT_ID)
+        Self::with_shared(
+            config,
+            db,
+            data,
+            Arc::new(IdAllocator::new()),
+            mantle_types::ROOT_ID,
+        )
     }
 
     /// Builds a namespace over a *shared* TafDB/data service (§7.1: within
@@ -119,6 +184,7 @@ impl MantleCluster {
             clock: AtomicU64::new(1),
             root,
             amcache: TopDirPathCache::new(0, config.amcache),
+            ops: SvcMetrics::new("mantle"),
         })
     }
 
@@ -172,6 +238,7 @@ impl MantleCluster {
         permission: Permission,
         stats: &mut OpStats,
     ) -> Result<()> {
+        self.ops.setattr.inc();
         let (parent, name) = stats.time(Phase::Lookup, |stats| self.resolve_parent(path, stats))?;
         stats.time(Phase::Execute, |stats| {
             // Persist in TafDB first (source of truth), then refresh the
@@ -188,7 +255,8 @@ impl MantleCluster {
                 return Err(MetaError::NotFound(path.to_string()));
             }
             self.with_failover(stats, |stats| {
-                self.index.set_permission(parent.id, &name, permission, path, stats)
+                self.index
+                    .set_permission(parent.id, &name, permission, path, stats)
             })?;
             self.amcache.invalidate_subtree(path);
             Ok(())
@@ -202,7 +270,11 @@ impl MantleCluster {
 
     /// Retries `f` across transient unavailability (IndexNode leader
     /// failover re-election windows).
-    fn with_failover<R>(&self, stats: &mut OpStats, mut f: impl FnMut(&mut OpStats) -> Result<R>) -> Result<R> {
+    fn with_failover<R>(
+        &self,
+        stats: &mut OpStats,
+        mut f: impl FnMut(&mut OpStats) -> Result<R>,
+    ) -> Result<R> {
         let mut attempts = 0;
         loop {
             match f(stats) {
@@ -221,14 +293,21 @@ impl MantleCluster {
         if let Some(prefix) = self.amcache.prefix_of(path) {
             if let Some(hit) = self.amcache.get(&prefix) {
                 stats.cache_hits += 1;
-                return Ok(ResolvedPath { id: hit.pid, permission: hit.permission });
+                mantle_obs::counter("amcache_hits_total", &[]).inc();
+                return Ok(ResolvedPath {
+                    id: hit.pid,
+                    permission: hit.permission,
+                });
             }
         }
         let resolved = self.with_failover(stats, |stats| self.index.lookup(path, stats))?;
         if let Some(prefix) = self.amcache.prefix_of(path) {
             self.amcache.try_fill(
                 prefix,
-                CachedPrefix { pid: resolved.id, permission: resolved.permission },
+                CachedPrefix {
+                    pid: resolved.id,
+                    permission: resolved.permission,
+                },
                 || true,
             );
         }
@@ -237,7 +316,11 @@ impl MantleCluster {
 
     /// Resolves the parent directory of `path` and returns
     /// `(parent, leaf name)`.
-    fn resolve_parent(&self, path: &MetaPath, stats: &mut OpStats) -> Result<(ResolvedPath, String)> {
+    fn resolve_parent(
+        &self,
+        path: &MetaPath,
+        stats: &mut OpStats,
+    ) -> Result<(ResolvedPath, String)> {
         let parent = path
             .parent()
             .ok_or_else(|| MetaError::InvalidPath("operation on root".into()))?;
@@ -253,10 +336,12 @@ impl MetadataService for MantleCluster {
     }
 
     fn lookup(&self, path: &MetaPath, stats: &mut OpStats) -> Result<ResolvedPath> {
+        self.ops.lookup.inc();
         stats.time(Phase::Lookup, |stats| self.cached_lookup(path, stats))
     }
 
     fn mkdir(&self, path: &MetaPath, stats: &mut OpStats) -> Result<InodeId> {
+        self.ops.mkdir.inc();
         let (parent, name) = stats.time(Phase::Lookup, |stats| self.resolve_parent(path, stats))?;
         stats.time(Phase::Execute, |stats| {
             if !parent.permission.allows(Permission::WRITE) {
@@ -267,7 +352,10 @@ impl MetadataService for MantleCluster {
             let ops = [
                 TxnOp::InsertUnique {
                     key: entry_key(parent.id, &name),
-                    row: Row::DirAccess { id, permission: Permission::ALL },
+                    row: Row::DirAccess {
+                        id,
+                        permission: Permission::ALL,
+                    },
                 },
                 TxnOp::Put {
                     key: attr_key(id),
@@ -275,7 +363,11 @@ impl MetadataService for MantleCluster {
                 },
                 TxnOp::AttrUpdate {
                     dir: parent.id,
-                    delta: AttrDelta { nlink: 1, entries: 1, mtime: now },
+                    delta: AttrDelta {
+                        nlink: 1,
+                        entries: 1,
+                        mtime: now,
+                    },
                 },
             ];
             self.db.execute(&ops, stats)?;
@@ -290,6 +382,7 @@ impl MetadataService for MantleCluster {
     }
 
     fn rmdir(&self, path: &MetaPath, stats: &mut OpStats) -> Result<()> {
+        self.ops.rmdir.inc();
         let (dir, parent, name) = stats.time(Phase::Lookup, |stats| {
             let dir = self.with_failover(stats, |stats| self.index.lookup(path, stats))?;
             let (parent, name) = self.resolve_parent(path, stats)?;
@@ -303,12 +396,20 @@ impl MetadataService for MantleCluster {
             let ops = [
                 // Exclusive lock on the attr row first; ExpectEmptyDir then
                 // checks emptiness with creations excluded.
-                TxnOp::Delete { key: attr_key(dir.id) },
+                TxnOp::Delete {
+                    key: attr_key(dir.id),
+                },
                 TxnOp::ExpectEmptyDir { dir: dir.id },
-                TxnOp::Delete { key: entry_key(parent.id, &name) },
+                TxnOp::Delete {
+                    key: entry_key(parent.id, &name),
+                },
                 TxnOp::AttrUpdate {
                     dir: parent.id,
-                    delta: AttrDelta { nlink: -1, entries: -1, mtime: now },
+                    delta: AttrDelta {
+                        nlink: -1,
+                        entries: -1,
+                        mtime: now,
+                    },
                 },
             ];
             self.db.execute(&ops, stats)?;
@@ -321,6 +422,7 @@ impl MetadataService for MantleCluster {
     }
 
     fn create(&self, path: &MetaPath, size: u64, stats: &mut OpStats) -> Result<InodeId> {
+        self.ops.create.inc();
         let (parent, name) = stats.time(Phase::Lookup, |stats| self.resolve_parent(path, stats))?;
         stats.time(Phase::Execute, |stats| {
             if !parent.permission.allows(Permission::WRITE) {
@@ -343,7 +445,11 @@ impl MetadataService for MantleCluster {
                 },
                 TxnOp::AttrUpdate {
                     dir: parent.id,
-                    delta: AttrDelta { nlink: 0, entries: 1, mtime: now },
+                    delta: AttrDelta {
+                        nlink: 0,
+                        entries: 1,
+                        mtime: now,
+                    },
                 },
             ];
             self.db.execute(&ops, stats)?;
@@ -352,16 +458,23 @@ impl MetadataService for MantleCluster {
     }
 
     fn delete(&self, path: &MetaPath, stats: &mut OpStats) -> Result<()> {
+        self.ops.delete.inc();
         let (parent, name) = stats.time(Phase::Lookup, |stats| self.resolve_parent(path, stats))?;
         stats.time(Phase::Execute, |stats| {
             // Type check (an object, not a directory) before deleting.
             self.db.get_object(parent.id, &name, stats)?;
             let now = self.now();
             let ops = [
-                TxnOp::Delete { key: entry_key(parent.id, &name) },
+                TxnOp::Delete {
+                    key: entry_key(parent.id, &name),
+                },
                 TxnOp::AttrUpdate {
                     dir: parent.id,
-                    delta: AttrDelta { nlink: 0, entries: -1, mtime: now },
+                    delta: AttrDelta {
+                        nlink: 0,
+                        entries: -1,
+                        mtime: now,
+                    },
                 },
             ];
             self.db.execute(&ops, stats)?;
@@ -370,6 +483,7 @@ impl MetadataService for MantleCluster {
     }
 
     fn objstat(&self, path: &MetaPath, stats: &mut OpStats) -> Result<ObjectMeta> {
+        self.ops.objstat.inc();
         let (parent, name) = stats.time(Phase::Lookup, |stats| self.resolve_parent(path, stats))?;
         stats.time(Phase::Execute, |stats| {
             if !parent.permission.allows(Permission::READ) {
@@ -380,14 +494,20 @@ impl MetadataService for MantleCluster {
     }
 
     fn dirstat(&self, path: &MetaPath, stats: &mut OpStats) -> Result<DirStat> {
+        self.ops.dirstat.inc();
         let dir = stats.time(Phase::Lookup, |stats| self.cached_lookup(path, stats))?;
         stats.time(Phase::Execute, |stats| {
             let attrs = self.db.dir_stat(dir.id, stats)?;
-            Ok(DirStat { id: dir.id, attrs, permission: dir.permission })
+            Ok(DirStat {
+                id: dir.id,
+                attrs,
+                permission: dir.permission,
+            })
         })
     }
 
     fn readdir(&self, path: &MetaPath, stats: &mut OpStats) -> Result<Vec<DirEntry>> {
+        self.ops.readdir.inc();
         let dir = stats.time(Phase::Lookup, |stats| self.cached_lookup(path, stats))?;
         stats.time(Phase::Execute, |stats| {
             if !dir.permission.allows(Permission::READ) {
@@ -404,6 +524,7 @@ impl MetadataService for MantleCluster {
         limit: usize,
         stats: &mut OpStats,
     ) -> Result<(Vec<DirEntry>, bool)> {
+        self.ops.list.inc();
         let dir = stats.time(Phase::Lookup, |stats| self.cached_lookup(path, stats))?;
         stats.time(Phase::Execute, |stats| {
             if !dir.permission.allows(Permission::READ) {
@@ -414,6 +535,7 @@ impl MetadataService for MantleCluster {
     }
 
     fn rename_dir(&self, src: &MetaPath, dst: &MetaPath, stats: &mut OpStats) -> Result<()> {
+        self.ops.rename.inc();
         // Each retry of the whole operation keeps the same client UUID so a
         // lock left by an earlier (failed) attempt is re-entered (§5.3).
         let uuid = ClientUuid::generate();
@@ -452,12 +574,19 @@ impl mantle_types::BulkLoad for MantleCluster {
                     let now = self.now();
                     self.db.raw_put(
                         entry_key(pid, comp),
-                        Row::DirAccess { id, permission: Permission::ALL },
+                        Row::DirAccess {
+                            id,
+                            permission: Permission::ALL,
+                        },
                     );
                     self.db
                         .raw_put(attr_key(id), Row::DirAttr(DirAttrMeta::new(now, 0)));
                     if let Some(Row::DirAttr(mut attrs)) = self.db.raw_get(&attr_key(pid)) {
-                        attrs.apply_delta(&AttrDelta { nlink: 1, entries: 1, mtime: now });
+                        attrs.apply_delta(&AttrDelta {
+                            nlink: 1,
+                            entries: 1,
+                            mtime: now,
+                        });
                         self.db.raw_put(attr_key(pid), Row::DirAttr(attrs));
                     }
                     self.index.raw_insert_dir(pid, comp, id, Permission::ALL);
@@ -488,7 +617,11 @@ impl mantle_types::BulkLoad for MantleCluster {
             }),
         );
         if let Some(Row::DirAttr(mut attrs)) = self.db.raw_get(&attr_key(pid)) {
-            attrs.apply_delta(&AttrDelta { nlink: 0, entries: 1, mtime: now });
+            attrs.apply_delta(&AttrDelta {
+                nlink: 0,
+                entries: 1,
+                mtime: now,
+            });
             self.db.raw_put(attr_key(pid), Row::DirAttr(attrs));
         }
     }
@@ -516,26 +649,43 @@ impl MantleCluster {
             let dst_name = dst.name().expect("non-root");
             let now = self.now();
             let mut ops = vec![
-                TxnOp::Delete { key: entry_key(grant.src_pid, src_name) },
+                TxnOp::Delete {
+                    key: entry_key(grant.src_pid, src_name),
+                },
                 TxnOp::InsertUnique {
                     key: entry_key(grant.dst_pid, dst_name),
-                    row: Row::DirAccess { id: grant.src_id, permission: grant.permission },
+                    row: Row::DirAccess {
+                        id: grant.src_id,
+                        permission: grant.permission,
+                    },
                 },
             ];
             if grant.src_pid == grant.dst_pid {
                 // Same-parent rename: entry counts are unchanged.
                 ops.push(TxnOp::AttrUpdate {
                     dir: grant.src_pid,
-                    delta: AttrDelta { nlink: 0, entries: 0, mtime: now },
+                    delta: AttrDelta {
+                        nlink: 0,
+                        entries: 0,
+                        mtime: now,
+                    },
                 });
             } else {
                 ops.push(TxnOp::AttrUpdate {
                     dir: grant.src_pid,
-                    delta: AttrDelta { nlink: -1, entries: -1, mtime: now },
+                    delta: AttrDelta {
+                        nlink: -1,
+                        entries: -1,
+                        mtime: now,
+                    },
                 });
                 ops.push(TxnOp::AttrUpdate {
                     dir: grant.dst_pid,
-                    delta: AttrDelta { nlink: 1, entries: 1, mtime: now },
+                    delta: AttrDelta {
+                        nlink: 1,
+                        entries: 1,
+                        mtime: now,
+                    },
                 });
             }
             match self.db.execute(&ops, stats) {

@@ -32,6 +32,6 @@ pub mod populate;
 pub mod region;
 
 pub use cluster::{MantleCluster, MantleConfig};
-pub use region::MantleRegion;
 pub use data::DataService;
 pub use populate::Populator;
+pub use region::MantleRegion;

@@ -28,7 +28,12 @@ impl<'a> Populator<'a> {
     pub fn new(cluster: &'a MantleCluster) -> Self {
         let mut path_ids = HashMap::new();
         path_ids.insert(MetaPath::root(), cluster.root());
-        Populator { cluster, path_ids, dirs: 0, objects: 0 }
+        Populator {
+            cluster,
+            path_ids,
+            dirs: 0,
+            objects: 0,
+        }
     }
 
     /// Ensures every directory on `path` exists, returning the final id.
@@ -44,10 +49,20 @@ impl<'a> Populator<'a> {
         let db = self.cluster.db();
         db.raw_put(
             entry_key(pid, name),
-            Row::DirAccess { id, permission: Permission::ALL },
+            Row::DirAccess {
+                id,
+                permission: Permission::ALL,
+            },
         );
         db.raw_put(attr_key(id), Row::DirAttr(DirAttrMeta::new(now, 0)));
-        self.bump_parent(pid, AttrDelta { nlink: 1, entries: 1, mtime: now });
+        self.bump_parent(
+            pid,
+            AttrDelta {
+                nlink: 1,
+                entries: 1,
+                mtime: now,
+            },
+        );
         self.cluster
             .index()
             .raw_insert_dir(pid, name, id, Permission::ALL);
@@ -77,7 +92,14 @@ impl<'a> Populator<'a> {
                 permission: Permission::ALL,
             }),
         );
-        self.bump_parent(pid, AttrDelta { nlink: 0, entries: 1, mtime: now });
+        self.bump_parent(
+            pid,
+            AttrDelta {
+                nlink: 0,
+                entries: 1,
+                mtime: now,
+            },
+        );
         self.objects += 1;
         id
     }
@@ -127,12 +149,18 @@ mod tests {
             pop.add_object(&p("/a/other/obj3"), 512);
             assert_eq!(pop.dirs(), 4); // a, b, c, other
             assert_eq!(pop.objects(), 3);
-            assert_eq!(pop.dir_id(&p("/a/b/c")), pop.path_ids.get(&p("/a/b/c")).copied());
+            assert_eq!(
+                pop.dir_id(&p("/a/b/c")),
+                pop.path_ids.get(&p("/a/b/c")).copied()
+            );
         }
         let svc = cluster.service();
         let mut stats = OpStats::new();
         // Lookups, stats and listings all see the populated state.
-        assert_eq!(svc.objstat(&p("/a/b/c/obj1"), &mut stats).unwrap().size, 1024);
+        assert_eq!(
+            svc.objstat(&p("/a/b/c/obj1"), &mut stats).unwrap().size,
+            1024
+        );
         let st = svc.dirstat(&p("/a/b/c"), &mut stats).unwrap();
         assert_eq!(st.attrs.entries, 2);
         let names: Vec<String> = svc
@@ -144,7 +172,10 @@ mod tests {
         assert_eq!(names, vec!["c"]);
         // And the namespace remains mutable through the normal path.
         svc.mkdir(&p("/a/b/c/d"), &mut stats).unwrap();
-        assert_eq!(svc.dirstat(&p("/a/b/c"), &mut stats).unwrap().attrs.entries, 3);
+        assert_eq!(
+            svc.dirstat(&p("/a/b/c"), &mut stats).unwrap().attrs.entries,
+            3
+        );
     }
 
     #[test]

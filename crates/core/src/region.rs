@@ -159,10 +159,14 @@ mod tests {
 
         ns_a.bulk_dir(&p("/x/y/z"));
         ns_a.bulk_object(&p("/x/y/z/o"), 5);
-        assert!(ns_b.lookup(&p("/x"), &mut stats).is_err(), "no cross-namespace leakage");
+        assert!(
+            ns_b.lookup(&p("/x"), &mut stats).is_err(),
+            "no cross-namespace leakage"
+        );
 
         ns_a.mkdir(&p("/dst"), &mut stats).unwrap();
-        ns_a.rename_dir(&p("/x/y"), &p("/dst/y2"), &mut stats).unwrap();
+        ns_a.rename_dir(&p("/x/y"), &p("/dst/y2"), &mut stats)
+            .unwrap();
         assert_eq!(ns_a.objstat(&p("/dst/y2/z/o"), &mut stats).unwrap().size, 5);
         assert!(ns_b.lookup(&p("/dst"), &mut stats).is_err());
     }

@@ -21,13 +21,19 @@ fn full_object_lifecycle() {
     svc.create(&p("/data/obj"), 4096, &mut stats).unwrap();
     let meta = svc.objstat(&p("/data/obj"), &mut stats).unwrap();
     assert_eq!(meta.size, 4096);
-    assert_eq!(svc.dirstat(&p("/data"), &mut stats).unwrap().attrs.entries, 1);
+    assert_eq!(
+        svc.dirstat(&p("/data"), &mut stats).unwrap().attrs.entries,
+        1
+    );
     svc.delete(&p("/data/obj"), &mut stats).unwrap();
     assert!(matches!(
         svc.objstat(&p("/data/obj"), &mut stats),
         Err(MetaError::NotFound(_))
     ));
-    assert_eq!(svc.dirstat(&p("/data"), &mut stats).unwrap().attrs.entries, 0);
+    assert_eq!(
+        svc.dirstat(&p("/data"), &mut stats).unwrap().attrs.entries,
+        0
+    );
     svc.rmdir(&p("/data"), &mut stats).unwrap();
     assert!(svc.lookup(&p("/data"), &mut stats).is_err());
 }
@@ -118,17 +124,27 @@ fn rename_moves_directory_across_parents() {
     svc.create(&p("/src/inner/obj"), 9, &mut stats).unwrap();
     svc.mkdir(&p("/dst"), &mut stats).unwrap();
 
-    svc.rename_dir(&p("/src/inner"), &p("/dst/moved"), &mut stats).unwrap();
+    svc.rename_dir(&p("/src/inner"), &p("/dst/moved"), &mut stats)
+        .unwrap();
 
     // The whole subtree follows the rename.
-    assert_eq!(svc.objstat(&p("/dst/moved/obj"), &mut stats).unwrap().size, 9);
+    assert_eq!(
+        svc.objstat(&p("/dst/moved/obj"), &mut stats).unwrap().size,
+        9
+    );
     assert!(matches!(
         svc.objstat(&p("/src/inner/obj"), &mut stats),
         Err(MetaError::NotFound(_))
     ));
     // Entry counts moved from /src to /dst.
-    assert_eq!(svc.dirstat(&p("/src"), &mut stats).unwrap().attrs.entries, 0);
-    assert_eq!(svc.dirstat(&p("/dst"), &mut stats).unwrap().attrs.entries, 1);
+    assert_eq!(
+        svc.dirstat(&p("/src"), &mut stats).unwrap().attrs.entries,
+        0
+    );
+    assert_eq!(
+        svc.dirstat(&p("/dst"), &mut stats).unwrap().attrs.entries,
+        1
+    );
     // Loop-detection phase was charged, lookup phase was not (§6.3).
     assert!(stats.phase_nanos(Phase::LoopDetect) > 0);
 }
@@ -159,7 +175,8 @@ fn rename_onto_existing_object_aborts_and_unlocks() {
         Err(MetaError::AlreadyExists(_))
     ));
     // The source is unlocked and still movable.
-    svc.rename_dir(&p("/a"), &p("/b/fresh"), &mut stats).unwrap();
+    svc.rename_dir(&p("/a"), &p("/b/fresh"), &mut stats)
+        .unwrap();
     assert!(svc.lookup(&p("/b/fresh"), &mut stats).is_ok());
 }
 
@@ -181,7 +198,10 @@ fn concurrent_creates_in_shared_directory_all_succeed() {
         }
     });
     assert_eq!(
-        svc.dirstat(&p("/shared"), &mut stats).unwrap().attrs.entries,
+        svc.dirstat(&p("/shared"), &mut stats)
+            .unwrap()
+            .attrs
+            .entries,
         200
     );
     assert_eq!(svc.readdir(&p("/shared"), &mut stats).unwrap().len(), 200);
@@ -196,15 +216,20 @@ fn concurrent_renames_into_shared_target_serialize_correctly() {
     svc.mkdir(&p("/out"), &mut stats).unwrap();
     for t in 0..8 {
         svc.mkdir(&p(&format!("/tmp{t}")), &mut stats).unwrap();
-        svc.create(&p(&format!("/tmp{t}/part")), 1, &mut stats).unwrap();
+        svc.create(&p(&format!("/tmp{t}/part")), 1, &mut stats)
+            .unwrap();
     }
     std::thread::scope(|s| {
         for t in 0..8 {
             let svc = &svc;
             s.spawn(move || {
                 let mut stats = OpStats::new();
-                svc.rename_dir(&p(&format!("/tmp{t}")), &p(&format!("/out/task{t}")), &mut stats)
-                    .unwrap();
+                svc.rename_dir(
+                    &p(&format!("/tmp{t}")),
+                    &p(&format!("/out/task{t}")),
+                    &mut stats,
+                )
+                .unwrap();
             });
         }
     });
@@ -218,7 +243,10 @@ fn concurrent_renames_into_shared_target_serialize_correctly() {
             1
         );
     }
-    assert_eq!(svc.dirstat(&p("/out"), &mut stats).unwrap().attrs.entries, 8);
+    assert_eq!(
+        svc.dirstat(&p("/out"), &mut stats).unwrap().attrs.entries,
+        8
+    );
 }
 
 #[test]

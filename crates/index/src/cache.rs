@@ -125,6 +125,7 @@ impl TopDirPathCache {
             self.tree.insert(&prefix);
         }
         self.fills.fetch_add(1, Ordering::Relaxed);
+        mantle_obs::counter("index_cache_fills_total", &[]).inc();
         true
     }
 
@@ -146,7 +147,9 @@ impl TopDirPathCache {
                     .fetch_sub(Self::entry_bytes(p), Ordering::Relaxed);
             }
         }
-        self.invalidated.fetch_add(stale.len() as u64, Ordering::Relaxed);
+        self.invalidated
+            .fetch_add(stale.len() as u64, Ordering::Relaxed);
+        mantle_obs::counter("index_cache_evictions_total", &[]).add(stale.len() as u64);
         stale.len()
     }
 
@@ -177,7 +180,10 @@ mod tests {
     }
 
     fn v(id: u64) -> CachedPrefix {
-        CachedPrefix { pid: InodeId(id), permission: Permission::ALL }
+        CachedPrefix {
+            pid: InodeId(id),
+            permission: Permission::ALL,
+        }
     }
 
     #[test]

@@ -93,6 +93,31 @@ pub struct IndexNode {
     rr: AtomicUsize,
     shutdown: Arc<AtomicBool>,
     invalidators: Mutex<Vec<std::thread::JoinHandle<()>>>,
+    metrics: IndexMetrics,
+}
+
+/// IndexNode obs handles, created once so the lookup hot path stays cheap.
+struct IndexMetrics {
+    /// `index_cache_hits_total` — lookups answered from the TopDirPathCache.
+    cache_hits: mantle_obs::Counter,
+    /// `index_cache_misses_total` — cacheable lookups that walked the index.
+    cache_misses: mantle_obs::Counter,
+    /// `index_follower_reads_total` — lookups served by a non-leader replica
+    /// (each pays a ReadIndex round).
+    follower_reads: mantle_obs::Counter,
+    /// `index_resolve_levels` — directory levels walked per resolve.
+    resolve_levels: mantle_obs::HistogramMetric,
+}
+
+impl IndexMetrics {
+    fn new() -> Self {
+        IndexMetrics {
+            cache_hits: mantle_obs::counter("index_cache_hits_total", &[]),
+            cache_misses: mantle_obs::counter("index_cache_misses_total", &[]),
+            follower_reads: mantle_obs::counter("index_follower_reads_total", &[]),
+            resolve_levels: mantle_obs::histogram("index_resolve_levels", &[]),
+        }
+    }
 }
 
 impl IndexNode {
@@ -154,6 +179,7 @@ impl IndexNode {
             rr: AtomicUsize::new(0),
             shutdown,
             invalidators: Mutex::new(invalidators),
+            metrics: IndexMetrics::new(),
         }
     }
 
@@ -204,17 +230,24 @@ impl IndexNode {
     pub fn lookup(&self, path: &MetaPath, stats: &mut OpStats) -> Result<ResolvedPath> {
         let replica = self.pick_read_replica()?;
         if !replica.is_leader() {
+            self.metrics.follower_reads.inc();
             replica.read_index(stats).map_err(Self::map_raft)?;
         }
-        let outcome: ResolveOutcome =
-            replica.node().rpc(stats, || replica.state_machine().resolve(path));
+        let outcome: ResolveOutcome = replica
+            .node()
+            .rpc_named(stats, "resolve", || replica.state_machine().resolve(path));
         if outcome.cacheable {
             if outcome.cache_hit {
                 stats.cache_hits += 1;
+                self.metrics.cache_hits.inc();
             } else {
                 stats.cache_misses += 1;
+                self.metrics.cache_misses.inc();
             }
         }
+        self.metrics
+            .resolve_levels
+            .record(outcome.levels_walked as u64);
         outcome.result
     }
 
@@ -228,7 +261,12 @@ impl IndexNode {
         stats: &mut OpStats,
     ) -> Result<()> {
         self.propose(
-            IndexCmd::InsertDir { pid, name: Arc::from(name), id, permission },
+            IndexCmd::InsertDir {
+                pid,
+                name: Arc::from(name),
+                id,
+                permission,
+            },
             stats,
         )
     }
@@ -242,7 +280,11 @@ impl IndexNode {
         stats: &mut OpStats,
     ) -> Result<()> {
         self.propose(
-            IndexCmd::RemoveDir { pid, name: Arc::from(name), path: path.clone() },
+            IndexCmd::RemoveDir {
+                pid,
+                name: Arc::from(name),
+                path: path.clone(),
+            },
             stats,
         )
     }
@@ -257,7 +299,12 @@ impl IndexNode {
         stats: &mut OpStats,
     ) -> Result<()> {
         self.propose(
-            IndexCmd::SetPermission { pid, name: Arc::from(name), permission, path: path.clone() },
+            IndexCmd::SetPermission {
+                pid,
+                name: Arc::from(name),
+                permission,
+                path: path.clone(),
+            },
             stats,
         )
     }
@@ -268,7 +315,7 @@ impl IndexNode {
         // replication is I/O and does not occupy a core — the Raft
         // pipeline itself (bounded AppendEntries batches over the injected
         // network/fsync delays) is the write-throughput ceiling.
-        leader.node().rpc(stats, || ());
+        leader.node().rpc_named(stats, "index_propose", || ());
         leader.propose(cmd).map_err(Self::map_raft)?;
         Ok(())
     }
@@ -447,7 +494,11 @@ impl IndexNode {
             r.state_machine().table.insert(
                 pid,
                 name,
-                crate::table::IndexEntry { id, permission, lock: None },
+                crate::table::IndexEntry {
+                    id,
+                    permission,
+                    lock: None,
+                },
             );
         }
     }

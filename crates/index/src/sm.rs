@@ -165,7 +165,10 @@ impl IndexSm {
     pub fn resolve(&self, path: &MetaPath) -> ResolveOutcome {
         if path.is_root() {
             return ResolveOutcome {
-                result: Ok(ResolvedPath { id: self.root, permission: Permission::ALL }),
+                result: Ok(ResolvedPath {
+                    id: self.root,
+                    permission: Permission::ALL,
+                }),
                 cache_hit: false,
                 cacheable: false,
                 levels_walked: 0,
@@ -175,13 +178,16 @@ impl IndexSm {
         let conflict = self.removal.conflicts_with(path);
         let version = self.removal.version();
         let cacheable = self.cache.prefix_of(path).is_some();
-        let prefix = if conflict { None } else { self.cache.prefix_of(path) };
+        let prefix = if conflict {
+            None
+        } else {
+            self.cache.prefix_of(path)
+        };
 
         // Step 2: probe TopDirPathCache with the truncated prefix.
         if let Some(ref prefix) = prefix {
             if let Some(hit) = self.cache.get(prefix) {
-                let (result, levels) =
-                    self.walk(path, prefix.depth(), hit.pid, hit.permission);
+                let (result, levels) = self.walk(path, prefix.depth(), hit.pid, hit.permission);
                 return ResolveOutcome {
                     result,
                     cache_hit: true,
@@ -200,7 +206,10 @@ impl IndexSm {
             if let Some((prefix_pid, prefix_perm)) = self.resolve_at_depth(path, prefix.depth()) {
                 self.cache.try_fill(
                     prefix,
-                    CachedPrefix { pid: prefix_pid, permission: prefix_perm },
+                    CachedPrefix {
+                        pid: prefix_pid,
+                        permission: prefix_perm,
+                    },
                     || self.removal.version() == version && !self.removal.conflicts_with(path),
                 );
             }
@@ -241,7 +250,13 @@ impl IndexSm {
             }
         }
         self.charge_levels(levels);
-        (Ok(ResolvedPath { id: pid, permission }), levels)
+        (
+            Ok(ResolvedPath {
+                id: pid,
+                permission,
+            }),
+            levels,
+        )
     }
 
     /// Injects the per-level CPU cost of the local IndexTable accesses
@@ -273,26 +288,46 @@ impl StateMachine for IndexSm {
     fn apply(&self, _index: u64, cmd: &IndexCmd) {
         match cmd {
             IndexCmd::Noop => {}
-            IndexCmd::InsertDir { pid, name, id, permission } => {
+            IndexCmd::InsertDir {
+                pid,
+                name,
+                id,
+                permission,
+            } => {
                 self.table.insert(
                     *pid,
                     name,
-                    IndexEntry { id: *id, permission: *permission, lock: None },
+                    IndexEntry {
+                        id: *id,
+                        permission: *permission,
+                        lock: None,
+                    },
                 );
             }
             IndexCmd::RemoveDir { pid, name, path } => {
                 self.table.remove(*pid, name);
                 self.cache.invalidate_subtree(path);
             }
-            IndexCmd::SetPermission { pid, name, permission, path } => {
+            IndexCmd::SetPermission {
+                pid,
+                name,
+                permission,
+                path,
+            } => {
                 // Block cache use for the subtree while the change lands,
                 // exactly the dirrename dance but without a lock bit.
                 self.removal.insert(path.clone());
-                self.table.update(*pid, name, |e| e.permission = *permission);
+                self.table
+                    .update(*pid, name, |e| e.permission = *permission);
                 self.cache.invalidate_subtree(path);
                 self.removal.remove(path);
             }
-            IndexCmd::RenamePrepare { src_pid, src_name, uuid, src_path } => {
+            IndexCmd::RenamePrepare {
+                src_pid,
+                src_name,
+                uuid,
+                src_path,
+            } => {
                 self.removal.insert(src_path.clone());
                 self.table.try_lock(*src_pid, src_name, *uuid);
             }
@@ -311,7 +346,12 @@ impl StateMachine for IndexSm {
                 self.cache.invalidate_subtree(src_path);
                 self.removal.remove(src_path);
             }
-            IndexCmd::RenameAbort { src_pid, src_name, uuid, src_path } => {
+            IndexCmd::RenameAbort {
+                src_pid,
+                src_name,
+                uuid,
+                src_path,
+            } => {
                 self.table.unlock(*src_pid, src_name, *uuid);
                 self.removal.remove(src_path);
             }
@@ -505,7 +545,11 @@ mod tests {
         assert_eq!(sm.cache.stats().entries, 1);
         sm.apply(
             0,
-            &IndexCmd::RemoveDir { pid: InodeId(3), name: Arc::from("c"), path: p("/a/b/c") },
+            &IndexCmd::RemoveDir {
+                pid: InodeId(3),
+                name: Arc::from("c"),
+                path: p("/a/b/c"),
+            },
         );
         assert_eq!(sm.cache.stats().entries, 0);
         assert!(matches!(

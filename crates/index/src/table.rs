@@ -148,7 +148,11 @@ mod tests {
     use mantle_types::ROOT_ID;
 
     fn entry(id: u64) -> IndexEntry {
-        IndexEntry { id: InodeId(id), permission: Permission::ALL, lock: None }
+        IndexEntry {
+            id: InodeId(id),
+            permission: Permission::ALL,
+            lock: None,
+        }
     }
 
     #[test]

@@ -23,7 +23,8 @@ fn build_chain(node: &IndexNode, stats: &mut OpStats) -> Vec<InodeId> {
     let mut ids = Vec::new();
     for (i, name) in names.iter().enumerate() {
         let id = InodeId(10 + i as u64);
-        node.insert_dir(pid, name, id, Permission::ALL, stats).unwrap();
+        node.insert_dir(pid, name, id, Permission::ALL, stats)
+            .unwrap();
         ids.push(id);
         pid = id;
     }
@@ -45,8 +46,10 @@ fn insert_then_lookup_single_rpc() {
 
 #[test]
 fn follower_lookup_is_consistent_after_write() {
-    let mut opts = IndexOptions::default();
-    opts.learners = 2;
+    let opts = IndexOptions {
+        learners: 2,
+        ..IndexOptions::default()
+    };
     let node = node_with(opts);
     let mut stats = OpStats::new();
     build_chain(&node, &mut stats);
@@ -72,9 +75,11 @@ fn lookup_missing_path_not_found() {
 
 #[test]
 fn cache_hit_counted_on_deep_paths() {
-    let mut opts = IndexOptions::default();
-    opts.follower_reads = false;
-    opts.k = 2;
+    let opts = IndexOptions {
+        follower_reads: false,
+        k: 2,
+        ..IndexOptions::default()
+    };
     let node = node_with(opts);
     let mut stats = OpStats::new();
     build_chain(&node, &mut stats);
@@ -92,7 +97,8 @@ fn remove_dir_then_lookup_fails() {
     let node = node();
     let mut stats = OpStats::new();
     let ids = build_chain(&node, &mut stats);
-    node.remove_dir(ids[2], "d", &p("/a/b/c/d"), &mut stats).unwrap();
+    node.remove_dir(ids[2], "d", &p("/a/b/c/d"), &mut stats)
+        .unwrap();
     assert!(matches!(
         node.lookup(&p("/a/b/c/d"), &mut stats),
         Err(MetaError::NotFound(_))
@@ -105,8 +111,14 @@ fn rename_prepare_commit_moves_subtree() {
     let node = node();
     let mut stats = OpStats::new();
     build_chain(&node, &mut stats);
-    node.insert_dir(mantle_types::ROOT_ID, "target", InodeId(99), Permission::ALL, &mut stats)
-        .unwrap();
+    node.insert_dir(
+        mantle_types::ROOT_ID,
+        "target",
+        InodeId(99),
+        Permission::ALL,
+        &mut stats,
+    )
+    .unwrap();
 
     let uuid = ClientUuid::generate();
     let grant = node
@@ -141,7 +153,8 @@ fn rename_loop_detected() {
     let grant = node
         .rename_prepare(&p("/a/b"), &p("/moved"), uuid2, &mut stats)
         .unwrap();
-    node.rename_abort(&grant, &p("/a/b"), uuid2, &mut stats).unwrap();
+    node.rename_abort(&grant, &p("/a/b"), uuid2, &mut stats)
+        .unwrap();
 }
 
 #[test]
@@ -166,8 +179,14 @@ fn conflicting_rename_sees_lock_and_retry_after_abort() {
     // strictly below the LCA also conflicts (Figure 9 step 6): /a/b could
     // be re-parented under /x before this rename commits, forming a loop.
     let u3 = ClientUuid::generate();
-    node.insert_dir(mantle_types::ROOT_ID, "x", InodeId(70), Permission::ALL, &mut stats)
-        .unwrap();
+    node.insert_dir(
+        mantle_types::ROOT_ID,
+        "x",
+        InodeId(70),
+        Permission::ALL,
+        &mut stats,
+    )
+    .unwrap();
     assert!(matches!(
         node.rename_prepare(&p("/x"), &p("/a/b/c/x2"), u3, &mut stats),
         Err(MetaError::RenameLocked(_))
@@ -179,7 +198,8 @@ fn conflicting_rename_sees_lock_and_retry_after_abort() {
     let inner = node
         .rename_prepare(&p("/a/b/c/d"), &p("/a/b/d2"), u4, &mut stats)
         .unwrap();
-    node.rename_abort(&inner, &p("/a/b/c/d"), u4, &mut stats).unwrap();
+    node.rename_abort(&inner, &p("/a/b/c/d"), u4, &mut stats)
+        .unwrap();
 
     // Same-uuid retry (proxy failover) re-enters the lock instead of
     // deadlocking (§5.3).
@@ -188,7 +208,8 @@ fn conflicting_rename_sees_lock_and_retry_after_abort() {
         .unwrap();
     assert_eq!(grant_retry.src_id, grant1.src_id);
 
-    node.rename_abort(&grant1, &p("/a/b"), u1, &mut stats).unwrap();
+    node.rename_abort(&grant1, &p("/a/b"), u1, &mut stats)
+        .unwrap();
     // After the abort the second rename succeeds.
     let grant2 = node
         .rename_prepare(&p("/a/b"), &p("/elsewhere"), u2, &mut stats)
@@ -203,19 +224,32 @@ fn rename_to_existing_destination_rejected() {
     let node = node();
     let mut stats = OpStats::new();
     build_chain(&node, &mut stats);
-    node.insert_dir(mantle_types::ROOT_ID, "occupied", InodeId(50), Permission::ALL, &mut stats)
-        .unwrap();
+    node.insert_dir(
+        mantle_types::ROOT_ID,
+        "occupied",
+        InodeId(50),
+        Permission::ALL,
+        &mut stats,
+    )
+    .unwrap();
     assert!(matches!(
-        node.rename_prepare(&p("/a/b"), &p("/occupied"), ClientUuid::generate(), &mut stats),
+        node.rename_prepare(
+            &p("/a/b"),
+            &p("/occupied"),
+            ClientUuid::generate(),
+            &mut stats
+        ),
         Err(MetaError::AlreadyExists(_))
     ));
 }
 
 #[test]
 fn rename_invalidates_follower_caches() {
-    let mut opts = IndexOptions::default();
-    opts.k = 1;
-    opts.learners = 1;
+    let opts = IndexOptions {
+        k: 1,
+        learners: 1,
+        ..IndexOptions::default()
+    };
     let node = node_with(opts);
     let mut stats = OpStats::new();
     build_chain(&node, &mut stats);
@@ -228,8 +262,11 @@ fn rename_invalidates_follower_caches() {
     assert!(warmed > 0);
 
     let uuid = ClientUuid::generate();
-    let grant = node.rename_prepare(&p("/a/b"), &p("/nb"), uuid, &mut stats).unwrap();
-    node.rename_commit(&grant, &p("/a/b"), &p("/nb"), uuid, &mut stats).unwrap();
+    let grant = node
+        .rename_prepare(&p("/a/b"), &p("/nb"), uuid, &mut stats)
+        .unwrap();
+    node.rename_commit(&grant, &p("/a/b"), &p("/nb"), uuid, &mut stats)
+        .unwrap();
 
     // Every replica must now resolve the new path and reject the old one.
     for _ in 0..12 {
@@ -254,7 +291,10 @@ fn leader_crash_lookup_fails_over_to_new_leader() {
     assert_eq!(resolved.id, InodeId(13));
     node.insert_dir(InodeId(13), "e", InodeId(77), Permission::ALL, &mut stats)
         .unwrap();
-    assert_eq!(node.lookup(&p("/a/b/c/d/e"), &mut stats).unwrap().id, InodeId(77));
+    assert_eq!(
+        node.lookup(&p("/a/b/c/d/e"), &mut stats).unwrap().id,
+        InodeId(77)
+    );
 }
 
 #[test]

@@ -1,0 +1,27 @@
+//! # mantle-obs — cluster-wide observability
+//!
+//! Two halves, wired through every subsystem in the workspace:
+//!
+//! * [`metrics`] — a sharded registry of named counters, gauges and
+//!   histograms with Prometheus-style labels (`node="tafdb3"`), snapshot
+//!   export as Prometheus text or JSON. Subsystems grab handles once at
+//!   construction; the hot path is one atomic op.
+//! * [`trace`] — RPC-chain tracing. A thread-local span stack follows a
+//!   request across SimNode RPC hops; finished traces
+//!   land in a bounded ring buffer and render as a tree whose RPC count can
+//!   be checked against the paper's Table 1 RTT analysis.
+//!
+//! See DESIGN.md §Observability for the metric taxonomy and trace format.
+
+#![warn(missing_docs)]
+
+pub mod metrics;
+pub mod trace;
+
+pub use metrics::{
+    counter, gauge, histogram, snapshot, Counter, Gauge, HistogramMetric, MetricsSnapshot, Registry,
+};
+pub use trace::{
+    rpc_span, set_sample_rate, span, start, start_forced, take_recent, Span, SpanKind, SpanScope,
+    Trace, TraceGuard,
+};

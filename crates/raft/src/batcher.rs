@@ -98,7 +98,10 @@ mod tests {
             h.join().unwrap();
         }
         let n = fetches.load(Ordering::SeqCst);
-        assert!(n < 320, "expected batching, got {n} fetches for 320 queries");
+        assert!(
+            n < 320,
+            "expected batching, got {n} fetches for 320 queries"
+        );
         assert!(n >= 1);
     }
 }

@@ -235,11 +235,7 @@ mod tests {
     fn propose_on_follower_is_rejected() {
         let group = test_group(3, 0);
         group.await_leader(Duration::from_secs(1)).unwrap();
-        let follower = group
-            .replicas()
-            .iter()
-            .find(|r| !r.is_leader())
-            .unwrap();
+        let follower = group.replicas().iter().find(|r| !r.is_leader()).unwrap();
         match follower.propose(1) {
             Err(RaftError::NotLeader(_)) => {}
             other => panic!("expected NotLeader, got {other:?}"),
@@ -285,7 +281,10 @@ mod tests {
         group.recover(leader.id());
         let deadline = Instant::now() + Duration::from_secs(5);
         while leader.state_machine().count.load(Ordering::SeqCst) < 15 {
-            assert!(Instant::now() < deadline, "recovered replica did not catch up");
+            assert!(
+                Instant::now() < deadline,
+                "recovered replica did not catch up"
+            );
             std::thread::sleep(Duration::from_millis(10));
         }
         assert!(!leader.is_leader() || leader.term() > 1);

@@ -17,7 +17,9 @@ pub struct RaftLog<C> {
 
 impl<C: Clone> Default for RaftLog<C> {
     fn default() -> Self {
-        RaftLog { entries: Vec::new() }
+        RaftLog {
+            entries: Vec::new(),
+        }
     }
 }
 

@@ -6,9 +6,39 @@ use std::time::{Duration, Instant};
 
 use parking_lot::{Condvar, Mutex};
 
+use mantle_obs::{Counter, HistogramMetric};
 use mantle_rpc::SimNode;
 use mantle_store::GroupCommitWal;
 use mantle_types::{OpStats, SimConfig};
+
+/// Per-replica metric handles (labeled `node=<sim node name>`).
+struct RaftMetrics {
+    /// `raft_appends_total{node=...}` — log entries appended (leader
+    /// proposals and follower replication).
+    appends: Counter,
+    /// `raft_elections_total{node=...}` — campaigns started here.
+    elections: Counter,
+    /// `raft_leaders_elected_total{node=...}` — campaigns this replica won.
+    leaders_elected: Counter,
+    /// `raft_term_changes_total{node=...}` — term bumps observed here.
+    term_changes: Counter,
+    /// `raft_replicate_batch_entries{node=...}` — entries per
+    /// AppendEntries batch sent from this leader.
+    batch: HistogramMetric,
+}
+
+impl RaftMetrics {
+    fn new(node: &str) -> Self {
+        let labels = [("node", node)];
+        RaftMetrics {
+            appends: mantle_obs::counter("raft_appends_total", &labels),
+            elections: mantle_obs::counter("raft_elections_total", &labels),
+            leaders_elected: mantle_obs::counter("raft_leaders_elected_total", &labels),
+            term_changes: mantle_obs::counter("raft_term_changes_total", &labels),
+            batch: mantle_obs::histogram("raft_replicate_batch_entries", &labels),
+        }
+    }
+}
 
 use crate::batcher::CommitIndexBatcher;
 use crate::log::{LogEntry, RaftLog};
@@ -152,6 +182,7 @@ pub struct RaftReplica<SM: StateMachine> {
     read_batcher: CommitIndexBatcher,
     config: SimConfig,
     opts: RaftOptions,
+    metrics: RaftMetrics,
 }
 
 impl<SM: StateMachine> RaftReplica<SM> {
@@ -165,6 +196,7 @@ impl<SM: StateMachine> RaftReplica<SM> {
         opts: RaftOptions,
     ) -> Arc<Self> {
         let learner = id >= n_voters;
+        let metrics = RaftMetrics::new(node.name());
         Arc::new(RaftReplica {
             id,
             n_voters,
@@ -173,7 +205,11 @@ impl<SM: StateMachine> RaftReplica<SM> {
             inner: Mutex::new(Inner {
                 term: 0,
                 voted_for: None,
-                role: if learner { Role::Learner } else { Role::Follower },
+                role: if learner {
+                    Role::Learner
+                } else {
+                    Role::Follower
+                },
                 log: RaftLog::default(),
                 commit_index: 0,
                 last_applied: 0,
@@ -186,7 +222,7 @@ impl<SM: StateMachine> RaftReplica<SM> {
             apply_cv: Condvar::new(),
             log_cv: Condvar::new(),
             sm: Arc::new(sm),
-            wal: GroupCommitWal::new(config, opts.log_batching),
+            wal: GroupCommitWal::new_scoped(config, opts.log_batching, "raft"),
             node,
             alive: AtomicBool::new(true),
             shutdown: AtomicBool::new(false),
@@ -194,6 +230,7 @@ impl<SM: StateMachine> RaftReplica<SM> {
             read_batcher: CommitIndexBatcher::new(),
             config,
             opts,
+            metrics,
         })
     }
 
@@ -319,6 +356,7 @@ impl<SM: StateMachine> RaftReplica<SM> {
             self.log_cv.notify_all();
             (index, term)
         };
+        self.metrics.appends.inc();
 
         // Leader durability: group-committed fsync outside the lock.
         self.wal.append();
@@ -341,8 +379,7 @@ impl<SM: StateMachine> RaftReplica<SM> {
             if !self.alive() {
                 return Err(RaftError::Unavailable);
             }
-            self.apply_cv
-                .wait_for(&mut g, Duration::from_millis(10));
+            self.apply_cv.wait_for(&mut g, Duration::from_millis(10));
         }
     }
 
@@ -372,7 +409,7 @@ impl<SM: StateMachine> RaftReplica<SM> {
                 .filter_map(|i| self.peer(i))
                 .find(|p| p.is_leader());
             match leader {
-                Some(l) => l.node.rpc(stats, || l.commit_index()),
+                Some(l) => l.node.rpc_named(stats, "read_index", || l.commit_index()),
                 None => NO_LEADER,
             }
         });
@@ -385,8 +422,7 @@ impl<SM: StateMachine> RaftReplica<SM> {
             if !self.alive() {
                 return Err(RaftError::Unavailable);
             }
-            self.apply_cv
-                .wait_for(&mut g, Duration::from_millis(10));
+            self.apply_cv.wait_for(&mut g, Duration::from_millis(10));
         }
         Ok(ci)
     }
@@ -404,7 +440,12 @@ impl<SM: StateMachine> RaftReplica<SM> {
         leader_commit: u64,
     ) -> AppendResult {
         if !self.alive() {
-            return AppendResult { term: 0, success: false, match_index: 0, reachable: false };
+            return AppendResult {
+                term: 0,
+                success: false,
+                match_index: 0,
+                reachable: false,
+            };
         }
         self.node.execute(|| {
             let mut g = self.inner.lock();
@@ -419,8 +460,13 @@ impl<SM: StateMachine> RaftReplica<SM> {
             if term > g.term {
                 g.term = term;
                 g.voted_for = None;
+                self.metrics.term_changes.inc();
             }
-            g.role = if self.learner { Role::Learner } else { Role::Follower };
+            g.role = if self.learner {
+                Role::Learner
+            } else {
+                Role::Follower
+            };
             g.last_heartbeat = Instant::now();
             g.leader_hint = Some(leader_id);
 
@@ -437,6 +483,7 @@ impl<SM: StateMachine> RaftReplica<SM> {
             };
             let n_new = batch.len();
             drop(g);
+            self.metrics.appends.add(n_new as u64);
 
             // Durability outside the lock: one fsync per batch when log
             // batching is on, one per entry otherwise (§5.2.3).
@@ -474,7 +521,11 @@ impl<SM: StateMachine> RaftReplica<SM> {
         last_log_term: u64,
     ) -> VoteResult {
         if !self.alive() {
-            return VoteResult { term: 0, granted: false, reachable: false };
+            return VoteResult {
+                term: 0,
+                granted: false,
+                reachable: false,
+            };
         }
         self.node.execute(|| {
             let mut g = self.inner.lock();
@@ -495,7 +546,11 @@ impl<SM: StateMachine> RaftReplica<SM> {
                 g.voted_for = Some(candidate);
                 g.last_heartbeat = Instant::now();
             }
-            VoteResult { term: g.term, granted, reachable: true }
+            VoteResult {
+                term: g.term,
+                granted,
+                reachable: true,
+            }
         })
     }
 
@@ -517,6 +572,7 @@ impl<SM: StateMachine> RaftReplica<SM> {
     }
 
     fn become_leader(self: &Arc<Self>, g: &mut Inner<SM::Command>) {
+        self.metrics.leaders_elected.inc();
         g.role = Role::Leader;
         g.leader_hint = Some(self.id);
         g.leader_epoch += 1;
@@ -526,7 +582,10 @@ impl<SM: StateMachine> RaftReplica<SM> {
             g.match_index[i] = 0;
         }
         // Term-start barrier: replicating it commits every prior-term entry.
-        let barrier_idx = g.log.append(LogEntry { term: g.term, cmd: SM::barrier() });
+        let barrier_idx = g.log.append(LogEntry {
+            term: g.term,
+            cmd: SM::barrier(),
+        });
         g.match_index[self.id] = barrier_idx;
         self.advance_commit(g);
         self.log_cv.notify_all();
@@ -577,6 +636,9 @@ impl<SM: StateMachine> RaftReplica<SM> {
                 return;
             };
             let n = batch.len() as u64;
+            if n > 0 {
+                self.metrics.batch.record(n);
+            }
             mantle_rpc::net_round_trip(&self.config);
             let resp = peer.append_entries(term, self.id, prev_index, prev_term, batch, commit);
 
@@ -648,6 +710,8 @@ impl<SM: StateMachine> RaftReplica<SM> {
     }
 
     fn campaign(self: &Arc<Self>) {
+        self.metrics.elections.inc();
+        self.metrics.term_changes.inc();
         let (term, last_index, last_term) = {
             let mut g = self.inner.lock();
             g.term += 1;
@@ -708,9 +772,7 @@ impl<SM: StateMachine> RaftReplica<SM> {
                         let from = g.last_applied + 1;
                         let to = g.commit_index.min(g.last_applied + APPLY_BATCH);
                         let cmds: Vec<(u64, SM::Command)> = (from..=to)
-                            .map(|i| {
-                                (i, g.log.get(i).expect("committed entry exists").cmd.clone())
-                            })
+                            .map(|i| (i, g.log.get(i).expect("committed entry exists").cmd.clone()))
                             .collect();
                         break cmds;
                     }

@@ -1,10 +1,39 @@
 //! Simulated metadata/storage server nodes.
 
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
 use std::time::Instant;
 
+use mantle_obs::{trace, Counter, Gauge, HistogramMetric};
 use mantle_sync::Semaphore;
 use mantle_types::{OpStats, SimConfig};
+
+/// Per-node metric handles, created once at [`SimNode::new`] so the hot path
+/// is a handful of atomic ops.
+struct NodeMetrics {
+    /// `simnode_rpcs_total{node=...}` — remote requests entering this node.
+    rpcs: Counter,
+    /// `simnode_served_total{node=...}` — requests completed (local + remote).
+    served: Counter,
+    /// `simnode_permit_wait_nanos{node=...}` — admission-queue wait.
+    permit_wait: HistogramMetric,
+    /// `simnode_queue_depth{node=...}` — requests currently in admission.
+    queue_depth: Gauge,
+    /// `simnode_queue_depth_hwm{node=...}` — queue-depth high-water mark.
+    queue_hwm: Gauge,
+}
+
+impl NodeMetrics {
+    fn new(node: &str) -> Self {
+        let labels = [("node", node)];
+        NodeMetrics {
+            rpcs: mantle_obs::counter("simnode_rpcs_total", &labels),
+            served: mantle_obs::counter("simnode_served_total", &labels),
+            permit_wait: mantle_obs::histogram("simnode_permit_wait_nanos", &labels),
+            queue_depth: mantle_obs::gauge("simnode_queue_depth", &labels),
+            queue_hwm: mantle_obs::gauge("simnode_queue_depth_hwm", &labels),
+        }
+    }
+}
 
 /// One simulated server.
 ///
@@ -18,17 +47,23 @@ pub struct SimNode {
     capacity: Semaphore,
     served: AtomicU64,
     busy_nanos: AtomicU64,
+    in_queue: AtomicI64,
+    metrics: NodeMetrics,
 }
 
 impl SimNode {
     /// Creates a node with `permits` concurrent request slots.
     pub fn new(name: impl Into<String>, permits: usize, config: SimConfig) -> Self {
+        let name = name.into();
+        let metrics = NodeMetrics::new(&name);
         SimNode {
-            name: name.into(),
+            name,
             config,
             capacity: Semaphore::new(permits),
             served: AtomicU64::new(0),
             busy_nanos: AtomicU64::new(0),
+            in_queue: AtomicI64::new(0),
+            metrics,
         }
     }
 
@@ -46,8 +81,27 @@ impl SimNode {
     /// network round trip, waits for an execution permit, charges the
     /// service time, and records the RPC in `stats`.
     pub fn rpc<R>(&self, stats: &mut OpStats, f: impl FnOnce() -> R) -> R {
+        self.rpc_named(stats, "rpc", f)
+    }
+
+    /// [`SimNode::rpc`] with an operation name recorded on the trace span.
+    pub fn rpc_named<R>(&self, stats: &mut OpStats, op: &str, f: impl FnOnce() -> R) -> R {
         stats.rpc();
+        self.metrics.rpcs.inc();
+        let _span = trace::rpc_span(op, &self.name);
+        trace::note_injected_on_current(self.config.rtt().as_nanos() as u64);
         crate::net_round_trip(&self.config);
+        self.execute(f)
+    }
+
+    /// Executes `f` as a *remote* request whose network round trip is shared
+    /// with other requests in the same batch (the caller pays the round trip
+    /// once): records the RPC in `stats` and on the trace, but injects no
+    /// network delay of its own.
+    pub fn rpc_batched<R>(&self, stats: &mut OpStats, op: &str, f: impl FnOnce() -> R) -> R {
+        stats.rpc();
+        self.metrics.rpcs.inc();
+        let _span = trace::rpc_span(op, &self.name);
         self.execute(f)
     }
 
@@ -55,10 +109,20 @@ impl SimNode {
     /// network round trip and no RPC accounting.
     pub fn execute<R>(&self, f: impl FnOnce() -> R) -> R {
         let start = Instant::now();
+        let depth = self.in_queue.fetch_add(1, Ordering::Relaxed) + 1;
+        self.metrics.queue_depth.add(1);
+        self.metrics.queue_hwm.set_max(depth);
         let _permit = self.capacity.acquire();
+        let waited = start.elapsed().as_nanos() as u64;
+        self.metrics.permit_wait.record(waited);
+        trace::note_queue_on_current(waited);
+        trace::note_injected_on_current(self.config.service().as_nanos() as u64);
         crate::inject_delay(self.config.service());
         let out = f();
+        self.in_queue.fetch_sub(1, Ordering::Relaxed);
+        self.metrics.queue_depth.add(-1);
         self.served.fetch_add(1, Ordering::Relaxed);
+        self.metrics.served.inc();
         self.busy_nanos
             .fetch_add(start.elapsed().as_nanos() as u64, Ordering::Relaxed);
         out
@@ -137,6 +201,37 @@ mod tests {
     }
 
     #[test]
+    fn rpc_batched_counts_without_round_trip() {
+        let mut config = SimConfig::instant();
+        config.rtt_micros = 50_000;
+        let node = SimNode::new("db0", usize::MAX, config);
+        let mut stats = OpStats::new();
+        let start = Instant::now();
+        let out = node.rpc_batched(&mut stats, "get_entry", || 3);
+        assert_eq!(out, 3);
+        assert_eq!(stats.rpcs, 1);
+        assert!(
+            start.elapsed() < Duration::from_micros(50_000),
+            "batched rpc must not pay its own round trip"
+        );
+    }
+
+    #[test]
+    fn rpc_records_trace_span() {
+        let node = SimNode::new("db7", usize::MAX, SimConfig::instant());
+        let mut stats = OpStats::new();
+        let guard = mantle_obs::trace::start_forced("test_op").expect("trace starts");
+        node.rpc_named(&mut stats, "ping", || ());
+        node.rpc_batched(&mut stats, "ping_batched", || ());
+        let trace = guard.finish();
+        assert_eq!(trace.rpc_count(), 2);
+        assert!(trace
+            .spans
+            .iter()
+            .any(|s| s.op == "ping" && s.node == "db7"));
+    }
+
+    #[test]
     fn saturated_node_queues_requests() {
         let mut config = SimConfig::instant();
         config.service_micros = 5_000;
@@ -153,5 +248,14 @@ mod tests {
             start.elapsed()
         );
         assert_eq!(node.snapshot().served, 2);
+    }
+
+    #[test]
+    fn permit_wait_histogram_populates() {
+        let node = SimNode::new("hist0", usize::MAX, SimConfig::instant());
+        let before = mantle_obs::snapshot().histogram_count("simnode_permit_wait_nanos");
+        node.execute(|| ());
+        let after = mantle_obs::snapshot().histogram_count("simnode_permit_wait_nanos");
+        assert_eq!(after, before + 1);
     }
 }

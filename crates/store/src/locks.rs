@@ -214,20 +214,28 @@ mod tests {
     #[test]
     fn exclusive_conflicts_reported_no_wait() {
         let lm = LockManager::new(4);
-        assert!(lm.try_lock(&key(1, "a"), TxnId(1), LockMode::Exclusive).is_ok());
+        assert!(lm
+            .try_lock(&key(1, "a"), TxnId(1), LockMode::Exclusive)
+            .is_ok());
         assert_eq!(
             lm.try_lock(&key(1, "a"), TxnId(2), LockMode::Exclusive),
             Err(TxnId(1))
         );
         lm.unlock(&key(1, "a"), TxnId(1));
-        assert!(lm.try_lock(&key(1, "a"), TxnId(2), LockMode::Exclusive).is_ok());
+        assert!(lm
+            .try_lock(&key(1, "a"), TxnId(2), LockMode::Exclusive)
+            .is_ok());
     }
 
     #[test]
     fn shared_locks_are_compatible() {
         let lm = LockManager::new(4);
-        assert!(lm.try_lock(&key(1, "a"), TxnId(1), LockMode::Shared).is_ok());
-        assert!(lm.try_lock(&key(1, "a"), TxnId(2), LockMode::Shared).is_ok());
+        assert!(lm
+            .try_lock(&key(1, "a"), TxnId(1), LockMode::Shared)
+            .is_ok());
+        assert!(lm
+            .try_lock(&key(1, "a"), TxnId(2), LockMode::Shared)
+            .is_ok());
         assert_eq!(
             lm.try_lock(&key(1, "a"), TxnId(3), LockMode::Exclusive),
             Err(TxnId(1))
@@ -240,20 +248,36 @@ mod tests {
     #[test]
     fn reentrant_and_upgrade() {
         let lm = LockManager::new(4);
-        assert!(lm.try_lock(&key(1, "a"), TxnId(1), LockMode::Exclusive).is_ok());
-        assert!(lm.try_lock(&key(1, "a"), TxnId(1), LockMode::Exclusive).is_ok());
-        assert!(lm.try_lock(&key(1, "a"), TxnId(1), LockMode::Shared).is_ok());
+        assert!(lm
+            .try_lock(&key(1, "a"), TxnId(1), LockMode::Exclusive)
+            .is_ok());
+        assert!(lm
+            .try_lock(&key(1, "a"), TxnId(1), LockMode::Exclusive)
+            .is_ok());
+        assert!(lm
+            .try_lock(&key(1, "a"), TxnId(1), LockMode::Shared)
+            .is_ok());
         // Sole shared holder upgrades.
-        assert!(lm.try_lock(&key(2, "b"), TxnId(5), LockMode::Shared).is_ok());
-        assert!(lm.try_lock(&key(2, "b"), TxnId(5), LockMode::Exclusive).is_ok());
+        assert!(lm
+            .try_lock(&key(2, "b"), TxnId(5), LockMode::Shared)
+            .is_ok());
+        assert!(lm
+            .try_lock(&key(2, "b"), TxnId(5), LockMode::Exclusive)
+            .is_ok());
         assert_eq!(
             lm.try_lock(&key(2, "b"), TxnId(6), LockMode::Shared),
             Err(TxnId(5))
         );
         // Upgrade with another shared holder fails.
-        assert!(lm.try_lock(&key(3, "c"), TxnId(7), LockMode::Shared).is_ok());
-        assert!(lm.try_lock(&key(3, "c"), TxnId(8), LockMode::Shared).is_ok());
-        assert!(lm.try_lock(&key(3, "c"), TxnId(7), LockMode::Exclusive).is_err());
+        assert!(lm
+            .try_lock(&key(3, "c"), TxnId(7), LockMode::Shared)
+            .is_ok());
+        assert!(lm
+            .try_lock(&key(3, "c"), TxnId(8), LockMode::Shared)
+            .is_ok());
+        assert!(lm
+            .try_lock(&key(3, "c"), TxnId(7), LockMode::Exclusive)
+            .is_err());
     }
 
     #[test]

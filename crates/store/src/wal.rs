@@ -10,9 +10,32 @@
 
 use std::sync::atomic::{AtomicU64, Ordering};
 
+use mantle_obs::{Counter, HistogramMetric};
 use parking_lot::{Condvar, Mutex};
 
 use mantle_types::SimConfig;
+
+/// WAL metric handles, labeled by the owning subsystem (`scope="raft"`,
+/// `scope="tafdb"`, ...).
+struct WalMetrics {
+    /// `wal_appends_total{scope=...}` — records appended.
+    appends: Counter,
+    /// `wal_fsyncs_total{scope=...}` — physical fsyncs performed.
+    fsyncs: Counter,
+    /// `wal_batch_records{scope=...}` — records made durable per fsync.
+    batch: HistogramMetric,
+}
+
+impl WalMetrics {
+    fn new(scope: &str) -> Self {
+        let labels = [("scope", scope)];
+        WalMetrics {
+            appends: mantle_obs::counter("wal_appends_total", &labels),
+            fsyncs: mantle_obs::counter("wal_fsyncs_total", &labels),
+            batch: mantle_obs::histogram("wal_batch_records", &labels),
+        }
+    }
+}
 
 #[derive(Default)]
 struct State {
@@ -32,12 +55,19 @@ pub struct GroupCommitWal {
     group_commit: bool,
     fsyncs: AtomicU64,
     appends: AtomicU64,
+    metrics: WalMetrics,
 }
 
 impl GroupCommitWal {
     /// Creates a WAL. With `group_commit = false` every append pays its own
     /// fsync (the un-batched baseline of Figure 16).
     pub fn new(config: SimConfig, group_commit: bool) -> Self {
+        Self::new_scoped(config, group_commit, "wal")
+    }
+
+    /// [`GroupCommitWal::new`] with a metric label naming the owning
+    /// subsystem (`wal_appends_total{scope="raft"}` vs `scope="tafdb"`).
+    pub fn new_scoped(config: SimConfig, group_commit: bool, scope: &str) -> Self {
         GroupCommitWal {
             state: Mutex::new(State::default()),
             cv: Condvar::new(),
@@ -45,14 +75,18 @@ impl GroupCommitWal {
             group_commit,
             fsyncs: AtomicU64::new(0),
             appends: AtomicU64::new(0),
+            metrics: WalMetrics::new(scope),
         }
     }
 
     /// Appends one record and returns once it is durable.
     pub fn append(&self) {
         self.appends.fetch_add(1, Ordering::Relaxed);
+        self.metrics.appends.inc();
         if !self.group_commit {
             self.fsyncs.fetch_add(1, Ordering::Relaxed);
+            self.metrics.fsyncs.inc();
+            self.metrics.batch.record(1);
             mantle_rpc_fsync(&self.config);
             return;
         }
@@ -68,9 +102,12 @@ impl GroupCommitWal {
                 // Become the batch leader: flush everything enqueued so far.
                 state.flushing = true;
                 let flush_to = state.enqueued;
+                let batch = flush_to - state.flushed;
                 drop(state);
 
                 self.fsyncs.fetch_add(1, Ordering::Relaxed);
+                self.metrics.fsyncs.inc();
+                self.metrics.batch.record(batch);
                 mantle_rpc_fsync(&self.config);
 
                 state = self.state.lock();

@@ -8,13 +8,16 @@ use mantle_types::{InodeId, TxnId};
 use proptest::prelude::*;
 
 fn arb_key() -> impl Strategy<Value = RowKey> {
-    (0u64..6, prop::sample::select(vec!["a", "b", "/_ATTR", "c"]), 0u64..4).prop_map(
-        |(pid, name, ts)| RowKey {
+    (
+        0u64..6,
+        prop::sample::select(vec!["a", "b", "/_ATTR", "c"]),
+        0u64..4,
+    )
+        .prop_map(|(pid, name, ts)| RowKey {
             pid: InodeId(pid),
             name: name.into(),
             ts: TxnId(ts),
-        },
-    )
+        })
 }
 
 #[derive(Clone, Debug)]
@@ -32,7 +35,8 @@ fn arb_op() -> impl Strategy<Value = Op> {
         (arb_key(), any::<u32>()).prop_map(|(k, v)| Op::PutIfAbsent(k, v)),
         arb_key().prop_map(Op::Delete),
         (0u64..6).prop_map(Op::ScanDir),
-        ((0u64..6), prop::sample::select(vec!["a", "/_ATTR"])).prop_map(|(p, n)| Op::ScanVersions(p, n)),
+        ((0u64..6), prop::sample::select(vec!["a", "/_ATTR"]))
+            .prop_map(|(p, n)| Op::ScanVersions(p, n)),
     ]
 }
 
@@ -112,7 +116,7 @@ proptest! {
             let expect_grant = match mode {
                 LockMode::Shared => {
                     own == Some(LockMode::Exclusive)
-                        || !others.iter().any(|m| *m == LockMode::Exclusive)
+                        || !others.contains(&LockMode::Exclusive)
                 }
                 LockMode::Exclusive => others.is_empty(),
             };

@@ -37,27 +37,39 @@ impl Semaphore {
     /// Acquires one permit, blocking until available.
     pub fn acquire(&self) -> SemaphoreGuard<'_> {
         if self.is_unbounded() {
-            return SemaphoreGuard { sem: self, active: false };
+            return SemaphoreGuard {
+                sem: self,
+                active: false,
+            };
         }
         let mut permits = self.state.lock();
         while *permits == 0 {
             self.cv.wait(&mut permits);
         }
         *permits -= 1;
-        SemaphoreGuard { sem: self, active: true }
+        SemaphoreGuard {
+            sem: self,
+            active: true,
+        }
     }
 
     /// Attempts to acquire a permit without blocking.
     pub fn try_acquire(&self) -> Option<SemaphoreGuard<'_>> {
         if self.is_unbounded() {
-            return Some(SemaphoreGuard { sem: self, active: false });
+            return Some(SemaphoreGuard {
+                sem: self,
+                active: false,
+            });
         }
         let mut permits = self.state.lock();
         if *permits == 0 {
             return None;
         }
         *permits -= 1;
-        Some(SemaphoreGuard { sem: self, active: true })
+        Some(SemaphoreGuard {
+            sem: self,
+            active: true,
+        })
     }
 
     /// Number of permits currently available (capacity for unbounded).

@@ -9,6 +9,7 @@ use std::time::{Duration, Instant};
 
 use parking_lot::Mutex;
 
+use mantle_obs::Counter;
 use mantle_rpc::SimNode;
 use mantle_store::{GroupCommitWal, KvStore, LockManager, LockMode, RowKey};
 use mantle_sync::LatchTable;
@@ -88,6 +89,32 @@ pub struct DbCounters {
     pub latched_updates: u64,
 }
 
+/// Database-wide obs counters, mirroring [`DbCounters`] into the global
+/// metrics registry plus the lock-conflict rate the internal counters lack.
+struct DbMetrics {
+    txns_committed: Counter,
+    txns_aborted: Counter,
+    delta_appends: Counter,
+    inplace_updates: Counter,
+    compactions: Counter,
+    latched_updates: Counter,
+    lock_conflicts: Counter,
+}
+
+impl DbMetrics {
+    fn new() -> Self {
+        DbMetrics {
+            txns_committed: mantle_obs::counter("tafdb_txns_committed_total", &[]),
+            txns_aborted: mantle_obs::counter("tafdb_txns_aborted_total", &[]),
+            delta_appends: mantle_obs::counter("tafdb_delta_appends_total", &[]),
+            inplace_updates: mantle_obs::counter("tafdb_inplace_updates_total", &[]),
+            compactions: mantle_obs::counter("tafdb_compactions_total", &[]),
+            latched_updates: mantle_obs::counter("tafdb_latched_updates_total", &[]),
+            lock_conflicts: mantle_obs::counter("tafdb_lock_conflicts_total", &[]),
+        }
+    }
+}
+
 #[derive(Default)]
 struct HotState {
     aborts: u32,
@@ -156,6 +183,7 @@ pub struct TafDb {
     inplace_updates: AtomicU64,
     compactions: AtomicU64,
     latched_updates: AtomicU64,
+    metrics: DbMetrics,
 }
 
 impl TafDb {
@@ -169,7 +197,7 @@ impl TafDb {
                 store: KvStore::new(),
                 locks: LockManager::new(1024),
                 latches: LatchTable::new(1024),
-                wal: GroupCommitWal::new(config, opts.group_commit),
+                wal: GroupCommitWal::new_scoped(config, opts.group_commit, "tafdb"),
                 node: Arc::new(SimNode::new(
                     format!("tafdb{i}"),
                     config.db_node_permits,
@@ -192,6 +220,7 @@ impl TafDb {
             inplace_updates: AtomicU64::new(0),
             compactions: AtomicU64::new(0),
             latched_updates: AtomicU64::new(0),
+            metrics: DbMetrics::new(),
         });
         db.raw_put(attr_key(ROOT_ID), Row::DirAttr(DirAttrMeta::new(0, 0)));
 
@@ -290,7 +319,9 @@ impl TafDb {
     /// Reads the entry row of `name` under `pid`.
     pub fn get_entry(&self, pid: InodeId, name: &str, stats: &mut OpStats) -> Option<Row> {
         let shard = &self.shards[self.shard_of(pid)];
-        shard.node.rpc(stats, || shard.store.get(&entry_key(pid, name)))
+        shard.node.rpc_named(stats, "get_entry", || {
+            shard.store.get(&entry_key(pid, name))
+        })
     }
 
     /// Entry read that does *not* inject a network round trip — for callers
@@ -300,8 +331,9 @@ impl TafDb {
     /// capacity.
     pub fn get_entry_batched(&self, pid: InodeId, name: &str, stats: &mut OpStats) -> Option<Row> {
         let shard = &self.shards[self.shard_of(pid)];
-        stats.rpc();
-        shard.node.execute(|| shard.store.get(&entry_key(pid, name)))
+        shard.node.rpc_batched(stats, "get_entry", || {
+            shard.store.get(&entry_key(pid, name))
+        })
     }
 
     /// One step of level-by-level path resolution: child directory id and
@@ -498,6 +530,7 @@ impl TafDb {
             }
             shard.wal.append();
             self.latched_updates.fetch_add(1, Ordering::Relaxed);
+            self.metrics.latched_updates.inc();
             Ok(())
         })
     }
@@ -571,21 +604,26 @@ impl TafDb {
         mantle_rpc::net_round_trip(&self.config);
         let mut prepared = Vec::with_capacity(groups.len());
         for (shard_idx, shard_ops) in &groups {
-            stats.rpc();
             // The round trip was already injected once for the fan-out.
             let result = self.shards[*shard_idx]
                 .node
-                .execute(|| self.prepare_on_shard(*shard_idx, txn, shard_ops));
+                .rpc_batched(stats, "txn_prepare", || {
+                    self.prepare_on_shard(*shard_idx, txn, shard_ops)
+                });
             match result {
                 Ok(sp) => prepared.push(sp),
                 Err(e) => {
                     self.release_prepared(&prepared, txn, stats);
                     self.txns_aborted.fetch_add(1, Ordering::Relaxed);
+                    self.metrics.txns_aborted.inc();
                     return Err(e);
                 }
             }
         }
-        Ok(Prepared { txn, shards: prepared })
+        Ok(Prepared {
+            txn,
+            shards: prepared,
+        })
     }
 
     fn prepare_on_shard(
@@ -600,6 +638,9 @@ impl TafDb {
 
         let fail = |locks: &[RowKey], err: MetaError| -> MetaError {
             shard.locks.unlock_all(locks, txn);
+            if matches!(err, MetaError::TxnConflict { .. }) {
+                self.metrics.lock_conflicts.inc();
+            }
             err
         };
 
@@ -668,7 +709,11 @@ impl TafDb {
                         writes.push(WriteCmd::AppendDelta(*dir, txn, *delta));
                     } else {
                         // Cold path: exclusive lock + in-place merge.
-                        if shard.locks.try_lock(&key, txn, LockMode::Exclusive).is_err() {
+                        if shard
+                            .locks
+                            .try_lock(&key, txn, LockMode::Exclusive)
+                            .is_err()
+                        {
                             shard.record_abort(*dir, &self.opts);
                             return Err(fail(&locks, MetaError::TxnConflict { retries: 0 }));
                         }
@@ -681,7 +726,11 @@ impl TafDb {
                 }
             }
         }
-        Ok(ShardPrepared { shard: shard_idx, locks, writes })
+        Ok(ShardPrepared {
+            shard: shard_idx,
+            locks,
+            writes,
+        })
     }
 
     /// Commit phase of 2PC: applies planned writes, makes them durable, and
@@ -689,9 +738,8 @@ impl TafDb {
     pub fn commit(&self, prepared: Prepared, stats: &mut OpStats) {
         mantle_rpc::net_round_trip(&self.config);
         for sp in &prepared.shards {
-            stats.rpc();
             let shard = &self.shards[sp.shard];
-            shard.node.execute(|| {
+            shard.node.rpc_batched(stats, "txn_commit", || {
                 for w in &sp.writes {
                     self.apply_write(sp.shard, w);
                 }
@@ -702,12 +750,14 @@ impl TafDb {
             });
         }
         self.txns_committed.fetch_add(1, Ordering::Relaxed);
+        self.metrics.txns_committed.inc();
     }
 
     /// Aborts a prepared transaction, releasing every acquired lock.
     pub fn abort(&self, prepared: Prepared, stats: &mut OpStats) {
         self.release_prepared(&prepared.shards, prepared.txn, stats);
         self.txns_aborted.fetch_add(1, Ordering::Relaxed);
+        self.metrics.txns_aborted.inc();
     }
 
     fn release_prepared(&self, shards: &[ShardPrepared], txn: TxnId, stats: &mut OpStats) {
@@ -716,21 +766,28 @@ impl TafDb {
         }
         mantle_rpc::net_round_trip(&self.config);
         for sp in shards {
-            stats.rpc();
             let shard = &self.shards[sp.shard];
-            shard.node.execute(|| shard.locks.unlock_all(&sp.locks, txn));
+            shard.node.rpc_batched(stats, "txn_abort", || {
+                shard.locks.unlock_all(&sp.locks, txn)
+            });
         }
     }
 
-    fn execute_single_shard(&self, txn: TxnId, ops: &[TxnOp], stats: &mut OpStats) -> Result<TxnId> {
+    fn execute_single_shard(
+        &self,
+        txn: TxnId,
+        ops: &[TxnOp],
+        stats: &mut OpStats,
+    ) -> Result<TxnId> {
         let shard_idx = self.single_shard(ops).expect("checked by caller");
         let shard = &self.shards[shard_idx];
         let op_refs: Vec<&TxnOp> = ops.iter().collect();
-        shard.node.rpc(stats, || {
+        shard.node.rpc_named(stats, "txn_1shard", || {
             let sp = match self.prepare_on_shard(shard_idx, txn, &op_refs) {
                 Ok(sp) => sp,
                 Err(e) => {
                     self.txns_aborted.fetch_add(1, Ordering::Relaxed);
+                    self.metrics.txns_aborted.inc();
                     return Err(e);
                 }
             };
@@ -742,6 +799,7 @@ impl TafDb {
             }
             shard.locks.unlock_all(&sp.locks, txn);
             self.txns_committed.fetch_add(1, Ordering::Relaxed);
+            self.metrics.txns_committed.inc();
             Ok(txn)
         })
     }
@@ -765,11 +823,13 @@ impl TafDb {
                     other => (other.cloned(), ()),
                 });
                 self.inplace_updates.fetch_add(1, Ordering::Relaxed);
+                self.metrics.inplace_updates.inc();
             }
             WriteCmd::AppendDelta(dir, ts, delta) => {
                 shard.store.put(delta_key(*dir, *ts), Row::Delta(*delta));
                 shard.delta_dirs.lock().insert(*dir);
                 self.delta_appends.fetch_add(1, Ordering::Relaxed);
+                self.metrics.delta_appends.inc();
             }
         }
     }
@@ -847,6 +907,7 @@ impl TafDb {
                 });
                 if folded > 0 {
                     self.compactions.fetch_add(1, Ordering::Relaxed);
+                    self.metrics.compactions.inc();
                 }
                 // Deregister only if no deltas snuck in after the fold.
                 let mut reg = shard.delta_dirs.lock();

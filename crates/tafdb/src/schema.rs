@@ -81,7 +81,10 @@ mod tests {
 
     #[test]
     fn row_accessors() {
-        let access = Row::DirAccess { id: InodeId(3), permission: Permission::ALL };
+        let access = Row::DirAccess {
+            id: InodeId(3),
+            permission: Permission::ALL,
+        };
         assert_eq!(access.as_dir_access(), Some((InodeId(3), Permission::ALL)));
         assert!(access.as_dir_attr().is_none());
         assert!(access.as_object().is_none());

@@ -24,7 +24,10 @@ fn mkdir_txn_commits_all_rows() {
     let ops = vec![
         TxnOp::InsertUnique {
             key: entry_key(ROOT_ID, "a"),
-            row: Row::DirAccess { id: InodeId(100), permission: Permission::ALL },
+            row: Row::DirAccess {
+                id: InodeId(100),
+                permission: Permission::ALL,
+            },
         },
         TxnOp::Put {
             key: attr_key(InodeId(100)),
@@ -32,7 +35,11 @@ fn mkdir_txn_commits_all_rows() {
         },
         TxnOp::AttrUpdate {
             dir: ROOT_ID,
-            delta: AttrDelta { nlink: 1, entries: 1, mtime: 1 },
+            delta: AttrDelta {
+                nlink: 1,
+                entries: 1,
+                mtime: 1,
+            },
         },
     ];
     db.execute(&ops, &mut stats).unwrap();
@@ -51,7 +58,10 @@ fn duplicate_insert_fails_with_already_exists() {
     let op = |id: u64| {
         vec![TxnOp::InsertUnique {
             key: entry_key(ROOT_ID, "dup"),
-            row: Row::DirAccess { id: InodeId(id), permission: Permission::ALL },
+            row: Row::DirAccess {
+                id: InodeId(id),
+                permission: Permission::ALL,
+            },
         }]
     };
     db.execute(&op(1), &mut stats).unwrap();
@@ -67,7 +77,11 @@ fn attr_update_on_missing_dir_is_not_found() {
     let mut stats = OpStats::new();
     let ops = vec![TxnOp::AttrUpdate {
         dir: InodeId(999),
-        delta: AttrDelta { nlink: 1, entries: 1, mtime: 0 },
+        delta: AttrDelta {
+            nlink: 1,
+            entries: 1,
+            mtime: 0,
+        },
     }];
     assert!(matches!(
         db.execute(&ops, &mut stats),
@@ -90,8 +104,22 @@ fn cross_shard_txn_uses_two_phase_commit() {
 
     let before = stats.rpcs;
     let ops = vec![
-        TxnOp::AttrUpdate { dir: a, delta: AttrDelta { nlink: 0, entries: 1, mtime: 5 } },
-        TxnOp::AttrUpdate { dir: b, delta: AttrDelta { nlink: 0, entries: 1, mtime: 5 } },
+        TxnOp::AttrUpdate {
+            dir: a,
+            delta: AttrDelta {
+                nlink: 0,
+                entries: 1,
+                mtime: 5,
+            },
+        },
+        TxnOp::AttrUpdate {
+            dir: b,
+            delta: AttrDelta {
+                nlink: 0,
+                entries: 1,
+                mtime: 5,
+            },
+        },
     ];
     db.execute(&ops, &mut stats).unwrap();
     // 2 shards x (prepare + commit) = 4 RPCs.
@@ -106,7 +134,11 @@ fn single_shard_txn_is_one_rpc() {
     let mut stats = OpStats::new();
     let ops = vec![TxnOp::AttrUpdate {
         dir: ROOT_ID,
-        delta: AttrDelta { nlink: 0, entries: 0, mtime: 9 },
+        delta: AttrDelta {
+            nlink: 0,
+            entries: 0,
+            mtime: 9,
+        },
     }];
     db.execute(&ops, &mut stats).unwrap();
     assert_eq!(stats.rpcs, 1);
@@ -114,8 +146,10 @@ fn single_shard_txn_is_one_rpc() {
 
 #[test]
 fn contention_activates_delta_records_and_compaction_folds() {
-    let mut opts = TafDbOptions::default();
-    opts.delta_abort_threshold = 2;
+    let opts = TafDbOptions {
+        delta_abort_threshold: 2,
+        ..TafDbOptions::default()
+    };
     // A non-zero fsync keeps row locks held across the commit flush so the
     // no-wait conflicts the paper describes actually materialize.
     let mut config = SimConfig::instant();
@@ -134,7 +168,11 @@ fn contention_activates_delta_records_and_compaction_folds() {
                 for _ in 0..per_thread {
                     let ops = vec![TxnOp::AttrUpdate {
                         dir: ROOT_ID,
-                        delta: AttrDelta { nlink: 1, entries: 1, mtime: 1 },
+                        delta: AttrDelta {
+                            nlink: 1,
+                            entries: 1,
+                            mtime: 1,
+                        },
                     }];
                     db.execute(&ops, &mut stats).unwrap();
                 }
@@ -164,9 +202,11 @@ fn contention_activates_delta_records_and_compaction_folds() {
 #[test]
 fn delta_disabled_still_correct_but_aborts_more() {
     let run = |delta: bool| -> (u64, i64) {
-        let mut opts = TafDbOptions::default();
-        opts.delta_records = delta;
-        opts.delta_abort_threshold = 2;
+        let opts = TafDbOptions {
+            delta_records: delta,
+            delta_abort_threshold: 2,
+            ..TafDbOptions::default()
+        };
         let mut config = SimConfig::instant();
         config.fsync_micros = 100;
         let db = TafDb::new(config, opts);
@@ -178,7 +218,11 @@ fn delta_disabled_still_correct_but_aborts_more() {
                     for _ in 0..30 {
                         let ops = vec![TxnOp::AttrUpdate {
                             dir: ROOT_ID,
-                            delta: AttrDelta { nlink: 0, entries: 1, mtime: 1 },
+                            delta: AttrDelta {
+                                nlink: 0,
+                                entries: 1,
+                                mtime: 1,
+                            },
                         }];
                         db.execute(&ops, &mut stats).unwrap();
                     }
@@ -205,19 +249,31 @@ fn rmdir_deletes_attr_row_and_lingering_deltas() {
     let db = db();
     let mut stats = OpStats::new();
     let dir = InodeId(50);
-    db.raw_put(entry_key(ROOT_ID, "d"), Row::DirAccess { id: dir, permission: Permission::ALL });
+    db.raw_put(
+        entry_key(ROOT_ID, "d"),
+        Row::DirAccess {
+            id: dir,
+            permission: Permission::ALL,
+        },
+    );
     db.raw_put(attr_key(dir), Row::DirAttr(DirAttrMeta::new(0, 0)));
     // Simulate lingering (committed) deltas.
     db.raw_put(
         mantle_store::RowKey::delta(dir, "/_ATTR", mantle_types::TxnId(77)),
-        Row::Delta(AttrDelta { nlink: 1, entries: 1, mtime: 0 }),
+        Row::Delta(AttrDelta {
+            nlink: 1,
+            entries: 1,
+            mtime: 0,
+        }),
     );
     assert_eq!(db.pending_deltas(dir), 1);
 
     let ops = vec![
         TxnOp::Delete { key: attr_key(dir) },
         TxnOp::ExpectEmptyDir { dir },
-        TxnOp::Delete { key: entry_key(ROOT_ID, "d") },
+        TxnOp::Delete {
+            key: entry_key(ROOT_ID, "d"),
+        },
     ];
     db.execute(&ops, &mut stats).unwrap();
     assert!(db.raw_get(&attr_key(dir)).is_none());
@@ -231,12 +287,21 @@ fn expect_empty_dir_blocks_rmdir_of_populated_dir() {
     let mut stats = OpStats::new();
     let dir = InodeId(60);
     db.raw_put(attr_key(dir), Row::DirAttr(DirAttrMeta::new(0, 0)));
-    db.raw_put(entry_key(dir, "child"), Row::DirAccess { id: InodeId(61), permission: Permission::ALL });
+    db.raw_put(
+        entry_key(dir, "child"),
+        Row::DirAccess {
+            id: InodeId(61),
+            permission: Permission::ALL,
+        },
+    );
     let ops = vec![
         TxnOp::Delete { key: attr_key(dir) },
         TxnOp::ExpectEmptyDir { dir },
     ];
-    assert!(matches!(db.execute(&ops, &mut stats), Err(MetaError::NotEmpty(_))));
+    assert!(matches!(
+        db.execute(&ops, &mut stats),
+        Err(MetaError::NotEmpty(_))
+    ));
     // The abort released locks; the attr row survives.
     assert!(db.raw_get(&attr_key(dir)).is_some());
 }
@@ -245,7 +310,13 @@ fn expect_empty_dir_blocks_rmdir_of_populated_dir() {
 fn readdir_lists_children_and_skips_attr_rows() {
     let db = db();
     let mut stats = OpStats::new();
-    db.raw_put(entry_key(ROOT_ID, "dir1"), Row::DirAccess { id: InodeId(5), permission: Permission::ALL });
+    db.raw_put(
+        entry_key(ROOT_ID, "dir1"),
+        Row::DirAccess {
+            id: InodeId(5),
+            permission: Permission::ALL,
+        },
+    );
     db.raw_put(
         entry_key(ROOT_ID, "obj1"),
         Row::Object(mantle_types::ObjectMeta {
@@ -279,7 +350,11 @@ fn latched_update_serializes_without_aborts() {
                 for _ in 0..50 {
                     db.update_attr_latched(
                         ROOT_ID,
-                        AttrDelta { nlink: 0, entries: 1, mtime: 1 },
+                        AttrDelta {
+                            nlink: 0,
+                            entries: 1,
+                            mtime: 1,
+                        },
                         &mut stats,
                     )
                     .unwrap();
@@ -300,10 +375,24 @@ fn insert_and_delete_row_roundtrip() {
     let db = db();
     let mut stats = OpStats::new();
     let key = entry_key(ROOT_ID, "x");
-    db.insert_row(key.clone(), Row::DirAccess { id: InodeId(9), permission: Permission::ALL }, &mut stats)
-        .unwrap();
+    db.insert_row(
+        key.clone(),
+        Row::DirAccess {
+            id: InodeId(9),
+            permission: Permission::ALL,
+        },
+        &mut stats,
+    )
+    .unwrap();
     assert!(matches!(
-        db.insert_row(key.clone(), Row::DirAccess { id: InodeId(10), permission: Permission::ALL }, &mut stats),
+        db.insert_row(
+            key.clone(),
+            Row::DirAccess {
+                id: InodeId(10),
+                permission: Permission::ALL
+            },
+            &mut stats
+        ),
         Err(MetaError::AlreadyExists(_))
     ));
     db.delete_row(key.clone(), &mut stats).unwrap();
@@ -317,7 +406,13 @@ fn insert_and_delete_row_roundtrip() {
 fn resolve_step_distinguishes_kinds() {
     let db = db();
     let mut stats = OpStats::new();
-    db.raw_put(entry_key(ROOT_ID, "d"), Row::DirAccess { id: InodeId(5), permission: Permission::ALL });
+    db.raw_put(
+        entry_key(ROOT_ID, "d"),
+        Row::DirAccess {
+            id: InodeId(5),
+            permission: Permission::ALL,
+        },
+    );
     db.raw_put(
         entry_key(ROOT_ID, "o"),
         Row::Object(mantle_types::ObjectMeta {
@@ -330,7 +425,10 @@ fn resolve_step_distinguishes_kinds() {
             permission: Permission::ALL,
         }),
     );
-    assert_eq!(db.resolve_step(ROOT_ID, "d", &mut stats).unwrap().0, InodeId(5));
+    assert_eq!(
+        db.resolve_step(ROOT_ID, "d", &mut stats).unwrap().0,
+        InodeId(5)
+    );
     assert!(matches!(
         db.resolve_step(ROOT_ID, "o", &mut stats),
         Err(MetaError::NotADirectory(_))

@@ -97,12 +97,19 @@ mod tests {
         assert!(MetaError::RenameLocked("/a".into()).is_retryable());
         assert!(MetaError::Unavailable("leader".into()).is_retryable());
         assert!(!MetaError::NotFound("/a".into()).is_retryable());
-        assert!(!MetaError::RenameLoop { src: "/a".into(), dst: "/a/b".into() }.is_retryable());
+        assert!(!MetaError::RenameLoop {
+            src: "/a".into(),
+            dst: "/a/b".into()
+        }
+        .is_retryable());
     }
 
     #[test]
     fn display_is_informative() {
-        let e = MetaError::RenameLoop { src: "/a".into(), dst: "/a/b".into() };
+        let e = MetaError::RenameLoop {
+            src: "/a".into(),
+            dst: "/a/b".into(),
+        };
         assert!(e.to_string().contains("/a/b"));
     }
 }

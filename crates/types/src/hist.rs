@@ -234,6 +234,55 @@ mod tests {
     }
 
     #[test]
+    fn single_sample_every_quantile_is_the_sample() {
+        let mut h = Histogram::new();
+        h.record(777);
+        // With one sample, [min, max] collapses to the sample and the
+        // clamp makes every quantile exact.
+        for q in [0.0, 0.25, 0.5, 0.9, 1.0] {
+            assert_eq!(h.quantile(q), 777, "q={q}");
+        }
+    }
+
+    #[test]
+    fn quantile_extremes_and_out_of_range_q() {
+        let mut h = Histogram::new();
+        // 65536 = 2^16 is its own bucket's lower edge, so quantile(1.0)
+        // is exact; 1 is below SUB_BUCKETS so quantile(0.0) is exact.
+        for v in [1u64, 10, 65536] {
+            h.record(v);
+        }
+        assert_eq!(h.quantile(0.0), h.min());
+        assert_eq!(h.quantile(1.0), h.max());
+        // q outside [0, 1] clamps instead of panicking.
+        assert_eq!(h.quantile(-3.0), h.min());
+        assert_eq!(h.quantile(42.0), h.max());
+    }
+
+    #[test]
+    fn disjoint_merge_equals_recording_everything() {
+        let mut low = Histogram::new();
+        let mut high = Histogram::new();
+        let mut all = Histogram::new();
+        for v in 0..500u64 {
+            low.record(v);
+            all.record(v);
+        }
+        for v in 10_000..10_500u64 {
+            high.record(v);
+            all.record(v);
+        }
+        low.merge(&high);
+        assert_eq!(low.count(), all.count());
+        assert_eq!(low.min(), all.min());
+        assert_eq!(low.max(), all.max());
+        assert_eq!(low.mean(), all.mean());
+        for q in [0.0, 0.1, 0.5, 0.9, 0.99, 1.0] {
+            assert_eq!(low.quantile(q), all.quantile(q), "q={q}");
+        }
+    }
+
+    #[test]
     fn huge_values_do_not_panic() {
         let mut h = Histogram::new();
         h.record(u64::MAX);

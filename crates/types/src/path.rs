@@ -25,7 +25,9 @@ pub struct MetaPath {
 impl MetaPath {
     /// The root path `/`.
     pub fn root() -> Self {
-        MetaPath { components: Vec::new() }
+        MetaPath {
+            components: Vec::new(),
+        }
     }
 
     /// Parses an absolute path, normalizing redundant slashes.

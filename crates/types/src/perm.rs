@@ -76,9 +76,21 @@ impl fmt::Debug for Permission {
         write!(
             f,
             "{}{}{}",
-            if self.allows(Permission::READ) { 'r' } else { '-' },
-            if self.allows(Permission::WRITE) { 'w' } else { '-' },
-            if self.allows(Permission::EXEC) { 'x' } else { '-' },
+            if self.allows(Permission::READ) {
+                'r'
+            } else {
+                '-'
+            },
+            if self.allows(Permission::WRITE) {
+                'w'
+            } else {
+                '-'
+            },
+            if self.allows(Permission::EXEC) {
+                'x'
+            } else {
+                '-'
+            },
         )
     }
 }

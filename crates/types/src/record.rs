@@ -144,8 +144,16 @@ mod tests {
     #[test]
     fn attr_delta_application() {
         let mut attrs = DirAttrMeta::new(100, 0);
-        attrs.apply_delta(&AttrDelta { nlink: 1, entries: 1, mtime: 120 });
-        attrs.apply_delta(&AttrDelta { nlink: -1, entries: 1, mtime: 110 });
+        attrs.apply_delta(&AttrDelta {
+            nlink: 1,
+            entries: 1,
+            mtime: 120,
+        });
+        attrs.apply_delta(&AttrDelta {
+            nlink: -1,
+            entries: 1,
+            mtime: 110,
+        });
         assert_eq!(attrs.nlink, 2);
         assert_eq!(attrs.entries, 2);
         assert_eq!(attrs.mtime, 120);

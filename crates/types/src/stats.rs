@@ -115,7 +115,19 @@ impl OpStats {
 
     /// Merges another recorder's counters into this one (phase times add;
     /// used when an operation internally retries).
+    ///
+    /// Any phase `self` still has in progress is ended first, charging its
+    /// in-flight time — previously that slice was silently dropped when the
+    /// merged totals were read before the next [`OpStats::end`]. `other` is
+    /// expected to be fully ended: its in-flight slice cannot be observed
+    /// through a shared reference (debug builds assert this).
     pub fn absorb(&mut self, other: &OpStats) {
+        self.end();
+        debug_assert!(
+            other.current.is_none(),
+            "absorb() of an OpStats with a phase still in progress drops its in-flight time; \
+             call end() on it first"
+        );
         for i in 0..3 {
             self.phase_nanos[i] += other.phase_nanos[i];
         }
@@ -205,8 +217,12 @@ mod tests {
     #[test]
     fn phases_accumulate_independently() {
         let mut s = OpStats::new();
-        s.time(Phase::Lookup, |_| std::thread::sleep(Duration::from_millis(2)));
-        s.time(Phase::Execute, |_| std::thread::sleep(Duration::from_millis(1)));
+        s.time(Phase::Lookup, |_| {
+            std::thread::sleep(Duration::from_millis(2))
+        });
+        s.time(Phase::Execute, |_| {
+            std::thread::sleep(Duration::from_millis(1))
+        });
         assert!(s.phase_nanos(Phase::Lookup) >= 2_000_000);
         assert!(s.phase_nanos(Phase::Execute) >= 1_000_000);
         assert_eq!(s.phase_nanos(Phase::LoopDetect), 0);
@@ -218,7 +234,9 @@ mod tests {
         let mut s = OpStats::new();
         s.begin(Phase::Execute);
         std::thread::sleep(Duration::from_millis(1));
-        s.time(Phase::Lookup, |_| std::thread::sleep(Duration::from_millis(1)));
+        s.time(Phase::Lookup, |_| {
+            std::thread::sleep(Duration::from_millis(1))
+        });
         std::thread::sleep(Duration::from_millis(1));
         s.end();
         assert!(s.phase_nanos(Phase::Execute) >= 2_000_000);
@@ -260,5 +278,30 @@ mod tests {
         let mut s = OpStats::new();
         s.end();
         assert_eq!(s.total_nanos(), 0);
+    }
+
+    #[test]
+    fn absorb_mid_phase_charges_in_flight_time() {
+        let mut a = OpStats::new();
+        a.begin(Phase::Execute);
+        std::thread::sleep(Duration::from_millis(2));
+        let mut b = OpStats::new();
+        b.time(Phase::Lookup, |_| {
+            std::thread::sleep(Duration::from_millis(1))
+        });
+        a.absorb(&b);
+        // The execute slice running when absorb() was called must be
+        // charged, not dropped.
+        assert!(
+            a.phase_nanos(Phase::Execute) >= 2_000_000,
+            "in-flight execute time dropped by absorb: {}ns",
+            a.phase_nanos(Phase::Execute)
+        );
+        assert!(a.phase_nanos(Phase::Lookup) >= 1_000_000);
+        // absorb() ends the current phase; later time is not charged.
+        let after = a.phase_nanos(Phase::Execute);
+        std::thread::sleep(Duration::from_millis(1));
+        a.end();
+        assert_eq!(a.phase_nanos(Phase::Execute), after);
     }
 }

@@ -109,4 +109,25 @@ proptest! {
         prop_assert_eq!(merged.quantile(0.5), concat.quantile(0.5));
         prop_assert_eq!(merged.max(), concat.max());
     }
+
+    /// The bucketed quantile never exceeds the exact rank-based quantile
+    /// and stays within the log-bucket relative-error bound (bucket width
+    /// is 1/16 of the value's magnitude; the min/max clamp only tightens
+    /// it). Samples stay below 2^40, inside the histogram's exact range.
+    #[test]
+    fn histogram_quantile_relative_error(samples in prop::collection::vec(1u64..(1 << 40), 1..300),
+                                         q_pm in 0u32..=1000) {
+        let q = q_pm as f64 / 1000.0;
+        let mut h = Histogram::new();
+        for v in &samples { h.record(*v); }
+        let mut sorted = samples;
+        sorted.sort_unstable();
+        // Same rank convention as Histogram::quantile.
+        let rank = ((q * sorted.len() as f64).ceil() as usize).max(1);
+        let exact = sorted[rank - 1];
+        let approx = h.quantile(q);
+        prop_assert!(approx <= exact, "bucket lower edge overshot: exact={} approx={}", exact, approx);
+        let err = (exact - approx) as f64 / exact as f64;
+        prop_assert!(err <= 1.0 / 16.0, "q={} exact={} approx={} err={}", q, exact, approx, err);
+    }
 }

@@ -238,12 +238,19 @@ pub fn run<S: MetadataService + BulkLoad + ?Sized + Sync>(
                 let mut rng = StdRng::seed_from_u64(config.seed ^ (t as u64) << 17);
                 let mut agg = OpStatsAgg::default();
                 let mut hist = Histogram::new();
+                let ops_counter = mantle_obs::counter(
+                    "service_ops_total",
+                    &[("system", svc.name()), ("op", config.op.label())],
+                );
                 barrier.wait();
                 if t == 0 {
                     *started.lock() = Some(Instant::now());
                 }
                 for i in 0..ops {
                     let mut stats = OpStats::new();
+                    // Sampled RPC-chain tracing (off unless the collector's
+                    // sample rate is set; see mantle_obs::trace).
+                    let _trace = mantle_obs::trace::start(config.op.label());
                     let begin = Instant::now();
                     let outcome: Result<(), mantle_types::MetaError> = match config.op {
                         MdOp::ObjStat => {
@@ -287,8 +294,8 @@ pub fn run<S: MetadataService + BulkLoad + ?Sized + Sync>(
                             svc.rmdir(&parent.child(&format!("v{i}")), &mut stats)
                         }
                         MdOp::DirRename => {
-                            let src =
-                                deep_parent(&format!("src{t}"), config.depth - 1).child(&format!("v{i}"));
+                            let src = deep_parent(&format!("src{t}"), config.depth - 1)
+                                .child(&format!("v{i}"));
                             let dst = match config.conflict {
                                 ConflictMode::Shared => deep_parent("dshared", config.depth - 1)
                                     .child(&format!("n_{t}_{i}")),
@@ -305,6 +312,7 @@ pub fn run<S: MetadataService + BulkLoad + ?Sized + Sync>(
                         Ok(()) => {
                             hist.record(begin.elapsed().as_nanos() as u64);
                             agg.add(&stats);
+                            ops_counter.inc();
                         }
                         Err(_) => {
                             failed.fetch_add(1, Ordering::Relaxed);

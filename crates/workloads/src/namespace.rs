@@ -210,7 +210,11 @@ impl NamespaceHandle {
             objects.push(path);
         }
 
-        NamespaceHandle { spec, objects, dirs }
+        NamespaceHandle {
+            spec,
+            objects,
+            dirs,
+        }
     }
 
     /// Computes the Figure 3 / Table 3 statistics from the generated paths.

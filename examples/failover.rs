@@ -51,7 +51,10 @@ fn main() -> Result<()> {
     );
 
     let listing = svc.readdir(&MetaPath::parse("/jobs")?, &mut stats)?;
-    println!("namespace intact: /jobs holds {} entries (expected 40)", listing.len());
+    println!(
+        "namespace intact: /jobs holds {} entries (expected 40)",
+        listing.len()
+    );
     assert_eq!(listing.len(), 40);
     Ok(())
 }

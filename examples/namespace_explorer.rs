@@ -50,5 +50,8 @@ fn main() {
     let mut stats = OpStats::new();
     let sample = &ns.objects[ns.objects.len() / 2];
     let meta = cluster.objstat(sample, &mut stats).unwrap();
-    println!("sample objstat({sample}) -> {} bytes in {} RPCs", meta.size, stats.rpcs);
+    println!(
+        "sample objstat({sample}) -> {} bytes in {} RPCs",
+        meta.size, stats.rpcs
+    );
 }

@@ -29,7 +29,10 @@ fn main() -> Result<()> {
 
     // Single-RPC path lookup, no matter the depth.
     let mut lookup_stats = OpStats::new();
-    let resolved = svc.lookup(&MetaPath::parse("/datasets/train/batch0")?, &mut lookup_stats)?;
+    let resolved = svc.lookup(
+        &MetaPath::parse("/datasets/train/batch0")?,
+        &mut lookup_stats,
+    )?;
     println!(
         "lookup(/datasets/train/batch0) -> id {} in {} RPC ({:?})",
         resolved.id,
@@ -39,7 +42,10 @@ fn main() -> Result<()> {
 
     // Directory stats merge any outstanding delta records.
     let st = svc.dirstat(&MetaPath::parse("/datasets/train/batch0")?, &mut stats)?;
-    println!("dirstat: {} entries, nlink {}", st.attrs.entries, st.attrs.nlink);
+    println!(
+        "dirstat: {} entries, nlink {}",
+        st.attrs.entries, st.attrs.nlink
+    );
 
     // Atomic cross-directory rename with loop detection on the IndexNode.
     svc.mkdir(&MetaPath::parse("/archive")?, &mut stats)?;
@@ -49,7 +55,10 @@ fn main() -> Result<()> {
         &mut stats,
     )?;
     let meta = svc.objstat(&MetaPath::parse("/archive/batch0/sample0.bin")?, &mut stats)?;
-    println!("after rename: /archive/batch0/sample0.bin is {} bytes", meta.size);
+    println!(
+        "after rename: /archive/batch0/sample0.bin is {} bytes",
+        meta.size
+    );
 
     // Renames that would create a loop are rejected.
     let loop_err = svc.rename_dir(

@@ -22,7 +22,10 @@ fn main() {
         data_access: false,
     };
 
-    println!("Spark-style commit storm: {} tasks renaming into shared output dirs", config.queries * config.tasks_per_query);
+    println!(
+        "Spark-style commit storm: {} tasks renaming into shared output dirs",
+        config.queries * config.tasks_per_query
+    );
 
     let mantle = MantleCluster::build(sim, 8);
     let report = run_analytics(&*mantle, None, config);
@@ -35,7 +38,13 @@ fn main() {
 
     // The DBtable baseline with full transactions suffers the §3.2 retry
     // storm on the shared directory's attribute row.
-    let dbtable = Tectonic::new(sim, TectonicOptions { transactional: true, ..TectonicOptions::default() });
+    let dbtable = Tectonic::new(
+        sim,
+        TectonicOptions {
+            transactional: true,
+            ..TectonicOptions::default()
+        },
+    );
     let report = run_analytics(&*dbtable, None, config);
     println!(
         "dbtable  : {:>8.1} ms  (dirrename p99 {:.2} ms, {} failures)",

@@ -1,0 +1,18 @@
+# Developer entry points. `just verify` is the full pre-merge gate; CI
+# (.github/workflows/ci.yml) runs the same three steps.
+
+# Format check + lints + full test suite.
+verify: fmt-check clippy test
+
+fmt-check:
+    cargo fmt --check
+
+clippy:
+    cargo clippy --workspace --all-targets -- -D warnings
+
+test:
+    cargo test --workspace -q
+
+# Auto-fix formatting.
+fmt:
+    cargo fmt

@@ -70,13 +70,15 @@ fn run_command(
     let svc = cluster.service();
     let need = |n: usize| -> Result<()> {
         if args.len() < n {
-            return Err(MetaError::InvalidPath(format!("{cmd}: expected {n} argument(s)")));
+            return Err(MetaError::InvalidPath(format!(
+                "{cmd}: expected {n} argument(s)"
+            )));
         }
         Ok(())
     };
     let out = match cmd {
         "help" => Some(
-            "commands:\n  mkdir <path>              create a directory\n  create <path> [size]      create an object\n  ls <path> [after]         list (pages of 20)\n  stat <path>               object or directory status\n  rm <path>                 delete an object\n  rmdir <path>              remove an empty directory\n  mv <src> <dst>            rename a directory\n  lookup <path>             resolve a directory path\n  populate <entries>        bulk-load an ns4-shaped namespace\n  stats                     service counters\n  crash <replica> | recover <replica>\n  quit"
+            "commands:\n  mkdir <path>              create a directory\n  create <path> [size]      create an object\n  ls <path> [after]         list (pages of 20)\n  stat <path>               object or directory status\n  rm <path>                 delete an object\n  rmdir <path>              remove an empty directory\n  mv <src> <dst>            rename a directory\n  lookup <path>             resolve a directory path\n  populate <entries>        bulk-load an ns4-shaped namespace\n  stats                     service counters + metrics registry\n  trace <path>              resolve a path with RPC-chain tracing\n  crash <replica> | recover <replica>\n  quit"
                 .to_string(),
         ),
         "mkdir" => {
@@ -174,8 +176,8 @@ fn run_command(
         "stats" => {
             let db = cluster.db().counters();
             let caches = cluster.index().cache_stats();
-            Some(format!(
-                "tafdb: {} rows, {} txns committed, {} aborted, {} delta appends, {} compactions\nindex: {} dirs, caches {:?}",
+            let mut out = format!(
+                "tafdb: {} rows, {} txns committed, {} aborted, {} delta appends, {} compactions\nindex: {} dirs, caches {:?}\n--- metrics registry (Prometheus text) ---\n",
                 cluster.db().total_rows(),
                 db.txns_committed,
                 db.txns_aborted,
@@ -183,6 +185,22 @@ fn run_command(
                 db.compactions,
                 cluster.index().table_len(),
                 caches
+            );
+            out.push_str(&mantle::obs::snapshot().to_prometheus_text());
+            Some(out.trim_end().to_string())
+        }
+        "trace" => {
+            need(1)?;
+            let guard = mantle::obs::trace::start_forced(cmd)
+                .expect("no trace active on the CLI thread");
+            let resolved = svc.lookup(&parse(args[0])?, stats)?;
+            let trace = guard.finish();
+            Some(format!(
+                "id {} aggregated permission {:?}\n{} rpc span(s):\n{}",
+                resolved.id,
+                resolved.permission,
+                trace.rpc_count(),
+                trace.render()
             ))
         }
         "crash" => {

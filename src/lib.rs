@@ -21,6 +21,7 @@
 pub use mantle_baselines as baselines;
 pub use mantle_core as core;
 pub use mantle_index as index;
+pub use mantle_obs as obs;
 pub use mantle_raft as raft;
 pub use mantle_rpc as rpc;
 pub use mantle_store as store;

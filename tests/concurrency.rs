@@ -42,19 +42,34 @@ fn contended_counts<S: MetadataService + BulkLoad + Sync>(svc: &S) {
         "{}",
         svc.name()
     );
-    assert_eq!(svc.readdir(&p("/hot"), &mut stats).unwrap().len() as i64, expected);
+    assert_eq!(
+        svc.readdir(&p("/hot"), &mut stats).unwrap().len() as i64,
+        expected
+    );
 }
 
 #[test]
 fn contended_counts_exact_on_all_systems() {
     contended_counts(&*MantleCluster::build(SimConfig::instant(), 4));
-    contended_counts(&*Tectonic::new(SimConfig::instant(), TectonicOptions::default()));
     contended_counts(&*Tectonic::new(
         SimConfig::instant(),
-        TectonicOptions { transactional: true, ..TectonicOptions::default() },
+        TectonicOptions::default(),
     ));
-    contended_counts(&*InfiniFs::new(SimConfig::instant(), InfiniFsOptions::default()));
-    contended_counts(&*LocoFs::new(SimConfig::instant(), LocoFsOptions::default()));
+    contended_counts(&*Tectonic::new(
+        SimConfig::instant(),
+        TectonicOptions {
+            transactional: true,
+            ..TectonicOptions::default()
+        },
+    ));
+    contended_counts(&*InfiniFs::new(
+        SimConfig::instant(),
+        InfiniFsOptions::default(),
+    ));
+    contended_counts(&*LocoFs::new(
+        SimConfig::instant(),
+        LocoFsOptions::default(),
+    ));
 }
 
 /// Readers race a rename: before the rename commits they see the old path;
@@ -107,7 +122,8 @@ fn lookups_never_see_stale_cache_across_rename() {
         s.spawn(move || {
             let mut stats = OpStats::new();
             std::thread::yield_now();
-            svc2.rename_dir(&p("/a/b"), &p("/z/nb"), &mut stats).unwrap();
+            svc2.rename_dir(&p("/a/b"), &p("/z/nb"), &mut stats)
+                .unwrap();
             renamed.store(true, Ordering::SeqCst);
         });
     });
@@ -136,16 +152,29 @@ fn commit_storm_is_atomic_on_mantle_and_dbtable() {
             for t in 0..8 {
                 s.spawn(move || {
                     let mut stats = OpStats::new();
-                    svc.rename_dir(&p(&format!("/t{t}/task")), &p(&format!("/out/r{t}")), &mut stats)
-                        .unwrap();
+                    svc.rename_dir(
+                        &p(&format!("/t{t}/task")),
+                        &p(&format!("/out/r{t}")),
+                        &mut stats,
+                    )
+                    .unwrap();
                 });
             }
         });
         assert_eq!(svc.readdir(&p("/out"), &mut stats).unwrap().len(), 8);
-        assert_eq!(svc.dirstat(&p("/out"), &mut stats).unwrap().attrs.entries, 8);
+        assert_eq!(
+            svc.dirstat(&p("/out"), &mut stats).unwrap().attrs.entries,
+            8
+        );
         for t in 0..8 {
             assert!(svc.lookup(&p(&format!("/out/r{t}")), &mut stats).is_ok());
-            assert_eq!(svc.dirstat(&p(&format!("/t{t}")), &mut stats).unwrap().attrs.entries, 0);
+            assert_eq!(
+                svc.dirstat(&p(&format!("/t{t}")), &mut stats)
+                    .unwrap()
+                    .attrs
+                    .entries,
+                0
+            );
         }
     };
 
@@ -156,7 +185,10 @@ fn commit_storm_is_atomic_on_mantle_and_dbtable() {
 
     let dbtable = Tectonic::new(
         SimConfig::instant(),
-        TectonicOptions { transactional: true, ..TectonicOptions::default() },
+        TectonicOptions {
+            transactional: true,
+            ..TectonicOptions::default()
+        },
     );
     run(&*dbtable, &|path| {
         dbtable.bulk_dir(path);
@@ -177,7 +209,8 @@ fn delta_records_and_compactor_race_safely() {
             s.spawn(move || {
                 let mut stats = OpStats::new();
                 for i in 0..50 {
-                    svc.mkdir(&p(&format!("/hot/d_{t}_{i}")), &mut stats).unwrap();
+                    svc.mkdir(&p(&format!("/hot/d_{t}_{i}")), &mut stats)
+                        .unwrap();
                 }
             });
         }
@@ -194,5 +227,8 @@ fn delta_records_and_compactor_race_safely() {
     assert_eq!(st.attrs.entries, 300);
     assert_eq!(st.attrs.nlink, 302);
     cluster.db().compact_once();
-    assert_eq!(svc.dirstat(&p("/hot"), &mut stats).unwrap().attrs.entries, 300);
+    assert_eq!(
+        svc.dirstat(&p("/hot"), &mut stats).unwrap().attrs.entries,
+        300
+    );
 }

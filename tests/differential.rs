@@ -8,7 +8,9 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
 use mantle::baselines::{infinifs::InfiniFs, locofs::LocoFs, tectonic::Tectonic};
-use mantle::baselines::{infinifs::InfiniFsOptions, locofs::LocoFsOptions, tectonic::TectonicOptions};
+use mantle::baselines::{
+    infinifs::InfiniFsOptions, locofs::LocoFsOptions, tectonic::TectonicOptions,
+};
 use mantle::prelude::*;
 use mantle::types::BulkLoad;
 
@@ -44,7 +46,9 @@ fn classify(r: &Result<(), MetaError>) -> Outcome {
 
 impl Model {
     fn new() -> Self {
-        Model { entries: BTreeMap::new() }
+        Model {
+            entries: BTreeMap::new(),
+        }
     }
 
     fn parent_exists(&self, path: &str) -> bool {
@@ -208,14 +212,21 @@ fn run_differential<S: MetadataService + BulkLoad>(svc: &S, seed: u64) {
                     Err(MetaError::InvalidRename(_)) => Outcome::Loop,
                     other => classify(&other),
                 };
-                let want = if path == dst { Outcome::Loop } else { model.rename(&path, &dst) };
+                let want = if path == dst {
+                    Outcome::Loop
+                } else {
+                    model.rename(&path, &dst)
+                };
                 (got, want)
             }
         };
         // `lookup` of an object path reports NotFound in some systems and
         // NotADirectory in others depending on where the walk stops; accept
         // either classification for that one ambiguity.
-        let ambiguous = matches!((got, want), (Outcome::NotFound, Outcome::Kind) | (Outcome::Kind, Outcome::NotFound));
+        let ambiguous = matches!(
+            (got, want),
+            (Outcome::NotFound, Outcome::Kind) | (Outcome::Kind, Outcome::NotFound)
+        );
         assert!(
             got == want || ambiguous,
             "{}: step {step}: op {op} on {path}: system {got:?} vs model {want:?}",
@@ -230,17 +241,25 @@ fn run_differential<S: MetadataService + BulkLoad>(svc: &S, seed: u64) {
         let mp = MetaPath::parse(path).unwrap();
         match kind {
             None => {
-                assert!(svc.lookup(&mp, &mut stats).is_ok(), "{}: missing dir {path}", svc.name());
+                assert!(
+                    svc.lookup(&mp, &mut stats).is_ok(),
+                    "{}: missing dir {path}",
+                    svc.name()
+                );
                 let children = model
                     .entries
                     .keys()
                     .filter(|k| {
-                        k.starts_with(&format!("{path}/"))
-                            && !k[path.len() + 1..].contains('/')
+                        k.starts_with(&format!("{path}/")) && !k[path.len() + 1..].contains('/')
                     })
                     .count() as i64;
                 let st = svc.dirstat(&mp, &mut stats).unwrap();
-                assert_eq!(st.attrs.entries, children, "{}: entries of {path}", svc.name());
+                assert_eq!(
+                    st.attrs.entries,
+                    children,
+                    "{}: entries of {path}",
+                    svc.name()
+                );
                 assert_eq!(
                     svc.readdir(&mp, &mut stats).unwrap().len() as i64,
                     children,
@@ -276,7 +295,10 @@ fn tectonic_matches_model() {
 fn tectonic_transactional_matches_model() {
     let svc = Tectonic::new(
         SimConfig::instant(),
-        TectonicOptions { transactional: true, ..TectonicOptions::default() },
+        TectonicOptions {
+            transactional: true,
+            ..TectonicOptions::default()
+        },
     );
     run_differential(&*svc, 99);
 }
@@ -291,7 +313,10 @@ fn infinifs_matches_model() {
 fn infinifs_with_amcache_matches_model() {
     let svc = InfiniFs::new(
         SimConfig::instant(),
-        InfiniFsOptions { amcache: true, ..InfiniFsOptions::default() },
+        InfiniFsOptions {
+            amcache: true,
+            ..InfiniFsOptions::default()
+        },
     );
     run_differential(&*svc, 107);
 }

@@ -30,16 +30,23 @@ fn operations_survive_repeated_leader_crashes() {
         cluster.index().group().crash(leader.id());
         // Writes and reads keep succeeding through the election window.
         for i in 0..5 {
-            svc.mkdir(&p(&format!("/work/r{round}_{i}")), &mut stats).unwrap();
-            svc.create(&p(&format!("/work/r{round}_{i}/o")), 1, &mut stats).unwrap();
+            svc.mkdir(&p(&format!("/work/r{round}_{i}")), &mut stats)
+                .unwrap();
+            svc.create(&p(&format!("/work/r{round}_{i}/o")), 1, &mut stats)
+                .unwrap();
         }
-        assert!(svc.lookup(&p(&format!("/work/r{round}_0")), &mut stats).is_ok());
+        assert!(svc
+            .lookup(&p(&format!("/work/r{round}_0")), &mut stats)
+            .is_ok());
         cluster.index().group().recover(leader.id());
     }
     // All 15 directories and their objects exist.
     let listing = svc.readdir(&p("/work"), &mut stats).unwrap();
     assert_eq!(listing.len(), 15);
-    assert_eq!(svc.dirstat(&p("/work"), &mut stats).unwrap().attrs.entries, 15);
+    assert_eq!(
+        svc.dirstat(&p("/work"), &mut stats).unwrap().attrs.entries,
+        15
+    );
 }
 
 #[test]
@@ -68,7 +75,10 @@ fn recovered_replica_catches_up_and_serves_reads() {
         if applied >= leader_applied && leader_applied > 0 {
             break;
         }
-        assert!(std::time::Instant::now() < deadline, "replica never caught up");
+        assert!(
+            std::time::Instant::now() < deadline,
+            "replica never caught up"
+        );
         std::thread::sleep(Duration::from_millis(10));
     }
     assert_eq!(victim.state_machine().table.len(), 10);
@@ -95,9 +105,12 @@ fn proxy_failure_mid_rename_is_recovered_by_uuid_retry() {
 
     // A different request cannot move the locked directory.
     assert!(matches!(
-        cluster
-            .index()
-            .rename_prepare(&p("/src/victim"), &p("/dst/other"), ClientUuid::generate(), &mut stats),
+        cluster.index().rename_prepare(
+            &p("/src/victim"),
+            &p("/dst/other"),
+            ClientUuid::generate(),
+            &mut stats
+        ),
         Err(MetaError::RenameLocked(_))
     ));
 
@@ -112,30 +125,53 @@ fn proxy_failure_mid_rename_is_recovered_by_uuid_retry() {
     use mantle::tafdb::{entry_key, Row, TxnOp};
     use mantle::types::{AttrDelta, Permission};
     let ops = [
-        TxnOp::Delete { key: entry_key(grant2.src_pid, "victim") },
+        TxnOp::Delete {
+            key: entry_key(grant2.src_pid, "victim"),
+        },
         TxnOp::InsertUnique {
             key: entry_key(grant2.dst_pid, "moved"),
-            row: Row::DirAccess { id: grant2.src_id, permission: Permission::ALL },
+            row: Row::DirAccess {
+                id: grant2.src_id,
+                permission: Permission::ALL,
+            },
         },
         TxnOp::AttrUpdate {
             dir: grant2.src_pid,
-            delta: AttrDelta { nlink: -1, entries: -1, mtime: 1 },
+            delta: AttrDelta {
+                nlink: -1,
+                entries: -1,
+                mtime: 1,
+            },
         },
         TxnOp::AttrUpdate {
             dir: grant2.dst_pid,
-            delta: AttrDelta { nlink: 1, entries: 1, mtime: 1 },
+            delta: AttrDelta {
+                nlink: 1,
+                entries: 1,
+                mtime: 1,
+            },
         },
     ];
     cluster.db().execute(&ops, &mut stats).unwrap();
     cluster
         .index()
-        .rename_commit(&grant2, &p("/src/victim"), &p("/dst/moved"), uuid, &mut stats)
+        .rename_commit(
+            &grant2,
+            &p("/src/victim"),
+            &p("/dst/moved"),
+            uuid,
+            &mut stats,
+        )
         .unwrap();
 
     assert!(cluster.index().lookup(&p("/dst/moved"), &mut stats).is_ok());
-    assert!(cluster.index().lookup(&p("/src/victim"), &mut stats).is_err());
+    assert!(cluster
+        .index()
+        .lookup(&p("/src/victim"), &mut stats)
+        .is_err());
     // The lock died with the source entry; new renames of the moved dir work.
-    svc.rename_dir(&p("/dst/moved"), &p("/src/back"), &mut stats).unwrap();
+    svc.rename_dir(&p("/dst/moved"), &p("/src/back"), &mut stats)
+        .unwrap();
 }
 
 #[test]
@@ -156,7 +192,8 @@ fn tafdb_transactions_unaffected_by_index_failover() {
             s.spawn(move || {
                 let mut stats = OpStats::new();
                 for i in 0..10 {
-                    svc.create(&p(&format!("/d/o_{t}_{i}")), 1, &mut stats).unwrap();
+                    svc.create(&p(&format!("/d/o_{t}_{i}")), 1, &mut stats)
+                        .unwrap();
                 }
             });
         }

@@ -78,7 +78,10 @@ fn tectonic_transactional_full_matrix() {
         || {
             Tectonic::new(
                 SimConfig::instant(),
-                TectonicOptions { transactional: true, ..TectonicOptions::default() },
+                TectonicOptions {
+                    transactional: true,
+                    ..TectonicOptions::default()
+                },
             )
         },
         7.0,
@@ -124,12 +127,19 @@ fn phase_attribution_differs_by_design() {
     let stats = run_rename(&*mantle, &|p| {
         mantle.bulk_dir(p);
     });
-    assert!(stats.phase_nanos(Phase::LoopDetect) > 0, "Mantle: loop detection on IndexNode");
+    assert!(
+        stats.phase_nanos(Phase::LoopDetect) > 0,
+        "Mantle: loop detection on IndexNode"
+    );
 
     let tectonic = Tectonic::new(SimConfig::instant(), TectonicOptions::default());
     let stats = run_rename(&*tectonic, &|p| {
         tectonic.bulk_dir(p);
     });
-    assert_eq!(stats.phase_nanos(Phase::LoopDetect), 0, "Tectonic: no coordinator");
+    assert_eq!(
+        stats.phase_nanos(Phase::LoopDetect),
+        0,
+        "Tectonic: no coordinator"
+    );
     assert!(stats.phase_nanos(Phase::Lookup) > 0);
 }

@@ -35,7 +35,9 @@ fn setattr_changes_aggregated_permissions() {
     assert!(!resolved.permission.allows(Permission::EXEC));
 
     // Restore and everything comes back.
-    cluster.setattr(&p("/a/b"), Permission::ALL, &mut stats).unwrap();
+    cluster
+        .setattr(&p("/a/b"), Permission::ALL, &mut stats)
+        .unwrap();
     assert_eq!(svc.objstat(&p("/a/b/c/o"), &mut stats).unwrap().size, 1);
 }
 
@@ -57,7 +59,9 @@ fn setattr_invalidates_warm_cache_on_every_replica() {
     }
     assert!(cluster.index().cache_stats().iter().any(|s| s.entries > 0));
 
-    cluster.setattr(&p("/a"), Permission(0b110), &mut stats).unwrap();
+    cluster
+        .setattr(&p("/a"), Permission(0b110), &mut stats)
+        .unwrap();
     // No replica may serve the stale aggregated permission.
     for _ in 0..12 {
         assert!(matches!(

@@ -1,0 +1,214 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! Supports the API subset the workspace benches use — `benchmark_group`,
+//! `bench_function`, `bench_with_input`, `BenchmarkId`, `Bencher::iter`,
+//! `black_box` and the `criterion_group!`/`criterion_main!` macros — with a
+//! simple calibrated-loop timer instead of criterion's statistics engine:
+//! each benchmark is warmed up, then timed for a fixed budget, and the mean
+//! per-iteration latency is printed.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Opaque-to-the-optimizer identity, as `criterion::black_box`.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Top-level benchmark driver.
+pub struct Criterion {
+    warm_up: Duration,
+    budget: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            warm_up: Duration::from_millis(100),
+            budget: Duration::from_millis(400),
+        }
+    }
+}
+
+impl Criterion {
+    /// Runs one named benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        run_one(name, self.warm_up, self.budget, &mut f);
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        println!("group {name}");
+        BenchmarkGroup {
+            criterion: self,
+            group: name.to_string(),
+        }
+    }
+}
+
+/// A named group of benchmarks sharing a prefix.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    group: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Runs one benchmark inside the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        mut f: F,
+    ) -> &mut Self {
+        let id = id.into();
+        let name = format!("{}/{}", self.group, id.label);
+        run_one(&name, self.criterion.warm_up, self.criterion.budget, &mut f);
+        self
+    }
+
+    /// Runs one parameterized benchmark inside the group.
+    pub fn bench_with_input<I: ?Sized, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        let id = id.into();
+        let name = format!("{}/{}", self.group, id.label);
+        run_one(
+            &name,
+            self.criterion.warm_up,
+            self.criterion.budget,
+            &mut |b| f(b, input),
+        );
+        self
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+}
+
+/// A benchmark identifier (`function/parameter`).
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// Builds an id from a function name and a parameter value.
+    pub fn new(function: impl Display, parameter: impl Display) -> Self {
+        BenchmarkId {
+            label: format!("{function}/{parameter}"),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId {
+            label: s.to_string(),
+        }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId { label: s }
+    }
+}
+
+/// Passed to the benchmark closure; [`Bencher::iter`] does the timing.
+pub struct Bencher {
+    warm_up: Duration,
+    budget: Duration,
+    /// Mean per-iteration time of the measured phase.
+    mean_nanos: f64,
+    iters: u64,
+}
+
+impl Bencher {
+    /// Times `routine` repeatedly and records the mean latency.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warm-up: also calibrates how many iterations fit in the budget.
+        let warm_start = Instant::now();
+        let mut warm_iters = 0u64;
+        while warm_start.elapsed() < self.warm_up {
+            black_box(routine());
+            warm_iters += 1;
+        }
+        let per_iter = self.warm_up.as_nanos() as f64 / warm_iters.max(1) as f64;
+        let target = ((self.budget.as_nanos() as f64 / per_iter) as u64).clamp(10, 10_000_000);
+
+        let start = Instant::now();
+        for _ in 0..target {
+            black_box(routine());
+        }
+        let elapsed = start.elapsed();
+        self.mean_nanos = elapsed.as_nanos() as f64 / target as f64;
+        self.iters = target;
+    }
+}
+
+fn run_one(name: &str, warm_up: Duration, budget: Duration, f: &mut dyn FnMut(&mut Bencher)) {
+    let mut b = Bencher {
+        warm_up,
+        budget,
+        mean_nanos: f64::NAN,
+        iters: 0,
+    };
+    f(&mut b);
+    if b.iters == 0 {
+        println!("  {name}: no measurement (closure never called iter)");
+        return;
+    }
+    let mean = b.mean_nanos;
+    let human = if mean >= 1e9 {
+        format!("{:.3} s", mean / 1e9)
+    } else if mean >= 1e6 {
+        format!("{:.3} ms", mean / 1e6)
+    } else if mean >= 1e3 {
+        format!("{:.3} µs", mean / 1e3)
+    } else {
+        format!("{mean:.1} ns")
+    };
+    println!("  {name}: {human}/iter ({} iters)", b.iters);
+}
+
+/// Declares a benchmark group function, as `criterion::criterion_group!`.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares the benchmark binary's `main`, as `criterion::criterion_main!`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_measures_something() {
+        let mut c = Criterion {
+            warm_up: Duration::from_millis(2),
+            budget: Duration::from_millis(5),
+        };
+        c.bench_function("noop", |b| b.iter(|| black_box(1 + 1)));
+        let mut group = c.benchmark_group("g");
+        group.bench_with_input(BenchmarkId::new("p", 3), &3u32, |b, &x| {
+            b.iter(|| black_box(x * 2))
+        });
+        group.finish();
+    }
+}

@@ -1,0 +1,391 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! Implements `#[derive(Serialize)]` by hand-parsing the item's token
+//! stream (the container has no `syn`/`quote`), generating an impl of the
+//! vendored `serde::Serialize` trait that lowers the value to a JSON
+//! `serde::Value`. Shapes supported — all the workspace uses:
+//!
+//! * named-field structs → JSON object
+//! * newtype structs → the inner value (serde's newtype behaviour)
+//! * tuple structs → JSON array; unit structs → `null`
+//! * enums: unit variants → the variant name as a string; newtype
+//!   variants → `{"Variant": inner}`; tuple variants → `{"Variant": [..]}`;
+//!   struct variants → `{"Variant": {..}}` (externally tagged)
+//! * plain type/lifetime generics (each type param gets a `Serialize` bound)
+//!
+//! `#[derive(Deserialize)]` is accepted and expands to nothing: nothing in
+//! the workspace deserializes typed values, and the vendored `serde` keeps
+//! `Deserialize` as an unused marker.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    let code = generate_impl(&item);
+    code.parse().expect("generated Serialize impl parses")
+}
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+struct Item {
+    is_enum: bool,
+    name: String,
+    /// Generic parameters as written, e.g. `["'a", "T"]`.
+    generics: Vec<String>,
+    /// Named fields / tuple arity for structs.
+    fields: Fields,
+    /// Enum variants.
+    variants: Vec<Variant>,
+}
+
+enum Fields {
+    Named(Vec<String>),
+    Tuple(usize),
+    Unit,
+}
+
+struct Variant {
+    name: String,
+    fields: Fields,
+}
+
+fn parse_item(input: TokenStream) -> Item {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+
+    skip_attrs_and_vis(&tokens, &mut i);
+
+    let kind = expect_ident(&tokens, &mut i);
+    let is_enum = match kind.as_str() {
+        "struct" => false,
+        "enum" => true,
+        other => panic!("derive(Serialize): unsupported item kind `{other}`"),
+    };
+    let name = expect_ident(&tokens, &mut i);
+    let generics = parse_generics(&tokens, &mut i);
+
+    if is_enum {
+        let group = expect_group(&tokens, &mut i, Delimiter::Brace);
+        let variants = parse_variants(group);
+        Item {
+            is_enum,
+            name,
+            generics,
+            fields: Fields::Unit,
+            variants,
+        }
+    } else {
+        let fields = match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                parse_named_fields(g.stream())
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Fields::Tuple(count_tuple_fields(g.stream()))
+            }
+            _ => Fields::Unit,
+        };
+        Item {
+            is_enum,
+            name,
+            generics,
+            fields,
+            variants: Vec::new(),
+        }
+    }
+}
+
+fn skip_attrs_and_vis(tokens: &[TokenTree], i: &mut usize) {
+    loop {
+        match tokens.get(*i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                *i += 1; // '#'
+                *i += 1; // bracketed attribute body
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                *i += 1;
+                if let Some(TokenTree::Group(g)) = tokens.get(*i) {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        *i += 1; // pub(crate) etc.
+                    }
+                }
+            }
+            _ => break,
+        }
+    }
+}
+
+fn expect_ident(tokens: &[TokenTree], i: &mut usize) -> String {
+    match tokens.get(*i) {
+        Some(TokenTree::Ident(id)) => {
+            *i += 1;
+            id.to_string()
+        }
+        other => panic!("derive(Serialize): expected identifier, found {other:?}"),
+    }
+}
+
+fn expect_group(tokens: &[TokenTree], i: &mut usize, delim: Delimiter) -> TokenStream {
+    match tokens.get(*i) {
+        Some(TokenTree::Group(g)) if g.delimiter() == delim => {
+            *i += 1;
+            g.stream()
+        }
+        other => panic!("derive(Serialize): expected {delim:?} group, found {other:?}"),
+    }
+}
+
+/// Parses `<...>` after the item name into the list of parameter names
+/// (bounds and defaults are dropped; each type param is re-bounded with
+/// `Serialize` at emission time).
+fn parse_generics(tokens: &[TokenTree], i: &mut usize) -> Vec<String> {
+    match tokens.get(*i) {
+        Some(TokenTree::Punct(p)) if p.as_char() == '<' => {}
+        _ => return Vec::new(),
+    }
+    *i += 1;
+    let mut depth = 1usize;
+    let mut params = Vec::new();
+    let mut current: Vec<String> = Vec::new();
+    while depth > 0 {
+        let tt = tokens
+            .get(*i)
+            .unwrap_or_else(|| panic!("derive(Serialize): unterminated generics"));
+        *i += 1;
+        match tt {
+            TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => {
+                depth -= 1;
+                if depth == 0 {
+                    break;
+                }
+            }
+            TokenTree::Punct(p) if p.as_char() == ',' && depth == 1 => {
+                if let Some(param) = param_name(&current) {
+                    params.push(param);
+                }
+                current.clear();
+            }
+            other => current.push(other.to_string()),
+        }
+    }
+    if let Some(param) = param_name(&current) {
+        params.push(param);
+    }
+    params
+}
+
+/// The parameter name from its token spelling: `'a`, `T`, `T : Bound`, …
+fn param_name(tokens: &[String]) -> Option<String> {
+    let first = tokens.first()?;
+    if first == "'" {
+        return Some(format!("'{}", tokens.get(1)?));
+    }
+    Some(first.clone())
+}
+
+fn parse_named_fields(stream: TokenStream) -> Fields {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut i = 0;
+    let mut names = Vec::new();
+    while i < tokens.len() {
+        skip_attrs_and_vis(&tokens, &mut i);
+        if i >= tokens.len() {
+            break;
+        }
+        names.push(expect_ident(&tokens, &mut i));
+        match tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => i += 1,
+            other => panic!("derive(Serialize): expected `:` after field, found {other:?}"),
+        }
+        skip_type(&tokens, &mut i);
+    }
+    Fields::Named(names)
+}
+
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut i = 0;
+    let mut count = 0;
+    while i < tokens.len() {
+        skip_attrs_and_vis(&tokens, &mut i);
+        if i >= tokens.len() {
+            break;
+        }
+        count += 1;
+        skip_type(&tokens, &mut i);
+    }
+    count
+}
+
+/// Advances past one type, stopping after the `,` that ends it (or at end
+/// of stream). Tracks `<...>` nesting so commas inside generics don't split.
+fn skip_type(tokens: &[TokenTree], i: &mut usize) {
+    let mut angle = 0usize;
+    while let Some(tt) = tokens.get(*i) {
+        match tt {
+            TokenTree::Punct(p) if p.as_char() == '<' => angle += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => angle = angle.saturating_sub(1),
+            TokenTree::Punct(p) if p.as_char() == ',' && angle == 0 => {
+                *i += 1;
+                return;
+            }
+            _ => {}
+        }
+        *i += 1;
+    }
+}
+
+fn parse_variants(stream: TokenStream) -> Vec<Variant> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut i = 0;
+    let mut variants = Vec::new();
+    while i < tokens.len() {
+        skip_attrs_and_vis(&tokens, &mut i);
+        if i >= tokens.len() {
+            break;
+        }
+        let name = expect_ident(&tokens, &mut i);
+        let fields = match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                i += 1;
+                Fields::Tuple(count_tuple_fields(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                i += 1;
+                parse_named_fields(g.stream())
+            }
+            _ => Fields::Unit,
+        };
+        // Skip an explicit discriminant (`= expr`) and the trailing comma.
+        while let Some(tt) = tokens.get(i) {
+            i += 1;
+            if matches!(tt, TokenTree::Punct(p) if p.as_char() == ',') {
+                break;
+            }
+        }
+        variants.push(Variant { name, fields });
+    }
+    variants
+}
+
+fn generate_impl(item: &Item) -> String {
+    let name = &item.name;
+    let (impl_params, type_args) = render_generics(&item.generics);
+    let body = if item.is_enum {
+        generate_enum_body(name, &item.variants)
+    } else {
+        generate_struct_body(&item.fields)
+    };
+    format!(
+        "#[automatically_derived]\n\
+         impl{impl_params} ::serde::Serialize for {name}{type_args} {{\n\
+             fn to_json(&self) -> ::serde::Value {{\n{body}\n}}\n\
+         }}"
+    )
+}
+
+fn render_generics(params: &[String]) -> (String, String) {
+    if params.is_empty() {
+        return (String::new(), String::new());
+    }
+    let bounded: Vec<String> = params
+        .iter()
+        .map(|p| {
+            if p.starts_with('\'') {
+                p.clone()
+            } else {
+                format!("{p}: ::serde::Serialize")
+            }
+        })
+        .collect();
+    (
+        format!("<{}>", bounded.join(", ")),
+        format!("<{}>", params.join(", ")),
+    )
+}
+
+fn generate_struct_body(fields: &Fields) -> String {
+    match fields {
+        Fields::Named(names) => {
+            let pairs: Vec<String> = names
+                .iter()
+                .map(|f| {
+                    format!(
+                        "(::std::string::String::from(\"{f}\"), \
+                         ::serde::Serialize::to_json(&self.{f}))"
+                    )
+                })
+                .collect();
+            format!(
+                "::serde::Value::Object(::std::vec![\n{}\n])",
+                pairs.join(",\n")
+            )
+        }
+        Fields::Tuple(1) => "::serde::Serialize::to_json(&self.0)".to_string(),
+        Fields::Tuple(n) => {
+            let items: Vec<String> = (0..*n)
+                .map(|idx| format!("::serde::Serialize::to_json(&self.{idx})"))
+                .collect();
+            format!("::serde::Value::Array(::std::vec![{}])", items.join(", "))
+        }
+        Fields::Unit => "::serde::Value::Null".to_string(),
+    }
+}
+
+fn generate_enum_body(name: &str, variants: &[Variant]) -> String {
+    if variants.is_empty() {
+        return "match *self {}".to_string();
+    }
+    let arms: Vec<String> = variants
+        .iter()
+        .map(|v| {
+            let vname = &v.name;
+            match &v.fields {
+                Fields::Unit => format!(
+                    "{name}::{vname} => \
+                     ::serde::Value::Str(::std::string::String::from(\"{vname}\"))"
+                ),
+                Fields::Tuple(n) => {
+                    let binders: Vec<String> = (0..*n).map(|k| format!("f{k}")).collect();
+                    let payload = if *n == 1 {
+                        "::serde::Serialize::to_json(f0)".to_string()
+                    } else {
+                        let items: Vec<String> = binders
+                            .iter()
+                            .map(|b| format!("::serde::Serialize::to_json({b})"))
+                            .collect();
+                        format!("::serde::Value::Array(::std::vec![{}])", items.join(", "))
+                    };
+                    format!(
+                        "{name}::{vname}({binds}) => ::serde::Value::Object(::std::vec![\
+                         (::std::string::String::from(\"{vname}\"), {payload})])",
+                        binds = binders.join(", ")
+                    )
+                }
+                Fields::Named(fields) => {
+                    let pairs: Vec<String> = fields
+                        .iter()
+                        .map(|f| {
+                            format!(
+                                "(::std::string::String::from(\"{f}\"), \
+                                 ::serde::Serialize::to_json({f}))"
+                            )
+                        })
+                        .collect();
+                    format!(
+                        "{name}::{vname} {{ {binds} }} => ::serde::Value::Object(::std::vec![\
+                         (::std::string::String::from(\"{vname}\"), \
+                         ::serde::Value::Object(::std::vec![{pairs}]))])",
+                        binds = fields.join(", "),
+                        pairs = pairs.join(", ")
+                    )
+                }
+            }
+        })
+        .collect();
+    format!("match self {{\n{}\n}}", arms.join(",\n"))
+}

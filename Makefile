@@ -1,7 +1,7 @@
 # Mirror of the justfile for environments without `just`.
 # `make verify` = format check + clippy (warnings are errors) + tests.
 
-.PHONY: verify fmt-check clippy test fmt
+.PHONY: verify fmt-check clippy test fmt chaos chaos-sweep
 
 verify: fmt-check clippy test
 
@@ -16,3 +16,16 @@ test:
 
 fmt:
 	cargo fmt
+
+# Re-run one chaos seed with tracing + fault timeline: make chaos SEED=17
+SEED ?= 0
+chaos:
+	MANTLE_FAULT_SEED=$(SEED) MANTLE_TRACE_SAMPLE=1 MANTLE_CHAOS_TIMELINE=1 \
+		cargo test -q --test chaos -- --nocapture
+
+chaos-sweep:
+	@failed=""; for seed in $$(seq 0 31); do \
+		echo "== chaos seed $$seed =="; \
+		MANTLE_FAULT_SEED=$$seed cargo test -q --test chaos || failed="$$failed $$seed"; \
+	done; \
+	if [ -n "$$failed" ]; then echo "failing seeds:$$failed"; exit 1; fi

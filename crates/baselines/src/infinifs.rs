@@ -133,6 +133,13 @@ impl InfiniFs {
         &self.db
     }
 
+    /// Installs (or clears) a fault plan on the shards and the rename
+    /// coordinator node.
+    pub fn install_faults(&self, plan: Option<Arc<mantle_rpc::FaultPlan>>) {
+        self.db.install_faults(plan.clone());
+        self.coordinator.set_faults(plan);
+    }
+
     fn now(&self) -> u64 {
         self.clock
             .fetch_add(1, std::sync::atomic::Ordering::Relaxed)

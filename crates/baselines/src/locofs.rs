@@ -342,6 +342,13 @@ impl LocoFs {
             .ok_or_else(|| MetaError::Unavailable("no directory-server leader".into()))
     }
 
+    /// Installs (or clears) a fault plan on the directory server's Raft
+    /// group and the file-metadata shards.
+    pub fn install_faults(&self, plan: Option<Arc<mantle_rpc::FaultPlan>>) {
+        self.dir_server.install_faults(plan.clone());
+        self.db.install_faults(plan);
+    }
+
     /// One RPC to the directory server running `f` against its local state.
     fn dir_rpc<R>(
         &self,

@@ -87,6 +87,12 @@ impl Tectonic {
         &self.db
     }
 
+    /// Installs (or clears) a fault plan on the underlying shards, so the
+    /// chaos harness exercises baselines under the same fault profile.
+    pub fn install_faults(&self, plan: Option<Arc<mantle_rpc::FaultPlan>>) {
+        self.db.install_faults(plan);
+    }
+
     fn now(&self) -> u64 {
         self.clock
             .fetch_add(1, std::sync::atomic::Ordering::Relaxed)

@@ -269,7 +269,12 @@ impl MantleCluster {
     }
 
     /// Retries `f` across transient unavailability (IndexNode leader
-    /// failover re-election windows).
+    /// failover re-election windows) and injected transient faults, with
+    /// bounded exponential backoff (200µs doubling, capped at 5ms).
+    ///
+    /// Safe to retry blindly: injected faults are request-loss only (the
+    /// guarded work never ran), and multi-step operations carry a client
+    /// UUID so server-side replays stay idempotent.
     fn with_failover<R>(
         &self,
         stats: &mut OpStats,
@@ -278,13 +283,35 @@ impl MantleCluster {
         let mut attempts = 0;
         loop {
             match f(stats) {
-                Err(MetaError::Unavailable(_)) if attempts < self.config.unavailable_retries => {
+                Err(e @ (MetaError::Unavailable(_) | MetaError::Transient { .. }))
+                    if attempts < self.config.unavailable_retries =>
+                {
+                    if matches!(e, MetaError::Transient { .. }) {
+                        stats.transient_retries += 1;
+                    }
                     attempts += 1;
-                    std::thread::sleep(Duration::from_millis(5));
+                    let micros = (100u64 << attempts.min(6)).min(5_000);
+                    std::thread::sleep(Duration::from_micros(micros));
                 }
                 other => return other,
             }
         }
+    }
+
+    /// Installs a deterministic fault plan across every component: the
+    /// IndexNode's Raft replicas (RPC + WAL + crash hooks), every TafDB
+    /// shard (RPC + WAL + 2PC), and the data nodes.
+    pub fn install_faults(&self, plan: &Arc<mantle_rpc::FaultPlan>) {
+        self.index.install_faults(Some(plan.clone()));
+        self.db.install_faults(Some(plan.clone()));
+        self.data.install_faults(Some(plan.clone()));
+    }
+
+    /// Removes a previously installed fault plan from every component.
+    pub fn clear_faults(&self) {
+        self.index.install_faults(None);
+        self.db.install_faults(None);
+        self.data.install_faults(None);
     }
 
     /// One path resolution, optionally short-circuited by the proxy-side
@@ -542,11 +569,17 @@ impl MetadataService for MantleCluster {
         let mut attempts = 0u32;
         loop {
             match self.try_rename(src, dst, uuid, stats) {
-                Err(MetaError::RenameLocked(_) | MetaError::TxnConflict { .. })
-                    if attempts < self.config.rename_retries =>
-                {
+                Err(
+                    e @ (MetaError::RenameLocked(_)
+                    | MetaError::TxnConflict { .. }
+                    | MetaError::Transient { .. }),
+                ) if attempts < self.config.rename_retries => {
                     attempts += 1;
-                    stats.rename_retries += 1;
+                    if matches!(e, MetaError::Transient { .. }) {
+                        stats.transient_retries += 1;
+                    } else {
+                        stats.rename_retries += 1;
+                    }
                     let micros = (50u64 << attempts.min(6)).min(3_000);
                     if self.config.sim.rtt_micros == 0 {
                         std::thread::yield_now();

@@ -43,6 +43,15 @@ impl DataService {
         &self.nodes[i % self.nodes.len()]
     }
 
+    /// Installs (or clears) a fault plan on every data node. Data-path
+    /// RPCs use the infallible wrappers, so injected drops/timeouts are
+    /// absorbed as internal retries rather than surfaced to callers.
+    pub fn install_faults(&self, plan: Option<std::sync::Arc<mantle_rpc::FaultPlan>>) {
+        for n in &self.nodes {
+            n.set_faults(plan.clone());
+        }
+    }
+
     /// Writes an object of `size` bytes, returning its blob handle.
     pub fn write(&self, size: u64, stats: &mut OpStats) -> u64 {
         let blob = self.next_blob.fetch_add(1, Ordering::Relaxed);

@@ -193,6 +193,14 @@ impl IndexNode {
         &self.group
     }
 
+    /// Installs (or clears) a fault plan on every replica — transport
+    /// faults on the `index*` nodes, fsync faults on their Raft logs, and
+    /// crash/restart hooks so `FaultPlan::crash_node("index0")` downs the
+    /// replica like `RaftGroup::crash` would.
+    pub fn install_faults(&self, plan: Option<Arc<mantle_rpc::FaultPlan>>) {
+        self.group.install_faults(plan);
+    }
+
     fn leader(&self) -> Result<Arc<RaftReplica<IndexSm>>> {
         self.group
             .leader()
@@ -235,7 +243,7 @@ impl IndexNode {
         }
         let outcome: ResolveOutcome = replica
             .node()
-            .rpc_named(stats, "resolve", || replica.state_machine().resolve(path));
+            .try_rpc_named(stats, "resolve", || replica.state_machine().resolve(path))?;
         if outcome.cacheable {
             if outcome.cache_hit {
                 stats.cache_hits += 1;
@@ -346,85 +354,88 @@ impl IndexNode {
         }
         let leader = self.leader()?;
         let src_name = src.name().expect("non-root");
-        let grant = leader.node().rpc(stats, || -> Result<RenameGrant> {
-            let sm = leader.state_machine();
+        let grant = leader
+            .node()
+            .try_rpc_named(stats, "rename_prepare", || -> Result<RenameGrant> {
+                let sm = leader.state_machine();
 
-            // Loop detection on paths: a rename creating `dst` inside `src`
-            // would detach the subtree into a cycle.
-            if src.is_ancestor_of(dst) {
-                return Err(MetaError::RenameLoop {
-                    src: src.to_string(),
-                    dst: dst.to_string(),
-                });
-            }
-
-            // Resolve both parents *outside* the pending lock — resolution
-            // carries the per-level CPU cost and must not serialize
-            // unrelated renames. The lock-bit examination below re-reads
-            // the entries it cares about.
-            let src_parent = src.parent().expect("non-root");
-            let src_parent_res = sm.resolve(&src_parent).result?;
-            let dst_parent = dst.parent().expect("non-root");
-            let dst_name = dst.name().expect("non-root");
-            let dst_parent_res = sm.resolve(&dst_parent).result?;
-
-            // Validation + reservation under the short pending lock; the
-            // replication of the lock bit happens outside it so
-            // non-conflicting renames replicate concurrently.
-            {
-                let mut pending = self.pending_renames.lock();
-                let locked_by_other = |pid: InodeId, name: &str| -> bool {
-                    let replicated = sm
-                        .table
-                        .get(pid, name)
-                        .and_then(|e| e.lock)
-                        .is_some_and(|h| h != uuid);
-                    let reserved = pending
-                        .get(&(pid, Arc::from(name)))
-                        .is_some_and(|h| *h != uuid);
-                    replicated || reserved
-                };
-
-                let Some(src_entry) = sm.table.get(src_parent_res.id, src_name) else {
-                    return Err(MetaError::NotFound(src.to_string()));
-                };
-                if locked_by_other(src_parent_res.id, src_name) {
-                    return Err(MetaError::RenameLocked(src.to_string()));
+                // Loop detection on paths: a rename creating `dst` inside `src`
+                // would detach the subtree into a cycle.
+                if src.is_ancestor_of(dst) {
+                    return Err(MetaError::RenameLoop {
+                        src: src.to_string(),
+                        dst: dst.to_string(),
+                    });
                 }
 
-                // Destination must not be a directory already (object
-                // collisions surface in the metadata transaction).
-                if sm.table.get(dst_parent_res.id, dst_name).is_some() {
-                    return Err(MetaError::AlreadyExists(dst.to_string()));
-                }
+                // Resolve both parents *outside* the pending lock — resolution
+                // carries the per-level CPU cost and must not serialize
+                // unrelated renames. The lock-bit examination below re-reads
+                // the entries it cares about.
+                let src_parent = src.parent().expect("non-root");
+                let src_parent_res = sm.resolve(&src_parent).result?;
+                let dst_parent = dst.parent().expect("non-root");
+                let dst_name = dst.name().expect("non-root");
+                let dst_parent_res = sm.resolve(&dst_parent).result?;
 
-                // Examine lock bits (replicated or reserved) from the least
-                // common ancestor down to the destination parent (Figure 9
-                // step 6): a locked directory on that chain means a
-                // concurrent rename could re-parent us into a loop.
-                let lca_depth = src.lca_depth(dst);
-                let mut pid = sm.root();
-                for (depth, comp) in dst_parent.components().enumerate() {
-                    let Some(entry) = sm.table.get(pid, comp) else {
-                        return Err(MetaError::NotFound(dst_parent.to_string()));
+                // Validation + reservation under the short pending lock; the
+                // replication of the lock bit happens outside it so
+                // non-conflicting renames replicate concurrently.
+                {
+                    let mut pending = self.pending_renames.lock();
+                    let locked_by_other = |pid: InodeId, name: &str| -> bool {
+                        let replicated = sm
+                            .table
+                            .get(pid, name)
+                            .and_then(|e| e.lock)
+                            .is_some_and(|h| h != uuid);
+                        let reserved = pending
+                            .get(&(pid, Arc::from(name)))
+                            .is_some_and(|h| *h != uuid);
+                        replicated || reserved
                     };
-                    if depth >= lca_depth && locked_by_other(pid, comp) {
-                        return Err(MetaError::RenameLocked(
-                            dst_parent.prefix(depth + 1).to_string(),
-                        ));
-                    }
-                    pid = entry.id;
-                }
 
-                pending.insert((src_parent_res.id, Arc::from(src_name)), uuid);
-                Ok(RenameGrant {
-                    src_pid: src_parent_res.id,
-                    src_id: src_entry.id,
-                    permission: src_entry.permission,
-                    dst_pid: dst_parent_res.id,
-                })
-            }
-        })?;
+                    let Some(src_entry) = sm.table.get(src_parent_res.id, src_name) else {
+                        return Err(MetaError::NotFound(src.to_string()));
+                    };
+                    if locked_by_other(src_parent_res.id, src_name) {
+                        return Err(MetaError::RenameLocked(src.to_string()));
+                    }
+
+                    // Destination must not be a directory already (object
+                    // collisions surface in the metadata transaction).
+                    if sm.table.get(dst_parent_res.id, dst_name).is_some() {
+                        return Err(MetaError::AlreadyExists(dst.to_string()));
+                    }
+
+                    // Examine lock bits (replicated or reserved) from the least
+                    // common ancestor down to the destination parent (Figure 9
+                    // step 6): a locked directory on that chain means a
+                    // concurrent rename could re-parent us into a loop.
+                    let lca_depth = src.lca_depth(dst);
+                    let mut pid = sm.root();
+                    for (depth, comp) in dst_parent.components().enumerate() {
+                        let Some(entry) = sm.table.get(pid, comp) else {
+                            return Err(MetaError::NotFound(dst_parent.to_string()));
+                        };
+                        if depth >= lca_depth && locked_by_other(pid, comp) {
+                            return Err(MetaError::RenameLocked(
+                                dst_parent.prefix(depth + 1).to_string(),
+                            ));
+                        }
+                        pid = entry.id;
+                    }
+
+                    pending.insert((src_parent_res.id, Arc::from(src_name)), uuid);
+                    Ok(RenameGrant {
+                        src_pid: src_parent_res.id,
+                        src_id: src_entry.id,
+                        permission: src_entry.permission,
+                        dst_pid: dst_parent_res.id,
+                    })
+                }
+            })
+            .and_then(|r| r)?;
 
         // Replicate the lock bit outside the capacity permit (replication
         // is I/O); the reservation covers the window until apply sets the

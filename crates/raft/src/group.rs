@@ -113,6 +113,32 @@ impl<SM: StateMachine> RaftGroup<SM> {
         }
     }
 
+    /// Installs (or clears) a fault plan on every replica, and registers
+    /// each replica's crash/recover pair as node hooks so
+    /// `FaultPlan::crash_node("<node name>")` reaches it.
+    pub fn install_faults(&self, plan: Option<std::sync::Arc<mantle_rpc::FaultPlan>>) {
+        for r in &self.replicas {
+            r.install_faults(plan.clone());
+            if let Some(plan) = &plan {
+                let crash = Arc::downgrade(r);
+                let recover = Arc::downgrade(r);
+                plan.register_node_hooks(
+                    r.node().name(),
+                    move || {
+                        if let Some(r) = crash.upgrade() {
+                            r.crash();
+                        }
+                    },
+                    move || {
+                        if let Some(r) = recover.upgrade() {
+                            r.recover();
+                        }
+                    },
+                );
+            }
+        }
+    }
+
     /// Crashes replica `id` (fails its RPCs, pauses its apply loop).
     pub fn crash(&self, id: usize) {
         self.replicas[id].crash();

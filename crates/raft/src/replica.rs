@@ -304,6 +304,22 @@ impl<SM: StateMachine> RaftReplica<SM> {
 
     // --- failure injection ------------------------------------------------
 
+    /// Installs (or clears) a fault plan on this replica: its node
+    /// (transport faults), its log WAL (fsync faults), and the
+    /// replication/election/read paths (directed partitions).
+    pub fn install_faults(&self, plan: Option<Arc<mantle_rpc::FaultPlan>>) {
+        self.node.set_faults(plan.clone());
+        self.wal.set_faults(plan);
+    }
+
+    /// Whether the directed edge from this replica to `peer` is cut by an
+    /// installed fault plan.
+    fn edge_cut(&self, peer: &RaftReplica<SM>) -> bool {
+        self.node
+            .faults()
+            .is_some_and(|p| p.edge_blocked(self.node.name(), peer.node.name()))
+    }
+
     /// Simulates a crash: the replica stops answering and proposing. Its
     /// log survives (it was durable), matching a restart from disk.
     pub fn crash(&self) {
@@ -361,6 +377,15 @@ impl<SM: StateMachine> RaftReplica<SM> {
         // Leader durability: group-committed fsync outside the lock.
         self.wal.append();
 
+        // With a fault plan installed, a partitioned leader must not hang
+        // its proposers forever: bound the wait and surface Unavailable
+        // (retryable — the entry may still commit, but the client-UUID
+        // idempotency layer makes the replay safe). Without a plan the
+        // wait is unbounded, exactly as before.
+        let deadline = self.node.faults().map(|_| {
+            Instant::now() + (self.opts.election_timeout_max * 10).max(Duration::from_secs(2))
+        });
+
         let mut g = self.inner.lock();
         if g.match_index[self.id] < my_index {
             g.match_index[self.id] = my_index;
@@ -377,6 +402,9 @@ impl<SM: StateMachine> RaftReplica<SM> {
                 return Err(RaftError::Superseded);
             }
             if !self.alive() {
+                return Err(RaftError::Unavailable);
+            }
+            if deadline.is_some_and(|d| Instant::now() > d) {
                 return Err(RaftError::Unavailable);
             }
             self.apply_cv.wait_for(&mut g, Duration::from_millis(10));
@@ -409,6 +437,7 @@ impl<SM: StateMachine> RaftReplica<SM> {
                 .filter_map(|i| self.peer(i))
                 .find(|p| p.is_leader());
             match leader {
+                Some(l) if self.edge_cut(&l) => NO_LEADER,
                 Some(l) => l.node.rpc_named(stats, "read_index", || l.commit_index()),
                 None => NO_LEADER,
             }
@@ -635,6 +664,12 @@ impl<SM: StateMachine> RaftReplica<SM> {
             let Some(peer) = self.peer(peer_id) else {
                 return;
             };
+            if self.edge_cut(&peer) {
+                // Partitioned follower: behaves exactly like an unreachable
+                // peer — the leader keeps retrying at heartbeat pace.
+                std::thread::sleep(self.opts.heartbeat_interval);
+                continue;
+            }
             let n = batch.len() as u64;
             if n > 0 {
                 self.metrics.batch.record(n);
@@ -728,6 +763,10 @@ impl<SM: StateMachine> RaftReplica<SM> {
             let Some(peer) = self.peer(peer_id) else {
                 continue;
             };
+            if self.edge_cut(&peer) {
+                // A partitioned voter cannot be reached; its vote is lost.
+                continue;
+            }
             mantle_rpc::net_round_trip(&self.config);
             let resp = peer.request_vote(term, self.id, last_index, last_term);
             if !resp.reachable {

@@ -16,8 +16,10 @@
 //! Durability (fsync) and storage-device delays are provided as free
 //! functions used by the Raft log and the data service.
 
+pub mod faults;
 pub mod node;
 
+pub use faults::{FaultEvent, FaultKind, FaultPlan, FaultProfile, FaultSlot, RpcFault};
 pub use node::{NodeSnapshot, SimNode};
 
 use std::time::Duration;

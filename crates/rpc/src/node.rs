@@ -1,11 +1,14 @@
 //! Simulated metadata/storage server nodes.
 
 use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::sync::Arc;
 use std::time::Instant;
 
 use mantle_obs::{trace, Counter, Gauge, HistogramMetric};
 use mantle_sync::Semaphore;
-use mantle_types::{OpStats, SimConfig};
+use mantle_types::{MetaError, OpStats, SimConfig};
+
+use crate::faults::{self, FaultPlan, FaultSlot, RpcFault};
 
 /// Per-node metric handles, created once at [`SimNode::new`] so the hot path
 /// is a handful of atomic ops.
@@ -49,6 +52,7 @@ pub struct SimNode {
     busy_nanos: AtomicU64,
     in_queue: AtomicI64,
     metrics: NodeMetrics,
+    faults: FaultSlot,
 }
 
 impl SimNode {
@@ -64,7 +68,19 @@ impl SimNode {
             busy_nanos: AtomicU64::new(0),
             in_queue: AtomicI64::new(0),
             metrics,
+            faults: FaultSlot::new(),
         }
+    }
+
+    /// Installs (or, with `None`, clears) this node's fault plan. Costs one
+    /// relaxed atomic load per RPC when empty.
+    pub fn set_faults(&self, plan: Option<Arc<FaultPlan>>) {
+        self.faults.install(plan);
+    }
+
+    /// The node's installed fault plan, if any.
+    pub fn faults(&self) -> Option<Arc<FaultPlan>> {
+        self.faults.get()
     }
 
     /// The node's display name.
@@ -85,24 +101,129 @@ impl SimNode {
     }
 
     /// [`SimNode::rpc`] with an operation name recorded on the trace span.
+    ///
+    /// Infallible: probabilistic transport faults (drops/timeouts/spikes)
+    /// from an installed [`FaultPlan`] are absorbed by an internal bounded
+    /// re-send loop — each lost request burns its wait, re-counts as an
+    /// RPC, and bumps `stats.transient_retries`. Topology faults
+    /// (partitions, crashed nodes) are only enforced on the fallible
+    /// [`SimNode::try_rpc_named`] path, which services with an error
+    /// channel use.
     pub fn rpc_named<R>(&self, stats: &mut OpStats, op: &str, f: impl FnOnce() -> R) -> R {
         stats.rpc();
         self.metrics.rpcs.inc();
         let _span = trace::rpc_span(op, &self.name);
+        self.absorb_transport_faults(stats, op);
         trace::note_injected_on_current(self.config.rtt().as_nanos() as u64);
         crate::net_round_trip(&self.config);
         self.execute(f)
     }
 
+    /// Fallible [`SimNode::rpc_named`]: consults the installed
+    /// [`FaultPlan`] (topology *and* probabilistic faults) and surfaces an
+    /// injected fault as [`MetaError::Transient`] **before** `f` executes,
+    /// so a caller retry never duplicates work (request-loss semantics).
+    pub fn try_rpc_named<R>(
+        &self,
+        stats: &mut OpStats,
+        op: &str,
+        f: impl FnOnce() -> R,
+    ) -> Result<R, MetaError> {
+        stats.rpc();
+        self.metrics.rpcs.inc();
+        let _span = trace::rpc_span(op, &self.name);
+        if let Some(fault) = self.decide_fault(op) {
+            match fault {
+                RpcFault::Deny { kind, wait } => {
+                    crate::inject_delay(wait);
+                    return Err(MetaError::Transient {
+                        kind: kind.label().to_string(),
+                        at: self.name.clone(),
+                    });
+                }
+                RpcFault::Spike { extra } => {
+                    trace::note_injected_on_current(extra.as_nanos() as u64);
+                    crate::inject_delay(extra);
+                }
+            }
+        }
+        trace::note_injected_on_current(self.config.rtt().as_nanos() as u64);
+        crate::net_round_trip(&self.config);
+        Ok(self.execute(f))
+    }
+
     /// Executes `f` as a *remote* request whose network round trip is shared
     /// with other requests in the same batch (the caller pays the round trip
     /// once): records the RPC in `stats` and on the trace, but injects no
-    /// network delay of its own.
+    /// network delay of its own. Absorbs probabilistic faults like
+    /// [`SimNode::rpc_named`].
     pub fn rpc_batched<R>(&self, stats: &mut OpStats, op: &str, f: impl FnOnce() -> R) -> R {
         stats.rpc();
         self.metrics.rpcs.inc();
         let _span = trace::rpc_span(op, &self.name);
+        self.absorb_transport_faults(stats, op);
         self.execute(f)
+    }
+
+    /// Fallible [`SimNode::rpc_batched`] with full fault-plan enforcement;
+    /// see [`SimNode::try_rpc_named`].
+    pub fn try_rpc_batched<R>(
+        &self,
+        stats: &mut OpStats,
+        op: &str,
+        f: impl FnOnce() -> R,
+    ) -> Result<R, MetaError> {
+        stats.rpc();
+        self.metrics.rpcs.inc();
+        let _span = trace::rpc_span(op, &self.name);
+        if let Some(fault) = self.decide_fault(op) {
+            match fault {
+                RpcFault::Deny { kind, wait } => {
+                    crate::inject_delay(wait);
+                    return Err(MetaError::Transient {
+                        kind: kind.label().to_string(),
+                        at: self.name.clone(),
+                    });
+                }
+                RpcFault::Spike { extra } => {
+                    trace::note_injected_on_current(extra.as_nanos() as u64);
+                    crate::inject_delay(extra);
+                }
+            }
+        }
+        Ok(self.execute(f))
+    }
+
+    /// Full fault decision (topology + probabilistic) for one attempt
+    /// against this node, from the current thread's caller identity.
+    fn decide_fault(&self, op: &str) -> Option<RpcFault> {
+        let plan = self.faults.get()?;
+        plan.rpc_fault(&faults::current_caller(), &self.name, op)
+    }
+
+    /// Re-send loop for the infallible `rpc*` wrappers: burns the wait of
+    /// each dropped/timed-out request and retries until the plan lets one
+    /// through (bounded as a hang backstop; probabilities are < 1).
+    fn absorb_transport_faults(&self, stats: &mut OpStats, op: &str) {
+        let Some(plan) = self.faults.get() else {
+            return;
+        };
+        for _ in 0..10_000 {
+            match plan.probabilistic_rpc_fault(&self.name, op) {
+                None => return,
+                Some(RpcFault::Spike { extra }) => {
+                    trace::note_injected_on_current(extra.as_nanos() as u64);
+                    crate::inject_delay(extra);
+                    return;
+                }
+                Some(RpcFault::Deny { wait, .. }) => {
+                    stats.transient_retries += 1;
+                    stats.rpc();
+                    self.metrics.rpcs.inc();
+                    crate::inject_delay(wait);
+                }
+            }
+        }
     }
 
     /// Executes `f` as *node-local* work: admission + service time, no

@@ -9,11 +9,13 @@
 //! use it for transaction durability.
 
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 
 use mantle_obs::{Counter, HistogramMetric};
 use parking_lot::{Condvar, Mutex};
 
-use mantle_types::SimConfig;
+use mantle_rpc::faults::{FaultPlan, FaultSlot};
+use mantle_types::{MetaError, SimConfig};
 
 /// WAL metric handles, labeled by the owning subsystem (`scope="raft"`,
 /// `scope="tafdb"`, ...).
@@ -22,6 +24,9 @@ struct WalMetrics {
     appends: Counter,
     /// `wal_fsyncs_total{scope=...}` — physical fsyncs performed.
     fsyncs: Counter,
+    /// `wal_fsync_retries_total{scope=...}` — injected fsync failures the
+    /// WAL absorbed by retrying before acknowledging.
+    fsync_retries: Counter,
     /// `wal_batch_records{scope=...}` — records made durable per fsync.
     batch: HistogramMetric,
 }
@@ -32,6 +37,7 @@ impl WalMetrics {
         WalMetrics {
             appends: mantle_obs::counter("wal_appends_total", &labels),
             fsyncs: mantle_obs::counter("wal_fsyncs_total", &labels),
+            fsync_retries: mantle_obs::counter("wal_fsync_retries_total", &labels),
             batch: mantle_obs::histogram("wal_batch_records", &labels),
         }
     }
@@ -47,15 +53,29 @@ struct State {
     flushing: bool,
 }
 
+/// One record in the fault-visible record log (see
+/// [`GroupCommitWal::append_record`]).
+#[derive(Default)]
+struct RecordLog {
+    /// Record payloads in append order; the tail past `durable` is *torn*
+    /// (written but never fsynced) and is discarded by recovery.
+    entries: Vec<u64>,
+    /// Number of leading entries that are durable.
+    durable: usize,
+}
+
 /// A WAL whose appends share injected fsyncs when `group_commit` is on.
 pub struct GroupCommitWal {
     state: Mutex<State>,
     cv: Condvar,
     config: SimConfig,
     group_commit: bool,
+    scope: String,
     fsyncs: AtomicU64,
     appends: AtomicU64,
     metrics: WalMetrics,
+    faults: FaultSlot,
+    records: Mutex<RecordLog>,
 }
 
 impl GroupCommitWal {
@@ -73,10 +93,19 @@ impl GroupCommitWal {
             cv: Condvar::new(),
             config,
             group_commit,
+            scope: scope.to_string(),
             fsyncs: AtomicU64::new(0),
             appends: AtomicU64::new(0),
             metrics: WalMetrics::new(scope),
+            faults: FaultSlot::new(),
+            records: Mutex::new(RecordLog::default()),
         }
+    }
+
+    /// Installs (or clears) the fault plan whose `wal_fsync` faults this
+    /// WAL consults. Costs one relaxed atomic load per fsync when empty.
+    pub fn set_faults(&self, plan: Option<Arc<FaultPlan>>) {
+        self.faults.install(plan);
     }
 
     /// Appends one record and returns once it is durable.
@@ -87,7 +116,7 @@ impl GroupCommitWal {
             self.fsyncs.fetch_add(1, Ordering::Relaxed);
             self.metrics.fsyncs.inc();
             self.metrics.batch.record(1);
-            mantle_rpc_fsync(&self.config);
+            self.fsync_retrying();
             return;
         }
 
@@ -108,7 +137,7 @@ impl GroupCommitWal {
                 self.fsyncs.fetch_add(1, Ordering::Relaxed);
                 self.metrics.fsyncs.inc();
                 self.metrics.batch.record(batch);
-                mantle_rpc_fsync(&self.config);
+                self.fsync_retrying();
 
                 state = self.state.lock();
                 state.flushed = state.flushed.max(flush_to);
@@ -123,6 +152,90 @@ impl GroupCommitWal {
         }
     }
 
+    /// One *successful* fsync for the infallible [`GroupCommitWal::append`]
+    /// path: an injected `wal_fsync` fault burns the device time and is
+    /// retried before acknowledging (the storage engine absorbs transient
+    /// write errors internally), so durability guarantees are unchanged.
+    fn fsync_retrying(&self) {
+        for _ in 0..10_000 {
+            if let Some(plan) = self.faults.get() {
+                if plan.wal_fsync_fails(&self.scope) {
+                    self.metrics.fsync_retries.inc();
+                    mantle_rpc::fsync(&self.config);
+                    continue;
+                }
+            }
+            mantle_rpc::fsync(&self.config);
+            return;
+        }
+    }
+
+    /// One fsync attempt that *surfaces* an injected failure instead of
+    /// retrying. Returns `false` on failure (the device time is still
+    /// burned).
+    fn fsync_once(&self) -> bool {
+        let failed = self
+            .faults
+            .get()
+            .map(|plan| plan.wal_fsync_fails(&self.scope))
+            .unwrap_or(false);
+        mantle_rpc::fsync(&self.config);
+        !failed
+    }
+
+    /// Appends `payload` to the fault-visible record log and returns its
+    /// index once durable.
+    ///
+    /// Unlike [`GroupCommitWal::append`], an injected fsync failure here is
+    /// *not* absorbed: the record stays in the log tail as a **torn**
+    /// record — written but never acknowledged — and the caller gets
+    /// [`MetaError::Transient`]. Recovery ([`GroupCommitWal::recover`])
+    /// discards the torn tail, so an `Ok` from this method is a durability
+    /// acknowledgment and an `Err` guarantees the record will not be
+    /// replayed.
+    pub fn append_record(&self, payload: u64) -> Result<u64, MetaError> {
+        self.appends.fetch_add(1, Ordering::Relaxed);
+        self.metrics.appends.inc();
+        let mut log = self.records.lock();
+        // After a failed fsync the writer re-seeks to the durable frontier
+        // (as real WAL writers do after EIO), so a torn record can never be
+        // made durable by a *later* record's fsync.
+        let durable = log.durable;
+        log.entries.truncate(durable);
+        log.entries.push(payload);
+        self.fsyncs.fetch_add(1, Ordering::Relaxed);
+        self.metrics.fsyncs.inc();
+        if !self.fsync_once() {
+            // Torn: the bytes may be on disk, but no ack was given and the
+            // durable frontier did not advance.
+            return Err(MetaError::Transient {
+                kind: "wal_fsync".to_string(),
+                at: self.scope.clone(),
+            });
+        }
+        log.durable = log.entries.len();
+        self.metrics.batch.record(1);
+        Ok((log.durable - 1) as u64)
+    }
+
+    /// Simulates a crash + restart of the owning store: the torn tail of
+    /// the record log (appended but never successfully fsynced) is
+    /// discarded, exactly as physical log recovery drops records that fail
+    /// their checksum. Returns the number of torn records dropped.
+    pub fn recover(&self) -> usize {
+        let mut log = self.records.lock();
+        let torn = log.entries.len() - log.durable;
+        let durable = log.durable;
+        log.entries.truncate(durable);
+        torn
+    }
+
+    /// The acknowledged (durable) records, in append order.
+    pub fn durable_records(&self) -> Vec<u64> {
+        let log = self.records.lock();
+        log.entries[..log.durable].to_vec()
+    }
+
     /// Number of physical fsyncs performed.
     pub fn fsyncs(&self) -> u64 {
         self.fsyncs.load(Ordering::Relaxed)
@@ -131,15 +244,6 @@ impl GroupCommitWal {
     /// Number of records appended.
     pub fn appends(&self) -> u64 {
         self.appends.load(Ordering::Relaxed)
-    }
-}
-
-/// Injects the fsync delay (thin wrapper so this module has no direct
-/// dependency on `mantle-rpc`, avoiding a cycle).
-fn mantle_rpc_fsync(config: &SimConfig) {
-    let d = config.fsync();
-    if !d.is_zero() {
-        std::thread::sleep(d);
     }
 }
 
@@ -193,5 +297,44 @@ mod tests {
         }
         // Sequential appends cannot batch; each becomes its own leader.
         assert_eq!(wal.fsyncs(), 5);
+    }
+
+    #[test]
+    fn append_absorbs_injected_fsync_failures() {
+        use mantle_rpc::faults::{FaultPlan, FaultProfile};
+        let wal = GroupCommitWal::new_scoped(SimConfig::instant(), false, "waltest_absorb");
+        let plan = FaultPlan::new(1, FaultProfile::zeroed());
+        plan.force_fsync_failure("waltest_absorb", 3);
+        wal.set_faults(Some(plan));
+        // Plain append retries through the failures and still acknowledges.
+        wal.append();
+        wal.append();
+        assert_eq!(wal.appends(), 2);
+    }
+
+    #[test]
+    fn torn_record_is_not_replayed_after_recovery() {
+        use mantle_rpc::faults::{FaultPlan, FaultProfile};
+        let wal = GroupCommitWal::new_scoped(SimConfig::instant(), false, "waltest_torn");
+        let plan = FaultPlan::new(1, FaultProfile::zeroed());
+        wal.set_faults(Some(plan.clone()));
+
+        assert_eq!(wal.append_record(100), Ok(0));
+        plan.force_fsync_failure("waltest_torn", 1);
+        assert!(matches!(
+            wal.append_record(200),
+            Err(MetaError::Transient { .. })
+        ));
+        // The next append re-seeks past the torn record: 200 is gone for
+        // good, it cannot ride along on 300's fsync.
+        assert_eq!(wal.append_record(300), Ok(1));
+        assert_eq!(wal.durable_records(), vec![100, 300]);
+        assert_eq!(wal.recover(), 0, "no torn tail after a successful append");
+
+        // Crash with a torn record still in the tail.
+        plan.force_fsync_failure("waltest_torn", 1);
+        assert!(wal.append_record(400).is_err());
+        assert_eq!(wal.recover(), 1, "torn tail dropped by recovery");
+        assert_eq!(wal.durable_records(), vec![100, 300]);
     }
 }

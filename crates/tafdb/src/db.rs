@@ -10,6 +10,7 @@ use std::time::{Duration, Instant};
 use parking_lot::Mutex;
 
 use mantle_obs::Counter;
+use mantle_rpc::faults::{FaultPlan, FaultSlot};
 use mantle_rpc::SimNode;
 use mantle_store::{GroupCommitWal, KvStore, LockManager, LockMode, RowKey};
 use mantle_sync::LatchTable;
@@ -184,6 +185,7 @@ pub struct TafDb {
     compactions: AtomicU64,
     latched_updates: AtomicU64,
     metrics: DbMetrics,
+    faults: FaultSlot,
 }
 
 impl TafDb {
@@ -221,6 +223,7 @@ impl TafDb {
             compactions: AtomicU64::new(0),
             latched_updates: AtomicU64::new(0),
             metrics: DbMetrics::new(),
+            faults: FaultSlot::new(),
         });
         db.raw_put(attr_key(ROOT_ID), Row::DirAttr(DirAttrMeta::new(0, 0)));
 
@@ -266,6 +269,17 @@ impl TafDb {
     /// The database's options.
     pub fn options(&self) -> &TafDbOptions {
         &self.opts
+    }
+
+    /// Installs (or, with `None`, clears) a fault plan on the database:
+    /// every shard node (transport faults), every shard WAL (fsync faults)
+    /// and the 2PC coordinator (prepare/commit faults) consult it.
+    pub fn install_faults(&self, plan: Option<Arc<FaultPlan>>) {
+        for shard in &self.shards {
+            shard.node.set_faults(plan.clone());
+            shard.wal.set_faults(plan.clone());
+        }
+        self.faults.install(plan);
     }
 
     /// Counter snapshot.
@@ -336,20 +350,32 @@ impl TafDb {
         })
     }
 
+    /// Fallible entry read: surfaces injected transport faults (partitions,
+    /// drops, timeouts) as [`MetaError::Transient`] instead of absorbing
+    /// them. The error-returning read paths build on this so chaos tests
+    /// can observe a partitioned shard.
+    fn try_get_entry(&self, pid: InodeId, name: &str, stats: &mut OpStats) -> Result<Option<Row>> {
+        let shard = &self.shards[self.shard_of(pid)];
+        shard.node.try_rpc_named(stats, "get_entry", || {
+            shard.store.get(&entry_key(pid, name))
+        })
+    }
+
     /// One step of level-by-level path resolution: child directory id and
     /// permission of `name` under `pid`.
     ///
     /// # Errors
     ///
     /// [`MetaError::NotFound`] if absent, [`MetaError::NotADirectory`] if
-    /// the entry is an object.
+    /// the entry is an object, [`MetaError::Transient`] on an injected
+    /// transport fault (retryable).
     pub fn resolve_step(
         &self,
         pid: InodeId,
         name: &str,
         stats: &mut OpStats,
     ) -> Result<(InodeId, Permission)> {
-        match self.get_entry(pid, name, stats) {
+        match self.try_get_entry(pid, name, stats)? {
             Some(Row::DirAccess { id, permission }) => Ok((id, permission)),
             Some(_) => Err(MetaError::NotADirectory(name.to_string())),
             None => Err(MetaError::NotFound(name.to_string())),
@@ -360,9 +386,10 @@ impl TafDb {
     ///
     /// # Errors
     ///
-    /// [`MetaError::NotFound`] / [`MetaError::IsADirectory`].
+    /// [`MetaError::NotFound`] / [`MetaError::IsADirectory`] /
+    /// [`MetaError::Transient`].
     pub fn get_object(&self, pid: InodeId, name: &str, stats: &mut OpStats) -> Result<ObjectMeta> {
-        match self.get_entry(pid, name, stats) {
+        match self.try_get_entry(pid, name, stats)? {
             Some(Row::Object(o)) => Ok(o),
             Some(_) => Err(MetaError::IsADirectory(name.to_string())),
             None => Err(MetaError::NotFound(name.to_string())),
@@ -377,7 +404,7 @@ impl TafDb {
     /// [`MetaError::NotFound`] when the directory has no attribute row.
     pub fn dir_stat(&self, dir: InodeId, stats: &mut OpStats) -> Result<DirAttrMeta> {
         let shard = &self.shards[self.shard_of(dir)];
-        shard.node.rpc(stats, || {
+        shard.node.try_rpc_named(stats, "dir_stat", || {
             let rows = shard.store.scan_versions(dir, ATTR_ROW_NAME);
             let mut iter = rows.into_iter();
             let Some((first_key, Row::DirAttr(mut attrs))) = iter.next() else {
@@ -390,7 +417,7 @@ impl TafDb {
                 }
             }
             Ok(attrs)
-        })
+        })?
     }
 
     /// Paged child listing: up to `limit` entries of `pid` with names
@@ -475,13 +502,13 @@ impl TafDb {
     /// [`MetaError::AlreadyExists`] when the key is taken.
     pub fn insert_row(&self, key: RowKey, row: Row, stats: &mut OpStats) -> Result<()> {
         let shard = &self.shards[self.shard_of(key.pid)];
-        shard.node.rpc(stats, || {
+        shard.node.try_rpc_named(stats, "insert_row", || {
             if !shard.store.put_if_absent(key.clone(), row) {
                 return Err(MetaError::AlreadyExists(key.name.to_string()));
             }
             shard.wal.append();
             Ok(())
-        })
+        })?
     }
 
     /// Deletes a row (attr rows drag their delta records along), with WAL
@@ -492,14 +519,14 @@ impl TafDb {
     /// [`MetaError::NotFound`] when the key is absent.
     pub fn delete_row(&self, key: RowKey, stats: &mut OpStats) -> Result<()> {
         let shard = &self.shards[self.shard_of(key.pid)];
-        shard.node.rpc(stats, || {
+        shard.node.try_rpc_named(stats, "delete_row", || {
             let existed = Self::delete_with_deltas(shard, &key);
             if !existed {
                 return Err(MetaError::NotFound(key.name.to_string()));
             }
             shard.wal.append();
             Ok(())
-        })
+        })?
     }
 
     /// Serialized (blocking-latch) attribute update — the baseline behaviour
@@ -515,7 +542,7 @@ impl TafDb {
         stats: &mut OpStats,
     ) -> Result<()> {
         let shard = &self.shards[self.shard_of(dir)];
-        shard.node.rpc(stats, || {
+        shard.node.try_rpc_named(stats, "update_attr", || {
             let _latch = shard.latches.exclusive(&dir.raw());
             let found = shard.store.update(&attr_key(dir), |cur| match cur {
                 Some(Row::DirAttr(a)) => {
@@ -532,7 +559,7 @@ impl TafDb {
             self.latched_updates.fetch_add(1, Ordering::Relaxed);
             self.metrics.latched_updates.inc();
             Ok(())
-        })
+        })?
     }
 
     // --- transactions -------------------------------------------------------
@@ -602,14 +629,30 @@ impl TafDb {
 
         // One fan-out round trip covers the parallel per-shard prepares.
         mantle_rpc::net_round_trip(&self.config);
+        let plan = self.faults.get();
         let mut prepared = Vec::with_capacity(groups.len());
         for (shard_idx, shard_ops) in &groups {
-            // The round trip was already injected once for the fan-out.
-            let result = self.shards[*shard_idx]
-                .node
-                .rpc_batched(stats, "txn_prepare", || {
-                    self.prepare_on_shard(*shard_idx, txn, shard_ops)
-                });
+            let shard = &self.shards[*shard_idx];
+            // An injected participant failure during prepare: nothing was
+            // committed anywhere, so releasing the locks acquired so far
+            // and surfacing a retryable Transient is always safe.
+            let result = if plan
+                .as_ref()
+                .is_some_and(|p| p.txn_prepare_fails(shard.node.name()))
+            {
+                Err(MetaError::Transient {
+                    kind: "txn_prepare".to_string(),
+                    at: shard.node.name().to_string(),
+                })
+            } else {
+                // The round trip was already injected once for the fan-out.
+                shard
+                    .node
+                    .try_rpc_batched(stats, "txn_prepare", || {
+                        self.prepare_on_shard(*shard_idx, txn, shard_ops)
+                    })
+                    .and_then(|r| r)
+            };
             match result {
                 Ok(sp) => prepared.push(sp),
                 Err(e) => {
@@ -737,8 +780,21 @@ impl TafDb {
     /// releases locks (one parallel RPC fan-out).
     pub fn commit(&self, prepared: Prepared, stats: &mut OpStats) {
         mantle_rpc::net_round_trip(&self.config);
+        let plan = self.faults.get();
         for sp in &prepared.shards {
             let shard = &self.shards[sp.shard];
+            if plan
+                .as_ref()
+                .is_some_and(|p| p.txn_commit_hiccups(shard.node.name()))
+            {
+                // The commit decision is already durable: the participant
+                // missed the first delivery and the coordinator re-sends —
+                // one extra round trip, the transaction still commits
+                // exactly once (2PC commit-phase retry semantics).
+                stats.transient_retries += 1;
+                stats.rpc();
+                mantle_rpc::net_round_trip(&self.config);
+            }
             shard.node.rpc_batched(stats, "txn_commit", || {
                 for w in &sp.writes {
                     self.apply_write(sp.shard, w);
@@ -782,7 +838,7 @@ impl TafDb {
         let shard_idx = self.single_shard(ops).expect("checked by caller");
         let shard = &self.shards[shard_idx];
         let op_refs: Vec<&TxnOp> = ops.iter().collect();
-        shard.node.rpc_named(stats, "txn_1shard", || {
+        shard.node.try_rpc_named(stats, "txn_1shard", || {
             let sp = match self.prepare_on_shard(shard_idx, txn, &op_refs) {
                 Ok(sp) => sp,
                 Err(e) => {
@@ -801,7 +857,7 @@ impl TafDb {
             self.txns_committed.fetch_add(1, Ordering::Relaxed);
             self.metrics.txns_committed.inc();
             Ok(txn)
-        })
+        })?
     }
 
     fn apply_write(&self, shard_idx: usize, w: &WriteCmd) {

@@ -38,6 +38,17 @@ pub enum MetaError {
     InvalidRename(String),
     /// A component of the service is unavailable (leader down, no quorum).
     Unavailable(String),
+    /// A transient transport-level failure (dropped RPC, request timeout,
+    /// injected fault, unreachable node). Always safe to retry: the fault
+    /// plane injects these *before* the request executes, so a retry never
+    /// duplicates work (request-loss semantics; see DESIGN.md §4.9).
+    Transient {
+        /// The fault kind (`rpc_drop`, `rpc_timeout`, `node_down`,
+        /// `partition`, `txn_prepare`, `wal_fsync`).
+        kind: String,
+        /// The node, edge or scope the fault hit.
+        at: String,
+    },
     /// The operation timed out.
     Timeout(String),
     /// Internal invariant violation; indicates a bug.
@@ -52,6 +63,7 @@ impl MetaError {
             MetaError::TxnConflict { .. }
                 | MetaError::RenameLocked(_)
                 | MetaError::Unavailable(_)
+                | MetaError::Transient { .. }
                 | MetaError::Timeout(_)
         )
     }
@@ -76,6 +88,9 @@ impl fmt::Display for MetaError {
             }
             MetaError::InvalidRename(m) => write!(f, "invalid rename: {m}"),
             MetaError::Unavailable(m) => write!(f, "service unavailable: {m}"),
+            MetaError::Transient { kind, at } => {
+                write!(f, "transient fault ({kind}) at {at}")
+            }
             MetaError::Timeout(m) => write!(f, "timed out: {m}"),
             MetaError::Internal(m) => write!(f, "internal error: {m}"),
         }
@@ -96,6 +111,11 @@ mod tests {
         assert!(MetaError::TxnConflict { retries: 3 }.is_retryable());
         assert!(MetaError::RenameLocked("/a".into()).is_retryable());
         assert!(MetaError::Unavailable("leader".into()).is_retryable());
+        assert!(MetaError::Transient {
+            kind: "rpc_drop".into(),
+            at: "tafdb0".into()
+        }
+        .is_retryable());
         assert!(!MetaError::NotFound("/a".into()).is_retryable());
         assert!(!MetaError::RenameLoop {
             src: "/a".into(),

@@ -53,6 +53,9 @@ pub struct OpStats {
     pub txn_retries: u32,
     /// Rename-lock conflicts that led to a retry.
     pub rename_retries: u32,
+    /// Transient transport faults (injected drops/timeouts/partitions)
+    /// absorbed by a retry loop.
+    pub transient_retries: u32,
     /// TopDirPathCache (or AM-Cache) hits.
     pub cache_hits: u32,
     /// Cache misses.
@@ -134,6 +137,7 @@ impl OpStats {
         self.rpcs += other.rpcs;
         self.txn_retries += other.txn_retries;
         self.rename_retries += other.rename_retries;
+        self.transient_retries += other.transient_retries;
         self.cache_hits += other.cache_hits;
         self.cache_misses += other.cache_misses;
     }
@@ -152,6 +156,8 @@ pub struct OpStatsAgg {
     pub txn_retries: u64,
     /// Sum of rename retries.
     pub rename_retries: u64,
+    /// Sum of transient-fault retries.
+    pub transient_retries: u64,
     /// Sum of cache hits.
     pub cache_hits: u64,
     /// Sum of cache misses.
@@ -168,6 +174,7 @@ impl OpStatsAgg {
         self.rpcs += s.rpcs as u64;
         self.txn_retries += s.txn_retries as u64;
         self.rename_retries += s.rename_retries as u64;
+        self.transient_retries += s.transient_retries as u64;
         self.cache_hits += s.cache_hits as u64;
         self.cache_misses += s.cache_misses as u64;
     }
@@ -181,6 +188,7 @@ impl OpStatsAgg {
         self.rpcs += other.rpcs;
         self.txn_retries += other.txn_retries;
         self.rename_retries += other.rename_retries;
+        self.transient_retries += other.transient_retries;
         self.cache_hits += other.cache_hits;
         self.cache_misses += other.cache_misses;
     }

@@ -16,3 +16,20 @@ test:
 # Auto-fix formatting.
 fmt:
     cargo fmt
+
+# Re-run one chaos seed with full tracing and the fault timeline printed —
+# the local repro loop for a red nightly chaos seed (see README).
+chaos SEED="0":
+    MANTLE_FAULT_SEED={{SEED}} MANTLE_TRACE_SAMPLE=1 MANTLE_CHAOS_TIMELINE=1 \
+        cargo test -q --test chaos -- --nocapture
+
+# The full nightly sweep, locally.
+chaos-sweep:
+    #!/usr/bin/env bash
+    set -u
+    failed=""
+    for seed in $(seq 0 31); do
+        echo "== chaos seed $seed =="
+        MANTLE_FAULT_SEED=$seed cargo test -q --test chaos || failed="$failed $seed"
+    done
+    if [ -n "$failed" ]; then echo "failing seeds:$failed"; exit 1; fi

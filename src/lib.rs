@@ -34,6 +34,7 @@ pub use mantle_workloads as workloads;
 pub mod prelude {
     pub use mantle_baselines::{infinifs::InfiniFs, locofs::LocoFs, tectonic::Tectonic};
     pub use mantle_core::{MantleCluster, MantleConfig};
+    pub use mantle_rpc::{FaultPlan, FaultProfile};
     pub use mantle_types::{
         MetaError,
         MetaPath,

@@ -460,12 +460,21 @@ impl MetadataService for InfiniFs {
                 Err(MetaError::RenameLocked(_)) if attempts < self.opts.rename_retries => {
                     attempts += 1;
                     stats.rename_retries += 1;
-                    if self.config.rtt_micros == 0 {
+                    let backoff =
+                        std::time::Duration::from_micros((50u64 << attempts.min(6)).min(3_000));
+                    if mantle_types::clock::is_virtual() {
+                        // Charge the modeled backoff to this client's
+                        // timeline (instant), then yield so the lock holder
+                        // can release in real time.
+                        mantle_types::clock::sleep_as(
+                            mantle_types::clock::TimeCategory::Backoff,
+                            backoff,
+                        );
+                        std::thread::yield_now();
+                    } else if self.config.rtt_micros == 0 {
                         std::thread::yield_now();
                     } else {
-                        std::thread::sleep(std::time::Duration::from_micros(
-                            (50u64 << attempts.min(6)).min(3_000),
-                        ));
+                        std::thread::sleep(backoff);
                     }
                 }
                 Err(e) => return Err(e),

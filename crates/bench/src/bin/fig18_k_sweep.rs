@@ -8,7 +8,6 @@
 
 use std::collections::HashSet;
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::time::Instant;
 
 use serde::Serialize;
 
@@ -91,7 +90,7 @@ fn main() {
                             break;
                         }
                         let p = &parents[i % parents.len()];
-                        let begin = Instant::now();
+                        let begin = mantle_types::clock::now();
                         let _ = svc.lookup(p, &mut stats);
                         h.record(begin.elapsed().as_nanos() as u64);
                     }

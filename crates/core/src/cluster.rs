@@ -9,6 +9,7 @@ use mantle_index::cache::CachedPrefix;
 use mantle_index::{IndexNode, IndexOptions, TopDirPathCache};
 use mantle_tafdb::{attr_key, entry_key, Row, TafDb, TafDbOptions, TxnOp};
 use mantle_types::{
+    clock::{self, TimeCategory},
     id::IdAllocator,
     AttrDelta,
     ClientUuid,
@@ -290,8 +291,14 @@ impl MantleCluster {
                         stats.transient_retries += 1;
                     }
                     attempts += 1;
-                    let micros = (100u64 << attempts.min(6)).min(5_000);
-                    std::thread::sleep(Duration::from_micros(micros));
+                    let backoff = Duration::from_micros((100u64 << attempts.min(6)).min(5_000));
+                    clock::sleep_as(TimeCategory::Backoff, backoff);
+                    if clock::is_virtual() {
+                        // The modeled backoff above was instant, but leader
+                        // re-election runs on the real-time control plane;
+                        // pace the retry loop against it.
+                        std::thread::sleep(backoff);
+                    }
                 }
                 other => return other,
             }
@@ -580,11 +587,17 @@ impl MetadataService for MantleCluster {
                     } else {
                         stats.rename_retries += 1;
                     }
-                    let micros = (50u64 << attempts.min(6)).min(3_000);
-                    if self.config.sim.rtt_micros == 0 {
+                    let backoff = Duration::from_micros((50u64 << attempts.min(6)).min(3_000));
+                    if clock::is_virtual() {
+                        // Charge the modeled backoff to this client's
+                        // timeline (instant), then yield so the conflicting
+                        // client can release the lock in real time.
+                        clock::sleep_as(TimeCategory::Backoff, backoff);
+                        std::thread::yield_now();
+                    } else if self.config.sim.rtt_micros == 0 {
                         std::thread::yield_now();
                     } else {
-                        std::thread::sleep(Duration::from_micros(micros));
+                        std::thread::sleep(backoff);
                     }
                 }
                 other => return other,

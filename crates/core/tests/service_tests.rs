@@ -98,7 +98,10 @@ fn deep_lookup_is_single_rpc_for_metadata() {
     // Disable follower reads so the round-robin cannot add the (batched)
     // commit-index query a follower read pays; the leader path is the
     // paper's canonical single-RPC lookup.
-    let mut config = MantleConfig::with_sim(SimConfig::instant(), 4);
+    // Non-zero modeled delays so the phase-time assertion below is
+    // meaningful under the virtual clock (an all-zero model measures
+    // exactly zero phase time).
+    let mut config = MantleConfig::with_sim(SimConfig::fast(), 4);
     config.index.follower_reads = false;
     let svc = MantleCluster::with_config(config);
     let mut stats = OpStats::new();
@@ -117,7 +120,9 @@ fn deep_lookup_is_single_rpc_for_metadata() {
 
 #[test]
 fn rename_moves_directory_across_parents() {
-    let svc = cluster();
+    // Non-zero modeled delays: the LoopDetect phase assertion needs
+    // modeled time under the virtual clock.
+    let svc = MantleCluster::build(SimConfig::fast(), 4);
     let mut stats = OpStats::new();
     svc.mkdir(&p("/src"), &mut stats).unwrap();
     svc.mkdir(&p("/src/inner"), &mut stats).unwrap();

@@ -17,8 +17,8 @@ use std::cell::RefCell;
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::OnceLock;
-use std::time::Instant;
 
+use mantle_types::clock::{self, SimInstant};
 use parking_lot::Mutex;
 use serde::Serialize;
 
@@ -55,7 +55,8 @@ pub struct Span {
     pub kind: SpanKind,
     /// Start offset from the trace start, in nanoseconds.
     pub start_nanos: u64,
-    /// Wall-clock duration, in nanoseconds.
+    /// Simulated duration, in nanoseconds (wall-clock under
+    /// `MANTLE_WALL_CLOCK=1`).
     pub dur_nanos: u64,
     /// Time spent waiting for a service permit (queueing), in nanoseconds.
     pub queue_nanos: u64,
@@ -86,7 +87,7 @@ impl Trace {
             .count()
     }
 
-    /// Total wall-clock duration (root span duration), in nanoseconds.
+    /// Total simulated duration (root span duration), in nanoseconds.
     pub fn total_nanos(&self) -> u64 {
         self.spans.first().map_or(0, |s| s.dur_nanos)
     }
@@ -161,7 +162,7 @@ fn fmt_nanos(n: u64) -> String {
 struct ActiveTrace {
     trace_id: u64,
     op: String,
-    epoch: Instant,
+    epoch: SimInstant,
     spans: Vec<Span>,
     stack: Vec<u32>,
     truncated: bool,
@@ -246,7 +247,7 @@ fn start_inner(op: &str) -> Option<TraceGuard> {
         let mut trace = ActiveTrace {
             trace_id,
             op: op.to_string(),
-            epoch: Instant::now(),
+            epoch: clock::now(),
             spans: Vec::with_capacity(16),
             stack: Vec::with_capacity(8),
             truncated: false,
@@ -353,7 +354,7 @@ pub fn span(op: &str, node: &str, kind: SpanKind) -> Option<SpanScope> {
         active.stack.push(id);
         Some(SpanScope {
             id,
-            started: Instant::now(),
+            started: clock::now(),
         })
     })
 }
@@ -389,7 +390,7 @@ fn note_on_current(f: impl FnOnce(&mut Span)) {
 /// RAII handle for an open span; closes the span on drop.
 pub struct SpanScope {
     id: u32,
-    started: Instant,
+    started: SimInstant,
 }
 
 impl SpanScope {

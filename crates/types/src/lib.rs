@@ -17,9 +17,12 @@
 //! * [`hist::Histogram`] — log-bucketed latency histogram for the CDF
 //!   figures.
 //! * [`SimConfig`] — timing constants of the simulated substrate.
+//! * [`clock`] — the pluggable wall/virtual simulation clock every
+//!   injected delay and timestamp flows through.
 //! * [`service::MetadataService`] — the operation set every evaluated system
 //!   (Mantle, Tectonic, InfiniFS, LocoFS) implements.
 
+pub mod clock;
 pub mod config;
 pub mod error;
 pub mod hist;
@@ -30,6 +33,7 @@ pub mod record;
 pub mod service;
 pub mod stats;
 
+pub use clock::{ClockMode, SimInstant, TimeCategory, TimeStats};
 pub use config::SimConfig;
 pub use error::{MetaError, Result};
 pub use id::{ClientUuid, InodeId, TxnId, ROOT_ID, ROOT_PARENT_ID};

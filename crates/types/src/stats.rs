@@ -4,10 +4,12 @@
 //! metadata operation into three phases: *lookup* (path resolution), *loop
 //! detection* (dirrename only), and *execution*. Every service in this
 //! reproduction threads an [`OpStats`] through its code paths and charges
-//! wall time to the active phase, which the benchmark harnesses then
-//! aggregate.
+//! simulated time (see [`crate::clock`]) to the active phase, which the
+//! benchmark harnesses then aggregate.
 
-use std::time::{Duration, Instant};
+use std::time::Duration;
+
+use crate::clock::{self, SimInstant};
 
 /// The phases of a metadata operation (§6.3).
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -60,7 +62,7 @@ pub struct OpStats {
     pub cache_hits: u32,
     /// Cache misses.
     pub cache_misses: u32,
-    current: Option<(usize, Instant)>,
+    current: Option<(usize, SimInstant)>,
 }
 
 impl OpStats {
@@ -72,7 +74,7 @@ impl OpStats {
     /// Starts charging time to `phase`, ending any phase in progress.
     pub fn begin(&mut self, phase: Phase) {
         self.end();
-        self.current = Some((phase.idx(), Instant::now()));
+        self.current = Some((phase.idx(), clock::now()));
     }
 
     /// Stops the phase in progress, if any.
@@ -82,15 +84,15 @@ impl OpStats {
         }
     }
 
-    /// Runs `f` with its wall time charged to `phase`, then restores the
-    /// previously active phase (if any).
+    /// Runs `f` with its simulated time charged to `phase`, then restores
+    /// the previously active phase (if any).
     pub fn time<R>(&mut self, phase: Phase, f: impl FnOnce(&mut Self) -> R) -> R {
         let prev = self.current.map(|(idx, _)| idx);
         self.begin(phase);
         let out = f(self);
         self.end();
         if let Some(idx) = prev {
-            self.current = Some((idx, Instant::now()));
+            self.current = Some((idx, clock::now()));
         }
         out
     }
@@ -225,30 +227,33 @@ mod tests {
     #[test]
     fn phases_accumulate_independently() {
         let mut s = OpStats::new();
-        s.time(Phase::Lookup, |_| {
-            std::thread::sleep(Duration::from_millis(2))
-        });
-        s.time(Phase::Execute, |_| {
-            std::thread::sleep(Duration::from_millis(1))
-        });
+        s.time(Phase::Lookup, |_| clock::sleep(Duration::from_millis(2)));
+        s.time(Phase::Execute, |_| clock::sleep(Duration::from_millis(1)));
         assert!(s.phase_nanos(Phase::Lookup) >= 2_000_000);
         assert!(s.phase_nanos(Phase::Execute) >= 1_000_000);
         assert_eq!(s.phase_nanos(Phase::LoopDetect), 0);
         assert!(s.total_nanos() >= 3_000_000);
+        if clock::is_virtual() {
+            // Simulated time is exact: no scheduler jitter in the phases.
+            assert_eq!(s.phase_nanos(Phase::Lookup), 2_000_000);
+            assert_eq!(s.total_nanos(), 3_000_000);
+        }
     }
 
     #[test]
     fn nested_time_restores_outer_phase() {
         let mut s = OpStats::new();
         s.begin(Phase::Execute);
-        std::thread::sleep(Duration::from_millis(1));
-        s.time(Phase::Lookup, |_| {
-            std::thread::sleep(Duration::from_millis(1))
-        });
-        std::thread::sleep(Duration::from_millis(1));
+        clock::sleep(Duration::from_millis(1));
+        s.time(Phase::Lookup, |_| clock::sleep(Duration::from_millis(1)));
+        clock::sleep(Duration::from_millis(1));
         s.end();
         assert!(s.phase_nanos(Phase::Execute) >= 2_000_000);
         assert!(s.phase_nanos(Phase::Lookup) >= 1_000_000);
+        if clock::is_virtual() {
+            assert_eq!(s.phase_nanos(Phase::Execute), 2_000_000);
+            assert_eq!(s.phase_nanos(Phase::Lookup), 1_000_000);
+        }
     }
 
     #[test]
@@ -292,14 +297,13 @@ mod tests {
     fn absorb_mid_phase_charges_in_flight_time() {
         let mut a = OpStats::new();
         a.begin(Phase::Execute);
-        std::thread::sleep(Duration::from_millis(2));
+        clock::sleep(Duration::from_millis(2));
         let mut b = OpStats::new();
-        b.time(Phase::Lookup, |_| {
-            std::thread::sleep(Duration::from_millis(1))
-        });
+        b.time(Phase::Lookup, |_| clock::sleep(Duration::from_millis(1)));
         a.absorb(&b);
         // The execute slice running when absorb() was called must be
-        // charged, not dropped.
+        // charged, not dropped. (The nested `b` sleep also advances this
+        // thread's timeline, so the in-flight slice spans both sleeps.)
         assert!(
             a.phase_nanos(Phase::Execute) >= 2_000_000,
             "in-flight execute time dropped by absorb: {}ns",
@@ -308,7 +312,7 @@ mod tests {
         assert!(a.phase_nanos(Phase::Lookup) >= 1_000_000);
         // absorb() ends the current phase; later time is not charged.
         let after = a.phase_nanos(Phase::Execute);
-        std::thread::sleep(Duration::from_millis(1));
+        clock::sleep(Duration::from_millis(1));
         a.end();
         assert_eq!(a.phase_nanos(Phase::Execute), after);
     }

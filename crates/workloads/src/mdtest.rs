@@ -8,12 +8,12 @@
 
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Barrier;
-use std::time::Instant;
 
 use parking_lot::Mutex;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
+use mantle_types::clock;
 use mantle_types::hist::Histogram;
 use mantle_types::stats::OpStatsAgg;
 use mantle_types::{BulkLoad, MetaPath, MetadataService, OpStats, Phase};
@@ -106,7 +106,8 @@ pub struct MdtestReport {
     pub completed: u64,
     /// Failed operations (must be zero in healthy runs).
     pub failed: u64,
-    /// Wall-clock duration of the measured section.
+    /// Simulated makespan of the measured section: the longest per-thread
+    /// timeline (wall-clock duration under `MANTLE_WALL_CLOCK=1`).
     pub wall: std::time::Duration,
     /// Aggregate operation statistics (phases, RPCs, retries).
     pub agg: OpStatsAgg,
@@ -223,7 +224,6 @@ pub fn run<S: MetadataService + BulkLoad + ?Sized + Sync>(
     let failed = AtomicU64::new(0);
     let merged: Mutex<(OpStatsAgg, Histogram)> =
         Mutex::new((OpStatsAgg::default(), Histogram::new()));
-    let started = Mutex::new(None::<Instant>);
     let wall = Mutex::new(std::time::Duration::ZERO);
 
     std::thread::scope(|scope| {
@@ -231,7 +231,6 @@ pub fn run<S: MetadataService + BulkLoad + ?Sized + Sync>(
             let barrier = &barrier;
             let failed = &failed;
             let merged = &merged;
-            let started = &started;
             let wall = &wall;
             let read_paths = &read_paths;
             scope.spawn(move || {
@@ -243,15 +242,13 @@ pub fn run<S: MetadataService + BulkLoad + ?Sized + Sync>(
                     &[("system", svc.name()), ("op", config.op.label())],
                 );
                 barrier.wait();
-                if t == 0 {
-                    *started.lock() = Some(Instant::now());
-                }
+                let thread_start = clock::now();
                 for i in 0..ops {
                     let mut stats = OpStats::new();
                     // Sampled RPC-chain tracing (off unless the collector's
                     // sample rate is set; see mantle_obs::trace).
                     let _trace = mantle_obs::trace::start(config.op.label());
-                    let begin = Instant::now();
+                    let begin = clock::now();
                     let outcome: Result<(), mantle_types::MetaError> = match config.op {
                         MdOp::ObjStat => {
                             let p = &read_paths[rng.gen_range(0..read_paths.len())];
@@ -323,11 +320,13 @@ pub fn run<S: MetadataService + BulkLoad + ?Sized + Sync>(
                 m.0.merge(&agg);
                 m.1.merge(&hist);
                 drop(m);
-                // Last finisher records the wall time.
-                if let Some(start) = *started.lock() {
-                    let mut w = wall.lock();
-                    *w = (*w).max(start.elapsed());
-                }
+                // The makespan is the longest per-thread timeline. Under the
+                // virtual clock each worker carries its own logical clock;
+                // under the wall clock every elapsed() reads the same OS
+                // clock and this reduces to the classic last-finisher time.
+                let elapsed = thread_start.elapsed();
+                let mut w = wall.lock();
+                *w = (*w).max(elapsed);
             });
         }
     });
@@ -353,8 +352,8 @@ mod tests {
     use mantle_core::MantleCluster;
     use mantle_types::SimConfig;
 
-    fn check(op: MdOp, conflict: ConflictMode) -> MdtestReport {
-        let cluster = MantleCluster::build(SimConfig::instant(), 4);
+    fn check_with(sim: SimConfig, op: MdOp, conflict: ConflictMode) -> MdtestReport {
+        let cluster = MantleCluster::build(sim, 4);
         let config = MdtestConfig {
             threads: 4,
             ops_per_thread: 16,
@@ -369,6 +368,10 @@ mod tests {
         assert_eq!(report.completed, 64);
         assert!(report.throughput() > 0.0);
         report
+    }
+
+    fn check(op: MdOp, conflict: ConflictMode) -> MdtestReport {
+        check_with(SimConfig::instant(), op, conflict)
     }
 
     #[test]
@@ -396,7 +399,9 @@ mod tests {
 
     #[test]
     fn report_phases_populated_for_reads() {
-        let report = check(MdOp::ObjStat, ConflictMode::Exclusive);
+        // Non-zero modeled delays: under the virtual clock phase time is
+        // purely modeled, so an all-zero config measures exactly zero.
+        let report = check_with(SimConfig::fast(), MdOp::ObjStat, ConflictMode::Exclusive);
         assert!(report.agg.mean_phase_nanos(Phase::Lookup) > 0.0);
         assert!(report.agg.mean_rpcs() >= 1.0);
         assert!(report.latency.count() == 64);

@@ -62,25 +62,19 @@ fn recovered_replica_catches_up_and_serves_reads() {
     }
     cluster.index().group().recover(victim.id());
 
-    // The recovered replica applies the missed log within a bounded time.
-    let deadline = std::time::Instant::now() + Duration::from_secs(5);
-    loop {
-        let applied = victim.last_applied();
-        let leader_applied = cluster
-            .index()
-            .group()
-            .leader()
-            .map(|l| l.last_applied())
-            .unwrap_or(0);
-        if applied >= leader_applied && leader_applied > 0 {
-            break;
-        }
-        assert!(
-            std::time::Instant::now() < deadline,
-            "replica never caught up"
-        );
-        std::thread::sleep(Duration::from_millis(10));
-    }
+    // The recovered replica applies the missed log within a bounded time:
+    // wait on the apply signal rather than polling.
+    let leader_applied = cluster
+        .index()
+        .group()
+        .await_leader(Duration::from_secs(5))
+        .expect("leader after recovery")
+        .last_applied();
+    assert!(leader_applied > 0);
+    assert!(
+        victim.wait_for_applied(leader_applied, Duration::from_secs(5)),
+        "replica never caught up"
+    );
     assert_eq!(victim.state_machine().table.len(), 10);
 }
 

@@ -1,6 +1,8 @@
-//! The full mdtest operation × system matrix in instant mode: every
-//! operation, every conflict mode, every system — zero failures, exact op
-//! counts, sane accounting.
+//! The full mdtest operation × system matrix with small non-zero modeled
+//! delays (`SimConfig::fast`): every operation, every conflict mode, every
+//! system — zero failures, exact op counts, sane accounting. Non-zero
+//! delays keep the phase-time assertions meaningful under the virtual
+//! clock, where an all-zero model measures exactly zero.
 
 use mantle::baselines::{
     infinifs::{InfiniFs, InfiniFsOptions},
@@ -60,14 +62,14 @@ fn matrix<S: MetadataService + BulkLoad + Sync>(
 
 #[test]
 fn mantle_full_matrix() {
-    matrix(|| MantleCluster::build(SimConfig::instant(), 4), 1.0);
+    matrix(|| MantleCluster::build(SimConfig::fast(), 4), 1.0);
 }
 
 #[test]
 fn tectonic_full_matrix() {
     // Level-by-level: a depth-7 lookup costs 7 RPCs.
     matrix(
-        || Tectonic::new(SimConfig::instant(), TectonicOptions::default()),
+        || Tectonic::new(SimConfig::fast(), TectonicOptions::default()),
         7.0,
     );
 }
@@ -77,7 +79,7 @@ fn tectonic_transactional_full_matrix() {
     matrix(
         || {
             Tectonic::new(
-                SimConfig::instant(),
+                SimConfig::fast(),
                 TectonicOptions {
                     transactional: true,
                     ..TectonicOptions::default()
@@ -92,7 +94,7 @@ fn tectonic_transactional_full_matrix() {
 fn infinifs_full_matrix() {
     // Speculation still issues one query per level.
     matrix(
-        || InfiniFs::new(SimConfig::instant(), InfiniFsOptions::default()),
+        || InfiniFs::new(SimConfig::fast(), InfiniFsOptions::default()),
         7.0,
     );
 }
@@ -101,7 +103,7 @@ fn infinifs_full_matrix() {
 fn locofs_full_matrix() {
     // Central directory server: single-RPC resolution.
     matrix(
-        || LocoFs::new(SimConfig::instant(), LocoFsOptions::default()),
+        || LocoFs::new(SimConfig::fast(), LocoFsOptions::default()),
         1.0,
     );
 }
@@ -123,7 +125,7 @@ fn phase_attribution_differs_by_design() {
         stats
     };
 
-    let mantle = MantleCluster::build(SimConfig::instant(), 4);
+    let mantle = MantleCluster::build(SimConfig::fast(), 4);
     let stats = run_rename(&*mantle, &|p| {
         mantle.bulk_dir(p);
     });
@@ -132,7 +134,7 @@ fn phase_attribution_differs_by_design() {
         "Mantle: loop detection on IndexNode"
     );
 
-    let tectonic = Tectonic::new(SimConfig::instant(), TectonicOptions::default());
+    let tectonic = Tectonic::new(SimConfig::fast(), TectonicOptions::default());
     let stats = run_rename(&*tectonic, &|p| {
         tectonic.bulk_dir(p);
     });

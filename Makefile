@@ -1,7 +1,7 @@
 # Mirror of the justfile for environments without `just`.
 # `make verify` = format check + clippy (warnings are errors) + tests.
 
-.PHONY: verify fmt-check clippy test fmt chaos chaos-sweep
+.PHONY: verify fmt-check clippy test fmt smoke chaos chaos-sweep
 
 verify: fmt-check clippy test
 
@@ -16,6 +16,19 @@ test:
 
 fmt:
 	cargo fmt
+
+# Every figure/table harness at smoke scale, mirroring CI's bench-smoke job.
+smoke:
+	@cargo build --release -p mantle-bench --bins
+	@set -e; for src in crates/bench/src/bin/fig*.rs crates/bench/src/bin/table*.rs; do \
+		bin=$$(basename "$$src" .rs); \
+		echo "== $$bin =="; \
+		MANTLE_SMOKE=1 cargo run --release -q -p mantle-bench --bin "$$bin"; \
+	done; \
+	for f in results/*.json; do \
+		python3 -m json.tool "$$f" > /dev/null || { echo "unparseable: $$f"; exit 1; }; \
+	done; \
+	echo "smoke OK: $$(ls results/*.json | wc -l) result files parse"
 
 # Re-run one chaos seed with tracing + fault timeline: make chaos SEED=17
 SEED ?= 0

@@ -43,7 +43,8 @@ use mantle_types::{
     ResolvedPath,
     Result,
     SimConfig,
-    ROOT_ID, //
+    ROOT_ID,
+    SCALED_DB_SHARDS, //
 };
 
 /// InfiniFS deployment options.
@@ -66,7 +67,7 @@ pub struct InfiniFsOptions {
 impl Default for InfiniFsOptions {
     fn default() -> Self {
         InfiniFsOptions {
-            db_shards: 8,
+            db_shards: SCALED_DB_SHARDS,
             resolver_pool: 96,
             max_parallel: 16,
             amcache: false,

@@ -43,7 +43,8 @@ use mantle_types::{
     ResolvedPath,
     Result,
     SimConfig,
-    ROOT_ID, //
+    ROOT_ID,
+    SCALED_DB_SHARDS, //
 };
 
 /// LocoFS deployment options.
@@ -60,7 +61,7 @@ pub struct LocoFsOptions {
 impl Default for LocoFsOptions {
     fn default() -> Self {
         LocoFsOptions {
-            db_shards: 8,
+            db_shards: SCALED_DB_SHARDS,
             dir_replicas: 3,
             // LocoFS predates batched Raft pipelines; §6.3 attributes its
             // worst-in-class mkdir throughput to being "throttled by the

@@ -75,6 +75,7 @@ fn run_suite() -> SuiteResult {
                 conflict: ConflictMode::Exclusive,
                 working_set: 64,
                 seed: 7,
+                hotspot: None,
             },
         );
         ops.push(OpResult {

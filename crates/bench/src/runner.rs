@@ -103,6 +103,7 @@ pub fn measure(sut: &SystemUnderTest, op: MdOp, conflict: ConflictMode, scale: S
         conflict,
         working_set: 1024,
         seed: 11,
+        hotspot: None,
     };
     let report = mdtest::run(sut.svc().as_ref(), config);
     OpRow::from_report(sut.label(), &report)
@@ -125,6 +126,7 @@ pub fn measure_at(
         conflict,
         working_set: 1024,
         seed: 11,
+        hotspot: None,
     };
     let report = mdtest::run(sut.svc().as_ref(), config);
     OpRow::from_report(sut.label(), &report)

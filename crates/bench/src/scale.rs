@@ -51,8 +51,27 @@ impl Scale {
         }
     }
 
+    /// Smoke preset: seconds-scale runs for the CI bench-smoke lane. The
+    /// numbers only need to exercise every code path and emit parseable
+    /// JSON, not produce meaningful curves.
+    pub fn smoke() -> Self {
+        Scale {
+            threads: 4,
+            ops_per_thread: 8,
+            depth: 6,
+            namespace_entries: 2_000,
+            thread_sweep: &[2, 4],
+            size_sweep: &[1_000, 2_000],
+            app_tasks: 8,
+        }
+    }
+
     /// Reads `MANTLE_SCALE` (`quick`/`full`), defaulting to quick.
+    /// `MANTLE_SMOKE=1` overrides everything with the smoke preset.
     pub fn from_env() -> Self {
+        if std::env::var("MANTLE_SMOKE").as_deref() == Ok("1") {
+            return Scale::smoke();
+        }
         match std::env::var("MANTLE_SCALE").as_deref() {
             Ok("full") => Scale::full(),
             _ => Scale::quick(),

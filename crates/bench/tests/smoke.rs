@@ -55,6 +55,7 @@ fn mdtest_config_matches_harness_expectations() {
         conflict: ConflictMode::Exclusive,
         working_set: 8,
         seed: 1,
+        hotspot: None,
     };
     assert_eq!(config.threads * config.ops_per_thread, 8);
 }

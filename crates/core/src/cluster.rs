@@ -284,11 +284,17 @@ impl MantleCluster {
         let mut attempts = 0;
         loop {
             match f(stats) {
-                Err(e @ (MetaError::Unavailable(_) | MetaError::Transient { .. }))
-                    if attempts < self.config.unavailable_retries =>
-                {
+                Err(
+                    e @ (MetaError::Unavailable(_)
+                    | MetaError::Transient { .. }
+                    | MetaError::StaleRoute { .. }),
+                ) if attempts < self.config.unavailable_retries => {
+                    // StaleRoute: the DB's shard map moved under the op; the
+                    // retry re-routes against the refreshed snapshot.
                     if matches!(e, MetaError::Transient { .. }) {
                         stats.transient_retries += 1;
+                    } else if matches!(e, MetaError::StaleRoute { .. }) {
+                        stats.stale_route_retries += 1;
                     }
                     attempts += 1;
                     let backoff = Duration::from_micros((100u64 << attempts.min(6)).min(5_000));
@@ -579,11 +585,14 @@ impl MetadataService for MantleCluster {
                 Err(
                     e @ (MetaError::RenameLocked(_)
                     | MetaError::TxnConflict { .. }
-                    | MetaError::Transient { .. }),
+                    | MetaError::Transient { .. }
+                    | MetaError::StaleRoute { .. }),
                 ) if attempts < self.config.rename_retries => {
                     attempts += 1;
                     if matches!(e, MetaError::Transient { .. }) {
                         stats.transient_retries += 1;
+                    } else if matches!(e, MetaError::StaleRoute { .. }) {
+                        stats.stale_route_retries += 1;
                     } else {
                         stats.rename_retries += 1;
                     }

@@ -1,6 +1,7 @@
 //! RPC-chain tracing.
 //!
-//! A [`TraceCtx`] carries a trace id plus a span stack through a request as
+//! A thread-local trace context carries a trace id plus a span stack
+//! through a request as
 //! it fans out across simulated nodes. Each RPC entry point opens a
 //! [`SpanScope`]; nested scopes become child spans, so a path resolve dumps
 //! as an RPC tree whose per-hop count can be checked against the paper's
@@ -73,7 +74,7 @@ pub struct Trace {
     pub op: String,
     /// Spans in creation order; parents precede children.
     pub spans: Vec<Span>,
-    /// Whether spans were dropped after [`MAX_SPANS_PER_TRACE`].
+    /// Whether spans were dropped after the per-trace cap.
     pub truncated: bool,
 }
 

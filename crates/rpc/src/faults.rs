@@ -61,6 +61,12 @@ pub enum FaultKind {
     TxnPrepare,
     /// A 2PC participant failed during commit (decision already durable).
     TxnCommit,
+    /// A shard-range migration failed while installing its prepare marker
+    /// (before any row was copied).
+    SplitPrepare,
+    /// A shard-range migration crashed at its commit point (rows copied to
+    /// the target, shard-map swap not yet published).
+    SplitCommit,
 }
 
 impl FaultKind {
@@ -75,6 +81,8 @@ impl FaultKind {
             FaultKind::WalFsync => "wal_fsync",
             FaultKind::TxnPrepare => "txn_prepare",
             FaultKind::TxnCommit => "txn_commit",
+            FaultKind::SplitPrepare => "split_prepare",
+            FaultKind::SplitCommit => "split_commit",
         }
     }
 
@@ -88,6 +96,8 @@ impl FaultKind {
             FaultKind::WalFsync => 6,
             FaultKind::TxnPrepare => 7,
             FaultKind::TxnCommit => 8,
+            FaultKind::SplitPrepare => 9,
+            FaultKind::SplitCommit => 10,
         }
     }
 }
@@ -120,6 +130,12 @@ pub struct FaultProfile {
     /// Probability a 2PC participant hiccups during commit (extra round
     /// trip; the commit decision still applies).
     pub txn_commit_hiccup_prob: f64,
+    /// Probability a shard migration crashes while installing its prepare
+    /// marker (aborts cleanly: no row has moved).
+    pub split_prepare_fail_prob: f64,
+    /// Probability a shard migration crashes at its commit point (rows
+    /// copied but the map swap not published; the migration rolls back).
+    pub split_commit_fail_prob: f64,
 }
 
 impl FaultProfile {
@@ -138,6 +154,8 @@ impl FaultProfile {
             wal_fsync_fail_prob: 0.0,
             txn_prepare_fail_prob: 0.0,
             txn_commit_hiccup_prob: 0.0,
+            split_prepare_fail_prob: 0.0,
+            split_commit_fail_prob: 0.0,
         }
     }
 
@@ -157,6 +175,18 @@ impl FaultProfile {
             wal_fsync_fail_prob: 0.01,
             txn_prepare_fail_prob: 0.02,
             txn_commit_hiccup_prob: 0.02,
+            split_prepare_fail_prob: 0.0,
+            split_commit_fail_prob: 0.0,
+        }
+    }
+
+    /// The storm profile plus shard-migration crash faults, for chaos runs
+    /// that exercise the placement controller (split/migrate under load).
+    pub fn split_storm() -> Self {
+        FaultProfile {
+            split_prepare_fail_prob: 0.25,
+            split_commit_fail_prob: 0.25,
+            ..FaultProfile::storm()
         }
     }
 }
@@ -210,6 +240,10 @@ struct PlanState {
     rolls: HashMap<(u64, String), u64>,
     /// WAL scopes with forced fsync failures still pending.
     forced_fsync: HashMap<String, u32>,
+    /// Migration sites with forced prepare failures still pending.
+    forced_split_prepare: HashMap<String, u32>,
+    /// Migration sites with forced commit failures still pending.
+    forced_split_commit: HashMap<String, u32>,
     /// Registered crash/restart hooks per node name.
     hooks: HashMap<String, (NodeHook, NodeHook)>,
     events: Vec<FaultEvent>,
@@ -571,6 +605,89 @@ impl FaultPlan {
         false
     }
 
+    // ---- shard-migration faults ----------------------------------------
+
+    /// Forces the next `n` migration prepares at `site` to fail, ahead of
+    /// any probabilistic rolls. Used by the split-crash chaos test.
+    pub fn force_split_prepare_failure(&self, site: &str, n: u32) {
+        self.state
+            .lock()
+            .forced_split_prepare
+            .entry(site.to_string())
+            .and_modify(|c| *c += n)
+            .or_insert(n);
+        self.record(FaultKind::SplitPrepare, site, format!("force n={n}"));
+    }
+
+    /// Forces the next `n` migration commits at `site` to fail.
+    pub fn force_split_commit_failure(&self, site: &str, n: u32) {
+        self.state
+            .lock()
+            .forced_split_commit
+            .entry(site.to_string())
+            .and_modify(|c| *c += n)
+            .or_insert(n);
+        self.record(FaultKind::SplitCommit, site, format!("force n={n}"));
+    }
+
+    /// Decides whether the migration prepare at `site` fails. The
+    /// controller aborts cleanly: the marker is rolled back and no row has
+    /// left the source shard.
+    pub fn split_prepare_fails(&self, site: &str) -> bool {
+        {
+            let mut st = self.state.lock();
+            if let Some(c) = st.forced_split_prepare.get_mut(site) {
+                if *c > 0 {
+                    *c -= 1;
+                    drop(st);
+                    self.record(FaultKind::SplitPrepare, site, "forced".to_string());
+                    return true;
+                }
+            }
+        }
+        if self
+            .roll(
+                FaultKind::SplitPrepare,
+                site,
+                self.profile.split_prepare_fail_prob,
+            )
+            .is_some()
+        {
+            self.record(FaultKind::SplitPrepare, site, "prepare".to_string());
+            return true;
+        }
+        false
+    }
+
+    /// Decides whether the migration commit at `site` fails. Rows are
+    /// already copied to the target but the map swap has not published, so
+    /// the controller deletes the copies and the source stays authoritative.
+    pub fn split_commit_fails(&self, site: &str) -> bool {
+        {
+            let mut st = self.state.lock();
+            if let Some(c) = st.forced_split_commit.get_mut(site) {
+                if *c > 0 {
+                    *c -= 1;
+                    drop(st);
+                    self.record(FaultKind::SplitCommit, site, "forced".to_string());
+                    return true;
+                }
+            }
+        }
+        if self
+            .roll(
+                FaultKind::SplitCommit,
+                site,
+                self.profile.split_commit_fail_prob,
+            )
+            .is_some()
+        {
+            self.record(FaultKind::SplitCommit, site, "commit".to_string());
+            return true;
+        }
+        false
+    }
+
     // ---- event log ------------------------------------------------------
 
     /// The injected-fault event log so far (bounded; see `events_dropped`).
@@ -809,6 +926,8 @@ mod tests {
             assert!(!plan.wal_fsync_fails("wal"));
             assert!(!plan.txn_prepare_fails("s0"));
             assert!(!plan.txn_commit_hiccups("s0"));
+            assert!(!plan.split_prepare_fails("s0"));
+            assert!(!plan.split_commit_fails("s0"));
         }
         assert!(plan.events().is_empty());
         assert!(plan.state.lock().rolls.is_empty());
@@ -875,6 +994,18 @@ mod tests {
         assert!(plan.wal_fsync_fails("wal"));
         assert!(!plan.wal_fsync_fails("wal"));
         assert!(!plan.wal_fsync_fails("other"));
+    }
+
+    #[test]
+    fn forced_split_failures_consume() {
+        let plan = FaultPlan::new(0, FaultProfile::zeroed());
+        plan.force_split_prepare_failure("tafdb0", 1);
+        plan.force_split_commit_failure("tafdb0", 1);
+        assert!(plan.split_prepare_fails("tafdb0"));
+        assert!(!plan.split_prepare_fails("tafdb0"));
+        assert!(plan.split_commit_fails("tafdb0"));
+        assert!(!plan.split_commit_fails("tafdb0"));
+        assert!(!plan.split_prepare_fails("other"));
     }
 
     #[test]

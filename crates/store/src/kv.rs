@@ -169,6 +169,13 @@ impl<V: Clone> KvStore<V> {
         keys.iter().filter(|k| map.remove(k).is_some()).count()
     }
 
+    /// Runs `f` with shared (read) access to the underlying map — used by
+    /// shard migration to collect the rows of a key range in one consistent
+    /// snapshot without cloning the whole store.
+    pub fn with_read<R>(&self, f: impl FnOnce(&BTreeMap<RowKey, V>) -> R) -> R {
+        f(&self.map.read())
+    }
+
     /// Runs `f` with exclusive access to the underlying map — the escape
     /// hatch for multi-key atomic maintenance (delta-record folding, rmdir's
     /// attr-and-delta cleanup) that must be invisible to concurrent scans.

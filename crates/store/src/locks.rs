@@ -131,6 +131,14 @@ impl LockManager {
     pub fn is_locked(&self, key: &RowKey) -> bool {
         self.stripe(key).lock().contains_key(key)
     }
+
+    /// Whether any currently held lock's key satisfies `pred`. Scans every
+    /// stripe (one at a time, so concurrent acquisitions are not blocked
+    /// globally); shard migration uses this to wait for in-flight
+    /// transactions on the moving range to drain before copying rows.
+    pub fn any_held(&self, pred: impl Fn(&RowKey) -> bool) -> bool {
+        self.stripes.iter().any(|s| s.lock().keys().any(&pred))
+    }
 }
 
 impl Default for LockManager {
@@ -278,6 +286,18 @@ mod tests {
         assert!(lm
             .try_lock(&key(3, "c"), TxnId(7), LockMode::Exclusive)
             .is_err());
+    }
+
+    #[test]
+    fn any_held_sees_live_locks_only() {
+        let lm = LockManager::new(4);
+        assert!(!lm.any_held(|_| true));
+        lm.try_lock(&key(9, "x"), TxnId(1), LockMode::Shared)
+            .unwrap();
+        assert!(lm.any_held(|k| k.pid == InodeId(9)));
+        assert!(!lm.any_held(|k| k.pid == InodeId(8)));
+        lm.unlock(&key(9, "x"), TxnId(1));
+        assert!(!lm.any_held(|_| true));
     }
 
     #[test]

@@ -15,12 +15,21 @@
 //!   compactor folds them into the base row under a shared latch;
 //! * **blocking latched updates** — the serialized parent-attribute update
 //!   used by the Tectonic and LocoFS baselines (§6.3: "modifications to the
-//!   parent directory's attribute are serialized by a latch").
+//!   parent directory's attribute are serialized by a latch");
+//! * **dynamic shard splitting** (§5.3) — an epoch-versioned, range-
+//!   partitioned [`ShardMap`] replaces the fixed `pid` hash; a placement
+//!   controller observes per-shard busy time, splits hot ranges (down to
+//!   *within* a single hot directory), migrates them to cold shards under a
+//!   short write quiescence, and merges cold neighbours back. Stale routing
+//!   snapshots are rejected with `MetaError::StaleRoute` and retried after
+//!   a map refresh.
 
 pub mod db;
 pub mod schema;
+pub mod shardmap;
 pub mod txn;
 
 pub use db::{DbCounters, TafDb, TafDbOptions};
 pub use schema::{attr_key, entry_key, Row};
+pub use shardmap::{dir_region, place_of, ShardMap};
 pub use txn::{Prepared, TxnOp};

@@ -82,6 +82,11 @@ pub(crate) enum WriteCmd {
     MergeAttr(RowKey, AttrDelta),
     /// Append a delta record (hot-directory mode).
     AppendDelta(InodeId, TxnId, AttrDelta),
+    /// Delete every delta record of `dir` stored on the executing shard —
+    /// the rmdir companion op sent to region owners other than the one
+    /// holding the base attribute row (the base owner's `Delete` retires
+    /// its local deltas itself).
+    PurgeDeltas(InodeId),
 }
 
 /// Per-shard prepared state.
@@ -89,6 +94,11 @@ pub(crate) enum WriteCmd {
 pub(crate) struct ShardPrepared {
     pub shard: usize,
     pub locks: Vec<RowKey>,
+    /// Locks held on *other* shards' lock managers on this group's behalf:
+    /// the hot-append fence on the base attribute row lives at the base
+    /// owner even when the delta record routes elsewhere. Modeled as a
+    /// colocated lock service, so acquiring one costs no extra RPC.
+    pub remote_locks: Vec<(usize, RowKey)>,
     pub writes: Vec<WriteCmd>,
 }
 

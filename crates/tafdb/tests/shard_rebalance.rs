@@ -1,0 +1,290 @@
+//! Placement-plane tests: ShardMap routing properties (proptest), online
+//! split/migrate correctness under concurrent writers, and split-crash
+//! chaos (no lost or duplicated acknowledged rows, seeds 0..7).
+
+use std::collections::HashSet;
+use std::sync::atomic::{AtomicBool, Ordering};
+
+use proptest::prelude::*;
+
+use mantle_rpc::faults::{FaultPlan, FaultProfile};
+use mantle_tafdb::shardmap::DIR_REGION_SPAN;
+use mantle_tafdb::{
+    attr_key, dir_region, entry_key, place_of, Row, ShardMap, TafDb, TafDbOptions, TxnOp,
+};
+use mantle_types::{AttrDelta, DirAttrMeta, InodeId, MetaError, OpStats, Permission, SimConfig};
+
+// --- property: routing is total and non-overlapping at every epoch ---------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+    #[test]
+    fn shardmap_routing_total_and_nonoverlapping_at_every_epoch(
+        n_shards in 1usize..12,
+        muts in prop::collection::vec((0u8..3, any::<u64>(), 0usize..12), 0..40),
+        pids in prop::collection::vec(any::<u64>(), 8..16),
+    ) {
+        let mut m = ShardMap::uniform(n_shards);
+        m.check_invariants();
+        let mut last_epoch = m.epoch();
+        for (kind, key, to) in muts {
+            let idx = m.range_index(key);
+            let next = match kind {
+                0 => {
+                    let r = m.range(idx);
+                    if r.start < r.end {
+                        let span = r.end - r.start;
+                        // A cut uniformly inside (start, end].
+                        Some(m.with_split(idx, r.start + 1 + key % span))
+                    } else {
+                        None
+                    }
+                }
+                1 => Some(m.with_reassign(idx, to % n_shards)),
+                _ => m.with_merge(idx),
+            };
+            if let Some(next) = next {
+                // check_invariants asserts sorted + contiguous + total over
+                // u64 + in-bounds shards: no key can have zero or two owners.
+                next.check_invariants();
+                prop_assert!(next.epoch() > last_epoch, "epoch strictly increases");
+                last_epoch = next.epoch();
+                m = next;
+            }
+            for &pid in &pids {
+                let (s, e) = dir_region(InodeId(pid));
+                let owners = m.owners_of(s, e);
+                prop_assert!(!owners.is_empty());
+                prop_assert!(owners.iter().all(|&o| o < n_shards));
+                // The attr row's owner is one of the region's owners.
+                let ap = place_of(&attr_key(InodeId(pid)));
+                prop_assert!(owners.contains(&m.owner(ap)));
+            }
+        }
+    }
+}
+
+// --- helpers ----------------------------------------------------------------
+
+fn mkdir(db: &TafDb, dir: InodeId) {
+    let mut stats = OpStats::new();
+    db.execute(
+        &[TxnOp::Put {
+            key: attr_key(dir),
+            row: Row::DirAttr(DirAttrMeta::new(2, 0)),
+        }],
+        &mut stats,
+    )
+    .unwrap();
+}
+
+fn create(db: &TafDb, dir: InodeId, name: &str) -> Result<(), MetaError> {
+    let mut stats = OpStats::new();
+    db.execute(
+        &[
+            TxnOp::InsertUnique {
+                key: entry_key(dir, name),
+                row: Row::DirAccess {
+                    id: InodeId(0xF000 + name.len() as u64),
+                    permission: Permission::ALL,
+                },
+            },
+            TxnOp::AttrUpdate {
+                dir,
+                delta: AttrDelta {
+                    nlink: 0,
+                    entries: 1,
+                    mtime: 1,
+                },
+            },
+        ],
+        &mut stats,
+    )
+    .map(|_| ())
+}
+
+/// Every acked name must be readable exactly once, `dir_stat` must count
+/// exactly the acked creates, and no shard may hold a row the map does not
+/// route to it (no stragglers from an aborted or completed migration).
+fn verify_exactly_once(db: &TafDb, dir: InodeId, acked: &HashSet<String>) {
+    let mut stats = OpStats::new();
+    for name in acked {
+        assert!(
+            db.get_entry(dir, name, &mut stats).is_some(),
+            "acked create of {name} lost"
+        );
+    }
+    let listed = db.readdir(dir, &mut stats);
+    let mut seen = HashSet::new();
+    for e in &listed {
+        assert!(seen.insert(e.name.clone()), "row {} duplicated", e.name);
+    }
+    assert_eq!(seen.len(), acked.len(), "listing vs acked set");
+    db.compact_once();
+    let attrs = db.dir_stat(dir, &mut stats).unwrap();
+    assert_eq!(attrs.entries as usize, acked.len(), "dirstat entry count");
+}
+
+// --- online split + migrate under concurrent writers ------------------------
+
+#[test]
+fn split_and_migrate_preserve_rows_under_concurrent_writers() {
+    let db = TafDb::new(SimConfig::instant(), TafDbOptions::default());
+    let dir = InodeId(77);
+    mkdir(&db, dir);
+    db.force_hot(dir);
+    let (rs, re) = dir_region(dir);
+
+    let stop = AtomicBool::new(false);
+    let acked: HashSet<String> = std::thread::scope(|scope| {
+        let mut workers = Vec::new();
+        for t in 0..4 {
+            let db = &db;
+            let stop = &stop;
+            workers.push(scope.spawn(move || {
+                let mut acked = HashSet::new();
+                let mut i = 0usize;
+                while !stop.load(Ordering::Acquire) || i < 50 {
+                    let name = format!("w{t}_{i}");
+                    if create(db, dir, &name).is_ok() {
+                        acked.insert(name);
+                    }
+                    i += 1;
+                    if i >= 400 {
+                        break;
+                    }
+                }
+                acked
+            }));
+        }
+
+        // Concurrently: isolate the hot region, split it down the middle,
+        // and bounce both halves across shards.
+        let n = db.n_shards();
+        for round in 0..6 {
+            let mid = rs + DIR_REGION_SPAN / 2;
+            db.split_range(rs, mid);
+            let _ = db.migrate_range(rs, (db.shard_map().owner(rs) + 1) % n);
+            let _ = db.migrate_range(mid, (db.shard_map().owner(mid) + round) % n);
+            std::thread::yield_now();
+        }
+        stop.store(true, Ordering::Release);
+
+        let mut acked = HashSet::new();
+        for w in workers {
+            acked.extend(w.join().unwrap());
+        }
+        acked
+    });
+
+    assert!(!acked.is_empty());
+    assert!(db.counters().shard_splits > 0, "splits must have happened");
+    assert!(db.counters().range_migrations > 0, "rows must have moved");
+    // Hot-region ownership really is spread or at least well-defined.
+    let m = db.shard_map();
+    m.check_invariants();
+    assert!(m.owners_of(rs, re).iter().all(|&o| o < db.n_shards()));
+    verify_exactly_once(&db, dir, &acked);
+}
+
+// --- chaos: split racing a crash at split_prepare / split_commit ------------
+
+#[test]
+fn split_crash_chaos_loses_and_duplicates_nothing() {
+    for seed in 0..8u64 {
+        let db = TafDb::new(SimConfig::instant(), TafDbOptions::default());
+        let dir = InodeId(4096 + seed);
+        mkdir(&db, dir);
+        db.force_hot(dir);
+        let (rs, _) = dir_region(dir);
+        let mid = rs + DIR_REGION_SPAN / 2;
+        assert!(db.split_range(rs, mid), "seed {seed}: initial split");
+
+        let plan = FaultPlan::new(seed, FaultProfile::zeroed());
+        db.install_faults(Some(plan.clone()));
+
+        let stop = AtomicBool::new(false);
+        let acked: HashSet<String> = std::thread::scope(|scope| {
+            let mut workers = Vec::new();
+            for t in 0..3 {
+                let db = &db;
+                let stop = &stop;
+                workers.push(scope.spawn(move || {
+                    let mut acked = HashSet::new();
+                    let mut i = 0usize;
+                    while !stop.load(Ordering::Acquire) || i < 30 {
+                        let name = format!("c{t}_{i}");
+                        if create(db, dir, &name).is_ok() {
+                            acked.insert(name);
+                        }
+                        i += 1;
+                        if i >= 300 {
+                            break;
+                        }
+                    }
+                    acked
+                }));
+            }
+
+            let n = db.n_shards();
+            for round in 0..4u64 {
+                let place = if round % 2 == 0 { rs } else { mid };
+                let src = db.shard_map().owner(place);
+                let tgt = (src + 1 + (seed as usize % (n - 1))) % n;
+                let site = format!("tafdb{src}");
+                // Crash the migration at alternating hooks: the copy must
+                // be discarded and the source stay authoritative.
+                if (seed + round) % 2 == 0 {
+                    plan.force_split_prepare_failure(&site, 1);
+                } else {
+                    plan.force_split_commit_failure(&site, 1);
+                }
+                match db.migrate_range(place, tgt) {
+                    Err(MetaError::Transient { kind, .. }) => {
+                        assert!(
+                            kind.starts_with("split_"),
+                            "seed {seed}: unexpected transient {kind}"
+                        );
+                    }
+                    other => panic!("seed {seed}: forced crash not surfaced: {other:?}"),
+                }
+                // Retry until clean: quiescence can transiently fail while
+                // writers hammer the range, but the forced crash is spent,
+                // so the migration itself must eventually go through.
+                loop {
+                    match db.migrate_range(place, tgt) {
+                        Ok(_) => break,
+                        Err(MetaError::Transient { ref kind, .. }) if kind == "split_quiesce" => {
+                            std::thread::yield_now();
+                        }
+                        Err(e) => panic!("seed {seed}: clean retry failed: {e}"),
+                    }
+                }
+            }
+            stop.store(true, Ordering::Release);
+
+            let mut acked = HashSet::new();
+            for w in workers {
+                acked.extend(w.join().unwrap());
+            }
+            acked
+        });
+
+        db.install_faults(None);
+        assert!(!acked.is_empty(), "seed {seed}: no progress");
+        assert!(
+            db.counters().range_migrations >= 4,
+            "seed {seed}: clean retries must have completed"
+        );
+        verify_exactly_once(&db, dir, &acked);
+
+        // Delta records spread by txn ts must also have survived intact:
+        // nothing pending after compaction on any shard.
+        db.compact_once();
+        assert_eq!(
+            db.pending_deltas(dir),
+            0,
+            "seed {seed}: deltas left dangling"
+        );
+    }
+}

@@ -49,6 +49,17 @@ pub enum MetaError {
         /// The node, edge or scope the fault hit.
         at: String,
     },
+    /// The request was routed with a stale shard-map epoch: the range that
+    /// owns the key moved (split/merge/migration) after the client cached
+    /// its map. Always safe to retry: the owning shard rejects the request
+    /// before executing it, so the retry (with a refreshed map) never
+    /// duplicates work.
+    StaleRoute {
+        /// The epoch the client presented.
+        seen: u64,
+        /// The current epoch at the shard that rejected the request.
+        current: u64,
+    },
     /// The operation timed out.
     Timeout(String),
     /// Internal invariant violation; indicates a bug.
@@ -64,6 +75,7 @@ impl MetaError {
                 | MetaError::RenameLocked(_)
                 | MetaError::Unavailable(_)
                 | MetaError::Transient { .. }
+                | MetaError::StaleRoute { .. }
                 | MetaError::Timeout(_)
         )
     }
@@ -91,6 +103,9 @@ impl fmt::Display for MetaError {
             MetaError::Transient { kind, at } => {
                 write!(f, "transient fault ({kind}) at {at}")
             }
+            MetaError::StaleRoute { seen, current } => {
+                write!(f, "stale shard-map epoch {seen} (current {current})")
+            }
             MetaError::Timeout(m) => write!(f, "timed out: {m}"),
             MetaError::Internal(m) => write!(f, "internal error: {m}"),
         }
@@ -114,6 +129,11 @@ mod tests {
         assert!(MetaError::Transient {
             kind: "rpc_drop".into(),
             at: "tafdb0".into()
+        }
+        .is_retryable());
+        assert!(MetaError::StaleRoute {
+            seen: 3,
+            current: 5
         }
         .is_retryable());
         assert!(!MetaError::NotFound("/a".into()).is_retryable());

@@ -58,6 +58,8 @@ pub struct OpStats {
     /// Transient transport faults (injected drops/timeouts/partitions)
     /// absorbed by a retry loop.
     pub transient_retries: u32,
+    /// Stale shard-map rejections absorbed by a map refresh + retry.
+    pub stale_route_retries: u32,
     /// TopDirPathCache (or AM-Cache) hits.
     pub cache_hits: u32,
     /// Cache misses.
@@ -140,6 +142,7 @@ impl OpStats {
         self.txn_retries += other.txn_retries;
         self.rename_retries += other.rename_retries;
         self.transient_retries += other.transient_retries;
+        self.stale_route_retries += other.stale_route_retries;
         self.cache_hits += other.cache_hits;
         self.cache_misses += other.cache_misses;
     }
@@ -160,6 +163,8 @@ pub struct OpStatsAgg {
     pub rename_retries: u64,
     /// Sum of transient-fault retries.
     pub transient_retries: u64,
+    /// Sum of stale-route retries.
+    pub stale_route_retries: u64,
     /// Sum of cache hits.
     pub cache_hits: u64,
     /// Sum of cache misses.
@@ -177,6 +182,7 @@ impl OpStatsAgg {
         self.txn_retries += s.txn_retries as u64;
         self.rename_retries += s.rename_retries as u64;
         self.transient_retries += s.transient_retries as u64;
+        self.stale_route_retries += s.stale_route_retries as u64;
         self.cache_hits += s.cache_hits as u64;
         self.cache_misses += s.cache_misses as u64;
     }
@@ -191,6 +197,7 @@ impl OpStatsAgg {
         self.txn_retries += other.txn_retries;
         self.rename_retries += other.rename_retries;
         self.transient_retries += other.transient_retries;
+        self.stale_route_retries += other.stale_route_retries;
         self.cache_hits += other.cache_hits;
         self.cache_misses += other.cache_misses;
     }

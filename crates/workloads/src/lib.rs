@@ -20,6 +20,6 @@ pub mod namespace;
 pub mod zipf;
 
 pub use apps::{AnalyticsConfig, AppReport, AudioConfig};
-pub use mdtest::{ConflictMode, MdOp, MdtestConfig, MdtestReport};
+pub use mdtest::{ConflictMode, Hotspot, MdOp, MdtestConfig, MdtestReport};
 pub use namespace::{NamespaceHandle, NamespaceSpec, NamespaceStats};
 pub use zipf::Zipf;

@@ -64,6 +64,18 @@ pub enum ConflictMode {
     Shared,
 }
 
+/// Skewed parent selection: instead of the [`ConflictMode`] parent, every
+/// operation Zipf-samples its parent directory from a pool, concentrating
+/// load on the first few (the "hot parent" pattern driving the dynamic
+/// shard-splitting experiments; the paper's motivating ingest bursts).
+#[derive(Clone, Copy, Debug)]
+pub struct Hotspot {
+    /// Size of the parent-directory pool.
+    pub parents: usize,
+    /// Zipf exponent (≈1.2 makes parent 0 dominate).
+    pub s: f64,
+}
+
 /// One benchmark run's parameters.
 #[derive(Clone, Copy, Debug)]
 pub struct MdtestConfig {
@@ -81,6 +93,9 @@ pub struct MdtestConfig {
     pub working_set: usize,
     /// RNG seed.
     pub seed: u64,
+    /// Zipf-skewed parent selection (create/mkdir) and read-path sampling;
+    /// `None` keeps the classic uniform mdtest behaviour.
+    pub hotspot: Option<Hotspot>,
 }
 
 impl Default for MdtestConfig {
@@ -93,6 +108,7 @@ impl Default for MdtestConfig {
             conflict: ConflictMode::Exclusive,
             working_set: 1024,
             seed: 7,
+            hotspot: None,
         }
     }
 }
@@ -141,6 +157,25 @@ fn deep_parent(tag: &str, depth: usize) -> MetaPath {
     path.child(tag)
 }
 
+/// The parent a create/mkdir targets: a Zipf-sampled pool member under a
+/// [`Hotspot`], otherwise the conflict-mode parent.
+fn mutation_parent(
+    config: &MdtestConfig,
+    t: usize,
+    pick: &mut impl FnMut(&mut StdRng, usize) -> usize,
+    rng: &mut StdRng,
+) -> MetaPath {
+    if let Some(h) = config.hotspot {
+        let k = pick(rng, h.parents.max(1));
+        deep_parent(&format!("h{k}"), config.depth - 1)
+    } else {
+        match config.conflict {
+            ConflictMode::Shared => deep_parent("shared", config.depth - 1),
+            ConflictMode::Exclusive => deep_parent(&format!("p{t}"), config.depth - 1),
+        }
+    }
+}
+
 /// Runs one mdtest configuration against `svc`.
 ///
 /// The working set is bulk-loaded first (no simulated cost); only the
@@ -174,16 +209,22 @@ pub fn run<S: MetadataService + BulkLoad + ?Sized + Sync>(
             }
         }
         MdOp::Create | MdOp::Mkdir => {
-            match config.conflict {
-                ConflictMode::Shared => {
-                    svc.bulk_dir(&deep_parent("shared", config.depth - 1));
+            if let Some(h) = config.hotspot {
+                for k in 0..h.parents.max(1) {
+                    svc.bulk_dir(&deep_parent(&format!("h{k}"), config.depth - 1));
                 }
-                ConflictMode::Exclusive => {
-                    for t in 0..threads {
-                        svc.bulk_dir(&deep_parent(&format!("p{t}"), config.depth - 1));
+            } else {
+                match config.conflict {
+                    ConflictMode::Shared => {
+                        svc.bulk_dir(&deep_parent("shared", config.depth - 1));
                     }
-                }
-            };
+                    ConflictMode::Exclusive => {
+                        for t in 0..threads {
+                            svc.bulk_dir(&deep_parent(&format!("p{t}"), config.depth - 1));
+                        }
+                    }
+                };
+            }
         }
         MdOp::Delete => {
             for t in 0..threads {
@@ -235,6 +276,15 @@ pub fn run<S: MetadataService + BulkLoad + ?Sized + Sync>(
             let read_paths = &read_paths;
             scope.spawn(move || {
                 let mut rng = StdRng::seed_from_u64(config.seed ^ (t as u64) << 17);
+                let zipf = config
+                    .hotspot
+                    .map(|h| crate::zipf::Zipf::new(h.parents.max(1), h.s));
+                let mut pick = |rng: &mut StdRng, n: usize| -> usize {
+                    match &zipf {
+                        Some(z) => z.sample(rng) % n.max(1),
+                        None => rng.gen_range(0..n.max(1)),
+                    }
+                };
                 let mut agg = OpStatsAgg::default();
                 let mut hist = Histogram::new();
                 let ops_counter = mantle_obs::counter(
@@ -251,36 +301,33 @@ pub fn run<S: MetadataService + BulkLoad + ?Sized + Sync>(
                     let begin = clock::now();
                     let outcome: Result<(), mantle_types::MetaError> = match config.op {
                         MdOp::ObjStat => {
-                            let p = &read_paths[rng.gen_range(0..read_paths.len())];
+                            let p = &read_paths[pick(&mut rng, read_paths.len())];
                             svc.objstat(p, &mut stats).map(|_| ())
                         }
                         MdOp::DirStat => {
-                            let p = &read_paths[rng.gen_range(0..read_paths.len())];
+                            let p = &read_paths[pick(&mut rng, read_paths.len())];
                             svc.dirstat(p, &mut stats).map(|_| ())
                         }
                         MdOp::Lookup => {
-                            let p = &read_paths[rng.gen_range(0..read_paths.len())];
+                            let p = &read_paths[pick(&mut rng, read_paths.len())];
                             svc.lookup(p, &mut stats).map(|_| ())
                         }
                         MdOp::Create => {
-                            let parent = match config.conflict {
-                                ConflictMode::Shared => deep_parent("shared", config.depth - 1),
-                                ConflictMode::Exclusive => {
-                                    deep_parent(&format!("p{t}"), config.depth - 1)
-                                }
-                            };
-                            svc.create(&parent.child(&format!("n_{t}_{i}")), 4096, &mut stats)
-                                .map(|_| ())
+                            let parent = mutation_parent(&config, t, &mut pick, &mut rng);
+                            svc.create(
+                                &parent.child(&format!("n_{}_{t}_{i}", config.seed)),
+                                4096,
+                                &mut stats,
+                            )
+                            .map(|_| ())
                         }
                         MdOp::Mkdir => {
-                            let parent = match config.conflict {
-                                ConflictMode::Shared => deep_parent("shared", config.depth - 1),
-                                ConflictMode::Exclusive => {
-                                    deep_parent(&format!("p{t}"), config.depth - 1)
-                                }
-                            };
-                            svc.mkdir(&parent.child(&format!("n_{t}_{i}")), &mut stats)
-                                .map(|_| ())
+                            let parent = mutation_parent(&config, t, &mut pick, &mut rng);
+                            svc.mkdir(
+                                &parent.child(&format!("n_{}_{t}_{i}", config.seed)),
+                                &mut stats,
+                            )
+                            .map(|_| ())
                         }
                         MdOp::Delete => {
                             let parent = deep_parent(&format!("p{t}"), config.depth - 1);
@@ -295,10 +342,10 @@ pub fn run<S: MetadataService + BulkLoad + ?Sized + Sync>(
                                 .child(&format!("v{i}"));
                             let dst = match config.conflict {
                                 ConflictMode::Shared => deep_parent("dshared", config.depth - 1)
-                                    .child(&format!("n_{t}_{i}")),
+                                    .child(&format!("n_{}_{t}_{i}", config.seed)),
                                 ConflictMode::Exclusive => {
                                     deep_parent(&format!("dstp{t}"), config.depth - 1)
-                                        .child(&format!("n_{t}_{i}"))
+                                        .child(&format!("n_{}_{t}_{i}", config.seed))
                                 }
                             };
                             svc.rename_dir(&src, &dst, &mut stats)
@@ -311,7 +358,10 @@ pub fn run<S: MetadataService + BulkLoad + ?Sized + Sync>(
                             agg.add(&stats);
                             ops_counter.inc();
                         }
-                        Err(_) => {
+                        Err(e) => {
+                            if std::env::var_os("MANTLE_DEBUG_ERRORS").is_some() {
+                                eprintln!("mdtest {} failed: {e}", config.op.label());
+                            }
                             failed.fetch_add(1, Ordering::Relaxed);
                         }
                     }
@@ -362,6 +412,7 @@ mod tests {
             conflict,
             working_set: 64,
             seed: 1,
+            hotspot: None,
         };
         let report = run(&*cluster, config);
         assert_eq!(report.failed, 0, "{op:?}/{conflict:?} had failures");

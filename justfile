@@ -17,6 +17,22 @@ test:
 fmt:
     cargo fmt
 
+# Every figure/table harness at smoke scale, mirroring CI's bench-smoke
+# job: seconds-sized runs whose JSON output is checked for parseability.
+smoke:
+    #!/usr/bin/env bash
+    set -eu
+    cargo build --release -p mantle-bench --bins
+    for src in crates/bench/src/bin/fig*.rs crates/bench/src/bin/table*.rs; do
+        bin=$(basename "$src" .rs)
+        echo "== $bin =="
+        MANTLE_SMOKE=1 cargo run --release -q -p mantle-bench --bin "$bin"
+    done
+    for f in results/*.json; do
+        python3 -m json.tool "$f" > /dev/null || { echo "unparseable: $f"; exit 1; }
+    done
+    echo "smoke OK: $(ls results/*.json | wc -l) result files parse"
+
 # Re-run one chaos seed with full tracing and the fault timeline printed —
 # the local repro loop for a red nightly chaos seed (see README).
 chaos SEED="0":

@@ -43,6 +43,7 @@ fn matrix<S: MetadataService + BulkLoad + Sync>(
             conflict,
             working_set: 48,
             seed: 3,
+            hotspot: None,
         };
         let report = run(svc, config);
         assert_eq!(report.failed, 0, "{} {op:?}/{conflict:?}", svc.name());

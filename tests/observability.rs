@@ -117,6 +117,7 @@ fn workload_populates_registry_and_snapshot_serializes() {
                 conflict: ConflictMode::Exclusive,
                 working_set,
                 seed: 7,
+                hotspot: None,
             },
         );
         assert_eq!(report.failed, 0, "{op:?}");

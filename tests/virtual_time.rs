@@ -237,6 +237,7 @@ fn same_seed_and_faults_reproduce_identical_histograms_and_events() {
                 conflict: ConflictMode::Exclusive,
                 working_set: 16,
                 seed: 9,
+                hotspot: None,
             },
         );
         assert_eq!(report.failed, 0);
@@ -275,6 +276,7 @@ fn op_results_and_rpc_counts_are_clock_independent() {
             conflict: ConflictMode::Exclusive,
             working_set: 32,
             seed: 5,
+            hotspot: None,
         },
     );
     assert_eq!(report.failed, 0);

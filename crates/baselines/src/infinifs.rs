@@ -216,6 +216,7 @@ impl InfiniFs {
             } else {
                 // Misprediction (renamed ancestor): sequential fallback.
                 mantle_obs::counter("infinifs_mispredictions_total", &[]).inc();
+                mantle_obs::flight::annotate_with(|| format!("infinifs:mispredict level={level}"));
                 self.db.resolve_step(pid, comps[level], stats)?
             };
             pid = id;

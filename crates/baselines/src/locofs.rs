@@ -338,9 +338,10 @@ impl LocoFs {
     }
 
     fn leader(&self) -> Result<Arc<RaftReplica<LocoSm>>> {
-        self.dir_server
-            .leader()
-            .ok_or_else(|| MetaError::Unavailable("no directory-server leader".into()))
+        self.dir_server.leader().ok_or_else(|| {
+            mantle_obs::flight::annotate("locofs:no_dir_leader");
+            MetaError::Unavailable("no directory-server leader".into())
+        })
     }
 
     /// Installs (or clears) a fault plan on the directory server's Raft

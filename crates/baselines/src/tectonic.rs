@@ -363,7 +363,10 @@ impl MetadataService for Tectonic {
                         },
                     });
                 }
-                self.db.execute(&ops, stats)?;
+                if let Err(e) = self.db.execute(&ops, stats) {
+                    mantle_obs::flight::annotate_with(|| format!("tectonic:rename_txn err={e}"));
+                    return Err(e);
+                }
                 return Ok(());
             }
             self.db.insert_row(

@@ -10,16 +10,24 @@ pub struct Report {
     name: &'static str,
     title: &'static str,
     rows: Vec<serde_json::Value>,
+    /// Live scrape endpoint held for the duration of the run (with
+    /// `MANTLE_OBS_ADDR` set); dropping the report stops it.
+    _obs_server: Option<mantle_obs::http::ObsServer>,
 }
 
 impl Report {
-    /// Starts a report for one figure/table.
+    /// Starts a report for one figure/table. This is every harness's entry
+    /// point, so it also arms the flight recorder (opt out with
+    /// `MANTLE_FLIGHT=0`) and starts the scrape endpoint when
+    /// `MANTLE_OBS_ADDR` is set.
     pub fn new(name: &'static str, title: &'static str) -> Self {
         println!("=== {name}: {title} ===");
+        mantle_obs::flight::arm_from_env();
         Report {
             name,
             title,
             rows: Vec::new(),
+            _obs_server: mantle_obs::http::serve_if_configured(),
         }
     }
 
@@ -60,6 +68,21 @@ impl Report {
             match write_json(&mpath, &snapshot) {
                 Ok(()) => println!("[metrics written to {}]", mpath.display()),
                 Err(e) => eprintln!("warning: cannot write {}: {e}", mpath.display()),
+            }
+        }
+        // Any force-captured slow ops ride along as a post-mortem artifact.
+        let recorder = mantle_obs::flight::global();
+        if recorder.slow_captured_total() > 0 {
+            let spath = dir.join(format!("{}.slow.json", self.name));
+            let payload = serde_json::json!({
+                "captured_total": recorder.slow_captured_total(),
+                "dropped_total": recorder.slow_dropped_total(),
+                "events": recorder.slow_recent(64),
+                "attribution": recorder.explain_all(),
+            });
+            match write_json(&spath, &payload) {
+                Ok(()) => println!("[slow ops written to {}]", spath.display()),
+                Err(e) => eprintln!("warning: cannot write {}: {e}", spath.display()),
             }
         }
     }

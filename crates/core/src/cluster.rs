@@ -296,6 +296,13 @@ impl MantleCluster {
                     } else if matches!(e, MetaError::StaleRoute { .. }) {
                         stats.stale_route_retries += 1;
                     }
+                    mantle_obs::flight::annotate_with(|| match &e {
+                        MetaError::Unavailable(at) => format!("failover:unavailable at={at}"),
+                        MetaError::Transient { kind, at } => {
+                            format!("failover:transient kind={kind} at={at}")
+                        }
+                        _ => "failover:stale_route".to_string(),
+                    });
                     attempts += 1;
                     let backoff = Duration::from_micros((100u64 << attempts.min(6)).min(5_000));
                     clock::sleep_as(TimeCategory::Backoff, backoff);
@@ -595,6 +602,7 @@ impl MetadataService for MantleCluster {
                         stats.stale_route_retries += 1;
                     } else {
                         stats.rename_retries += 1;
+                        mantle_obs::flight::annotate("rename:lock_conflict");
                     }
                     let backoff = Duration::from_micros((50u64 << attempts.min(6)).min(3_000));
                     if clock::is_virtual() {

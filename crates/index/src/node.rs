@@ -202,12 +202,14 @@ impl IndexNode {
     }
 
     fn leader(&self) -> Result<Arc<RaftReplica<IndexSm>>> {
-        self.group
-            .leader()
-            .ok_or_else(|| MetaError::Unavailable("no IndexNode leader".into()))
+        self.group.leader().ok_or_else(|| {
+            mantle_obs::flight::annotate("index:no_leader");
+            MetaError::Unavailable("no IndexNode leader".into())
+        })
     }
 
     fn map_raft(e: RaftError) -> MetaError {
+        mantle_obs::flight::annotate_with(|| format!("index:raft_unavailable err={e}"));
         MetaError::Unavailable(format!("IndexNode raft: {e}"))
     }
 

@@ -11,13 +11,31 @@
 //!   land in a bounded ring buffer and render as a tree whose RPC count can
 //!   be checked against the paper's Table 1 RTT analysis.
 //!
+//! On top of those sit the v2 pieces:
+//!
+//! * [`critpath`] — critical-path attribution: folds the per-thread
+//!   [`TimeCategory`](mantle_types::clock::TimeCategory) ledger into
+//!   per-phase breakdowns whose totals equal end-to-end virtual latency
+//!   exactly, per trace and per node.
+//! * [`flight`] — the always-on flight recorder: ops slower than a
+//!   per-op-type adaptive threshold (trailing p99 × k) are force-captured
+//!   into a bounded slow-op ring with their full trace, shard set and
+//!   fault/retry annotations.
+//! * [`http`] — a dependency-free scrape endpoint (`/metrics`, `/slow`,
+//!   `/traces/recent`, `/attribution`) gated by `MANTLE_OBS_ADDR`.
+//!
 //! See DESIGN.md §Observability for the metric taxonomy and trace format.
 
 #![warn(missing_docs)]
 
+pub mod critpath;
+pub mod flight;
+pub mod http;
 pub mod metrics;
 pub mod trace;
 
+pub use critpath::PhaseAttribution;
+pub use flight::{FlightConfig, FlightRecorder, SlowOp};
 pub use metrics::{
     counter, gauge, histogram, snapshot, Counter, Gauge, HistogramMetric, MetricsSnapshot, Registry,
 };

@@ -312,9 +312,18 @@ fn render_labels(labels: &Labels) -> String {
     }
     let pairs: Vec<String> = labels
         .iter()
-        .map(|(k, v)| format!("{k}=\"{}\"", v.replace('\\', "\\\\").replace('"', "\\\"")))
+        .map(|(k, v)| format!("{k}=\"{}\"", escape_label_value(v)))
         .collect();
     format!("{{{}}}", pairs.join(","))
+}
+
+/// Escapes a label value per the Prometheus text exposition format:
+/// backslash, double quote and newline (in that order, so the escape
+/// character itself is escaped first).
+fn escape_label_value(v: &str) -> String {
+    v.replace('\\', "\\\\")
+        .replace('"', "\\\"")
+        .replace('\n', "\\n")
 }
 
 impl MetricsSnapshot {
@@ -487,6 +496,51 @@ mod tests {
         assert!(text.contains("a_total{node=\"a\"} 1"));
         assert!(text.contains("# TYPE lat_nanos summary"));
         assert!(text.contains("lat_nanos_count 4"));
+    }
+
+    #[test]
+    fn hostile_label_values_escape_and_round_trip() {
+        let r = Registry::new();
+        // Backslash, double quote and newline — every character the
+        // exposition format requires escaping, plus a benign unicode tail.
+        let hostile = "a\\b\"c\nd→e";
+        r.counter("hostile_total", &[("path", hostile)]).inc();
+        let text = r.snapshot().to_prometheus_text();
+        let line = text
+            .lines()
+            .find(|l| l.starts_with("hostile_total{"))
+            .expect("sample line present");
+        assert_eq!(
+            line, "hostile_total{path=\"a\\\\b\\\"c\\nd→e\"} 1",
+            "escaping must cover backslash, quote and newline"
+        );
+        // No label value may leak a raw newline or unescaped quote: every
+        // emitted line must still be `name{labels} value`.
+        for l in text.lines() {
+            assert!(
+                l.starts_with('#') || l.ends_with(" 1"),
+                "malformed exposition line: {l:?}"
+            );
+        }
+        // Round-trip: un-escaping the rendered value restores the original.
+        let start = line.find('"').unwrap() + 1;
+        let end = line.rfind('"').unwrap();
+        let rendered = &line[start..end];
+        let mut restored = String::new();
+        let mut chars = rendered.chars();
+        while let Some(c) = chars.next() {
+            if c == '\\' {
+                match chars.next() {
+                    Some('\\') => restored.push('\\'),
+                    Some('"') => restored.push('"'),
+                    Some('n') => restored.push('\n'),
+                    other => panic!("unknown escape \\{other:?}"),
+                }
+            } else {
+                restored.push(c);
+            }
+        }
+        assert_eq!(restored, hostile);
     }
 
     #[test]

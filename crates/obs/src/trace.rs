@@ -19,9 +19,12 @@ use std::collections::VecDeque;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::OnceLock;
 
-use mantle_types::clock::{self, SimInstant};
+use mantle_types::clock::{self, SimInstant, TimeStats};
 use parking_lot::Mutex;
 use serde::Serialize;
+
+use crate::critpath::PhaseAttribution;
+use crate::metrics::Counter;
 
 /// Spans kept per trace before truncation; bounds worst-case memory for a
 /// runaway recursive resolve.
@@ -63,6 +66,9 @@ pub struct Span {
     pub queue_nanos: u64,
     /// Simulated latency injected by the SimNode, in nanoseconds.
     pub injected_nanos: u64,
+    /// Per-phase ledger delta across the span (inclusive of children; see
+    /// [`crate::critpath::per_node`] for exclusive attribution).
+    pub phases: PhaseAttribution,
 }
 
 /// A finished trace: the span tree of one operation.
@@ -76,6 +82,10 @@ pub struct Trace {
     pub spans: Vec<Span>,
     /// Whether spans were dropped after the per-trace cap.
     pub truncated: bool,
+    /// Per-phase attribution of the whole operation (the thread ledger's
+    /// delta from trace start to commit). Under the virtual clock its
+    /// total equals [`Trace::total_nanos`] exactly.
+    pub phases: PhaseAttribution,
 }
 
 impl Trace {
@@ -91,6 +101,19 @@ impl Trace {
     /// Total simulated duration (root span duration), in nanoseconds.
     pub fn total_nanos(&self) -> u64 {
         self.spans.first().map_or(0, |s| s.dur_nanos)
+    }
+
+    /// The distinct serving nodes touched by this trace, sorted.
+    pub fn nodes(&self) -> Vec<String> {
+        let mut nodes: Vec<String> = self
+            .spans
+            .iter()
+            .filter(|s| !s.node.is_empty())
+            .map(|s| s.node.clone())
+            .collect();
+        nodes.sort();
+        nodes.dedup();
+        nodes
     }
 
     /// Renders the span tree, one line per span:
@@ -134,6 +157,9 @@ impl Trace {
         if self.truncated {
             out.push_str("… trace truncated\n");
         }
+        if !self.phases.is_empty() {
+            out.push_str(&format!("critical path: {}\n", self.phases.render()));
+        }
         out
     }
 
@@ -164,6 +190,7 @@ struct ActiveTrace {
     trace_id: u64,
     op: String,
     epoch: SimInstant,
+    ledger0: TimeStats,
     spans: Vec<Span>,
     stack: Vec<u32>,
     truncated: bool,
@@ -180,6 +207,10 @@ struct Collector {
     interval: AtomicU64,
     started: AtomicU64,
     ring: Mutex<VecDeque<Trace>>,
+    /// Traces evicted from the full ring before anyone read them.
+    dropped: AtomicU64,
+    /// `obs_traces_dropped_total` — the same eviction count, exported.
+    dropped_metric: Counter,
 }
 
 fn collector() -> &'static Collector {
@@ -194,6 +225,8 @@ fn collector() -> &'static Collector {
             interval: AtomicU64::new(rate_to_interval(rate)),
             started: AtomicU64::new(0),
             ring: Mutex::new(VecDeque::with_capacity(RING_CAPACITY)),
+            dropped: AtomicU64::new(0),
+            dropped_metric: crate::metrics::counter("obs_traces_dropped_total", &[]),
         }
     })
 }
@@ -229,16 +262,45 @@ pub fn start(op: &str) -> Option<TraceGuard> {
     if !n.is_multiple_of(interval) {
         return None;
     }
-    start_inner(op)
+    start_inner(op, true)
 }
 
 /// Starts a trace unconditionally (CLI `trace` command, tests). Returns
 /// `None` only if a trace is already active on this thread.
 pub fn start_forced(op: &str) -> Option<TraceGuard> {
-    start_inner(op)
+    start_inner(op, true)
 }
 
-fn start_inner(op: &str) -> Option<TraceGuard> {
+/// Starts a trace whose commit does **not** land in the shared ring — the
+/// caller owns the finished [`Trace`] (the flight recorder's always-on
+/// capture path, which decides *after* the fact whether the trace is worth
+/// keeping). Returns `None` if a trace is already active on this thread.
+pub fn start_detached(op: &str) -> Option<TraceGuard> {
+    start_inner(op, false)
+}
+
+/// Runs the sampling decision without starting a trace: true for the same
+/// ~1-in-interval operations [`start`] would have selected. The flight
+/// recorder uses this to keep feeding the sampled ring while its detached
+/// capture owns the thread's trace slot.
+pub fn sampler_selects() -> bool {
+    let c = collector();
+    let interval = c.interval.load(Ordering::Relaxed);
+    if interval == 0 {
+        return false;
+    }
+    c.started
+        .fetch_add(1, Ordering::Relaxed)
+        .is_multiple_of(interval)
+}
+
+/// Pushes an already-finished trace into the shared ring (with the same
+/// eviction accounting as a sampled commit).
+pub fn push_to_ring(trace: Trace) {
+    ring_push(trace);
+}
+
+fn start_inner(op: &str, ring_on_commit: bool) -> Option<TraceGuard> {
     ACTIVE.with(|cell| {
         let mut active = cell.borrow_mut();
         if active.is_some() {
@@ -249,6 +311,7 @@ fn start_inner(op: &str) -> Option<TraceGuard> {
             trace_id,
             op: op.to_string(),
             epoch: clock::now(),
+            ledger0: clock::thread_time_stats(),
             spans: Vec::with_capacity(16),
             stack: Vec::with_capacity(8),
             truncated: false,
@@ -263,10 +326,11 @@ fn start_inner(op: &str) -> Option<TraceGuard> {
             dur_nanos: 0,
             queue_nanos: 0,
             injected_nanos: 0,
+            phases: PhaseAttribution::default(),
         });
         trace.stack.push(0);
         *active = Some(trace);
-        Some(TraceGuard { _private: () })
+        Some(TraceGuard { ring_on_commit })
     })
 }
 
@@ -278,54 +342,85 @@ pub fn is_active() -> bool {
 }
 
 /// RAII handle for an active trace. Dropping it (or calling
-/// [`TraceGuard::finish`]) closes the root span and commits the trace to
-/// the ring buffer.
+/// [`TraceGuard::finish`]) closes the root span and commits the trace —
+/// into the shared ring for sampled/forced traces, or only to the caller
+/// for [`start_detached`] traces.
 pub struct TraceGuard {
-    _private: (),
+    ring_on_commit: bool,
 }
 
 impl TraceGuard {
-    /// Ends the trace and returns it (also leaving a copy in the ring
-    /// buffer), for callers that want to render it immediately.
+    /// Ends the trace and returns it (sampled/forced guards also leave a
+    /// copy in the ring buffer), for callers that want to render it
+    /// immediately.
     pub fn finish(self) -> Trace {
-        let trace = commit();
+        let ring = self.ring_on_commit;
         std::mem::forget(self);
-        trace.expect("trace active while guard held")
+        commit(ring).expect("trace active while guard held")
     }
 }
 
 impl Drop for TraceGuard {
     fn drop(&mut self) {
-        commit();
+        commit(self.ring_on_commit);
     }
 }
 
-fn commit() -> Option<Trace> {
+fn commit(ring_on_commit: bool) -> Option<Trace> {
     let finished = ACTIVE.with(|cell| cell.borrow_mut().take())?;
     let elapsed = finished.epoch.elapsed().as_nanos() as u64;
+    let phases = PhaseAttribution::from_delta(&finished.ledger0, &clock::thread_time_stats());
     let mut spans = finished.spans;
     if let Some(root) = spans.first_mut() {
         root.dur_nanos = elapsed;
+        root.phases = phases;
     }
     let trace = Trace {
         trace_id: finished.trace_id,
         op: finished.op,
         spans,
         truncated: finished.truncated,
+        phases,
     };
-    let mut ring = collector().ring.lock();
-    if ring.len() == RING_CAPACITY {
-        ring.pop_front();
+    if ring_on_commit {
+        ring_push(trace.clone());
     }
-    ring.push_back(trace.clone());
     Some(trace)
 }
 
+fn ring_push(trace: Trace) {
+    let c = collector();
+    let mut ring = c.ring.lock();
+    if ring.len() == RING_CAPACITY {
+        ring.pop_front();
+        c.dropped.fetch_add(1, Ordering::Relaxed);
+        c.dropped_metric.inc();
+    }
+    ring.push_back(trace);
+}
+
 /// Drains up to `n` of the most recent finished traces, newest last.
+/// Anything older than the last `n` is discarded (and **not** counted as
+/// dropped — the caller chose to skip it); use [`peek_recent`] for a
+/// non-destructive view.
 pub fn take_recent(n: usize) -> Vec<Trace> {
     let mut ring = collector().ring.lock();
     let skip = ring.len().saturating_sub(n);
     ring.drain(..).skip(skip).collect()
+}
+
+/// Clones up to `n` of the most recent finished traces, newest last,
+/// leaving the ring intact (the `/traces/recent` endpoint's read path).
+pub fn peek_recent(n: usize) -> Vec<Trace> {
+    let ring = collector().ring.lock();
+    let skip = ring.len().saturating_sub(n);
+    ring.iter().skip(skip).cloned().collect()
+}
+
+/// Traces evicted unread from the full ring since process start (also
+/// exported as `obs_traces_dropped_total`).
+pub fn dropped_total() -> u64 {
+    collector().dropped.load(Ordering::Relaxed)
 }
 
 /// Opens a span under the current trace. Returns `None` (with zero cost
@@ -351,11 +446,13 @@ pub fn span(op: &str, node: &str, kind: SpanKind) -> Option<SpanScope> {
             dur_nanos: 0,
             queue_nanos: 0,
             injected_nanos: 0,
+            phases: PhaseAttribution::default(),
         });
         active.stack.push(id);
         Some(SpanScope {
             id,
             started: clock::now(),
+            ledger0: clock::thread_time_stats(),
         })
     })
 }
@@ -392,6 +489,7 @@ fn note_on_current(f: impl FnOnce(&mut Span)) {
 pub struct SpanScope {
     id: u32,
     started: SimInstant,
+    ledger0: TimeStats,
 }
 
 impl SpanScope {
@@ -419,10 +517,12 @@ impl SpanScope {
 impl Drop for SpanScope {
     fn drop(&mut self) {
         let elapsed = self.started.elapsed().as_nanos() as u64;
+        let phases = PhaseAttribution::from_delta(&self.ledger0, &clock::thread_time_stats());
         ACTIVE.with(|cell| {
             if let Some(active) = cell.borrow_mut().as_mut() {
                 if let Some(span) = active.spans.get_mut(self.id as usize) {
                     span.dur_nanos = elapsed;
+                    span.phases = phases;
                 }
                 // Pop back to this span's parent; tolerate out-of-order
                 // drops by popping until we remove our own id.

@@ -457,6 +457,15 @@ impl<SM: StateMachine> RaftReplica<SM> {
                         // commit cost is folded in here (no-op under the
                         // wall clock, where the condvar wait was real).
                         if self.n_voters > 1 {
+                            // Attribute the folded commit cost to this
+                            // replica in any active trace, so critical-path
+                            // breakdowns show "commit @ raft leader" rather
+                            // than unlabeled client time.
+                            let _span = mantle_obs::trace::span(
+                                "quorum_commit",
+                                self.node.name(),
+                                mantle_obs::trace::SpanKind::Local,
+                            );
                             clock::fold_model(TimeCategory::Commit, self.config.rtt());
                         }
                         Ok(my_index)

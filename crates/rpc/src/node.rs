@@ -136,6 +136,13 @@ impl SimNode {
         if let Some(fault) = self.decide_fault(op) {
             match fault {
                 RpcFault::Deny { kind, wait } => {
+                    mantle_obs::flight::annotate_with(|| {
+                        format!(
+                            "fault:deny kind={} node={} op={op}",
+                            kind.label(),
+                            self.name
+                        )
+                    });
                     crate::inject_delay_as(TimeCategory::Fault, wait);
                     return Err(MetaError::Transient {
                         kind: kind.label().to_string(),
@@ -143,6 +150,9 @@ impl SimNode {
                     });
                 }
                 RpcFault::Spike { extra } => {
+                    mantle_obs::flight::annotate_with(|| {
+                        format!("fault:spike node={} op={op}", self.name)
+                    });
                     trace::note_injected_on_current(extra.as_nanos() as u64);
                     crate::inject_delay_as(TimeCategory::Fault, extra);
                 }
@@ -180,6 +190,13 @@ impl SimNode {
         if let Some(fault) = self.decide_fault(op) {
             match fault {
                 RpcFault::Deny { kind, wait } => {
+                    mantle_obs::flight::annotate_with(|| {
+                        format!(
+                            "fault:deny kind={} node={} op={op}",
+                            kind.label(),
+                            self.name
+                        )
+                    });
                     crate::inject_delay_as(TimeCategory::Fault, wait);
                     return Err(MetaError::Transient {
                         kind: kind.label().to_string(),
@@ -187,6 +204,9 @@ impl SimNode {
                     });
                 }
                 RpcFault::Spike { extra } => {
+                    mantle_obs::flight::annotate_with(|| {
+                        format!("fault:spike node={} op={op}", self.name)
+                    });
                     trace::note_injected_on_current(extra.as_nanos() as u64);
                     crate::inject_delay_as(TimeCategory::Fault, extra);
                 }
@@ -213,11 +233,17 @@ impl SimNode {
             match plan.probabilistic_rpc_fault(&self.name, op) {
                 None => return,
                 Some(RpcFault::Spike { extra }) => {
+                    mantle_obs::flight::annotate_with(|| {
+                        format!("fault:spike node={} op={op}", self.name)
+                    });
                     trace::note_injected_on_current(extra.as_nanos() as u64);
                     crate::inject_delay_as(TimeCategory::Fault, extra);
                     return;
                 }
                 Some(RpcFault::Deny { wait, .. }) => {
+                    mantle_obs::flight::annotate_with(|| {
+                        format!("fault:resend node={} op={op}", self.name)
+                    });
                     stats.transient_retries += 1;
                     stats.rpc();
                     self.metrics.rpcs.inc();

@@ -161,6 +161,9 @@ impl GroupCommitWal {
             if let Some(plan) = self.faults.get() {
                 if plan.wal_fsync_fails(&self.scope) {
                     self.metrics.fsync_retries.inc();
+                    mantle_obs::flight::annotate_with(|| {
+                        format!("wal:fsync_retry scope={}", self.scope)
+                    });
                     mantle_rpc::fsync(&self.config);
                     continue;
                 }
@@ -179,6 +182,9 @@ impl GroupCommitWal {
             .get()
             .map(|plan| plan.wal_fsync_fails(&self.scope))
             .unwrap_or(false);
+        if failed {
+            mantle_obs::flight::annotate_with(|| format!("wal:fsync_torn scope={}", self.scope));
+        }
         mantle_rpc::fsync(&self.config);
         !failed
     }

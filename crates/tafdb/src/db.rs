@@ -466,6 +466,7 @@ impl TafDb {
         stats.stale_route_retries += 1;
         self.stale_routes.fetch_add(1, Ordering::Relaxed);
         self.metrics.stale_routes.inc();
+        mantle_obs::flight::annotate("tafdb:stale_route");
         std::thread::yield_now();
     }
 
@@ -1160,6 +1161,7 @@ impl TafDb {
             }
             if matches!(err, MetaError::TxnConflict { .. }) {
                 self.metrics.lock_conflicts.inc();
+                mantle_obs::flight::annotate("tafdb:txn_conflict");
             }
             err
         };
@@ -1651,6 +1653,13 @@ impl TafDb {
         let src = &self.shards[from];
         let tgt = &self.shards[to];
 
+        mantle_obs::flight::annotate_with(|| {
+            format!(
+                "tafdb:migrate from={} to={}",
+                src.node.name(),
+                tgt.node.name()
+            )
+        });
         // Raise the marker: new writes on the source bounce with StaleRoute.
         *src.mig_range.lock() = Some((start, end));
         src.mig_active.store(true, Ordering::Release);
@@ -1796,6 +1805,27 @@ impl TafDb {
         };
         for (i, d) in deltas.iter().enumerate() {
             self.metrics.shard_load[i].set(*d as i64);
+        }
+        // Fold the flight recorder's per-node critical-path attribution into
+        // per-shard phase gauges, so the controller's view says not just
+        // *that* a shard is hot but *which phase* (fsync vs queue vs fault)
+        // its time goes to: `tafdb_shard_phase_nanos{shard=...,phase=...}`.
+        if let Some(recorder) = mantle_obs::flight::effective_recorder() {
+            for (node, attr) in recorder.node_phases() {
+                if !node.starts_with("tafdb") {
+                    continue;
+                }
+                for cat in mantle_types::clock::TimeCategory::ALL {
+                    let nanos = attr.nanos(cat);
+                    if nanos > 0 {
+                        mantle_obs::gauge(
+                            "tafdb_shard_phase_nanos",
+                            &[("shard", node.as_str()), ("phase", cat.label())],
+                        )
+                        .set(nanos as i64);
+                    }
+                }
+            }
         }
         let total: u64 = deltas.iter().sum();
         if total == 0 || n < 2 {

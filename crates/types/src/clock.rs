@@ -98,6 +98,36 @@ pub enum TimeCategory {
 
 const N_CATEGORIES: usize = 9;
 
+impl TimeCategory {
+    /// Every category, in ledger order (the order breakdowns render in).
+    pub const ALL: [TimeCategory; N_CATEGORIES] = [
+        TimeCategory::Rtt,
+        TimeCategory::Fsync,
+        TimeCategory::Device,
+        TimeCategory::Service,
+        TimeCategory::Fault,
+        TimeCategory::Backoff,
+        TimeCategory::Queue,
+        TimeCategory::Commit,
+        TimeCategory::Other,
+    ];
+
+    /// Stable lower-case label used in attribution output and metric labels.
+    pub fn label(self) -> &'static str {
+        match self {
+            TimeCategory::Rtt => "rtt",
+            TimeCategory::Fsync => "fsync",
+            TimeCategory::Device => "device",
+            TimeCategory::Service => "service",
+            TimeCategory::Fault => "fault",
+            TimeCategory::Backoff => "backoff",
+            TimeCategory::Queue => "queue",
+            TimeCategory::Commit => "commit",
+            TimeCategory::Other => "other",
+        }
+    }
+}
+
 /// Per-thread `(count, nanos)` ledger, indexed by [`TimeCategory`].
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct TimeStats {
@@ -118,6 +148,19 @@ impl TimeStats {
     /// Total nanoseconds across all categories.
     pub fn total_nanos(&self) -> u64 {
         self.entries.iter().map(|e| e.1).sum()
+    }
+
+    /// Per-category `(count, nanos)` growth since `earlier` (saturating, so
+    /// a ledger reset between the two snapshots yields zeros rather than
+    /// wrapping). This is how per-operation attribution is extracted from
+    /// the monotonically growing thread ledger.
+    pub fn delta_since(&self, earlier: &TimeStats) -> TimeStats {
+        let mut out = TimeStats::default();
+        for (i, e) in out.entries.iter_mut().enumerate() {
+            e.0 = self.entries[i].0.saturating_sub(earlier.entries[i].0);
+            e.1 = self.entries[i].1.saturating_sub(earlier.entries[i].1);
+        }
+        out
     }
 }
 

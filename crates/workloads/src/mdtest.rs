@@ -295,9 +295,20 @@ pub fn run<S: MetadataService + BulkLoad + ?Sized + Sync>(
                 let thread_start = clock::now();
                 for i in 0..ops {
                     let mut stats = OpStats::new();
-                    // Sampled RPC-chain tracing (off unless the collector's
-                    // sample rate is set; see mantle_obs::trace).
-                    let _trace = mantle_obs::trace::start(config.op.label());
+                    // Flight-recorder scope: when a recorder is effective it
+                    // runs the op under a detached trace (and keeps feeding
+                    // the sampled ring itself); otherwise fall back to plain
+                    // sampled RPC-chain tracing.
+                    let _flight = mantle_obs::flight::op_scope(
+                        svc.name(),
+                        config.op.label(),
+                        config.depth as u32,
+                    );
+                    let _trace = if _flight.is_some() {
+                        None
+                    } else {
+                        mantle_obs::trace::start(config.op.label())
+                    };
                     let begin = clock::now();
                     let outcome: Result<(), mantle_types::MetaError> = match config.op {
                         MdOp::ObjStat => {

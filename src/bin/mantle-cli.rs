@@ -15,10 +15,21 @@ use mantle::prelude::*;
 use mantle::types::EntryKind;
 use mantle::workloads::{NamespaceHandle, NamespaceSpec};
 
+/// Commands the flight recorder wraps (metadata ops against the service);
+/// introspection commands — notably `trace`, which needs the thread's
+/// trace slot for its own forced trace — run outside a scope.
+const RECORDED_COMMANDS: [&str; 8] = [
+    "mkdir", "create", "ls", "stat", "rm", "rmdir", "mv", "lookup",
+];
+
 fn main() {
     // Real datacenter-ish timings so latencies printed per command are
     // meaningful; population commands bypass them.
     let cluster = MantleCluster::build(SimConfig::default(), 8);
+    // Always-on flight recorder (opt out with MANTLE_FLIGHT=0); live scrape
+    // endpoint when MANTLE_OBS_ADDR is set.
+    mantle::obs::flight::arm_from_env();
+    let _obs_server = mantle::obs::http::serve_if_configured();
     println!("mantle-cli — simulated Mantle deployment (8 TafDB shards, 3 IndexNode replicas)");
     println!("type `help` for commands");
 
@@ -39,7 +50,17 @@ fn main() {
         }
         let started = std::time::Instant::now();
         let mut stats = OpStats::new();
+        let flight_scope = if RECORDED_COMMANDS.contains(&cmd) {
+            let depth = parts
+                .get(1)
+                .and_then(|p| MetaPath::parse(p).ok())
+                .map_or(0, |p| p.depth() as u32);
+            mantle::obs::flight::op_scope("mantle", cmd, depth)
+        } else {
+            None
+        };
         let outcome = run_command(&cluster, cmd, &parts[1..], &mut stats);
+        drop(flight_scope);
         stats.end();
         match outcome {
             Ok(Some(output)) => {
@@ -78,7 +99,7 @@ fn run_command(
     };
     let out = match cmd {
         "help" => Some(
-            "commands:\n  mkdir <path>              create a directory\n  create <path> [size]      create an object\n  ls <path> [after]         list (pages of 20)\n  stat <path>               object or directory status\n  rm <path>                 delete an object\n  rmdir <path>              remove an empty directory\n  mv <src> <dst>            rename a directory\n  lookup <path>             resolve a directory path\n  populate <entries>        bulk-load an ns4-shaped namespace\n  stats                     service counters + metrics registry\n  trace <path>              resolve a path with RPC-chain tracing\n  crash <replica> | recover <replica>\n  quit"
+            "commands:\n  mkdir <path>              create a directory\n  create <path> [size]      create an object\n  ls <path> [after]         list (pages of 20)\n  stat <path>               object or directory status\n  rm <path>                 delete an object\n  rmdir <path>              remove an empty directory\n  mv <src> <dst>            rename a directory\n  lookup <path>             resolve a directory path\n  populate <entries>        bulk-load an ns4-shaped namespace\n  stats [--json]            service counters + metrics registry\n  slow [n]                  recent force-captured slow ops\n  explain <op>              critical-path breakdown for an op type\n  trace <path>              resolve a path with RPC-chain tracing\n  crash <replica> | recover <replica>\n  quit"
                 .to_string(),
         ),
         "mkdir" => {
@@ -173,6 +194,12 @@ fn run_command(
                 shape.objects, shape.dirs, shape.mean_object_depth
             ))
         }
+        "stats" if args.first() == Some(&"--json") => {
+            let snap = mantle::obs::snapshot();
+            let json = serde_json::to_string_pretty(&snap)
+                .map_err(|e| MetaError::Internal(format!("snapshot: {e}")))?;
+            Some(json)
+        }
         "stats" => {
             let db = cluster.db().counters();
             let caches = cluster.index().cache_stats();
@@ -189,19 +216,58 @@ fn run_command(
             out.push_str(&mantle::obs::snapshot().to_prometheus_text());
             Some(out.trim_end().to_string())
         }
+        "slow" => {
+            let n = args.first().and_then(|s| s.parse().ok()).unwrap_or(16);
+            let recorder = mantle::obs::flight::global();
+            let events = recorder.slow_recent(n);
+            let mut lines: Vec<String> =
+                events.iter().map(|e| e.log_line()).collect();
+            if lines.is_empty() {
+                lines.push("(no slow ops captured)".into());
+            }
+            lines.push(format!(
+                "captured {} total, {} dropped from ring",
+                recorder.slow_captured_total(),
+                recorder.slow_dropped_total()
+            ));
+            Some(lines.join("\n"))
+        }
+        "explain" => {
+            need(1)?;
+            let reports = mantle::obs::flight::global().explain(args[0]);
+            if reports.is_empty() {
+                Some(format!("no observations for op {:?}", args[0]))
+            } else {
+                Some(
+                    reports
+                        .iter()
+                        .map(|r| r.render())
+                        .collect::<Vec<_>>()
+                        .join("\n"),
+                )
+            }
+        }
         "trace" => {
             need(1)?;
             let guard = mantle::obs::trace::start_forced(cmd)
                 .expect("no trace active on the CLI thread");
             let resolved = svc.lookup(&parse(args[0])?, stats)?;
             let trace = guard.finish();
-            Some(format!(
+            let per_node = mantle::obs::critpath::per_node(&trace);
+            let mut out = format!(
                 "id {} aggregated permission {:?}\n{} rpc span(s):\n{}",
                 resolved.id,
                 resolved.permission,
                 trace.rpc_count(),
-                trace.render()
-            ))
+                trace.render().trim_end()
+            );
+            if !per_node.is_empty() {
+                out.push_str("\nper-node attribution:");
+                for (node, phases) in &per_node {
+                    out.push_str(&format!("\n  {node}: {}", phases.render()));
+                }
+            }
+            Some(out)
         }
         "crash" => {
             need(1)?;

@@ -1,7 +1,7 @@
 # Mirror of the justfile for environments without `just`.
 # `make verify` = format check + clippy (warnings are errors) + tests.
 
-.PHONY: verify fmt-check clippy test fmt smoke chaos chaos-sweep
+.PHONY: verify fmt-check clippy test fmt smoke chaos chaos-sweep perf-gate
 
 verify: fmt-check clippy test
 
@@ -30,6 +30,11 @@ smoke:
 	done; \
 	echo "smoke OK: $$(ls results/*.json | wc -l) result files parse"
 
+# The CI perf-regression gate, locally (refresh the baseline with
+# MANTLE_PERF_UPDATE_BASELINE=1 make perf-gate).
+perf-gate:
+	cargo run --release -p mantle-bench --bin perf_gate
+
 # Re-run one chaos seed with tracing + fault timeline: make chaos SEED=17
 SEED ?= 0
 chaos:
@@ -37,7 +42,7 @@ chaos:
 		cargo test -q --test chaos -- --nocapture
 
 chaos-sweep:
-	@failed=""; for seed in $$(seq 0 31); do \
+	@failed=""; for seed in $$(seq 0 47); do \
 		echo "== chaos seed $$seed =="; \
 		MANTLE_FAULT_SEED=$$seed cargo test -q --test chaos || failed="$$failed $$seed"; \
 	done; \

@@ -294,6 +294,100 @@ impl StateMachine for LocoSm {
     fn barrier() -> LocoCmd {
         LocoCmd::Noop
     }
+
+    fn snapshot(&self) -> Vec<u8> {
+        use mantle_types::snapshot::SnapshotWriter;
+        let mut w = SnapshotWriter::new();
+        let entries = self.table.sorted_entries();
+        w.u64(entries.len() as u64);
+        for (pid, name, e) in entries {
+            w.u64(pid.0);
+            w.str(&name);
+            w.u64(e.id.0);
+            w.u16(e.permission.0);
+        }
+        // HashMaps iterate in arbitrary order; sort for byte determinism.
+        let attrs = self.attrs.lock();
+        let mut ids: Vec<InodeId> = attrs.keys().copied().collect();
+        ids.sort_unstable();
+        w.u64(ids.len() as u64);
+        for id in ids {
+            let a = &attrs[&id];
+            w.u64(id.0);
+            w.i64(a.nlink);
+            w.i64(a.entries);
+            w.u64(a.ctime);
+            w.u64(a.mtime);
+            w.u32(a.owner);
+        }
+        drop(attrs);
+        let children = self.children.lock();
+        let mut pids: Vec<InodeId> = children.keys().copied().collect();
+        pids.sort_unstable();
+        w.u64(pids.len() as u64);
+        for pid in pids {
+            let mut list = children[&pid].clone();
+            list.sort();
+            w.u64(pid.0);
+            w.u64(list.len() as u64);
+            for (name, id) in &list {
+                w.str(name);
+                w.u64(id.0);
+            }
+        }
+        w.finish()
+    }
+
+    fn restore(&self, image: &[u8]) {
+        use mantle_types::snapshot::SnapshotReader;
+        let mut r = SnapshotReader::new(image);
+        self.table.clear();
+        let n = r.u64();
+        for _ in 0..n {
+            let pid = InodeId(r.u64());
+            let name = r.str();
+            let id = InodeId(r.u64());
+            let permission = Permission(r.u16());
+            self.table.insert(
+                pid,
+                &name,
+                IndexEntry {
+                    id,
+                    permission,
+                    lock: None,
+                },
+            );
+        }
+        let mut attrs = HashMap::new();
+        for _ in 0..r.u64() {
+            let id = InodeId(r.u64());
+            attrs.insert(
+                id,
+                DirAttrMeta {
+                    nlink: r.i64(),
+                    entries: r.i64(),
+                    ctime: r.u64(),
+                    mtime: r.u64(),
+                    owner: r.u32(),
+                },
+            );
+        }
+        *self.attrs.lock() = attrs;
+        let mut children: HashMap<InodeId, Vec<(String, InodeId)>> = HashMap::new();
+        for _ in 0..r.u64() {
+            let pid = InodeId(r.u64());
+            let len = r.u64() as usize;
+            let mut list = Vec::with_capacity(len);
+            for _ in 0..len {
+                let name = r.str();
+                let id = InodeId(r.u64());
+                list.push((name, id));
+            }
+            children.insert(pid, list);
+        }
+        *self.children.lock() = children;
+        debug_assert!(r.is_empty(), "trailing bytes in LocoSm snapshot");
+    }
 }
 
 /// The LocoFS-style tiered metadata service.

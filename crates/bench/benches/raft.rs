@@ -19,6 +19,12 @@ impl StateMachine for NopSm {
     fn barrier() -> u64 {
         u64::MAX
     }
+
+    fn snapshot(&self) -> Vec<u8> {
+        Vec::new()
+    }
+
+    fn restore(&self, _image: &[u8]) {}
 }
 
 fn group(log_batching: bool, learners: usize) -> RaftGroup<NopSm> {

@@ -1,0 +1,247 @@
+//! The CI perf-regression gate (`just perf-gate`).
+//!
+//! Runs a seed-pinned mdtest suite under the virtual clock **twice**,
+//! checks the two passes agree (the virtual clock makes op results and RPC
+//! counts a pure function of the workload), writes the measurement to
+//! `BENCH_ci.json`, and fails — exit code 1 — when virtual-clock op
+//! latency or per-op RPC count regresses more than 10% against the
+//! checked-in baseline `ci/perf_baseline.json`.
+//!
+//! The baseline is intentionally a committed artifact: a PR that changes
+//! the modeled cost of an operation must also refresh the baseline (run
+//! with `MANTLE_PERF_UPDATE_BASELINE=1`) so the regression is visible in
+//! review rather than absorbed silently. See README "CI".
+
+use std::io::Write as _;
+
+use serde::Serialize;
+
+use mantle_core::{MantleCluster, MantleConfig};
+use mantle_types::{clock, SimConfig};
+use mantle_workloads::mdtest::{run, ConflictMode, MdOp, MdtestConfig};
+
+/// Committed baseline, resolved relative to the repo root (override with
+/// `MANTLE_PERF_BASELINE` when running from elsewhere).
+const BASELINE_PATH: &str = "ci/perf_baseline.json";
+/// Output snapshot for CI artifacts.
+const OUTPUT_PATH: &str = "BENCH_ci.json";
+/// Allowed relative regression before the gate fails.
+const TOLERANCE: f64 = 0.10;
+
+/// One measured workload of the gate suite.
+#[derive(Serialize, Clone, PartialEq, Debug)]
+struct GateRow {
+    op: String,
+    threads: usize,
+    completed: u64,
+    failed: u64,
+    /// Total client-observed RPCs (exact, deterministic).
+    rpcs: u64,
+    /// Mean virtual-clock end-to-end latency (µs).
+    mean_us: f64,
+    /// p99 virtual-clock latency (µs).
+    p99_us: f64,
+}
+
+impl GateRow {
+    fn rpcs_per_op(&self) -> f64 {
+        self.rpcs as f64 / self.completed.max(1) as f64
+    }
+}
+
+/// The pinned suite. Mirrors `bench_clock`'s determinism constraints:
+/// `Exclusive` working sets and leader-only reads keep RPC counts and
+/// modeled latencies a pure function of the workload; mkdir runs
+/// single-threaded because inode-allocation order decides shard routing.
+fn run_suite() -> Vec<GateRow> {
+    let suite = [
+        (MdOp::Lookup, 8, 150),
+        (MdOp::Create, 8, 100),
+        (MdOp::Mkdir, 1, 300),
+    ];
+    let mut rows = Vec::new();
+    for (op, threads, ops_per_thread) in suite {
+        let mut config = MantleConfig::with_sim(SimConfig::default(), 4);
+        config.index.follower_reads = false;
+        let cluster = MantleCluster::with_config(config);
+        let report = run(
+            &*cluster.service(),
+            MdtestConfig {
+                threads,
+                ops_per_thread,
+                depth: 6,
+                op,
+                conflict: ConflictMode::Exclusive,
+                working_set: 64,
+                seed: 7,
+                hotspot: None,
+            },
+        );
+        rows.push(GateRow {
+            op: format!("{op:?}"),
+            threads,
+            completed: report.completed,
+            failed: report.failed,
+            rpcs: report.agg.rpcs,
+            mean_us: report.mean_latency_micros(),
+            p99_us: report.latency.quantile(0.99) as f64 / 1_000.0,
+        });
+    }
+    rows
+}
+
+fn baseline_path() -> String {
+    std::env::var("MANTLE_PERF_BASELINE").unwrap_or_else(|_| BASELINE_PATH.to_string())
+}
+
+fn write_json(path: &str, payload: &serde_json::Value) {
+    let mut f = std::fs::File::create(path).unwrap_or_else(|e| panic!("cannot create {path}: {e}"));
+    writeln!(
+        f,
+        "{}",
+        serde_json::to_string_pretty(payload).expect("json")
+    )
+    .expect("write json");
+}
+
+/// One gated metric comparison; returns a failure description on
+/// regression beyond [`TOLERANCE`].
+fn check(op: &str, metric: &str, measured: f64, baseline: f64) -> Result<String, String> {
+    let delta = if baseline > 0.0 {
+        (measured - baseline) / baseline
+    } else if measured > 0.0 {
+        f64::INFINITY
+    } else {
+        0.0
+    };
+    let line = format!(
+        "{op:<8} {metric:<12} baseline {baseline:>10.2}  measured {measured:>10.2}  \
+         ({:+.1}%)",
+        delta * 100.0
+    );
+    if delta > TOLERANCE {
+        Err(line)
+    } else {
+        Ok(line)
+    }
+}
+
+fn main() {
+    assert!(
+        clock::is_virtual(),
+        "perf_gate measures modeled (virtual-clock) cost; unset MANTLE_WALL_CLOCK"
+    );
+    println!("=== perf_gate: virtual-clock perf-regression gate ===");
+
+    // Two passes: the virtual clock must make the measurement reproducible
+    // within the process. Counts must match exactly; take the per-metric
+    // minimum of the two latency readings to shave scheduler noise.
+    let first = run_suite();
+    let second = run_suite();
+    for (a, b) in first.iter().zip(&second) {
+        assert_eq!(
+            (a.completed, a.failed, a.rpcs),
+            (b.completed, b.failed, b.rpcs),
+            "{}: op results differ between passes — the suite is not \
+             deterministic and cannot gate",
+            a.op
+        );
+    }
+    let rows: Vec<GateRow> = first
+        .iter()
+        .zip(&second)
+        .map(|(a, b)| GateRow {
+            mean_us: a.mean_us.min(b.mean_us),
+            p99_us: a.p99_us.min(b.p99_us),
+            ..a.clone()
+        })
+        .collect();
+
+    if std::env::var_os("MANTLE_PERF_UPDATE_BASELINE").is_some_and(|v| v != "0") {
+        let payload = serde_json::json!({
+            "tolerance": TOLERANCE,
+            "rows": rows,
+        });
+        write_json(&baseline_path(), &payload);
+        println!("[baseline updated: {}]", baseline_path());
+        return;
+    }
+
+    let path = baseline_path();
+    let text = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "cannot read {path}: {e}\n(first run? create it with \
+             MANTLE_PERF_UPDATE_BASELINE=1)"
+        )
+    });
+    let baseline: serde_json::Value = serde_json::from_str(&text).expect("baseline json");
+    let base_rows = baseline
+        .get("rows")
+        .and_then(|r| r.as_array())
+        .expect("baseline rows");
+
+    let mut failures = Vec::new();
+    let mut lines = Vec::new();
+    for row in &rows {
+        assert_eq!(row.failed, 0, "{}: gate workload had failed ops", row.op);
+        let base = base_rows
+            .iter()
+            .find(|b| {
+                b.get("op").and_then(|v| v.as_str()) == Some(&row.op)
+                    && b.get("threads").and_then(|v| v.as_u64()) == Some(row.threads as u64)
+            })
+            .unwrap_or_else(|| {
+                panic!(
+                    "baseline has no row for {} x{} — refresh it with \
+                     MANTLE_PERF_UPDATE_BASELINE=1",
+                    row.op, row.threads
+                )
+            });
+        let f = |key: &str| base.get(key).and_then(|v| v.as_f64()).expect("metric");
+        let base_rpcs = f("rpcs")
+            / base
+                .get("completed")
+                .and_then(|v| v.as_f64())
+                .expect("completed");
+        for result in [
+            check(&row.op, "mean_us", row.mean_us, f("mean_us")),
+            check(&row.op, "p99_us", row.p99_us, f("p99_us")),
+            check(&row.op, "rpcs_per_op", row.rpcs_per_op(), base_rpcs),
+        ] {
+            match result {
+                Ok(line) => lines.push(line),
+                Err(line) => {
+                    lines.push(format!("{line}  <-- REGRESSION"));
+                    failures.push(row.op.clone());
+                }
+            }
+        }
+    }
+    for line in &lines {
+        println!("{line}");
+    }
+
+    let payload = serde_json::json!({
+        "bench": "perf_gate",
+        "tolerance": TOLERANCE,
+        "baseline": baseline_path(),
+        "rows": rows,
+        "regressions": failures,
+    });
+    write_json(OUTPUT_PATH, &payload);
+    println!("[snapshot written to {OUTPUT_PATH}]");
+
+    if failures.is_empty() {
+        println!("perf gate OK: all metrics within {:.0}%", TOLERANCE * 100.0);
+    } else {
+        failures.dedup();
+        eprintln!(
+            "perf gate FAILED: {} regressed beyond {:.0}% — if intentional, \
+             refresh ci/perf_baseline.json with MANTLE_PERF_UPDATE_BASELINE=1 \
+             and justify in the PR",
+            failures.join(", "),
+            TOLERANCE * 100.0
+        );
+        std::process::exit(1);
+    }
+}

@@ -361,6 +361,80 @@ impl StateMachine for IndexSm {
     fn barrier() -> IndexCmd {
         IndexCmd::Noop
     }
+
+    fn snapshot(&self) -> Vec<u8> {
+        use mantle_types::snapshot::SnapshotWriter;
+        let mut w = SnapshotWriter::new();
+        let entries = self.table.sorted_entries();
+        w.u64(entries.len() as u64);
+        for (pid, name, e) in entries {
+            w.u64(pid.0);
+            w.str(&name);
+            w.u64(e.id.0);
+            w.u16(e.permission.0);
+            match e.lock {
+                Some(uuid) => {
+                    w.u8(1);
+                    w.u128(uuid.0);
+                }
+                None => w.u8(0),
+            }
+        }
+        // In-flight rename/setattr markers are part of the replicated state
+        // (a snapshot can land between RenamePrepare and RenameCommit).
+        let mut paths: Vec<String> = self
+            .removal
+            .snapshot()
+            .iter()
+            .map(|p| p.to_string())
+            .collect();
+        paths.sort();
+        w.u64(paths.len() as u64);
+        for p in &paths {
+            w.str(p);
+        }
+        w.finish()
+    }
+
+    fn restore(&self, image: &[u8]) {
+        use mantle_types::snapshot::SnapshotReader;
+        self.table.clear();
+        for p in self.removal.snapshot() {
+            self.removal.remove(&p);
+        }
+        // The TopDirPathCache is derived state: dropping it entirely is
+        // always safe (misses refill it).
+        self.cache.invalidate_subtree(&MetaPath::root());
+
+        let mut r = SnapshotReader::new(image);
+        let n = r.u64();
+        for _ in 0..n {
+            let pid = InodeId(r.u64());
+            let name = r.str();
+            let id = InodeId(r.u64());
+            let permission = Permission(r.u16());
+            let lock = if r.u8() == 1 {
+                Some(ClientUuid(r.u128()))
+            } else {
+                None
+            };
+            self.table.insert(
+                pid,
+                &name,
+                IndexEntry {
+                    id,
+                    permission,
+                    lock,
+                },
+            );
+        }
+        let n_paths = r.u64();
+        for _ in 0..n_paths {
+            let p = MetaPath::parse(&r.str()).expect("snapshot paths parse");
+            self.removal.insert(p);
+        }
+        debug_assert!(r.is_empty(), "trailing bytes in IndexSm snapshot");
+    }
 }
 
 #[cfg(test)]
@@ -556,6 +630,33 @@ mod tests {
             sm.resolve(&p("/a/b/c")).result,
             Err(MetaError::NotFound(_))
         ));
+    }
+
+    #[test]
+    fn snapshot_restore_round_trips_state() {
+        let a = sm(3, true);
+        // Leave an in-flight rename marker so locks and the RemovalList are
+        // exercised by the image.
+        a.apply(
+            0,
+            &IndexCmd::RenamePrepare {
+                src_pid: InodeId(3),
+                src_name: Arc::from("c"),
+                uuid: ClientUuid(7),
+                src_path: p("/a/b/c"),
+            },
+        );
+        let img = a.snapshot();
+        let b = IndexSm::new(SimConfig::instant(), 3, true);
+        b.restore(&img);
+        assert_eq!(
+            b.snapshot(),
+            img,
+            "restore must reproduce a byte-identical image"
+        );
+        assert!(b.table.is_locked(InodeId(3), "c"));
+        assert!(b.removal.conflicts_with(&p("/a/b/c/d")));
+        assert_eq!(b.resolve(&p("/a/b")).result.unwrap().id, InodeId(3));
     }
 
     #[test]

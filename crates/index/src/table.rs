@@ -131,6 +131,35 @@ impl IndexTable {
         self.get(pid, name).is_some_and(|e| e.lock.is_some())
     }
 
+    /// Every entry, sorted by `(pid, name)` — the deterministic iteration
+    /// order snapshot serialization requires (two replicas that applied the
+    /// same log prefix must produce byte-identical images).
+    pub fn sorted_entries(&self) -> Vec<(InodeId, Arc<str>, IndexEntry)> {
+        let mut all: Vec<(InodeId, Arc<str>, IndexEntry)> = self
+            .stripes
+            .iter()
+            .flat_map(|s| {
+                s.read()
+                    .iter()
+                    .map(|((pid, name), e)| (*pid, Arc::clone(name), e.clone()))
+                    .collect::<Vec<_>>()
+            })
+            .collect();
+        all.sort_by(|a, b| (a.0, &*a.1).cmp(&(b.0, &*b.1)));
+        all
+    }
+
+    /// Removes every entry (snapshot restore).
+    pub fn clear(&self) {
+        let mut removed = 0;
+        for s in &self.stripes {
+            let mut m = s.write();
+            removed += m.len();
+            m.clear();
+        }
+        self.len.fetch_sub(removed, Ordering::Relaxed);
+    }
+
     /// Number of entries (≈ directories in the namespace).
     pub fn len(&self) -> usize {
         self.len.load(Ordering::Relaxed)

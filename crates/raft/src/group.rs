@@ -213,6 +213,31 @@ mod tests {
         fn barrier() -> u64 {
             u64::MAX
         }
+
+        fn snapshot(&self) -> Vec<u8> {
+            use mantle_types::snapshot::SnapshotWriter;
+            let applied = self.applied.lock();
+            let mut w = SnapshotWriter::new();
+            w.u64(self.count.load(Ordering::SeqCst));
+            w.u64(applied.len() as u64);
+            for v in applied.iter() {
+                w.u64(*v);
+            }
+            w.finish()
+        }
+
+        fn restore(&self, image: &[u8]) {
+            use mantle_types::snapshot::SnapshotReader;
+            let mut r = SnapshotReader::new(image);
+            let count = r.u64();
+            let n = r.u64() as usize;
+            let mut v = Vec::with_capacity(n);
+            for _ in 0..n {
+                v.push(r.u64());
+            }
+            *self.applied.lock() = v;
+            self.count.store(count, Ordering::SeqCst);
+        }
     }
 
     fn test_group(n_voters: usize, n_learners: usize) -> RaftGroup<RecordingSm> {

@@ -20,6 +20,16 @@
 //! * **Leader election and failover** (§5.3): replicas time out on missing
 //!   heartbeats, campaign, and the group re-elects; killed replicas keep
 //!   their (simulated-durable) log and can rejoin.
+//! * **Snapshotting and log compaction** (DESIGN.md §4.11): the apply
+//!   thread periodically captures a [`StateMachine::snapshot`] (by applied
+//!   count and by log-bytes watermark), acknowledges it with a WAL
+//!   checkpoint record, and truncates the log prefix. A follower whose next
+//!   entry was compacted away receives the snapshot via `InstallSnapshot`
+//!   (Raft §7), and `recover()` restores the latest known-good snapshot plus
+//!   the log suffix — O(snapshot + suffix) instead of O(history). Crashes
+//!   during snapshot write or install abort cleanly: the previous snapshot
+//!   stays authoritative (same discard-on-abort discipline as TafDB shard
+//!   migration).
 //!
 //! The "network" between replicas is direct method calls with injected
 //! round-trip delays, and each replica's handlers execute inside its

@@ -1,4 +1,4 @@
-//! The replicated log.
+//! The replicated log, with snapshot-based compaction (§4.11).
 
 /// One log entry: a term and a state-machine command.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -10,15 +10,27 @@ pub struct LogEntry<C> {
 }
 
 /// In-memory log with 1-based external indices (index 0 = "empty log").
+///
+/// Compaction replaces the prefix `[1, snapshot_index]` with a snapshot
+/// marker: the entries are gone, but their cumulative effect lives in the
+/// replica's state-machine snapshot and `(snapshot_index, snapshot_term)`
+/// anchor the consistency check for the first retained entry.
 #[derive(Debug)]
 pub struct RaftLog<C> {
+    /// Entries at indices `snapshot_index + 1 ..= last_index`.
     entries: Vec<LogEntry<C>>,
+    /// Index of the last entry folded into the snapshot (0 = none).
+    snapshot_index: u64,
+    /// Term of the entry at `snapshot_index`.
+    snapshot_term: u64,
 }
 
 impl<C: Clone> Default for RaftLog<C> {
     fn default() -> Self {
         RaftLog {
             entries: Vec::new(),
+            snapshot_index: 0,
+            snapshot_term: 0,
         }
     }
 }
@@ -26,45 +38,110 @@ impl<C: Clone> Default for RaftLog<C> {
 impl<C: Clone> RaftLog<C> {
     /// Index of the last entry (0 when empty).
     pub fn last_index(&self) -> u64 {
-        self.entries.len() as u64
+        self.snapshot_index + self.entries.len() as u64
     }
 
-    /// Term of the last entry (0 when empty).
+    /// Term of the last entry (the snapshot term when no entries remain).
     pub fn last_term(&self) -> u64 {
-        self.entries.last().map_or(0, |e| e.term)
+        self.entries.last().map_or(self.snapshot_term, |e| e.term)
     }
 
-    /// Term of the entry at `index` (0 for index 0; `None` past the end).
-    pub fn term_at(&self, index: u64) -> Option<u64> {
-        if index == 0 {
-            return Some(0);
+    /// Index of the last entry covered by the local snapshot (0 = none).
+    pub fn snapshot_index(&self) -> u64 {
+        self.snapshot_index
+    }
+
+    /// Term of the entry at [`RaftLog::snapshot_index`].
+    pub fn snapshot_term(&self) -> u64 {
+        self.snapshot_term
+    }
+
+    /// The first index still present as an entry (`snapshot_index + 1`).
+    pub fn first_index(&self) -> u64 {
+        self.snapshot_index + 1
+    }
+
+    /// Approximate in-memory footprint of the retained entries; drives the
+    /// `raft_log_bytes` gauge and the bytes-watermark compaction trigger.
+    pub fn bytes(&self) -> u64 {
+        // Term + index bookkeeping plus the inline command payload. Heap
+        // data inside C (Arc'd names, paths) is shared with the state
+        // machine, so the inline size is the honest marginal cost.
+        self.entries.len() as u64 * (16 + std::mem::size_of::<C>() as u64)
+    }
+
+    /// Position of external `index` in `entries`; `None` when compacted or
+    /// past the end.
+    fn slot(&self, index: u64) -> Option<usize> {
+        if index <= self.snapshot_index || index > self.last_index() {
+            return None;
         }
-        self.entries.get(index as usize - 1).map(|e| e.term)
+        Some((index - self.snapshot_index - 1) as usize)
+    }
+
+    /// Term of the entry at `index`. `Some(snapshot_term)` at the snapshot
+    /// index itself (0 for index 0 of an uncompacted log); `None` for
+    /// compacted-away or out-of-range indices.
+    pub fn term_at(&self, index: u64) -> Option<u64> {
+        if index == self.snapshot_index {
+            return Some(self.snapshot_term);
+        }
+        self.slot(index).map(|s| self.entries[s].term)
     }
 
     /// Appends one entry, returning its index.
     pub fn append(&mut self, entry: LogEntry<C>) -> u64 {
         self.entries.push(entry);
-        self.entries.len() as u64
+        self.last_index()
     }
 
-    /// The entry at 1-based `index`.
+    /// The entry at 1-based `index` (`None` when compacted away).
     pub fn get(&self, index: u64) -> Option<&LogEntry<C>> {
-        if index == 0 {
-            return None;
-        }
-        self.entries.get(index as usize - 1)
+        self.slot(index).map(|s| &self.entries[s])
     }
 
     /// Clones entries in `(from, to]` (1-based, `from` exclusive), capped at
-    /// `max` entries — the replication batch.
+    /// `max` entries — the replication batch. `from` must be at or past the
+    /// snapshot index (the caller ships a snapshot otherwise).
     pub fn slice(&self, from: u64, max: usize) -> Vec<LogEntry<C>> {
-        let start = from as usize;
+        debug_assert!(from >= self.snapshot_index, "sliced into compacted prefix");
+        let start = (from.max(self.snapshot_index) - self.snapshot_index) as usize;
         let end = (start + max).min(self.entries.len());
         if start >= end {
             return Vec::new();
         }
         self.entries[start..end].to_vec()
+    }
+
+    /// Drops entries `[first_index, through]` — they are covered by a
+    /// snapshot at `through` or beyond. No-op when `through` is not past
+    /// the current snapshot index or names an unknown entry.
+    pub fn compact(&mut self, through: u64) {
+        if through <= self.snapshot_index {
+            return;
+        }
+        let Some(term) = self.term_at(through) else {
+            return;
+        };
+        self.entries
+            .drain(..(through - self.snapshot_index) as usize);
+        self.snapshot_index = through;
+        self.snapshot_term = term;
+    }
+
+    /// Replaces the log prefix with an installed snapshot at
+    /// `(index, term)`. When the local log already contains that entry the
+    /// suffix past it is retained (Raft §7: "if ... the follower's log
+    /// matches the snapshot's last entry, entries after it are kept");
+    /// otherwise the whole log is discarded.
+    pub fn install_snapshot(&mut self, index: u64, term: u64) {
+        if self.term_at(index) == Some(term) {
+            self.compact(index);
+            return;
+        }
+        self.entries.clear();
+        self.snapshot_index = index;
+        self.snapshot_term = term;
     }
 
     /// Follower-side append: verifies the `(prev_index, prev_term)`
@@ -77,6 +154,17 @@ impl<C: Clone> RaftLog<C> {
         prev_term: u64,
         batch: &[LogEntry<C>],
     ) -> Option<u64> {
+        if prev_index < self.snapshot_index {
+            // The prefix up to the snapshot index is committed and
+            // immutable, so the overlapping head of the batch is already
+            // reflected in the snapshot: re-anchor at the snapshot and
+            // append only the genuinely new suffix.
+            let skip = (self.snapshot_index - prev_index) as usize;
+            if skip >= batch.len() {
+                return Some(self.last_index().max(prev_index + batch.len() as u64));
+            }
+            return self.try_append(self.snapshot_index, self.snapshot_term, &batch[skip..]);
+        }
         match self.term_at(prev_index) {
             Some(t) if t == prev_term => {}
             _ => return None,
@@ -87,7 +175,8 @@ impl<C: Clone> RaftLog<C> {
                 Some(t) if t == entry.term => continue, // Already have it.
                 Some(_) => {
                     // Conflict: truncate this and everything after.
-                    self.entries.truncate(index as usize - 1);
+                    self.entries
+                        .truncate((index - self.snapshot_index - 1) as usize);
                     self.entries.push(entry.clone());
                 }
                 None => {
@@ -168,5 +257,78 @@ mod tests {
         // Retransmission of the same batch leaves the log unchanged.
         assert_eq!(log.try_append(0, 0, &[e(1, 0), e(1, 1)]), Some(2));
         assert_eq!(log.last_index(), 2);
+    }
+
+    #[test]
+    fn compact_drops_prefix_and_keeps_suffix_addressable() {
+        let mut log = RaftLog::default();
+        for i in 0..10 {
+            log.append(e(1, i));
+        }
+        log.compact(6);
+        assert_eq!(log.snapshot_index(), 6);
+        assert_eq!(log.snapshot_term(), 1);
+        assert_eq!(log.first_index(), 7);
+        assert_eq!(log.last_index(), 10);
+        assert!(log.get(6).is_none(), "compacted entries are gone");
+        assert_eq!(log.get(7).unwrap().cmd, 6);
+        assert_eq!(log.term_at(6), Some(1), "snapshot anchor keeps its term");
+        assert_eq!(log.term_at(3), None);
+        // Slicing from the snapshot boundary yields the retained suffix.
+        let batch = log.slice(6, 100);
+        assert_eq!(batch.len(), 4);
+        assert_eq!(batch[0].cmd, 6);
+        // Compacting backwards or past the end is a no-op.
+        log.compact(4);
+        log.compact(99);
+        assert_eq!(log.snapshot_index(), 6);
+    }
+
+    #[test]
+    fn try_append_reanchors_batches_overlapping_the_snapshot() {
+        let mut log = RaftLog::default();
+        for i in 0..5 {
+            log.append(e(1, i));
+        }
+        log.compact(4);
+        // Leader replays (2..=6]; entries 3-4 are under the snapshot, 5
+        // already present, 6 is new.
+        let batch = [e(1, 2), e(1, 3), e(1, 4), e(1, 5)];
+        assert_eq!(log.try_append(2, 1, &batch), Some(6));
+        assert_eq!(log.get(6).unwrap().cmd, 5);
+        // A batch entirely under the snapshot succeeds without change.
+        assert_eq!(log.try_append(0, 0, &[e(1, 0), e(1, 1)]), Some(6));
+        assert_eq!(log.last_index(), 6);
+    }
+
+    #[test]
+    fn install_snapshot_keeps_matching_suffix() {
+        let mut log = RaftLog::default();
+        for i in 0..8 {
+            log.append(e(1, i));
+        }
+        // Snapshot at an entry we hold: suffix survives.
+        log.install_snapshot(5, 1);
+        assert_eq!(log.snapshot_index(), 5);
+        assert_eq!(log.last_index(), 8);
+        assert_eq!(log.get(6).unwrap().cmd, 5);
+        // Snapshot past our log (or conflicting): everything is replaced.
+        log.install_snapshot(20, 3);
+        assert_eq!(log.snapshot_index(), 20);
+        assert_eq!(log.last_index(), 20);
+        assert_eq!(log.last_term(), 3);
+        assert!(log.slice(20, 10).is_empty());
+    }
+
+    #[test]
+    fn bytes_shrink_on_compaction() {
+        let mut log = RaftLog::default();
+        for i in 0..100 {
+            log.append(e(1, i));
+        }
+        let before = log.bytes();
+        log.compact(90);
+        assert!(log.bytes() < before);
+        assert_eq!(log.bytes(), 10 * (16 + std::mem::size_of::<u32>() as u64));
     }
 }

@@ -1,15 +1,16 @@
 //! A single Raft replica: roles, log replication, elections, ReadIndex.
 
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, OnceLock, Weak};
 use std::time::{Duration, Instant};
 
 use parking_lot::{Condvar, Mutex};
 
-use mantle_obs::{Counter, HistogramMetric};
+use mantle_obs::{Counter, Gauge, HistogramMetric};
 use mantle_rpc::SimNode;
 use mantle_store::GroupCommitWal;
 use mantle_types::clock::{self, TimeCategory};
+use mantle_types::snapshot::{frame, unframe};
 use mantle_types::{OpStats, SimConfig};
 
 /// Group-shared role-change signal: bumped whenever any replica's role (or
@@ -66,6 +67,17 @@ struct RaftMetrics {
     /// `raft_replicate_batch_entries{node=...}` — entries per
     /// AppendEntries batch sent from this leader.
     batch: HistogramMetric,
+    /// `raft_snapshots_total{node=...}` — snapshots captured here.
+    snapshots: Counter,
+    /// `raft_snapshot_installs_total{node=...}` — snapshots installed on
+    /// this (lagging) replica.
+    installs: Counter,
+    /// `raft_snapshot_aborts_total{node=...}` — snapshot writes/installs
+    /// abandoned on an injected fault or torn image; the previous snapshot
+    /// stayed authoritative.
+    snapshot_aborts: Counter,
+    /// `raft_log_bytes{node=...}` — retained (uncompacted) log footprint.
+    log_bytes: Gauge,
 }
 
 impl RaftMetrics {
@@ -77,6 +89,10 @@ impl RaftMetrics {
             leaders_elected: mantle_obs::counter("raft_leaders_elected_total", &labels),
             term_changes: mantle_obs::counter("raft_term_changes_total", &labels),
             batch: mantle_obs::histogram("raft_replicate_batch_entries", &labels),
+            snapshots: mantle_obs::counter("raft_snapshots_total", &labels),
+            installs: mantle_obs::counter("raft_snapshot_installs_total", &labels),
+            snapshot_aborts: mantle_obs::counter("raft_snapshot_aborts_total", &labels),
+            log_bytes: mantle_obs::gauge("raft_log_bytes", &labels),
         }
     }
 }
@@ -100,6 +116,18 @@ pub trait StateMachine: Send + Sync + 'static {
     /// is what allows a new leader to advance the commit index over entries
     /// from previous terms (Raft §5.4.2's current-term commit rule).
     fn barrier() -> Self::Command;
+
+    /// Serializes the entire applied state. Must be **deterministic**: two
+    /// replicas that applied the same log prefix must produce byte-identical
+    /// images (iterate maps in sorted order — see
+    /// [`mantle_types::snapshot`]). Called from the apply thread only, so
+    /// no command is concurrently being applied.
+    fn snapshot(&self) -> Vec<u8>;
+
+    /// Replaces the whole state with an image produced by
+    /// [`StateMachine::snapshot`]. Derived caches may simply be cleared;
+    /// like `apply`, this runs on the apply thread only.
+    fn restore(&self, image: &[u8]);
 }
 
 /// Protocol tuning knobs.
@@ -119,6 +147,17 @@ pub struct RaftOptions {
     /// group's commit throughput ("Mantle's throughput is bound to a single
     /// Raft group", §6.3).
     pub max_batch: usize,
+    /// Applied entries between state-machine snapshots (0 disables
+    /// snapshotting and compaction entirely — the pre-§4.11 behaviour).
+    pub snapshot_every: u64,
+    /// Also snapshot + compact whenever the retained log exceeds this many
+    /// bytes, even if `snapshot_every` has not elapsed (0 disables the
+    /// bytes trigger).
+    pub log_watermark_bytes: u64,
+    /// Trailing entries kept behind each snapshot so briefly-lagging
+    /// followers (and freshly recovered replicas) catch up from the log
+    /// suffix instead of a full snapshot transfer.
+    pub snapshot_keep_entries: u64,
 }
 
 impl Default for RaftOptions {
@@ -129,6 +168,9 @@ impl Default for RaftOptions {
             election_timeout_min: Duration::from_millis(150),
             election_timeout_max: Duration::from_millis(300),
             max_batch: 16,
+            snapshot_every: 1024,
+            log_watermark_bytes: 4 << 20,
+            snapshot_keep_entries: 64,
         }
     }
 }
@@ -201,6 +243,26 @@ struct Inner<C> {
     match_index: Vec<u64>,
     /// Bumped on each leadership acquisition; stale replicators exit.
     leader_epoch: u64,
+    /// A received-but-not-yet-installed snapshot `(index, term, frame)`;
+    /// consumed by the apply thread, which is the sole SM mutator.
+    pending_install: Option<(u64, u64, Arc<Vec<u8>>)>,
+    /// Completed install *attempts* (success or abort); lets the
+    /// InstallSnapshot handler distinguish "still queued" from "tried and
+    /// failed" without a side channel.
+    install_seq: u64,
+}
+
+/// The latest durable state-machine snapshot of one replica.
+///
+/// `data` is a checksummed frame ([`mantle_types::snapshot::frame`]): a
+/// torn write is detected at restore time, not trusted.
+struct Snapshot {
+    /// Last log index folded into the image.
+    index: u64,
+    /// Term of that entry.
+    term: u64,
+    /// Framed image; shared with in-flight InstallSnapshot RPCs.
+    data: Arc<Vec<u8>>,
 }
 
 /// One member of a Raft group.
@@ -225,6 +287,20 @@ pub struct RaftReplica<SM: StateMachine> {
     opts: RaftOptions,
     metrics: RaftMetrics,
     role_watch: Arc<RoleWatch>,
+    /// Latest *known-good* durable snapshot: only ever replaced by a fully
+    /// written, checkpoint-acknowledged successor. Lock order: `inner`
+    /// before `snap`.
+    snap: Mutex<Snapshot>,
+    /// A newer image whose write crashed partway (injected
+    /// `snap_write` fault): durable on disk but torn. Recovery validates it,
+    /// rejects it by checksum, and falls back to [`RaftReplica::snap`].
+    torn_snap: Mutex<Option<Arc<Vec<u8>>>>,
+    /// InstallSnapshot RPCs sent while leading.
+    installs_sent: AtomicU64,
+    /// Snapshots successfully installed on this replica.
+    installs_applied: AtomicU64,
+    /// Snapshots captured locally by the apply thread.
+    snapshots_taken: AtomicU64,
 }
 
 impl<SM: StateMachine> RaftReplica<SM> {
@@ -241,6 +317,10 @@ impl<SM: StateMachine> RaftReplica<SM> {
     ) -> Arc<Self> {
         let learner = id >= n_voters;
         let metrics = RaftMetrics::new(node.name());
+        // The index-0 snapshot of the pristine state machine: recovery and
+        // InstallSnapshot always have *some* authoritative image to fall
+        // back to, even before the first periodic snapshot.
+        let genesis = Arc::new(frame(sm.snapshot()));
         Arc::new(RaftReplica {
             id,
             n_voters,
@@ -262,6 +342,8 @@ impl<SM: StateMachine> RaftReplica<SM> {
                 next_index: vec![1; group_size],
                 match_index: vec![0; group_size],
                 leader_epoch: 0,
+                pending_install: None,
+                install_seq: 0,
             }),
             apply_cv: Condvar::new(),
             log_cv: Condvar::new(),
@@ -276,6 +358,15 @@ impl<SM: StateMachine> RaftReplica<SM> {
             opts,
             metrics,
             role_watch,
+            snap: Mutex::new(Snapshot {
+                index: 0,
+                term: 0,
+                data: genesis,
+            }),
+            torn_snap: Mutex::new(None),
+            installs_sent: AtomicU64::new(0),
+            installs_applied: AtomicU64::new(0),
+            snapshots_taken: AtomicU64::new(0),
         })
     }
 
@@ -355,6 +446,31 @@ impl<SM: StateMachine> RaftReplica<SM> {
         self.wal.fsyncs()
     }
 
+    /// Index of the last entry covered by this replica's local snapshot.
+    pub fn snapshot_index(&self) -> u64 {
+        self.snap.lock().index
+    }
+
+    /// Approximate bytes retained in the (uncompacted) log.
+    pub fn log_bytes(&self) -> u64 {
+        self.inner.lock().log.bytes()
+    }
+
+    /// Snapshots this replica has captured.
+    pub fn snapshots_taken(&self) -> u64 {
+        self.snapshots_taken.load(Ordering::Relaxed)
+    }
+
+    /// InstallSnapshot RPCs this replica has sent while leading.
+    pub fn snapshot_installs_sent(&self) -> u64 {
+        self.installs_sent.load(Ordering::Relaxed)
+    }
+
+    /// Snapshots successfully installed on this replica.
+    pub fn snapshot_installs_applied(&self) -> u64 {
+        self.installs_applied.load(Ordering::Relaxed)
+    }
+
     // --- failure injection ------------------------------------------------
 
     /// Installs (or clears) a fault plan on this replica: its node
@@ -384,6 +500,14 @@ impl<SM: StateMachine> RaftReplica<SM> {
     }
 
     /// Brings a crashed replica back as a follower.
+    ///
+    /// Bounded recovery (§4.11): the in-memory applied state is lost with
+    /// the crash, so the replica restores its latest durable snapshot and
+    /// re-applies only the durable log *suffix* past it — O(snapshot +
+    /// suffix), not O(history). A snapshot whose write was torn by the
+    /// crash fails checksum validation and recovery falls back to the
+    /// previous known-good snapshot (the log is only ever compacted after
+    /// a *successful* snapshot, so the longer suffix it needs is intact).
     pub fn recover(&self) {
         {
             let mut g = self.inner.lock();
@@ -391,6 +515,31 @@ impl<SM: StateMachine> RaftReplica<SM> {
                 self.set_role(&mut g, Role::Follower);
             }
             g.last_heartbeat = Instant::now();
+            g.pending_install = None;
+            if let Some(torn) = self.torn_snap.lock().take() {
+                // The newest on-disk image never finished writing; the
+                // checksum rejects it and the previous snapshot stays
+                // authoritative.
+                debug_assert!(unframe(&torn).is_none(), "torn frame must not validate");
+                mantle_obs::flight::annotate_with(|| {
+                    format!("raft:recover torn_snapshot node={}", self.node.name())
+                });
+                self.metrics.snapshot_aborts.inc();
+            }
+            let (snap_index, data) = {
+                let s = self.snap.lock();
+                (s.index, Arc::clone(&s.data))
+            };
+            let image = unframe(&data).expect("known-good snapshot validates");
+            self.sm.restore(image);
+            g.last_applied = snap_index;
+            if g.commit_index < snap_index {
+                g.commit_index = snap_index;
+            }
+            // Invalidate any apply batch collected before the crash: its
+            // bookkeeping would skip re-applying the restored suffix.
+            g.install_seq += 1;
+            self.apply_cv.notify_all();
         }
         self.alive.store(true, Ordering::Release);
         self.role_watch.notify();
@@ -637,6 +786,90 @@ impl<SM: StateMachine> RaftReplica<SM> {
         })
     }
 
+    /// InstallSnapshot handler (Raft §7): a follower that has fallen behind
+    /// the leader's compacted log receives a full snapshot image instead of
+    /// entries. The image is staged for the apply thread (the sole SM
+    /// mutator) and the handler waits for that install attempt, so the
+    /// leader's response tells it whether to retry.
+    pub(crate) fn install_snapshot(
+        &self,
+        term: u64,
+        leader_id: usize,
+        snap_index: u64,
+        snap_term: u64,
+        data: Arc<Vec<u8>>,
+    ) -> AppendResult {
+        if !self.alive() {
+            return AppendResult {
+                term: 0,
+                success: false,
+                match_index: 0,
+                reachable: false,
+            };
+        }
+        self.node.execute(|| {
+            let mut g = self.inner.lock();
+            if term < g.term {
+                return AppendResult {
+                    term: g.term,
+                    success: false,
+                    match_index: 0,
+                    reachable: true,
+                };
+            }
+            if term > g.term {
+                g.term = term;
+                g.voted_for = None;
+                self.metrics.term_changes.inc();
+            }
+            let new_role = if self.learner {
+                Role::Learner
+            } else {
+                Role::Follower
+            };
+            self.set_role(&mut g, new_role);
+            g.last_heartbeat = Instant::now();
+            g.leader_hint = Some(leader_id);
+
+            if g.last_applied >= snap_index {
+                // Already caught up past this image; nothing to install.
+                return AppendResult {
+                    term: g.term,
+                    success: true,
+                    match_index: g.last_applied,
+                    reachable: true,
+                };
+            }
+            mantle_obs::flight::annotate_with(|| {
+                format!(
+                    "raft:install_snapshot phase=transfer node={} index={snap_index} bytes={}",
+                    self.node.name(),
+                    data.len()
+                )
+            });
+            g.pending_install = Some((snap_index, snap_term, data));
+            let seen = g.install_seq;
+            self.apply_cv.notify_all();
+            // Wait (bounded) for the apply thread's install attempt; a
+            // bump of `install_seq` without the apply index reaching the
+            // snapshot means the attempt aborted and the leader retries.
+            let deadline = Instant::now() + Duration::from_secs(2);
+            while g.last_applied < snap_index && g.install_seq == seen {
+                if !self.alive() || Instant::now() > deadline {
+                    break;
+                }
+                self.apply_cv.wait_for(&mut g, Duration::from_millis(5));
+            }
+            g.last_heartbeat = Instant::now();
+            AppendResult {
+                term: g.term,
+                success: g.last_applied >= snap_index,
+                match_index: g.last_applied,
+                reachable: true,
+            }
+        })
+    }
+
     /// RequestVote handler.
     pub(crate) fn request_vote(
         &self,
@@ -740,7 +973,24 @@ impl<SM: StateMachine> RaftReplica<SM> {
                 return;
             }
             // Gather the next batch (or wait up to a heartbeat interval).
-            let (term, prev_index, prev_term, batch, commit) = {
+            // A peer whose next entry was compacted away gets the snapshot
+            // instead (Raft §7).
+            enum Send<C> {
+                Entries {
+                    term: u64,
+                    prev_index: u64,
+                    prev_term: u64,
+                    batch: Vec<LogEntry<C>>,
+                    commit: u64,
+                },
+                Snapshot {
+                    term: u64,
+                    index: u64,
+                    snap_term: u64,
+                    data: Arc<Vec<u8>>,
+                },
+            }
+            let send = {
                 let mut g = self.inner.lock();
                 if g.role != Role::Leader || g.leader_epoch != epoch {
                     return;
@@ -751,14 +1001,93 @@ impl<SM: StateMachine> RaftReplica<SM> {
                         return;
                     }
                 }
-                let prev_index = g.next_index[peer_id] - 1;
-                let prev_term = g.log.term_at(prev_index).unwrap_or(0);
-                let batch = g.log.slice(prev_index, self.opts.max_batch);
-                (g.term, prev_index, prev_term, batch, g.commit_index)
+                if g.next_index[peer_id] < g.log.first_index() {
+                    // The snapshot store is always at or past the log's
+                    // compaction point, so one install re-anchors the peer
+                    // inside the retained suffix.
+                    let s = self.snap.lock();
+                    Send::Snapshot {
+                        term: g.term,
+                        index: s.index,
+                        snap_term: s.term,
+                        data: Arc::clone(&s.data),
+                    }
+                } else {
+                    let prev_index = g.next_index[peer_id] - 1;
+                    let prev_term = g.log.term_at(prev_index).unwrap_or(0);
+                    let batch = g.log.slice(prev_index, self.opts.max_batch);
+                    Send::Entries {
+                        term: g.term,
+                        prev_index,
+                        prev_term,
+                        batch,
+                        commit: g.commit_index,
+                    }
+                }
             };
 
             let Some(peer) = self.peer(peer_id) else {
                 return;
+            };
+            let (term, prev_index, prev_term, batch, commit) = match send {
+                Send::Snapshot {
+                    term,
+                    index,
+                    snap_term,
+                    data,
+                } => {
+                    if self.edge_cut(&peer) {
+                        std::thread::sleep(self.opts.heartbeat_interval);
+                        continue;
+                    }
+                    let _span = mantle_obs::trace::span(
+                        "install_snapshot",
+                        self.node.name(),
+                        mantle_obs::trace::SpanKind::Local,
+                    );
+                    mantle_obs::flight::annotate_with(|| {
+                        format!(
+                            "raft:install_snapshot phase=send to={} index={index} bytes={}",
+                            peer.node.name(),
+                            data.len()
+                        )
+                    });
+                    self.installs_sent.fetch_add(1, Ordering::Relaxed);
+                    mantle_rpc::net_round_trip(&self.config);
+                    let resp = peer.install_snapshot(term, self.id, index, snap_term, data);
+                    if !resp.reachable {
+                        std::thread::sleep(self.opts.heartbeat_interval);
+                        continue;
+                    }
+                    let mut g = self.inner.lock();
+                    if resp.term > g.term {
+                        g.term = resp.term;
+                        g.voted_for = None;
+                        self.set_role(&mut g, Role::Follower);
+                        return;
+                    }
+                    if g.role != Role::Leader || g.leader_epoch != epoch {
+                        return;
+                    }
+                    if resp.success {
+                        g.next_index[peer_id] = resp.match_index + 1;
+                        g.match_index[peer_id] = g.match_index[peer_id].max(resp.match_index);
+                        self.advance_commit(&mut g);
+                    } else {
+                        // Install aborted on the peer; retry at
+                        // heartbeat pace.
+                        drop(g);
+                        std::thread::sleep(self.opts.heartbeat_interval);
+                    }
+                    continue;
+                }
+                Send::Entries {
+                    term,
+                    prev_index,
+                    prev_term,
+                    batch,
+                    commit,
+                } => (term, prev_index, prev_term, batch, commit),
             };
             if self.edge_cut(&peer) {
                 // Partitioned follower: behaves exactly like an unreachable
@@ -896,32 +1225,219 @@ impl<SM: StateMachine> RaftReplica<SM> {
         // batch: notifying every proposer after every entry turns the
         // applier into a thundering-herd bottleneck under write load.
         const APPLY_BATCH: u64 = 64;
+        enum Work<C> {
+            /// `(install_seq at collection, entries)` — stale-seq batches
+            /// are discarded after a concurrent snapshot restore.
+            Batch(u64, Vec<(u64, C)>),
+            Install(u64, u64, Arc<Vec<u8>>),
+        }
         loop {
-            let batch = {
+            let work = {
                 let mut g = self.inner.lock();
                 loop {
                     if self.shutdown.load(Ordering::Acquire) {
                         return;
                     }
-                    if self.alive.load(Ordering::Acquire) && g.last_applied < g.commit_index {
-                        let from = g.last_applied + 1;
-                        let to = g.commit_index.min(g.last_applied + APPLY_BATCH);
-                        let cmds: Vec<(u64, SM::Command)> = (from..=to)
-                            .map(|i| (i, g.log.get(i).expect("committed entry exists").cmd.clone()))
-                            .collect();
-                        break cmds;
+                    if self.alive.load(Ordering::Acquire) {
+                        if let Some((si, st, data)) = g.pending_install.take() {
+                            if si > g.last_applied {
+                                break Work::Install(si, st, data);
+                            }
+                            // Stale image (normal replication caught us up
+                            // first); count the attempt so the handler
+                            // stops waiting.
+                            g.install_seq += 1;
+                            self.apply_cv.notify_all();
+                        }
+                        if g.last_applied < g.commit_index {
+                            let from = g.last_applied + 1;
+                            let to = g.commit_index.min(g.last_applied + APPLY_BATCH);
+                            let cmds: Vec<(u64, SM::Command)> = (from..=to)
+                                .map(|i| {
+                                    (i, g.log.get(i).expect("committed entry exists").cmd.clone())
+                                })
+                                .collect();
+                            break Work::Batch(g.install_seq, cmds);
+                        }
                     }
                     self.apply_cv.wait_for(&mut g, Duration::from_millis(20));
                 }
             };
-            let last = batch.last().expect("non-empty batch").0;
-            for (index, cmd) in &batch {
-                self.sm.apply(*index, cmd);
+            match work {
+                Work::Batch(seq, batch) => {
+                    let last = batch.last().expect("non-empty batch").0;
+                    for (index, cmd) in &batch {
+                        self.sm.apply(*index, cmd);
+                    }
+                    let mut g = self.inner.lock();
+                    if g.install_seq != seq {
+                        // A snapshot restore (recover or install) rewound the
+                        // apply index while this batch was in flight; its
+                        // entries will be re-applied from the restored image.
+                        continue;
+                    }
+                    debug_assert_eq!(g.last_applied + 1, batch[0].0);
+                    g.last_applied = last;
+                    self.apply_cv.notify_all();
+                    let (applied, log_bytes) = (g.last_applied, g.log.bytes());
+                    self.metrics.log_bytes.set(log_bytes as i64);
+                    drop(g);
+                    self.maybe_snapshot(applied, log_bytes);
+                }
+                Work::Install(si, st, data) => self.finish_install(si, st, data),
             }
-            let mut g = self.inner.lock();
-            debug_assert_eq!(g.last_applied + 1, batch[0].0);
-            g.last_applied = last;
-            self.apply_cv.notify_all();
         }
+    }
+
+    // --- snapshotting --------------------------------------------------------
+
+    /// Considers a snapshot after the apply index advanced (apply thread
+    /// only): due when `snapshot_every` applied entries accumulated since
+    /// the last snapshot *or* the retained log crossed the bytes watermark.
+    fn maybe_snapshot(&self, applied: u64, log_bytes: u64) {
+        if self.opts.snapshot_every == 0 {
+            return;
+        }
+        let last = self.snap.lock().index;
+        let due_count = applied >= last + self.opts.snapshot_every;
+        let due_bytes = self.opts.log_watermark_bytes > 0
+            && log_bytes > self.opts.log_watermark_bytes
+            && applied > last;
+        if due_count || due_bytes {
+            self.take_snapshot(applied);
+        }
+    }
+
+    /// Captures a snapshot at `applied` (apply thread only, so the state
+    /// machine is quiescent), acknowledges it with a WAL checkpoint record,
+    /// then compacts the log prefix. Both fault points follow the same
+    /// discard-on-abort discipline as shard migration: an injected crash
+    /// mid-write leaves a torn image behind and the previous snapshot
+    /// authoritative; a torn checkpoint record is no acknowledgment, so the
+    /// image is dropped and the log keeps its prefix.
+    fn take_snapshot(&self, applied: u64) {
+        let _span = mantle_obs::trace::span(
+            "snapshot_write",
+            self.node.name(),
+            mantle_obs::trace::SpanKind::Local,
+        );
+        let framed = frame(self.sm.snapshot());
+        if self
+            .node
+            .faults()
+            .is_some_and(|p| p.snapshot_write_fails(self.node.name()))
+        {
+            // Crash mid-write: only a prefix of the frame reached disk.
+            let torn = framed[..framed.len() / 2].to_vec();
+            *self.torn_snap.lock() = Some(Arc::new(torn));
+            self.metrics.snapshot_aborts.inc();
+            mantle_obs::flight::annotate_with(|| {
+                format!(
+                    "raft:snapshot phase=abort_write node={} index={applied}",
+                    self.node.name()
+                )
+            });
+            return;
+        }
+        if self.wal.append_checkpoint(applied).is_err() {
+            self.metrics.snapshot_aborts.inc();
+            mantle_obs::flight::annotate_with(|| {
+                format!(
+                    "raft:snapshot phase=abort_checkpoint node={} index={applied}",
+                    self.node.name()
+                )
+            });
+            return;
+        }
+        let mut g = self.inner.lock();
+        let Some(term) = g.log.term_at(applied) else {
+            return; // Already compacted past (a newer install superseded us).
+        };
+        {
+            let mut s = self.snap.lock();
+            if applied <= s.index {
+                return;
+            }
+            *s = Snapshot {
+                index: applied,
+                term,
+                data: Arc::new(framed),
+            };
+        }
+        *self.torn_snap.lock() = None;
+        g.log
+            .compact(applied.saturating_sub(self.opts.snapshot_keep_entries));
+        let log_bytes = g.log.bytes();
+        drop(g);
+        self.metrics.snapshots.inc();
+        self.snapshots_taken.fetch_add(1, Ordering::Relaxed);
+        self.metrics.log_bytes.set(log_bytes as i64);
+        mantle_obs::flight::annotate_with(|| {
+            format!(
+                "raft:snapshot node={} index={applied} log_bytes={log_bytes}",
+                self.node.name()
+            )
+        });
+    }
+
+    /// Applies a staged InstallSnapshot image (apply thread only). An
+    /// injected `snap_install` crash or a torn image aborts the install and
+    /// leaves the pre-install state authoritative — the leader retries.
+    fn finish_install(&self, si: u64, st: u64, data: Arc<Vec<u8>>) {
+        let faulted = self
+            .node
+            .faults()
+            .is_some_and(|p| p.snapshot_install_fails(self.node.name()));
+        let image = if faulted { None } else { unframe(&data) };
+        let Some(image) = image else {
+            self.metrics.snapshot_aborts.inc();
+            mantle_obs::flight::annotate_with(|| {
+                format!(
+                    "raft:install_snapshot phase=abort node={} index={si}",
+                    self.node.name()
+                )
+            });
+            let mut g = self.inner.lock();
+            g.install_seq += 1;
+            self.apply_cv.notify_all();
+            return;
+        };
+        let _span = mantle_obs::trace::span(
+            "snapshot_restore",
+            self.node.name(),
+            mantle_obs::trace::SpanKind::Local,
+        );
+        mantle_obs::flight::annotate_with(|| {
+            format!(
+                "raft:install_snapshot phase=restore node={} index={si} bytes={}",
+                self.node.name(),
+                data.len()
+            )
+        });
+        self.sm.restore(image);
+        let mut g = self.inner.lock();
+        g.log.install_snapshot(si, st);
+        if g.last_applied < si {
+            g.last_applied = si;
+        }
+        if g.commit_index < si {
+            g.commit_index = si;
+        }
+        {
+            let mut s = self.snap.lock();
+            if si > s.index {
+                *s = Snapshot {
+                    index: si,
+                    term: st,
+                    data,
+                };
+            }
+        }
+        *self.torn_snap.lock() = None;
+        g.install_seq += 1;
+        self.installs_applied.fetch_add(1, Ordering::Relaxed);
+        self.metrics.installs.inc();
+        self.metrics.log_bytes.set(g.log.bytes() as i64);
+        self.apply_cv.notify_all();
     }
 }

@@ -67,6 +67,12 @@ pub enum FaultKind {
     /// A shard-range migration crashed at its commit point (rows copied to
     /// the target, shard-map swap not yet published).
     SplitCommit,
+    /// A replica crashed while writing a state-machine snapshot, leaving a
+    /// torn image on disk (the previous snapshot stays authoritative).
+    SnapshotWrite,
+    /// A follower crashed while installing a received snapshot (the
+    /// pre-install state stays authoritative; the leader retries).
+    SnapshotInstall,
 }
 
 impl FaultKind {
@@ -83,6 +89,8 @@ impl FaultKind {
             FaultKind::TxnCommit => "txn_commit",
             FaultKind::SplitPrepare => "split_prepare",
             FaultKind::SplitCommit => "split_commit",
+            FaultKind::SnapshotWrite => "snap_write",
+            FaultKind::SnapshotInstall => "snap_install",
         }
     }
 
@@ -98,6 +106,8 @@ impl FaultKind {
             FaultKind::TxnCommit => 8,
             FaultKind::SplitPrepare => 9,
             FaultKind::SplitCommit => 10,
+            FaultKind::SnapshotWrite => 11,
+            FaultKind::SnapshotInstall => 12,
         }
     }
 }
@@ -136,6 +146,12 @@ pub struct FaultProfile {
     /// Probability a shard migration crashes at its commit point (rows
     /// copied but the map swap not published; the migration rolls back).
     pub split_commit_fail_prob: f64,
+    /// Probability a snapshot write crashes partway, leaving a torn image
+    /// (the previous snapshot stays authoritative).
+    pub snapshot_write_fail_prob: f64,
+    /// Probability a snapshot install crashes before the image is applied
+    /// (the pre-install state stays authoritative; the leader retries).
+    pub snapshot_install_fail_prob: f64,
 }
 
 impl FaultProfile {
@@ -156,6 +172,8 @@ impl FaultProfile {
             txn_commit_hiccup_prob: 0.0,
             split_prepare_fail_prob: 0.0,
             split_commit_fail_prob: 0.0,
+            snapshot_write_fail_prob: 0.0,
+            snapshot_install_fail_prob: 0.0,
         }
     }
 
@@ -177,6 +195,8 @@ impl FaultProfile {
             txn_commit_hiccup_prob: 0.02,
             split_prepare_fail_prob: 0.0,
             split_commit_fail_prob: 0.0,
+            snapshot_write_fail_prob: 0.0,
+            snapshot_install_fail_prob: 0.0,
         }
     }
 
@@ -186,6 +206,17 @@ impl FaultProfile {
         FaultProfile {
             split_prepare_fail_prob: 0.25,
             split_commit_fail_prob: 0.25,
+            ..FaultProfile::storm()
+        }
+    }
+
+    /// The storm profile plus crash-during-snapshot and crash-during-install
+    /// faults, for chaos runs exercising Raft snapshotting/compaction
+    /// (nightly seeds 32..47).
+    pub fn snapshot_storm() -> Self {
+        FaultProfile {
+            snapshot_write_fail_prob: 0.25,
+            snapshot_install_fail_prob: 0.25,
             ..FaultProfile::storm()
         }
     }
@@ -244,6 +275,10 @@ struct PlanState {
     forced_split_prepare: HashMap<String, u32>,
     /// Migration sites with forced commit failures still pending.
     forced_split_commit: HashMap<String, u32>,
+    /// Nodes with forced snapshot-write failures still pending.
+    forced_snapshot_write: HashMap<String, u32>,
+    /// Nodes with forced snapshot-install failures still pending.
+    forced_snapshot_install: HashMap<String, u32>,
     /// Registered crash/restart hooks per node name.
     hooks: HashMap<String, (NodeHook, NodeHook)>,
     events: Vec<FaultEvent>,
@@ -683,6 +718,90 @@ impl FaultPlan {
             .is_some()
         {
             self.record(FaultKind::SplitCommit, site, "commit".to_string());
+            return true;
+        }
+        false
+    }
+
+    // ---- raft snapshot faults -------------------------------------------
+
+    /// Forces the next `n` snapshot writes at `site` (a node name) to crash
+    /// partway, leaving a torn image. Used by the torn-snapshot chaos test.
+    pub fn force_snapshot_write_failure(&self, site: &str, n: u32) {
+        self.state
+            .lock()
+            .forced_snapshot_write
+            .entry(site.to_string())
+            .and_modify(|c| *c += n)
+            .or_insert(n);
+        self.record(FaultKind::SnapshotWrite, site, format!("force n={n}"));
+    }
+
+    /// Forces the next `n` snapshot installs at `site` to crash before the
+    /// image is applied.
+    pub fn force_snapshot_install_failure(&self, site: &str, n: u32) {
+        self.state
+            .lock()
+            .forced_snapshot_install
+            .entry(site.to_string())
+            .and_modify(|c| *c += n)
+            .or_insert(n);
+        self.record(FaultKind::SnapshotInstall, site, format!("force n={n}"));
+    }
+
+    /// Decides whether the snapshot write at `site` crashes partway. The
+    /// replica keeps its previous snapshot authoritative and the log keeps
+    /// its prefix — same discard-on-abort discipline as shard migration.
+    pub fn snapshot_write_fails(&self, site: &str) -> bool {
+        {
+            let mut st = self.state.lock();
+            if let Some(c) = st.forced_snapshot_write.get_mut(site) {
+                if *c > 0 {
+                    *c -= 1;
+                    drop(st);
+                    self.record(FaultKind::SnapshotWrite, site, "forced".to_string());
+                    return true;
+                }
+            }
+        }
+        if self
+            .roll(
+                FaultKind::SnapshotWrite,
+                site,
+                self.profile.snapshot_write_fail_prob,
+            )
+            .is_some()
+        {
+            self.record(FaultKind::SnapshotWrite, site, "write".to_string());
+            return true;
+        }
+        false
+    }
+
+    /// Decides whether the snapshot install at `site` crashes before the
+    /// image is applied. The pre-install state stays authoritative and the
+    /// leader retries the transfer.
+    pub fn snapshot_install_fails(&self, site: &str) -> bool {
+        {
+            let mut st = self.state.lock();
+            if let Some(c) = st.forced_snapshot_install.get_mut(site) {
+                if *c > 0 {
+                    *c -= 1;
+                    drop(st);
+                    self.record(FaultKind::SnapshotInstall, site, "forced".to_string());
+                    return true;
+                }
+            }
+        }
+        if self
+            .roll(
+                FaultKind::SnapshotInstall,
+                site,
+                self.profile.snapshot_install_fail_prob,
+            )
+            .is_some()
+        {
+            self.record(FaultKind::SnapshotInstall, site, "install".to_string());
             return true;
         }
         false

@@ -183,6 +183,23 @@ impl<V: Clone> KvStore<V> {
         f(&mut self.map.write())
     }
 
+    /// Every row in key order — one consistent snapshot of the whole store,
+    /// used by shard checkpointing (DESIGN.md §4.11).
+    pub fn export_rows(&self) -> Vec<(RowKey, V)> {
+        self.map
+            .read()
+            .iter()
+            .map(|(k, v)| (k.clone(), v.clone()))
+            .collect()
+    }
+
+    /// Replaces the entire store contents (checkpoint restore).
+    pub fn replace_all(&self, rows: Vec<(RowKey, V)>) {
+        let mut map = self.map.write();
+        map.clear();
+        map.extend(rows);
+    }
+
     /// Number of rows.
     pub fn len(&self) -> usize {
         self.map.read().len()

@@ -55,11 +55,19 @@ struct State {
 
 /// One record in the fault-visible record log (see
 /// [`GroupCommitWal::append_record`]).
+#[derive(Clone, Copy)]
+struct Record {
+    payload: u64,
+    /// Checkpoint marker ([`GroupCommitWal::append_checkpoint`]): recovery
+    /// truncates everything before the latest durable checkpoint.
+    checkpoint: bool,
+}
+
 #[derive(Default)]
 struct RecordLog {
-    /// Record payloads in append order; the tail past `durable` is *torn*
-    /// (written but never fsynced) and is discarded by recovery.
-    entries: Vec<u64>,
+    /// Records in append order; the tail past `durable` is *torn* (written
+    /// but never fsynced) and is discarded by recovery.
+    entries: Vec<Record>,
     /// Number of leading entries that are durable.
     durable: usize,
 }
@@ -200,6 +208,21 @@ impl GroupCommitWal {
     /// acknowledgment and an `Err` guarantees the record will not be
     /// replayed.
     pub fn append_record(&self, payload: u64) -> Result<u64, MetaError> {
+        self.push_record(payload, false)
+    }
+
+    /// Appends a **checkpoint** record: an acknowledgment that all state up
+    /// to `payload` (an applied log index, a snapshot id, ...) is captured
+    /// elsewhere, so everything logged before it is dead weight. Recovery
+    /// ([`GroupCommitWal::recover`]) truncates the log to the latest durable
+    /// checkpoint. Same torn-record semantics as
+    /// [`GroupCommitWal::append_record`]: an `Err` means the checkpoint was
+    /// never acknowledged and recovery will not truncate on it.
+    pub fn append_checkpoint(&self, payload: u64) -> Result<u64, MetaError> {
+        self.push_record(payload, true)
+    }
+
+    fn push_record(&self, payload: u64, checkpoint: bool) -> Result<u64, MetaError> {
         self.appends.fetch_add(1, Ordering::Relaxed);
         self.metrics.appends.inc();
         let mut log = self.records.lock();
@@ -208,7 +231,10 @@ impl GroupCommitWal {
         // made durable by a *later* record's fsync.
         let durable = log.durable;
         log.entries.truncate(durable);
-        log.entries.push(payload);
+        log.entries.push(Record {
+            payload,
+            checkpoint,
+        });
         self.fsyncs.fetch_add(1, Ordering::Relaxed);
         self.metrics.fsyncs.inc();
         if !self.fsync_once() {
@@ -227,19 +253,41 @@ impl GroupCommitWal {
     /// Simulates a crash + restart of the owning store: the torn tail of
     /// the record log (appended but never successfully fsynced) is
     /// discarded, exactly as physical log recovery drops records that fail
-    /// their checksum. Returns the number of torn records dropped.
+    /// their checksum, and the log is truncated to its latest durable
+    /// checkpoint (replaying records already captured by a checkpointed
+    /// snapshot would be O(history) recovery). Returns the number of torn
+    /// records dropped.
     pub fn recover(&self) -> usize {
         let mut log = self.records.lock();
         let torn = log.entries.len() - log.durable;
         let durable = log.durable;
         log.entries.truncate(durable);
+        if let Some(ck) = log.entries.iter().rposition(|r| r.checkpoint) {
+            // The checkpoint record itself is kept as the truncation anchor.
+            log.entries.drain(..ck);
+            log.durable = log.entries.len();
+        }
         torn
     }
 
-    /// The acknowledged (durable) records, in append order.
+    /// The acknowledged (durable) non-checkpoint records, in append order.
     pub fn durable_records(&self) -> Vec<u64> {
         let log = self.records.lock();
-        log.entries[..log.durable].to_vec()
+        log.entries[..log.durable]
+            .iter()
+            .filter(|r| !r.checkpoint)
+            .map(|r| r.payload)
+            .collect()
+    }
+
+    /// Payload of the latest durable checkpoint record, if any.
+    pub fn last_checkpoint(&self) -> Option<u64> {
+        let log = self.records.lock();
+        log.entries[..log.durable]
+            .iter()
+            .rev()
+            .find(|r| r.checkpoint)
+            .map(|r| r.payload)
     }
 
     /// Number of physical fsyncs performed.
@@ -350,5 +398,35 @@ mod tests {
         assert!(wal.append_record(400).is_err());
         assert_eq!(wal.recover(), 1, "torn tail dropped by recovery");
         assert_eq!(wal.durable_records(), vec![100, 300]);
+    }
+
+    #[test]
+    fn recovery_truncates_before_latest_durable_checkpoint() {
+        use mantle_rpc::faults::{FaultPlan, FaultProfile};
+        let wal = GroupCommitWal::new_scoped(SimConfig::instant(), false, "waltest_ckpt");
+        let plan = FaultPlan::new(1, FaultProfile::zeroed());
+        wal.set_faults(Some(plan.clone()));
+
+        wal.append_record(1).unwrap();
+        wal.append_record(2).unwrap();
+        wal.append_checkpoint(2).unwrap();
+        wal.append_record(3).unwrap();
+        assert_eq!(wal.last_checkpoint(), Some(2));
+        assert_eq!(wal.durable_records(), vec![1, 2, 3]);
+
+        // Recovery drops everything the checkpoint already captured; the
+        // suffix past it survives and so does the checkpoint anchor.
+        assert_eq!(wal.recover(), 0);
+        assert_eq!(wal.durable_records(), vec![3]);
+        assert_eq!(wal.last_checkpoint(), Some(2));
+
+        // A torn checkpoint is no acknowledgment: recovery must not
+        // truncate on it.
+        wal.append_record(4).unwrap();
+        plan.force_fsync_failure("waltest_ckpt", 1);
+        assert!(wal.append_checkpoint(4).is_err());
+        assert_eq!(wal.recover(), 1);
+        assert_eq!(wal.durable_records(), vec![3, 4]);
+        assert_eq!(wal.last_checkpoint(), Some(2));
     }
 }

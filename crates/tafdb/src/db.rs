@@ -158,6 +158,8 @@ struct DbMetrics {
     range_migrations: Counter,
     rows_migrated: Counter,
     stale_routes: Counter,
+    checkpoints: Counter,
+    checkpoint_aborts: Counter,
     /// Per-shard busy-time delta over the last controller tick.
     shard_load: Vec<Gauge>,
 }
@@ -177,6 +179,8 @@ impl DbMetrics {
             range_migrations: mantle_obs::counter("tafdb_range_migrations_total", &[]),
             rows_migrated: mantle_obs::counter("tafdb_rows_migrated_total", &[]),
             stale_routes: mantle_obs::counter("tafdb_stale_routes_total", &[]),
+            checkpoints: mantle_obs::counter("tafdb_checkpoints_total", &[]),
+            checkpoint_aborts: mantle_obs::counter("tafdb_checkpoint_aborts_total", &[]),
             shard_load: (0..n_shards)
                 .map(|i| mantle_obs::gauge("tafdb_shard_load", &[("shard", &i.to_string())]))
                 .collect(),
@@ -214,6 +218,9 @@ struct Shard {
     mig_active: AtomicBool,
     /// The inclusive placement range being migrated (diagnostics).
     mig_range: Mutex<Option<(u64, u64)>>,
+    /// Latest known-good checkpoint image (framed; DESIGN.md §4.11). Only
+    /// replaced by a fully written, WAL-acknowledged successor.
+    snap: Mutex<Option<Arc<Vec<u8>>>>,
 }
 
 impl Shard {
@@ -335,6 +342,7 @@ impl TafDb {
                 in_flight: AtomicU64::new(0),
                 mig_active: AtomicBool::new(false),
                 mig_range: Mutex::new(None),
+                snap: Mutex::new(None),
             })
             .collect();
         let db = Arc::new(TafDb {
@@ -1771,6 +1779,100 @@ impl TafDb {
             .fetch_add(keys.len() as u64, Ordering::Relaxed);
         self.metrics.rows_migrated.add(keys.len() as u64);
         Ok(keys.len())
+    }
+
+    /// Checkpoints shard `i` (DESIGN.md §4.11): serializes every row into a
+    /// checksummed image, acknowledges it with a WAL checkpoint record
+    /// (recovery then truncates the shard's log to it), and retains the
+    /// image as the shard's recovery point. Returns the rows captured.
+    ///
+    /// # Errors
+    ///
+    /// [`MetaError::Transient`] when an injected `snap_write` fault crashes
+    /// the image write or the checkpoint record's fsync is torn; either way
+    /// the previous checkpoint stays authoritative — the same
+    /// discard-on-abort discipline as range migration.
+    pub fn checkpoint_shard(&self, i: usize) -> Result<usize> {
+        let shard = &self.shards[i];
+        let _span = mantle_obs::trace::span(
+            "shard_checkpoint",
+            shard.node.name(),
+            mantle_obs::trace::SpanKind::Local,
+        );
+        let rows = shard.store.export_rows();
+        let mut w = mantle_types::snapshot::SnapshotWriter::new();
+        w.u64(rows.len() as u64);
+        for (k, row) in &rows {
+            crate::schema::write_row(&mut w, k, row);
+        }
+        let framed = mantle_types::snapshot::frame(w.finish());
+        if self
+            .faults
+            .get()
+            .is_some_and(|p| p.snapshot_write_fails(shard.node.name()))
+        {
+            self.metrics.checkpoint_aborts.inc();
+            mantle_obs::flight::annotate_with(|| {
+                format!("tafdb:checkpoint phase=abort_write shard={i}")
+            });
+            return Err(MetaError::Transient {
+                kind: "snap_write".to_string(),
+                at: shard.node.name().to_string(),
+            });
+        }
+        shard.wal.append_checkpoint(rows.len() as u64)?;
+        *shard.snap.lock() = Some(Arc::new(framed));
+        self.metrics.checkpoints.inc();
+        mantle_obs::flight::annotate_with(|| {
+            format!("tafdb:checkpoint shard={i} rows={}", rows.len())
+        });
+        Ok(rows.len())
+    }
+
+    /// Checkpoints every shard; returns the total rows captured across the
+    /// shards that succeeded and the index of any shard whose checkpoint
+    /// aborted on an injected fault.
+    pub fn checkpoint_all(&self) -> (usize, Vec<usize>) {
+        let mut total = 0;
+        let mut failed = Vec::new();
+        for i in 0..self.shards.len() {
+            match self.checkpoint_shard(i) {
+                Ok(n) => total += n,
+                Err(_) => failed.push(i),
+            }
+        }
+        (total, failed)
+    }
+
+    /// Restores shard `i` from its latest known-good checkpoint, replacing
+    /// the live rows and rebuilding the delta-record registry from the
+    /// restored keys. Returns `false` (leaving the shard untouched) when no
+    /// checkpoint exists or the image fails checksum validation (a torn
+    /// write) — the caller falls back to full WAL replay.
+    pub fn restore_shard(&self, i: usize) -> bool {
+        let shard = &self.shards[i];
+        let Some(framed) = shard.snap.lock().clone() else {
+            return false;
+        };
+        let Some(image) = mantle_types::snapshot::unframe(&framed) else {
+            self.metrics.checkpoint_aborts.inc();
+            return false;
+        };
+        let mut r = mantle_types::snapshot::SnapshotReader::new(image);
+        let n = r.u64() as usize;
+        let mut rows = Vec::with_capacity(n);
+        for _ in 0..n {
+            rows.push(crate::schema::read_row(&mut r));
+        }
+        let dirs: HashSet<InodeId> = rows
+            .iter()
+            .filter(|(k, _)| k.ts != TxnId::BASE && k.name.as_ref() == ATTR_ROW_NAME)
+            .map(|(k, _)| k.pid)
+            .collect();
+        shard.store.replace_all(rows);
+        *shard.delta_dirs.lock() = dirs;
+        mantle_obs::flight::annotate_with(|| format!("tafdb:checkpoint_restore shard={i}"));
+        true
     }
 
     /// One placement-controller tick: refresh per-shard load gauges from

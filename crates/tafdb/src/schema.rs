@@ -64,6 +64,83 @@ pub fn delta_key(dir: InodeId, ts: TxnId) -> RowKey {
     RowKey::delta(dir, ATTR_ROW_NAME, ts)
 }
 
+/// Serializes one `(key, row)` pair into a shard checkpoint image
+/// (DESIGN.md §4.11). Fixed layout so two shards holding the same rows
+/// produce byte-identical images.
+pub fn write_row(w: &mut mantle_types::snapshot::SnapshotWriter, key: &RowKey, row: &Row) {
+    w.u64(key.pid.0);
+    w.str(&key.name);
+    w.u64(key.ts.0);
+    match row {
+        Row::DirAccess { id, permission } => {
+            w.u8(0);
+            w.u64(id.0);
+            w.u16(permission.0);
+        }
+        Row::DirAttr(a) => {
+            w.u8(1);
+            w.i64(a.nlink);
+            w.i64(a.entries);
+            w.u64(a.ctime);
+            w.u64(a.mtime);
+            w.u32(a.owner);
+        }
+        Row::Delta(d) => {
+            w.u8(2);
+            w.i64(d.nlink);
+            w.i64(d.entries);
+            w.u64(d.mtime);
+        }
+        Row::Object(o) => {
+            w.u8(3);
+            w.u64(o.pid.0);
+            w.str(&o.name);
+            w.u64(o.id.0);
+            w.u64(o.size);
+            w.u64(o.blob);
+            w.u64(o.ctime);
+            w.u16(o.permission.0);
+        }
+    }
+}
+
+/// Reads one `(key, row)` pair written by [`write_row`].
+pub fn read_row(r: &mut mantle_types::snapshot::SnapshotReader<'_>) -> (RowKey, Row) {
+    let pid = InodeId(r.u64());
+    let name = r.str();
+    let ts = TxnId(r.u64());
+    let key = RowKey::delta(pid, &name, ts);
+    let row = match r.u8() {
+        0 => Row::DirAccess {
+            id: InodeId(r.u64()),
+            permission: Permission(r.u16()),
+        },
+        1 => Row::DirAttr(DirAttrMeta {
+            nlink: r.i64(),
+            entries: r.i64(),
+            ctime: r.u64(),
+            mtime: r.u64(),
+            owner: r.u32(),
+        }),
+        2 => Row::Delta(AttrDelta {
+            nlink: r.i64(),
+            entries: r.i64(),
+            mtime: r.u64(),
+        }),
+        3 => Row::Object(ObjectMeta {
+            pid: InodeId(r.u64()),
+            name: r.str(),
+            id: InodeId(r.u64()),
+            size: r.u64(),
+            blob: r.u64(),
+            ctime: r.u64(),
+            permission: Permission(r.u16()),
+        }),
+        tag => unreachable!("unknown row tag {tag} in checkpoint image"),
+    };
+    (key, row)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -77,6 +154,53 @@ mod tests {
         assert!(attr_key(dir) < entry_key(dir, "a"));
         assert!(attr_key(dir) < delta_key(dir, TxnId(1)));
         assert!(delta_key(dir, TxnId(1)) < delta_key(dir, TxnId(2)));
+    }
+
+    #[test]
+    fn row_codec_round_trips() {
+        use mantle_types::snapshot::{SnapshotReader, SnapshotWriter};
+        let rows = vec![
+            (
+                entry_key(InodeId(1), "a"),
+                Row::DirAccess {
+                    id: InodeId(2),
+                    permission: Permission::ALL,
+                },
+            ),
+            (attr_key(InodeId(2)), Row::DirAttr(DirAttrMeta::new(5, 1))),
+            (
+                delta_key(InodeId(2), TxnId(9)),
+                Row::Delta(AttrDelta {
+                    nlink: 1,
+                    entries: 1,
+                    mtime: 7,
+                }),
+            ),
+            (
+                entry_key(InodeId(1), "obj"),
+                Row::Object(ObjectMeta {
+                    pid: InodeId(1),
+                    name: "obj".to_string(),
+                    id: InodeId(3),
+                    size: 10,
+                    blob: 4,
+                    ctime: 2,
+                    permission: Permission::ALL,
+                }),
+            ),
+        ];
+        let mut w = SnapshotWriter::new();
+        for (k, row) in &rows {
+            write_row(&mut w, k, row);
+        }
+        let img = w.finish();
+        let mut r = SnapshotReader::new(&img);
+        for (k, row) in &rows {
+            let (k2, row2) = read_row(&mut r);
+            assert_eq!(&k2, k);
+            assert_eq!(&row2, row);
+        }
+        assert!(r.is_empty());
     }
 
     #[test]

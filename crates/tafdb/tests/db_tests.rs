@@ -456,3 +456,119 @@ fn resolve_step_distinguishes_kinds() {
         Err(MetaError::IsADirectory(_))
     ));
 }
+
+#[test]
+fn checkpoint_restore_round_trips_shard_state() {
+    let db = db_with(TafDbOptions {
+        n_shards: 1,
+        ..TafDbOptions::default()
+    });
+    let mut stats = OpStats::new();
+    let ops = vec![
+        TxnOp::InsertUnique {
+            key: entry_key(ROOT_ID, "kept"),
+            row: Row::DirAccess {
+                id: InodeId(100),
+                permission: Permission::ALL,
+            },
+        },
+        TxnOp::Put {
+            key: attr_key(InodeId(100)),
+            row: Row::DirAttr(DirAttrMeta::new(1, 0)),
+        },
+        TxnOp::AttrUpdate {
+            dir: ROOT_ID,
+            delta: AttrDelta {
+                nlink: 1,
+                entries: 1,
+                mtime: 1,
+            },
+        },
+    ];
+    db.execute(&ops, &mut stats).unwrap();
+    let before = db.dir_stat(ROOT_ID, &mut stats).unwrap();
+
+    let (rows, failed) = db.checkpoint_all();
+    assert!(failed.is_empty());
+    assert!(rows > 0, "checkpoint captured no rows");
+
+    // Mutate past the checkpoint, then restore: the later write vanishes,
+    // the checkpointed state (including folded attributes) survives.
+    db.execute(
+        &[TxnOp::InsertUnique {
+            key: entry_key(ROOT_ID, "after"),
+            row: Row::DirAccess {
+                id: InodeId(200),
+                permission: Permission::ALL,
+            },
+        }],
+        &mut stats,
+    )
+    .unwrap();
+    assert!(db.raw_get(&entry_key(ROOT_ID, "after")).is_some());
+
+    assert!(db.restore_shard(0));
+    assert!(db.raw_get(&entry_key(ROOT_ID, "after")).is_none());
+    assert!(db.raw_get(&entry_key(ROOT_ID, "kept")).is_some());
+    let after = db.dir_stat(ROOT_ID, &mut stats).unwrap();
+    assert_eq!(after.nlink, before.nlink);
+    assert_eq!(after.entries, before.entries);
+}
+
+#[test]
+fn aborted_checkpoint_leaves_previous_one_authoritative() {
+    use mantle_rpc::faults::{FaultPlan, FaultProfile};
+
+    let db = db_with(TafDbOptions {
+        n_shards: 1,
+        ..TafDbOptions::default()
+    });
+    let mut stats = OpStats::new();
+    db.execute(
+        &[TxnOp::InsertUnique {
+            key: entry_key(ROOT_ID, "v1"),
+            row: Row::DirAccess {
+                id: InodeId(1),
+                permission: Permission::ALL,
+            },
+        }],
+        &mut stats,
+    )
+    .unwrap();
+    let (_, failed) = db.checkpoint_all();
+    assert!(failed.is_empty());
+
+    db.execute(
+        &[TxnOp::InsertUnique {
+            key: entry_key(ROOT_ID, "v2"),
+            row: Row::DirAccess {
+                id: InodeId(2),
+                permission: Permission::ALL,
+            },
+        }],
+        &mut stats,
+    )
+    .unwrap();
+
+    // The next checkpoint crashes mid-write: it must not replace the good
+    // image, so restore falls back to the v1 state.
+    let plan = FaultPlan::new(7, FaultProfile::zeroed());
+    plan.force_snapshot_write_failure("tafdb0", 1);
+    db.install_faults(Some(plan));
+    let (_, failed) = db.checkpoint_all();
+    assert_eq!(failed, vec![0]);
+    db.install_faults(None);
+
+    assert!(db.restore_shard(0));
+    assert!(db.raw_get(&entry_key(ROOT_ID, "v1")).is_some());
+    assert!(db.raw_get(&entry_key(ROOT_ID, "v2")).is_none());
+}
+
+#[test]
+fn restore_without_checkpoint_is_refused() {
+    let db = db_with(TafDbOptions {
+        n_shards: 1,
+        ..TafDbOptions::default()
+    });
+    assert!(!db.restore_shard(0));
+}

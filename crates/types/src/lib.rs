@@ -31,6 +31,7 @@ pub mod path;
 pub mod perm;
 pub mod record;
 pub mod service;
+pub mod snapshot;
 pub mod stats;
 
 pub use clock::{ClockMode, SimInstant, TimeCategory, TimeStats};

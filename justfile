@@ -33,18 +33,26 @@ smoke:
     done
     echo "smoke OK: $(ls results/*.json | wc -l) result files parse"
 
+# The CI perf-regression gate, locally: seed-pinned virtual-clock mdtest
+# suite vs ci/perf_baseline.json (>10% latency or RPC regression fails).
+# Refresh the baseline after an intentional model change with
+#   MANTLE_PERF_UPDATE_BASELINE=1 just perf-gate
+perf-gate:
+    cargo run --release -p mantle-bench --bin perf_gate
+
 # Re-run one chaos seed with full tracing and the fault timeline printed —
 # the local repro loop for a red nightly chaos seed (see README).
 chaos SEED="0":
     MANTLE_FAULT_SEED={{SEED}} MANTLE_TRACE_SAMPLE=1 MANTLE_CHAOS_TIMELINE=1 \
         cargo test -q --test chaos -- --nocapture
 
-# The full nightly sweep, locally.
+# The full nightly sweep, locally (0..31 base storm, 32..47 snapshot
+# storm).
 chaos-sweep:
     #!/usr/bin/env bash
     set -u
     failed=""
-    for seed in $(seq 0 31); do
+    for seed in $(seq 0 47); do
         echo "== chaos seed $seed =="
         MANTLE_FAULT_SEED=$seed cargo test -q --test chaos || failed="$failed $seed"
     done

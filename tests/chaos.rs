@@ -14,7 +14,8 @@
 //!   acknowledged namespace exactly after the storm heals.
 //!
 //! The seed sweep is driven by `MANTLE_FAULT_SEED` (one seed per process,
-//! as the nightly chaos CI job does for seeds 0..31) and defaults to a
+//! as the nightly chaos CI job does for seeds 0..47; the 32..47 band
+//! selects the snapshot-storm profile) and defaults to a
 //! small fixed set for plain `cargo test`. On failure the panic reporter
 //! prints the seed + profile, and `MANTLE_CHAOS_BUNDLE_DIR` captures a
 //! repro bundle. Set `MANTLE_CHAOS_TIMELINE=1` to dump the fault timeline
@@ -42,12 +43,25 @@ fn seeds_under_test() -> Vec<u64> {
     }
 }
 
-/// A cluster with fast elections so crash storms resolve quickly.
+/// Storm profile for a seed: the nightly sweep's upper seed band (32..48)
+/// layers snapshot-write and snapshot-install crashes on top of the base
+/// storm, exercising §4.11's discard-on-abort windows.
+fn storm_profile(seed: u64) -> FaultProfile {
+    if seed >= 32 {
+        FaultProfile::snapshot_storm()
+    } else {
+        FaultProfile::storm()
+    }
+}
+
+/// A cluster with fast elections so crash storms resolve quickly, and
+/// aggressive snapshotting so storms overlap compaction windows.
 fn chaos_cluster() -> Arc<MantleCluster> {
     let mut config = MantleConfig::with_sim(SimConfig::instant(), 4);
     config.index.raft.election_timeout_min = Duration::from_millis(40);
     config.index.raft.election_timeout_max = Duration::from_millis(80);
     config.index.raft.heartbeat_interval = Duration::from_millis(10);
+    config.index.raft.snapshot_every = 64;
     MantleCluster::with_config(config)
 }
 
@@ -77,7 +91,7 @@ fn chaos_storm_preserves_acknowledged_namespace() {
         let mut stats = OpStats::new();
         svc.mkdir(&p("/w"), &mut stats).unwrap();
 
-        let plan = FaultPlan::new(seed, FaultProfile::storm()).activate();
+        let plan = FaultPlan::new(seed, storm_profile(seed)).activate();
         cluster.install_faults(&plan);
 
         const WORKERS: usize = 4;
@@ -361,5 +375,172 @@ fn baseline_survives_storm() {
         }
         fs.install_faults(None);
         assert_eq!(retry(|stats| svc.readdir(&p("/base"), stats)).len(), 40);
+    }
+}
+
+// --- snapshot crash windows (DESIGN.md §4.11) ---------------------------
+
+mod snapshot_chaos {
+    use super::*;
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    use mantle::raft::{RaftGroup, RaftOptions, StateMachine};
+    use mantle::rpc::SimNode;
+    use mantle::types::snapshot::{SnapshotReader, SnapshotWriter};
+
+    /// Order-sensitive state: a count plus a rolling hash chain over the
+    /// applied commands. Two replicas agree on the chain iff they executed
+    /// the exact same history — any lost ack diverges it.
+    #[derive(Default)]
+    struct ChainSm {
+        count: AtomicU64,
+        chain: AtomicU64,
+    }
+
+    impl StateMachine for ChainSm {
+        type Command = u64;
+
+        fn apply(&self, _index: u64, cmd: &u64) {
+            if *cmd == u64::MAX {
+                return; // Term-start barrier.
+            }
+            self.count.fetch_add(1, Ordering::SeqCst);
+            // The apply thread is the sole mutator, so load+store is safe.
+            let prev = self.chain.load(Ordering::SeqCst);
+            self.chain
+                .store(prev.wrapping_mul(0x100_0000_01b3) ^ *cmd, Ordering::SeqCst);
+        }
+
+        fn barrier() -> u64 {
+            u64::MAX
+        }
+
+        fn snapshot(&self) -> Vec<u8> {
+            let mut w = SnapshotWriter::new();
+            w.u64(self.count.load(Ordering::SeqCst));
+            w.u64(self.chain.load(Ordering::SeqCst));
+            w.finish()
+        }
+
+        fn restore(&self, image: &[u8]) {
+            let mut r = SnapshotReader::new(image);
+            self.count.store(r.u64(), Ordering::SeqCst);
+            self.chain.store(r.u64(), Ordering::SeqCst);
+        }
+    }
+
+    fn raft_group(prefix: &str) -> RaftGroup<ChainSm> {
+        let config = SimConfig::instant();
+        let nodes = (0..3)
+            .map(|i| Arc::new(SimNode::new(format!("{prefix}{i}"), usize::MAX, config)))
+            .collect();
+        let opts = RaftOptions {
+            heartbeat_interval: Duration::from_millis(5),
+            election_timeout_min: Duration::from_millis(100),
+            election_timeout_max: Duration::from_millis(200),
+            snapshot_every: 256,
+            snapshot_keep_entries: 32,
+            ..RaftOptions::default()
+        };
+        RaftGroup::new(config, opts, nodes, 3, |_| ChainSm::default())
+    }
+
+    /// Crash during the snapshot *write*: the torn image must fail checksum
+    /// validation on recovery, the previous snapshot stays authoritative,
+    /// and every acknowledged entry survives the replay.
+    #[test]
+    fn torn_snapshot_write_falls_back_without_losing_acks() {
+        for seed in seeds_under_test() {
+            let prefix = format!("snapw{seed}_");
+            let g = raft_group(&prefix);
+            let leader = g.leader().expect("bootstrap leader");
+            let plan = FaultPlan::new(seed, FaultProfile::zeroed());
+            g.install_faults(Some(plan.clone()));
+
+            // First snapshot completes everywhere (applied crosses 256).
+            for i in 0..300u64 {
+                leader.propose(seed.wrapping_mul(1_000_003) ^ i).unwrap();
+            }
+            let follower = g.replica(1).clone();
+            assert!(follower.wait_for_applied(leader.last_applied(), Duration::from_secs(5)));
+            assert!(follower.snapshots_taken() >= 1, "seed {seed}");
+
+            // The follower's *next* snapshot write tears mid-file.
+            plan.force_snapshot_write_failure(&format!("{prefix}1"), 1);
+            let mut last = 0;
+            for i in 300..600u64 {
+                last = leader.propose(seed.wrapping_mul(1_000_003) ^ i).unwrap();
+            }
+            assert!(follower.wait_for_applied(last, Duration::from_secs(5)));
+            assert!(
+                plan.events().iter().any(|e| e.kind == "snap_write"),
+                "seed {seed}: the torn-write fault never fired"
+            );
+
+            // Crash + recover: checksum rejects the torn image, recovery
+            // anchors on the previous snapshot and replays the suffix.
+            g.crash(1);
+            g.recover(1);
+            let fin = leader.propose(seed.wrapping_mul(1_000_003) ^ 600).unwrap();
+            assert!(
+                follower.wait_for_applied(fin, Duration::from_secs(10)),
+                "seed {seed}: recovery from torn snapshot did not converge"
+            );
+            assert_eq!(
+                follower.state_machine().snapshot(),
+                leader.state_machine().snapshot(),
+                "seed {seed}: acknowledged entries lost across torn-snapshot recovery"
+            );
+        }
+    }
+
+    /// Crash during snapshot *install*: the receiver aborts the transfer,
+    /// keeps its old state authoritative, and the leader's retry converges.
+    #[test]
+    fn crash_during_install_retries_and_converges() {
+        for seed in seeds_under_test() {
+            let prefix = format!("snapi{seed}_");
+            let g = raft_group(&prefix);
+            let leader = g.leader().expect("bootstrap leader");
+            let plan = FaultPlan::new(seed, FaultProfile::zeroed());
+            g.install_faults(Some(plan.clone()));
+
+            for i in 0..100u64 {
+                leader.propose(seed.wrapping_mul(999_983) ^ i).unwrap();
+            }
+            let lagger = g.replica(2).clone();
+            for r in g.replicas() {
+                assert!(r.wait_for_applied(leader.last_applied(), Duration::from_secs(5)));
+            }
+            g.crash(2);
+            // Open a gap far past the retained suffix so catch-up *must*
+            // go through InstallSnapshot.
+            let mut last = 0;
+            for i in 100..1_600u64 {
+                last = leader.propose(seed.wrapping_mul(999_983) ^ i).unwrap();
+            }
+            assert!(leader.snapshot_index() > 100 + 32, "seed {seed}");
+
+            // The first install attempt dies on the receiver mid-restore.
+            plan.force_snapshot_install_failure(&format!("{prefix}2"), 1);
+            g.recover(2);
+            assert!(
+                lagger.wait_for_applied(last, Duration::from_secs(10)),
+                "seed {seed}: install retry did not converge"
+            );
+            assert!(
+                plan.events().iter().any(|e| e.kind == "snap_install"),
+                "seed {seed}: the install-crash fault never fired"
+            );
+            assert!(
+                lagger.snapshot_installs_applied() >= 1,
+                "seed {seed}: catch-up should have gone through InstallSnapshot"
+            );
+            assert_eq!(
+                lagger.state_machine().snapshot(),
+                leader.state_machine().snapshot(),
+                "seed {seed}: state diverged across aborted install"
+            );
+        }
     }
 }

@@ -435,6 +435,21 @@ impl MetadataService for InfiniFs {
         stats.time(Phase::Execute, |stats| Ok(self.db.readdir(dir.id, stats)))
     }
 
+    fn list(
+        &self,
+        path: &MetaPath,
+        start_after: Option<&str>,
+        limit: usize,
+        stats: &mut OpStats,
+    ) -> Result<(Vec<DirEntry>, bool)> {
+        // InfiniFS stores entries in the ordered shard store too, so paging
+        // is a bounded engine range scan rather than the readdir fallback.
+        let dir = stats.time(Phase::Lookup, |stats| self.resolve_dir(path, stats))?;
+        stats.time(Phase::Execute, |stats| {
+            Ok(self.db.readdir_page(dir.id, start_after, limit, stats))
+        })
+    }
+
     fn rename_dir(&self, src: &MetaPath, dst: &MetaPath, stats: &mut OpStats) -> Result<()> {
         if src.is_root() || dst.is_root() {
             return Err(MetaError::InvalidRename("root cannot be renamed".into()));

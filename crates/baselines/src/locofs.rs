@@ -680,6 +680,10 @@ impl MetadataService for LocoFs {
         })
     }
 
+    // `list` keeps the default page-over-readdir implementation: LocoFS
+    // splits a listing across the Raft state machine (subdirectories) and
+    // the object DB, so there is no single ordered store to range-scan —
+    // the merge below is the real cost of its layout.
     fn readdir(&self, path: &MetaPath, stats: &mut OpStats) -> Result<Vec<DirEntry>> {
         let (dir, mut entries) = stats.time(Phase::Execute, |stats| {
             self.dir_rpc(stats, |l| {

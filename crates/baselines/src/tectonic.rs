@@ -303,6 +303,21 @@ impl MetadataService for Tectonic {
         stats.time(Phase::Execute, |stats| Ok(self.db.readdir(dir.id, stats)))
     }
 
+    fn list(
+        &self,
+        path: &MetaPath,
+        start_after: Option<&str>,
+        limit: usize,
+        stats: &mut OpStats,
+    ) -> Result<(Vec<DirEntry>, bool)> {
+        // Tectonic's shard store is ordered, so a page is a bounded engine
+        // range scan — not the default full-readdir-then-slice fallback.
+        let dir = stats.time(Phase::Lookup, |stats| self.resolve_dir(path, stats))?;
+        stats.time(Phase::Execute, |stats| {
+            Ok(self.db.readdir_page(dir.id, start_after, limit, stats))
+        })
+    }
+
     fn rename_dir(&self, src: &MetaPath, dst: &MetaPath, stats: &mut OpStats) -> Result<()> {
         if src.is_root() || dst.is_root() {
             return Err(MetaError::InvalidRename("root cannot be renamed".into()));

@@ -13,11 +13,16 @@
 //! review rather than absorbed silently. See README "CI".
 
 use std::io::Write as _;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Barrier, Mutex};
 
 use serde::Serialize;
 
 use mantle_core::{MantleCluster, MantleConfig};
-use mantle_types::{clock, SimConfig};
+use mantle_tafdb::{dir_region, entry_key, EngineKind, Row, TafDb, TafDbOptions};
+use mantle_types::hist::Histogram;
+use mantle_types::stats::OpStatsAgg;
+use mantle_types::{clock, InodeId, OpStats, Permission, SimConfig};
 use mantle_workloads::mdtest::{run, ConflictMode, MdOp, MdtestConfig};
 
 /// Committed baseline, resolved relative to the repo root (override with
@@ -41,6 +46,11 @@ struct GateRow {
     mean_us: f64,
     /// p99 virtual-clock latency (µs).
     p99_us: f64,
+    /// Real (wall-clock) time threads spent blocked on storage-engine
+    /// latches (µs). Informational, not baseline-gated: it is scheduler-
+    /// dependent, unlike the virtual-clock metrics above. The mixed
+    /// scan+create rows compare it *between engines* instead.
+    lock_wait_us: f64,
 }
 
 impl GateRow {
@@ -85,9 +95,182 @@ fn run_suite() -> Vec<GateRow> {
             rpcs: report.agg.rpcs,
             mean_us: report.mean_latency_micros(),
             p99_us: report.latency.quantile(0.99) as f64 / 1_000.0,
+            lock_wait_us: 0.0,
         });
     }
     rows
+}
+
+// --- mixed scan+create workload (engine comparison row) --------------------
+
+/// Entries bulk-loaded into the scanned directory. Sized so a btree
+/// full-directory scan holds the shard latch for multiple scheduler
+/// timeslices — the structural stall mvcc's chunked snapshot reads avoid
+/// — which keeps the engine comparison robust even on a single core.
+const MIX_ENTRIES: usize = 20_000;
+/// `readdir` calls per scanner thread / inserts per creator thread.
+const MIX_SCANS: usize = 8;
+const MIX_CREATES: usize = 200;
+/// Scanner threads and creator threads (each).
+const MIX_THREADS: usize = 4;
+/// Below this much total blocked time the run saw no meaningful engine
+/// contention (idle box, huge core count) and the btree-vs-mvcc
+/// comparison is skipped rather than asserted on noise.
+const MIX_WAIT_FLOOR_NANOS: u64 = 50_000;
+
+struct MixedOutcome {
+    row: GateRow,
+    /// Total blocked time on engine latches over the run (nanos).
+    lock_wait_nanos: u64,
+    /// Order-independent digest of every op result (scan contents +
+    /// final listings) — must match across engines exactly.
+    checksum: u64,
+}
+
+fn digest(entries: &[mantle_types::DirEntry]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for e in entries {
+        for b in e.name.bytes() {
+            h = (h ^ b as u64).wrapping_mul(0x100_0000_01b3);
+        }
+        h = (h ^ e.id.0).wrapping_mul(0x100_0000_01b3);
+    }
+    h
+}
+
+/// Runs the mixed scan+create workload on one engine: scanner threads
+/// repeatedly `readdir` one large static directory while creator threads
+/// insert into private directories that live on the *same shard* — maximum
+/// engine-latch contention with zero transactional conflicts, so op
+/// results stay a pure function of the workload while the engines differ
+/// only in how long the threads block on each other.
+fn run_mixed(engine: EngineKind) -> MixedOutcome {
+    let opts = TafDbOptions {
+        n_shards: 4,
+        engine,
+        ..Default::default()
+    };
+    let db = TafDb::new(SimConfig::default(), opts);
+    let map = db.shard_map();
+
+    let scan_pid = InodeId(1);
+    let (rs, re) = dir_region(scan_pid);
+    let owners = map.owners_of(rs, re);
+    assert_eq!(owners.len(), 1, "scan dir region must be unsplit");
+    let target = owners[0];
+    // Private creator directories routed to the scan directory's shard.
+    let mut creator_pids = Vec::new();
+    let mut pid = scan_pid.0 + 1;
+    while creator_pids.len() < MIX_THREADS {
+        let (s, e) = dir_region(InodeId(pid));
+        if map.owners_of(s, e) == [target] {
+            creator_pids.push(InodeId(pid));
+        }
+        pid += 1;
+    }
+
+    for i in 0..MIX_ENTRIES {
+        db.raw_put(
+            entry_key(scan_pid, &format!("e{i:05}")),
+            Row::DirAccess {
+                id: InodeId(1_000 + i as u64),
+                permission: Permission::ALL,
+            },
+        );
+    }
+
+    let completed = AtomicU64::new(0);
+    let failed = AtomicU64::new(0);
+    let checksum = AtomicU64::new(0);
+    let merged: Mutex<(OpStatsAgg, Histogram)> =
+        Mutex::new((OpStatsAgg::default(), Histogram::new()));
+    let barrier = Barrier::new(2 * MIX_THREADS);
+
+    let (db, completed, failed, checksum, merged, barrier) =
+        (&db, &completed, &failed, &checksum, &merged, &barrier);
+    std::thread::scope(|scope| {
+        for _ in 0..MIX_THREADS {
+            scope.spawn(move || {
+                let mut agg = OpStatsAgg::default();
+                let mut hist = Histogram::new();
+                barrier.wait();
+                for _ in 0..MIX_SCANS {
+                    let mut stats = OpStats::new();
+                    let begin = clock::now();
+                    let entries = db.readdir(scan_pid, &mut stats);
+                    stats.end();
+                    hist.record(begin.elapsed().as_nanos() as u64);
+                    agg.add(&stats);
+                    checksum.fetch_add(digest(&entries), Ordering::Relaxed);
+                    completed.fetch_add(1, Ordering::Relaxed);
+                }
+                let mut m = merged.lock().unwrap();
+                m.0.merge(&agg);
+                m.1.merge(&hist);
+            });
+        }
+        for (t, &cpid) in creator_pids.iter().enumerate() {
+            scope.spawn(move || {
+                let mut agg = OpStatsAgg::default();
+                let mut hist = Histogram::new();
+                barrier.wait();
+                for i in 0..MIX_CREATES {
+                    let mut stats = OpStats::new();
+                    let begin = clock::now();
+                    let out = db.insert_row(
+                        entry_key(cpid, &format!("c{t}_{i:05}")),
+                        Row::DirAccess {
+                            id: InodeId(100_000 + (t * MIX_CREATES + i) as u64),
+                            permission: Permission::ALL,
+                        },
+                        &mut stats,
+                    );
+                    stats.end();
+                    match out {
+                        Ok(()) => {
+                            hist.record(begin.elapsed().as_nanos() as u64);
+                            agg.add(&stats);
+                            completed.fetch_add(1, Ordering::Relaxed);
+                        }
+                        Err(_) => {
+                            failed.fetch_add(1, Ordering::Relaxed);
+                        }
+                    }
+                }
+                let mut m = merged.lock().unwrap();
+                m.0.merge(&agg);
+                m.1.merge(&hist);
+            });
+        }
+    });
+
+    // Fold the final listings in too: identical acknowledged writes must
+    // leave identical readable state on both engines.
+    let mut end_stats = OpStats::new();
+    for &cpid in &creator_pids {
+        let entries = db.readdir(cpid, &mut end_stats);
+        checksum.fetch_add(digest(&entries), Ordering::Relaxed);
+    }
+
+    let lock_wait_nanos = db.engine_lock_wait_nanos();
+    let (agg, hist) = {
+        let m = merged.lock().unwrap();
+        (m.0.clone(), m.1.clone())
+    };
+    MixedOutcome {
+        row: GateRow {
+            op: format!("Mixed[{}]", engine.name()),
+            threads: 2 * MIX_THREADS,
+            completed: completed.load(Ordering::Relaxed),
+            failed: failed.load(Ordering::Relaxed),
+            rpcs: agg.rpcs,
+            mean_us: agg.mean_total_micros(),
+            p99_us: hist.quantile(0.99) as f64 / 1_000.0,
+            lock_wait_us: lock_wait_nanos as f64 / 1_000.0,
+        },
+        lock_wait_nanos,
+        checksum: checksum.load(Ordering::Relaxed),
+    }
 }
 
 fn baseline_path() -> String {
@@ -147,7 +330,7 @@ fn main() {
             a.op
         );
     }
-    let rows: Vec<GateRow> = first
+    let mut rows: Vec<GateRow> = first
         .iter()
         .zip(&second)
         .map(|(a, b)| GateRow {
@@ -156,6 +339,71 @@ fn main() {
             ..a.clone()
         })
         .collect();
+
+    // Mixed scan+create comparison row, once per engine. Same two-pass
+    // determinism contract for op results; lock-wait time is real blocked
+    // time, so take the *minimum* over the passes — scheduler noise only
+    // ever inflates blocked time, never deflates it.
+    let mut mixed = Vec::new();
+    for engine in [EngineKind::Btree, EngineKind::Mvcc] {
+        let a = run_mixed(engine);
+        let b = run_mixed(engine);
+        assert_eq!(
+            (a.row.completed, a.row.failed, a.row.rpcs, a.checksum),
+            (b.row.completed, b.row.failed, b.row.rpcs, b.checksum),
+            "Mixed[{}]: op results differ between passes",
+            engine.name()
+        );
+        let wait = a.lock_wait_nanos.min(b.lock_wait_nanos);
+        mixed.push(MixedOutcome {
+            row: GateRow {
+                mean_us: a.row.mean_us.min(b.row.mean_us),
+                p99_us: a.row.p99_us.min(b.row.p99_us),
+                lock_wait_us: wait as f64 / 1_000.0,
+                ..a.row.clone()
+            },
+            lock_wait_nanos: wait,
+            checksum: a.checksum,
+        });
+    }
+    // Engine independence: identical ops must produce identical results
+    // and identical readable state whichever engine serves them.
+    assert_eq!(
+        (
+            mixed[0].row.completed,
+            mixed[0].row.failed,
+            mixed[0].row.rpcs,
+            mixed[0].checksum
+        ),
+        (
+            mixed[1].row.completed,
+            mixed[1].row.failed,
+            mixed[1].row.rpcs,
+            mixed[1].checksum
+        ),
+        "btree and mvcc disagree on mixed-workload op results"
+    );
+    let (btree_wait, mvcc_wait) = (mixed[0].lock_wait_nanos, mixed[1].lock_wait_nanos);
+    let mut engine_failures = Vec::new();
+    println!(
+        "Mixed scan+create lock-wait: btree {:.1}us, mvcc {:.1}us",
+        btree_wait as f64 / 1_000.0,
+        mvcc_wait as f64 / 1_000.0
+    );
+    if btree_wait <= MIX_WAIT_FLOOR_NANOS {
+        println!(
+            "  (below the {}us contention floor — engine comparison skipped)",
+            MIX_WAIT_FLOOR_NANOS / 1_000
+        );
+    } else if mvcc_wait >= btree_wait {
+        engine_failures.push(format!(
+            "mvcc lock-wait ({:.1}us) is not below btree ({:.1}us) under the \
+             mixed scan+create workload",
+            mvcc_wait as f64 / 1_000.0,
+            btree_wait as f64 / 1_000.0
+        ));
+    }
+    rows.extend(mixed.into_iter().map(|m| m.row));
 
     if std::env::var_os("MANTLE_PERF_UPDATE_BASELINE").is_some_and(|v| v != "0") {
         let payload = serde_json::json!({
@@ -219,6 +467,11 @@ fn main() {
     }
     for line in &lines {
         println!("{line}");
+    }
+
+    for msg in &engine_failures {
+        println!("ENGINE CHECK FAILED: {msg}");
+        failures.push("Mixed[mvcc]".into());
     }
 
     let payload = serde_json::json!({

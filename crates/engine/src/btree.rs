@@ -1,0 +1,169 @@
+//! The default engine: a reader-writer lock around a B-tree.
+//!
+//! This is the historical TafDB shard structure, preserved exactly:
+//! critical sections clone in and clone out, and a range scan holds the
+//! shared lock for the whole scan — which is precisely why writers stall
+//! behind `readdir` of a large directory (the contention the MVCC engine
+//! removes). The only addition is lock-wait accounting on the slow path.
+
+use std::collections::BTreeMap;
+use std::ops::Bound;
+use std::time::Instant;
+
+use parking_lot::{RwLock, RwLockReadGuard, RwLockWriteGuard};
+
+use mantle_store::RowKey;
+
+use crate::{EngineValue, RangeFn, StorageEngine, UpdateFn, WaitCounters, WriteOp};
+
+/// Reader-writer-locked B-tree engine (the `MANTLE_ENGINE=btree` default).
+pub struct BTreeEngine<V> {
+    map: RwLock<BTreeMap<RowKey, V>>,
+    wait: WaitCounters,
+}
+
+impl<V> Default for BTreeEngine<V> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<V> BTreeEngine<V> {
+    /// Creates an empty engine.
+    pub fn new() -> Self {
+        BTreeEngine {
+            map: RwLock::new(BTreeMap::new()),
+            wait: WaitCounters::default(),
+        }
+    }
+
+    fn read(&self) -> RwLockReadGuard<'_, BTreeMap<RowKey, V>> {
+        if let Some(g) = self.map.try_read() {
+            return g;
+        }
+        let start = Instant::now();
+        let g = self.map.read();
+        self.wait.record(start.elapsed());
+        g
+    }
+
+    fn write(&self) -> RwLockWriteGuard<'_, BTreeMap<RowKey, V>> {
+        if let Some(g) = self.map.try_write() {
+            return g;
+        }
+        let start = Instant::now();
+        let g = self.map.write();
+        self.wait.record(start.elapsed());
+        g
+    }
+}
+
+impl<V: EngineValue> StorageEngine<V> for BTreeEngine<V> {
+    fn name(&self) -> &'static str {
+        "btree"
+    }
+
+    fn get(&self, key: &RowKey) -> Option<V> {
+        self.read().get(key).cloned()
+    }
+
+    fn contains(&self, key: &RowKey) -> bool {
+        self.read().contains_key(key)
+    }
+
+    fn put(&self, key: RowKey, value: V) -> Option<V> {
+        self.write().insert(key, value)
+    }
+
+    fn put_if_absent(&self, key: RowKey, value: V) -> bool {
+        let mut map = self.write();
+        if map.contains_key(&key) {
+            return false;
+        }
+        map.insert(key, value);
+        true
+    }
+
+    fn delete(&self, key: &RowKey) -> bool {
+        self.write().remove(key).is_some()
+    }
+
+    fn update(&self, key: &RowKey, f: &mut UpdateFn<'_, V>) -> bool {
+        let mut map = self.write();
+        let (next, out) = f(map.get(key));
+        match next {
+            Some(v) => {
+                map.insert(key.clone(), v);
+            }
+            None => {
+                map.remove(key);
+            }
+        }
+        out
+    }
+
+    fn apply(&self, batch: Vec<WriteOp<V>>) {
+        let mut map = self.write();
+        for op in batch {
+            match op {
+                WriteOp::Put(k, v) => {
+                    map.insert(k, v);
+                }
+                WriteOp::Delete(k) => {
+                    map.remove(&k);
+                }
+            }
+        }
+    }
+
+    fn scan_range(&self, lo: Bound<RowKey>, hi: Bound<RowKey>, limit: usize) -> Vec<(RowKey, V)> {
+        self.read()
+            .range((lo, hi))
+            .take(limit)
+            .map(|(k, v)| (k.clone(), v.clone()))
+            .collect()
+    }
+
+    fn update_range(&self, lo: Bound<RowKey>, hi: Bound<RowKey>, f: &mut RangeFn<'_, V>) {
+        let mut map = self.write();
+        let rows: Vec<(RowKey, V)> = map
+            .range((lo, hi))
+            .map(|(k, v)| (k.clone(), v.clone()))
+            .collect();
+        for op in f(&rows) {
+            match op {
+                WriteOp::Put(k, v) => {
+                    map.insert(k, v);
+                }
+                WriteOp::Delete(k) => {
+                    map.remove(&k);
+                }
+            }
+        }
+    }
+
+    fn export_rows(&self) -> Vec<(RowKey, V)> {
+        self.read()
+            .iter()
+            .map(|(k, v)| (k.clone(), v.clone()))
+            .collect()
+    }
+
+    fn replace_all(&self, rows: Vec<(RowKey, V)>) {
+        let mut map = self.write();
+        map.clear();
+        map.extend(rows);
+    }
+
+    fn len(&self) -> usize {
+        self.read().len()
+    }
+
+    fn lock_wait_nanos(&self) -> u64 {
+        self.wait.nanos()
+    }
+
+    fn lock_waits(&self) -> u64 {
+        self.wait.count()
+    }
+}

@@ -1,77 +1,44 @@
-//! The sharded database: shards, two-phase commit, delta records,
-//! compaction, the latched update path used by the baselines, and the
-//! placement plane (dynamic shard splitting / hotspot-aware rebalancing).
+//! The database core: options, counters, shard construction, and direct
+//! (population/test) access. TafDB is layered (DESIGN.md §4.12):
 //!
-//! # Routing
-//!
-//! Every row routes through the epoch-versioned [`ShardMap`]
-//! (see [`crate::shardmap`]): a row's 64-bit placement key selects a
-//! contiguous range, the range names the owning shard. While the map is at
-//! its initial uniform partition this is equivalent to the historical fixed
-//! `pid` hash; once the placement controller splits ranges, a single hot
-//! directory's rows can spread across shards.
-//!
-//! # Staleness and migration safety
-//!
-//! Transactions snapshot the map once, route against the snapshot, and
-//! validate `epoch` at every participant's prepare; a mismatch (or an
-//! active migration marker on the shard) rejects the attempt with
-//! [`MetaError::StaleRoute`], which the `execute` retry loop absorbs by
-//! re-snapshotting. Read paths validate ownership *after* reading (the map
-//! swap precedes source-row deletion, so an unchanged owner proves the
-//! value was authoritative) and retry internally.
-//!
-//! Range migration itself: install a marker (new writes on the shard bounce
-//! with `StaleRoute`), drain in-flight prepares (`in_flight` counter), wait
-//! for row locks in the moving range to release, copy rows to the target in
-//! WAL-logged batches, swap the map (the commit point), then delete the
-//! source copies. Crash points before the swap leave the source
-//! authoritative; the `split_prepare`/`split_commit` fault hooks exercise
-//! exactly those windows.
+//! - [`crate::shard`] — the per-shard runtime: a pluggable
+//!   [`mantle_engine::StorageEngine`] plus row locks, latches, the
+//!   group-commit WAL, checkpoint/restore, and contention tracking;
+//! - [`crate::router`] — epoch-versioned [`ShardMap`] routing, the
+//!   `StaleRoute` bounce, and every read path;
+//! - [`crate::exec`] — transaction grouping, the single-shard fast path,
+//!   and two-phase commit;
+//! - [`crate::migrate`] — the placement plane: splits, merges, online
+//!   range migration over checkpoint images, and the controller tick.
 
 use std::collections::{HashMap, HashSet};
-use std::ops::Bound;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Weak};
 use std::time::{Duration, Instant};
 
 use parking_lot::{Mutex, RwLock};
 
-use mantle_obs::{Counter, Gauge};
+use mantle_engine::EngineKind;
 use mantle_rpc::faults::{FaultPlan, FaultSlot};
 use mantle_rpc::SimNode;
-use mantle_store::{GroupCommitWal, KvStore, LockManager, LockMode, RowKey};
+use mantle_store::{GroupCommitWal, LockManager, RowKey};
 use mantle_sync::LatchTable;
 use mantle_types::clock::{self, TimeCategory};
 use mantle_types::record::ATTR_ROW_NAME;
 use mantle_types::{
-    AttrDelta,
     DirAttrMeta,
-    DirEntry,
-    EntryKind,
     InodeId,
-    MetaError,
-    ObjectMeta,
-    OpStats,
-    Permission,
     PlacementConfig,
-    Result,
     SimConfig,
     TxnId,
     ROOT_ID,
     SCALED_DB_SHARDS, //
 };
 
-use crate::schema::{attr_key, delta_key, entry_key, Row};
-use crate::shardmap::{dir_region, place_of, ShardMap, DIR_REGION_SPAN};
-use crate::txn::{Prepared, ShardPrepared, TxnOp, WriteCmd};
-
-/// Narrowest range the controller will split further (placement-key span).
-const MIN_SPLIT_SPAN: u64 = 1 << 16;
-
-/// Internal retry cap for read paths racing a map change; past it the last
-/// (per-shard consistent) result is returned best-effort.
-const READ_ROUTE_RETRIES: u32 = 8;
+use crate::metrics::DbMetrics;
+use crate::schema::{attr_key, Row};
+use crate::shard::Shard;
+use crate::shardmap::{place_of, ShardMap};
 
 /// TafDB tuning knobs.
 #[derive(Clone, Copy, Debug)]
@@ -79,6 +46,10 @@ pub struct TafDbOptions {
     /// Number of shards (one per simulated DB server). The paper deploys 18
     /// TafDB servers; the scaled default is [`SCALED_DB_SHARDS`].
     pub n_shards: usize,
+    /// The storage engine backing every shard (DESIGN.md §4.12). The
+    /// default honours the `MANTLE_ENGINE` environment knob ("btree",
+    /// "mvcc"); set explicitly to pin an engine regardless of environment.
+    pub engine: EngineKind,
     /// Master switch for delta records (§5.2.1); off reproduces the
     /// pre-`+delta record` ablation baseline of Figure 16.
     pub delta_records: bool,
@@ -104,6 +75,7 @@ impl Default for TafDbOptions {
     fn default() -> Self {
         TafDbOptions {
             n_shards: SCALED_DB_SHARDS,
+            engine: EngineKind::from_env(),
             delta_records: true,
             delta_abort_threshold: 3,
             hot_window: Duration::from_millis(100),
@@ -143,192 +115,47 @@ pub struct DbCounters {
     pub stale_routes: u64,
 }
 
-/// Database-wide obs counters, mirroring [`DbCounters`] into the global
-/// metrics registry plus the lock-conflict rate the internal counters lack.
-struct DbMetrics {
-    txns_committed: Counter,
-    txns_aborted: Counter,
-    delta_appends: Counter,
-    inplace_updates: Counter,
-    compactions: Counter,
-    latched_updates: Counter,
-    lock_conflicts: Counter,
-    shard_splits: Counter,
-    shard_merges: Counter,
-    range_migrations: Counter,
-    rows_migrated: Counter,
-    stale_routes: Counter,
-    checkpoints: Counter,
-    checkpoint_aborts: Counter,
-    /// Per-shard busy-time delta over the last controller tick.
-    shard_load: Vec<Gauge>,
-}
-
-impl DbMetrics {
-    fn new(n_shards: usize) -> Self {
-        DbMetrics {
-            txns_committed: mantle_obs::counter("tafdb_txns_committed_total", &[]),
-            txns_aborted: mantle_obs::counter("tafdb_txns_aborted_total", &[]),
-            delta_appends: mantle_obs::counter("tafdb_delta_appends_total", &[]),
-            inplace_updates: mantle_obs::counter("tafdb_inplace_updates_total", &[]),
-            compactions: mantle_obs::counter("tafdb_compactions_total", &[]),
-            latched_updates: mantle_obs::counter("tafdb_latched_updates_total", &[]),
-            lock_conflicts: mantle_obs::counter("tafdb_lock_conflicts_total", &[]),
-            shard_splits: mantle_obs::counter("tafdb_shard_splits_total", &[]),
-            shard_merges: mantle_obs::counter("tafdb_shard_merges_total", &[]),
-            range_migrations: mantle_obs::counter("tafdb_range_migrations_total", &[]),
-            rows_migrated: mantle_obs::counter("tafdb_rows_migrated_total", &[]),
-            stale_routes: mantle_obs::counter("tafdb_stale_routes_total", &[]),
-            checkpoints: mantle_obs::counter("tafdb_checkpoints_total", &[]),
-            checkpoint_aborts: mantle_obs::counter("tafdb_checkpoint_aborts_total", &[]),
-            shard_load: (0..n_shards)
-                .map(|i| mantle_obs::gauge("tafdb_shard_load", &[("shard", &i.to_string())]))
-                .collect(),
-        }
-    }
-}
-
-// Contention tracking is cross-thread shared state, so it stays on wall
-// time: per-thread virtual timestamps from different writers are not
-// comparable, and abort bursts are a real-concurrency phenomenon either
-// way (see DESIGN.md "Time model").
-#[derive(Default)]
-struct HotState {
-    aborts: u32,
-    window_start: Option<Instant>,
-    hot_until: Option<Instant>,
-}
-
-struct Shard {
-    store: KvStore<Row>,
-    locks: LockManager,
-    latches: LatchTable,
-    wal: GroupCommitWal,
-    node: Arc<SimNode>,
-    /// Directories with (possibly) outstanding delta records on this shard.
-    delta_dirs: Mutex<HashSet<InodeId>>,
-    /// Contention tracker for selective delta activation (kept on the shard
-    /// owning the directory's base attribute row; migrations move it).
-    hot: Mutex<HashMap<InodeId, HotState>>,
-    /// Writes currently between marker-check and store mutation. Migration
-    /// quiescence waits for this to drain once after raising the marker.
-    in_flight: AtomicU64,
-    /// Fast flag: a range migration off this shard is in progress; writes
-    /// bounce with `StaleRoute` until it completes or aborts.
-    mig_active: AtomicBool,
-    /// The inclusive placement range being migrated (diagnostics).
-    mig_range: Mutex<Option<(u64, u64)>>,
-    /// Latest known-good checkpoint image (framed; DESIGN.md §4.11). Only
-    /// replaced by a fully written, WAL-acknowledged successor.
-    snap: Mutex<Option<Arc<Vec<u8>>>>,
-}
-
-impl Shard {
-    fn record_abort(&self, dir: InodeId, opts: &TafDbOptions) {
-        let mut hot = self.hot.lock();
-        let state = hot.entry(dir).or_default();
-        let now = Instant::now();
-        match state.window_start {
-            Some(w) if now.duration_since(w) <= opts.hot_window => state.aborts += 1,
-            _ => {
-                state.window_start = Some(now);
-                state.aborts = 1;
-            }
-        }
-        if state.aborts >= opts.delta_abort_threshold {
-            state.hot_until = Some(now + opts.hot_ttl);
-        }
-    }
-
-    /// Whether `dir` is in delta mode; refreshes the mode's TTL when it is
-    /// (delta mode persists while the directory keeps being updated).
-    fn is_hot(&self, dir: InodeId, opts: &TafDbOptions) -> bool {
-        let mut hot = self.hot.lock();
-        let Some(state) = hot.get_mut(&dir) else {
-            return false;
-        };
-        let now = Instant::now();
-        match state.hot_until {
-            Some(until) if until > now => {
-                state.hot_until = Some(now + opts.hot_ttl);
-                true
-            }
-            _ => false,
-        }
-    }
-}
-
-/// RAII increment of a shard's in-flight write counter.
-struct InFlight<'a>(&'a AtomicU64);
-
-impl<'a> InFlight<'a> {
-    fn enter(counter: &'a AtomicU64) -> Self {
-        counter.fetch_add(1, Ordering::AcqRel);
-        InFlight(counter)
-    }
-}
-
-impl Drop for InFlight<'_> {
-    fn drop(&mut self) {
-        self.0.fetch_sub(1, Ordering::AcqRel);
-    }
-}
-
-/// An op already routed to one shard (the unit [`TafDb::prepare_on_shard`]
-/// executes). The hot/cold decision for `AttrUpdate` is made once, at
-/// routing time, so the TTL-refresh dynamics of `is_hot` match the
-/// pre-placement behaviour exactly.
-enum ShardOp<'a> {
-    /// A transaction op executing on its owner shard.
-    Op(&'a TxnOp),
-    /// Hot-directory attribute update: append a delta record locally, with
-    /// a shared fence lock on the base attribute row at its owner.
-    HotAttr { dir: InodeId, delta: AttrDelta },
-    /// rmdir companion for non-base region owners: retire this shard's
-    /// delta records of `dir`.
-    Purge(InodeId),
-}
-
 /// The sharded metadata database.
 pub struct TafDb {
-    shards: Vec<Shard>,
-    map: RwLock<Arc<ShardMap>>,
+    pub(crate) shards: Vec<Shard>,
+    pub(crate) map: RwLock<Arc<ShardMap>>,
     /// Serializes every shard-map mutation (split/merge/migrate).
-    migration_lock: Mutex<()>,
+    pub(crate) migration_lock: Mutex<()>,
     /// Previous controller tick's cumulative per-shard busy nanos.
-    last_busy: Mutex<Vec<u64>>,
+    pub(crate) last_busy: Mutex<Vec<u64>>,
     oracle: AtomicU64,
-    config: SimConfig,
-    opts: TafDbOptions,
+    pub(crate) config: SimConfig,
+    pub(crate) opts: TafDbOptions,
     shutdown: Arc<AtomicBool>,
     compactor: Mutex<Option<std::thread::JoinHandle<()>>>,
     controller: Mutex<Option<std::thread::JoinHandle<()>>>,
-    txns_committed: AtomicU64,
-    txns_aborted: AtomicU64,
-    delta_appends: AtomicU64,
-    inplace_updates: AtomicU64,
-    compactions: AtomicU64,
-    latched_updates: AtomicU64,
-    shard_splits: AtomicU64,
-    shard_merges: AtomicU64,
-    range_migrations: AtomicU64,
-    rows_migrated: AtomicU64,
-    stale_routes: AtomicU64,
-    metrics: DbMetrics,
-    faults: FaultSlot,
+    pub(crate) txns_committed: AtomicU64,
+    pub(crate) txns_aborted: AtomicU64,
+    pub(crate) delta_appends: AtomicU64,
+    pub(crate) inplace_updates: AtomicU64,
+    pub(crate) compactions: AtomicU64,
+    pub(crate) latched_updates: AtomicU64,
+    pub(crate) shard_splits: AtomicU64,
+    pub(crate) shard_merges: AtomicU64,
+    pub(crate) range_migrations: AtomicU64,
+    pub(crate) rows_migrated: AtomicU64,
+    pub(crate) stale_routes: AtomicU64,
+    pub(crate) metrics: DbMetrics,
+    pub(crate) faults: FaultSlot,
 }
 
 impl TafDb {
-    /// Builds a database with `opts.n_shards` shards and bootstraps the
-    /// namespace root's attribute row. A background compactor thread folds
-    /// delta records until the database is dropped; with
+    /// Builds a database with `opts.n_shards` shards (each backed by a
+    /// fresh `opts.engine` storage engine) and bootstraps the namespace
+    /// root's attribute row. A background compactor thread folds delta
+    /// records until the database is dropped; with
     /// `opts.placement.dynamic_shards` a placement-controller thread
     /// rebalances the shard map as well.
     pub fn new(config: SimConfig, opts: TafDbOptions) -> Arc<Self> {
         assert!(opts.n_shards >= 1);
         let shards = (0..opts.n_shards)
             .map(|i| Shard {
-                store: KvStore::new(),
+                engine: opts.engine.build::<Row>(),
                 locks: LockManager::new(1024),
                 latches: LatchTable::new(1024),
                 wal: GroupCommitWal::new_scoped(config, opts.group_commit, "tafdb"),
@@ -406,20 +233,7 @@ impl TafDb {
         db
     }
 
-    // --- routing ------------------------------------------------------------
-
-    /// The current shard-map snapshot (cheap: an `Arc` clone).
-    pub fn shard_map(&self) -> Arc<ShardMap> {
-        self.map.read().clone()
-    }
-
-    /// The shard owning the *start* of `pid`'s directory region. While the
-    /// region is unsplit (always true with the controller off) this is the
-    /// owner of every row of the directory — the dynamic replacement for
-    /// the historical fixed hash.
-    pub fn shard_of(&self, pid: InodeId) -> usize {
-        self.map.read().owner(dir_region(pid).0)
-    }
+    // --- accessors ----------------------------------------------------------
 
     /// Number of shards.
     pub fn n_shards(&self) -> usize {
@@ -441,41 +255,33 @@ impl TafDb {
         &self.opts
     }
 
-    fn owner_of(&self, key: &RowKey) -> usize {
-        self.map.read().owner(place_of(key))
+    /// Name of the storage engine backing the shards ("btree", "mvcc").
+    pub fn engine_name(&self) -> &'static str {
+        self.opts.engine.name()
     }
 
-    /// Routes one placement key: records a load sample on its range and
-    /// returns `(owner shard, map epoch)`.
-    fn route(&self, place: u64) -> (usize, u64) {
-        let m = self.map.read();
-        m.record_hit(place);
-        (m.owner(place), m.epoch())
+    /// Live rows on shard `i`.
+    pub fn shard_rows(&self, i: usize) -> usize {
+        self.shards[i].engine.len()
     }
 
-    /// Validates that `shard_idx` still owns `place` and is not migrating.
-    /// Called *inside* a write's `in_flight` window: if it passes, a racing
-    /// migration cannot copy the range until this write lands (quiescence
-    /// observes `in_flight == 0` strictly after the marker is visible).
-    fn check_route(&self, shard_idx: usize, place: u64, seen: u64) -> Result<()> {
-        let m = self.map.read();
-        if self.shards[shard_idx].mig_active.load(Ordering::Acquire) || m.owner(place) != shard_idx
-        {
-            return Err(MetaError::StaleRoute {
-                seen,
-                current: m.epoch(),
-            });
-        }
-        Ok(())
+    /// Versions retained by shard `i`'s engine (equals [`Self::shard_rows`]
+    /// on the btree engine; on MVCC the excess is reclaimable garbage).
+    pub fn shard_versions(&self, i: usize) -> usize {
+        self.shards[i].engine.version_count()
     }
 
-    /// Books a stale-route retry (per-op stats + global counters).
-    fn note_stale(&self, stats: &mut OpStats) {
-        stats.stale_route_retries += 1;
-        self.stale_routes.fetch_add(1, Ordering::Relaxed);
-        self.metrics.stale_routes.inc();
-        mantle_obs::flight::annotate("tafdb:stale_route");
-        std::thread::yield_now();
+    /// Real nanoseconds writers and scans spent blocked on engine-internal
+    /// latches, summed over shards. Deliberately *outside* the virtual
+    /// clock: it measures actual cross-thread contention, is zero in
+    /// single-threaded runs, and never perturbs deterministic latency pins.
+    pub fn engine_lock_wait_nanos(&self) -> u64 {
+        self.shards.iter().map(|s| s.engine.lock_wait_nanos()).sum()
+    }
+
+    /// Number of contended engine-latch acquisitions, summed over shards.
+    pub fn engine_lock_waits(&self) -> u64 {
+        self.shards.iter().map(|s| s.engine.lock_waits()).sum()
     }
 
     /// Installs (or, with `None`, clears) a fault plan on the database:
@@ -517,17 +323,17 @@ impl TafDb {
     /// Writes a row directly, bypassing RPC, locking and the WAL. Used only
     /// for bulk namespace population before an experiment.
     pub fn raw_put(&self, key: RowKey, row: Row) {
-        self.shards[self.owner_of(&key)].store.put(key, row);
+        self.shards[self.owner_of(&key)].engine.put(key, row);
     }
 
     /// Reads a row directly (tests/diagnostics).
     pub fn raw_get(&self, key: &RowKey) -> Option<Row> {
-        self.shards[self.owner_of(key)].store.get(key)
+        self.shards[self.owner_of(key)].engine.get(key)
     }
 
     /// Total rows across shards.
     pub fn total_rows(&self) -> usize {
-        self.shards.iter().map(|s| s.store.len()).sum()
+        self.shards.iter().map(|s| s.engine.len()).sum()
     }
 
     /// Forces `dir` into delta mode as if the abort-rate heuristic had
@@ -549,9 +355,7 @@ impl TafDb {
         self.shards
             .iter()
             .map(|shard| {
-                shard
-                    .store
-                    .scan_versions(dir, ATTR_ROW_NAME)
+                mantle_engine::scan_versions(&*shard.engine, dir, ATTR_ROW_NAME)
                     .iter()
                     .filter(|(k, _)| k.ts != TxnId::BASE)
                     .count()
@@ -559,1531 +363,27 @@ impl TafDb {
             .sum()
     }
 
-    // --- reads (one RPC to the owning shard) -------------------------------
-
-    /// Reads the entry row of `name` under `pid`.
-    pub fn get_entry(&self, pid: InodeId, name: &str, stats: &mut OpStats) -> Option<Row> {
-        let key = entry_key(pid, name);
-        let place = place_of(&key);
-        loop {
-            let (owner, _) = self.route(place);
-            let shard = &self.shards[owner];
-            let row = shard
-                .node
-                .rpc_named(stats, "get_entry", || shard.store.get(&key));
-            // Owner unchanged ⇒ the shard was authoritative for the whole
-            // read (map swaps precede source-row deletion).
-            if self.map.read().owner(place) == owner {
-                return row;
-            }
-            self.note_stale(stats);
-        }
-    }
-
-    /// Entry read that does *not* inject a network round trip — for callers
-    /// modelling a parallel fan-out where one injected round trip covers a
-    /// whole batch of concurrently issued queries (InfiniFS's speculative
-    /// resolution). The RPC is still counted and still consumes shard-node
-    /// capacity.
-    pub fn get_entry_batched(&self, pid: InodeId, name: &str, stats: &mut OpStats) -> Option<Row> {
-        let key = entry_key(pid, name);
-        let place = place_of(&key);
-        loop {
-            let (owner, _) = self.route(place);
-            let shard = &self.shards[owner];
-            let row = shard
-                .node
-                .rpc_batched(stats, "get_entry", || shard.store.get(&key));
-            if self.map.read().owner(place) == owner {
-                return row;
-            }
-            self.note_stale(stats);
-        }
-    }
-
-    /// Fallible entry read: surfaces injected transport faults (partitions,
-    /// drops, timeouts) as [`MetaError::Transient`] instead of absorbing
-    /// them. The error-returning read paths build on this so chaos tests
-    /// can observe a partitioned shard.
-    fn try_get_entry(&self, pid: InodeId, name: &str, stats: &mut OpStats) -> Result<Option<Row>> {
-        let key = entry_key(pid, name);
-        let place = place_of(&key);
-        loop {
-            let (owner, _) = self.route(place);
-            let shard = &self.shards[owner];
-            let row = shard
-                .node
-                .try_rpc_named(stats, "get_entry", || shard.store.get(&key))?;
-            if self.map.read().owner(place) == owner {
-                return Ok(row);
-            }
-            self.note_stale(stats);
-        }
-    }
-
-    /// One step of level-by-level path resolution: child directory id and
-    /// permission of `name` under `pid`.
-    ///
-    /// # Errors
-    ///
-    /// [`MetaError::NotFound`] if absent, [`MetaError::NotADirectory`] if
-    /// the entry is an object, [`MetaError::Transient`] on an injected
-    /// transport fault (retryable).
-    pub fn resolve_step(
-        &self,
-        pid: InodeId,
-        name: &str,
-        stats: &mut OpStats,
-    ) -> Result<(InodeId, Permission)> {
-        match self.try_get_entry(pid, name, stats)? {
-            Some(Row::DirAccess { id, permission }) => Ok((id, permission)),
-            Some(_) => Err(MetaError::NotADirectory(name.to_string())),
-            None => Err(MetaError::NotFound(name.to_string())),
-        }
-    }
-
-    /// Reads object metadata.
-    ///
-    /// # Errors
-    ///
-    /// [`MetaError::NotFound`] / [`MetaError::IsADirectory`] /
-    /// [`MetaError::Transient`].
-    pub fn get_object(&self, pid: InodeId, name: &str, stats: &mut OpStats) -> Result<ObjectMeta> {
-        match self.try_get_entry(pid, name, stats)? {
-            Some(Row::Object(o)) => Ok(o),
-            Some(_) => Err(MetaError::IsADirectory(name.to_string())),
-            None => Err(MetaError::NotFound(name.to_string())),
-        }
-    }
-
-    /// Folds a `scan_versions` result (possibly assembled from several
-    /// region owners) into merged directory attributes.
-    fn merge_attr_rows(dir: InodeId, rows: Vec<(RowKey, Row)>) -> Result<DirAttrMeta> {
-        let mut attrs: Option<DirAttrMeta> = None;
-        let mut deltas: Vec<AttrDelta> = Vec::new();
-        for (key, row) in rows {
-            match row {
-                Row::DirAttr(a) => {
-                    debug_assert_eq!(key.ts, TxnId::BASE);
-                    attrs = Some(a);
-                }
-                Row::Delta(d) => deltas.push(d),
-                _ => {}
-            }
-        }
-        let Some(mut attrs) = attrs else {
-            return Err(MetaError::NotFound(format!("dir {dir}")));
-        };
-        for d in &deltas {
-            attrs.apply_delta(d);
-        }
-        Ok(attrs)
-    }
-
-    /// Reads a directory's attributes, merging outstanding delta records
-    /// (the read-side cost of §5.2.1). When the directory's region is split
-    /// across shards, one fan-out round trip gathers every owner's rows.
-    ///
-    /// # Errors
-    ///
-    /// [`MetaError::NotFound`] when the directory has no attribute row.
-    pub fn dir_stat(&self, dir: InodeId, stats: &mut OpStats) -> Result<DirAttrMeta> {
-        let aplace = place_of(&attr_key(dir));
-        let (rs, re) = dir_region(dir);
-        let mut attempt = 0;
-        loop {
-            let m = self.shard_map();
-            m.record_hit(aplace);
-            let owners = m.owners_of(rs, re);
-            let merged = if owners.len() == 1 {
-                let shard = &self.shards[owners[0]];
-                shard.node.try_rpc_named(stats, "dir_stat", || {
-                    Self::merge_attr_rows(dir, shard.store.scan_versions(dir, ATTR_ROW_NAME))
-                })?
-            } else {
-                // One fan-out round trip covers the parallel per-owner scans.
-                mantle_rpc::net_round_trip(&self.config);
-                let mut rows = Vec::new();
-                for &o in &owners {
-                    let shard = &self.shards[o];
-                    let mut part = shard.node.try_rpc_batched(stats, "dir_stat", || {
-                        shard.store.scan_versions(dir, ATTR_ROW_NAME)
-                    })?;
-                    rows.append(&mut part);
-                }
-                Self::merge_attr_rows(dir, rows)
-            };
-            if self.map.read().epoch() == m.epoch() || attempt >= READ_ROUTE_RETRIES {
-                return merged;
-            }
-            attempt += 1;
-            self.note_stale(stats);
-        }
-    }
-
-    /// One shard's contribution to a page listing: up to `limit + 1`
-    /// matching entries (the sentinel extra reveals truncation).
-    fn scan_page(
-        store: &KvStore<Row>,
-        pid: InodeId,
-        start_after: Option<&str>,
-        limit: usize,
-    ) -> Vec<DirEntry> {
-        let from = start_after.unwrap_or("");
-        store
-            .scan_dir(pid, from, limit + 3)
-            .into_iter()
+    /// Live rows on shard `i` whose placement key falls in
+    /// `start..=end` (chaos-test visibility into staged migration state).
+    pub fn shard_rows_in_place_range(&self, i: usize, start: u64, end: u64) -> usize {
+        self.shards[i]
+            .engine
+            .export_rows()
+            .iter()
             .filter(|(k, _)| {
-                k.name.as_ref() != ATTR_ROW_NAME && start_after.is_none_or(|a| k.name.as_ref() > a)
+                let p = place_of(k);
+                start <= p && p <= end
             })
-            .filter_map(|(k, row)| match row {
-                Row::DirAccess { id, .. } => Some(DirEntry {
-                    name: k.name.to_string(),
-                    kind: EntryKind::Dir,
-                    id,
-                }),
-                Row::Object(o) => Some(DirEntry {
-                    name: k.name.to_string(),
-                    kind: EntryKind::Object,
-                    id: o.id,
-                }),
-                _ => None,
-            })
-            .take(limit + 1)
-            .collect()
+            .count()
     }
 
-    /// Paged child listing: up to `limit` entries of `pid` with names
-    /// strictly after `start_after` — a bounded range scan on the ordered
-    /// shard store (the backing of the COSS `LIST` API). The second return
-    /// is whether more entries follow. Split regions merge per-owner pages.
-    pub fn readdir_page(
-        &self,
-        pid: InodeId,
-        start_after: Option<&str>,
-        limit: usize,
-        stats: &mut OpStats,
-    ) -> (Vec<DirEntry>, bool) {
-        let (rs, re) = dir_region(pid);
-        let mut attempt = 0;
-        loop {
-            let m = self.shard_map();
-            m.record_hit(rs);
-            let owners = m.owners_of(rs, re);
-            let mut rows: Vec<DirEntry> = if owners.len() == 1 {
-                let shard = &self.shards[owners[0]];
-                shard.node.rpc(stats, || {
-                    Self::scan_page(&shard.store, pid, start_after, limit)
-                })
-            } else {
-                mantle_rpc::net_round_trip(&self.config);
-                let mut all = Vec::new();
-                for &o in &owners {
-                    let shard = &self.shards[o];
-                    let mut part = shard.node.rpc_batched(stats, "readdir", || {
-                        Self::scan_page(&shard.store, pid, start_after, limit)
-                    });
-                    all.append(&mut part);
-                }
-                // Each owner returned its first `limit + 1` matches, so the
-                // union contains the global first `limit + 1` by name.
-                all.sort_by(|a, b| a.name.cmp(&b.name));
-                all
-            };
-            let truncated = rows.len() > limit;
-            rows.truncate(limit);
-            if self.map.read().epoch() == m.epoch() || attempt >= READ_ROUTE_RETRIES {
-                return (rows, truncated);
-            }
-            attempt += 1;
-            self.note_stale(stats);
-        }
-    }
-
-    /// Lists the direct children of `pid` (split regions merge per-owner
-    /// scans; entries stay in name order).
-    pub fn readdir(&self, pid: InodeId, stats: &mut OpStats) -> Vec<DirEntry> {
-        let (rs, re) = dir_region(pid);
-        let mut attempt = 0;
-        loop {
-            let m = self.shard_map();
-            m.record_hit(rs);
-            let owners = m.owners_of(rs, re);
-            let scan = |shard: &Shard| -> Vec<DirEntry> {
-                shard
-                    .store
-                    .scan_dir(pid, "", usize::MAX)
-                    .into_iter()
-                    .filter(|(k, _)| k.name.as_ref() != ATTR_ROW_NAME)
-                    .filter_map(|(k, row)| match row {
-                        Row::DirAccess { id, .. } => Some(DirEntry {
-                            name: k.name.to_string(),
-                            kind: EntryKind::Dir,
-                            id,
-                        }),
-                        Row::Object(o) => Some(DirEntry {
-                            name: k.name.to_string(),
-                            kind: EntryKind::Object,
-                            id: o.id,
-                        }),
-                        _ => None,
-                    })
-                    .collect()
-            };
-            let rows: Vec<DirEntry> = if owners.len() == 1 {
-                let shard = &self.shards[owners[0]];
-                shard.node.rpc(stats, || scan(shard))
-            } else {
-                mantle_rpc::net_round_trip(&self.config);
-                let mut all = Vec::new();
-                for &o in &owners {
-                    let shard = &self.shards[o];
-                    let mut part = shard.node.rpc_batched(stats, "readdir", || scan(shard));
-                    all.append(&mut part);
-                }
-                all.sort_by(|a, b| a.name.cmp(&b.name));
-                all
-            };
-            if self.map.read().epoch() == m.epoch() || attempt >= READ_ROUTE_RETRIES {
-                return rows;
-            }
-            attempt += 1;
-            self.note_stale(stats);
-        }
-    }
-
-    // --- baseline write paths ----------------------------------------------
-
-    /// Inserts a row if absent, with WAL durability — the relaxed-
-    /// consistency single-row write Tectonic uses (§6.1: "we relax the
-    /// consistency and avoid using distributed transactions").
-    ///
-    /// # Errors
-    ///
-    /// [`MetaError::AlreadyExists`] when the key is taken.
-    pub fn insert_row(&self, key: RowKey, row: Row, stats: &mut OpStats) -> Result<()> {
-        let place = place_of(&key);
-        loop {
-            let (owner, epoch) = self.route(place);
-            let shard = &self.shards[owner];
-            let out = shard.node.try_rpc_named(stats, "insert_row", || {
-                let _g = InFlight::enter(&shard.in_flight);
-                self.check_route(owner, place, epoch)?;
-                if !shard.store.put_if_absent(key.clone(), row.clone()) {
-                    return Err(MetaError::AlreadyExists(key.name.to_string()));
-                }
-                shard.wal.append();
-                Ok(())
-            })?;
-            match out {
-                Err(MetaError::StaleRoute { .. }) => self.note_stale(stats),
-                other => return other,
-            }
-        }
-    }
-
-    /// Deletes a row (attr rows drag their delta records along), with WAL
-    /// durability.
-    ///
-    /// # Errors
-    ///
-    /// [`MetaError::NotFound`] when the key is absent.
-    pub fn delete_row(&self, key: RowKey, stats: &mut OpStats) -> Result<()> {
-        let place = place_of(&key);
-        loop {
-            let (owner, epoch) = self.route(place);
-            let shard = &self.shards[owner];
-            let out = shard.node.try_rpc_named(stats, "delete_row", || {
-                let _g = InFlight::enter(&shard.in_flight);
-                self.check_route(owner, place, epoch)?;
-                let existed = Self::delete_with_deltas(shard, &key);
-                if !existed {
-                    return Err(MetaError::NotFound(key.name.to_string()));
-                }
-                shard.wal.append();
-                Ok(())
-            })?;
-            match out {
-                Err(MetaError::StaleRoute { .. }) => self.note_stale(stats),
-                other => return other,
-            }
-        }
-    }
-
-    /// Serialized (blocking-latch) attribute update — the baseline behaviour
-    /// the paper attributes to Tectonic and LocoFS under mkdir-s (§6.3).
-    ///
-    /// # Errors
-    ///
-    /// [`MetaError::NotFound`] when the directory's attribute row is gone.
-    pub fn update_attr_latched(
-        &self,
-        dir: InodeId,
-        delta: AttrDelta,
-        stats: &mut OpStats,
-    ) -> Result<()> {
-        let place = place_of(&attr_key(dir));
-        loop {
-            let (owner, epoch) = self.route(place);
-            let shard = &self.shards[owner];
-            let out = shard.node.try_rpc_named(stats, "update_attr", || {
-                let _g = InFlight::enter(&shard.in_flight);
-                self.check_route(owner, place, epoch)?;
-                let _latch = shard.latches.exclusive(&dir.raw());
-                let found = shard.store.update(&attr_key(dir), |cur| match cur {
-                    Some(Row::DirAttr(a)) => {
-                        let mut merged = a.clone();
-                        merged.apply_delta(&delta);
-                        (Some(Row::DirAttr(merged)), true)
-                    }
-                    other => (other.cloned(), false),
-                });
-                if !found {
-                    return Err(MetaError::NotFound(format!("dir {dir}")));
-                }
-                shard.wal.append();
-                self.latched_updates.fetch_add(1, Ordering::Relaxed);
-                self.metrics.latched_updates.inc();
-                Ok(())
-            })?;
-            match out {
-                Err(MetaError::StaleRoute { .. }) => self.note_stale(stats),
-                other => return other,
-            }
-        }
-    }
-
-    // --- transactions -------------------------------------------------------
-
-    /// Runs `ops` as one transaction with transparent retry on conflicts
-    /// (exponential backoff) and on stale shard-map routes (map refresh),
-    /// using the single-RPC fast path when every op routes to one shard and
-    /// 2PC otherwise.
-    ///
-    /// # Errors
-    ///
-    /// Validation errors pass through; [`MetaError::TxnConflict`] is
-    /// returned once retries are exhausted.
-    pub fn execute(&self, ops: &[TxnOp], stats: &mut OpStats) -> Result<TxnId> {
-        let mut attempt: u32 = 0;
-        loop {
-            let txn = self.begin();
-            let m = self.shard_map();
-            let groups = self.group_ops(&m, txn, ops);
-            let outcome = if groups.len() == 1 {
-                self.execute_single_shard(txn, m.epoch(), &groups[0], stats)
-            } else {
-                match self.prepare_groups(txn, m.epoch(), &groups, stats) {
-                    Ok(p) => {
-                        self.commit(p, stats);
-                        Ok(txn)
-                    }
-                    Err(e) => Err(e),
-                }
-            };
-            match outcome {
-                Ok(txn) => return Ok(txn),
-                Err(e) if e.is_retryable() && attempt < self.opts.max_txn_retries => {
-                    if matches!(e, MetaError::StaleRoute { .. }) {
-                        self.note_stale(stats);
-                    } else {
-                        stats.txn_retries += 1;
-                    }
-                    attempt += 1;
-                    self.backoff(attempt);
-                }
-                Err(MetaError::TxnConflict { .. }) => {
-                    return Err(MetaError::TxnConflict { retries: attempt })
-                }
-                Err(e) => return Err(e),
-            }
-        }
-    }
-
-    /// Routes `ops` against map snapshot `m` into per-shard groups,
-    /// preserving op order within each shard (first-touch group order).
-    /// Also decides hot/cold for `AttrUpdate` (once per attempt) and
-    /// expands region-wide ops (`ExpectEmptyDir`, attr-row `Delete`) to
-    /// every owner of the directory's region.
-    fn group_ops<'a>(
-        &self,
-        m: &ShardMap,
-        txn: TxnId,
-        ops: &'a [TxnOp],
-    ) -> Vec<(usize, Vec<ShardOp<'a>>)> {
-        let mut groups: Vec<(usize, Vec<ShardOp<'a>>)> = Vec::new();
-        fn push<'a>(groups: &mut Vec<(usize, Vec<ShardOp<'a>>)>, shard: usize, sop: ShardOp<'a>) {
-            match groups.iter_mut().find(|(s, _)| *s == shard) {
-                Some((_, v)) => v.push(sop),
-                None => groups.push((shard, vec![sop])),
-            }
-        }
-        for op in ops {
-            match op {
-                TxnOp::AttrUpdate { dir, delta } => {
-                    let base_place = place_of(&attr_key(*dir));
-                    let base_owner = m.owner(base_place);
-                    if self.opts.delta_records && self.shards[base_owner].is_hot(*dir, &self.opts) {
-                        // Hot: the delta record routes by its (unique) txn
-                        // timestamp, spreading a hot directory's appends
-                        // across a split region.
-                        let dplace = place_of(&delta_key(*dir, txn));
-                        m.record_hit(dplace);
-                        push(
-                            &mut groups,
-                            m.owner(dplace),
-                            ShardOp::HotAttr {
-                                dir: *dir,
-                                delta: *delta,
-                            },
-                        );
-                    } else {
-                        m.record_hit(base_place);
-                        push(&mut groups, base_owner, ShardOp::Op(op));
-                    }
-                }
-                TxnOp::Delete { key } if key.name.as_ref() == ATTR_ROW_NAME => {
-                    let place = place_of(key);
-                    m.record_hit(place);
-                    let owner = m.owner(place);
-                    push(&mut groups, owner, ShardOp::Op(op));
-                    // Delta records of the dying directory may live on other
-                    // region owners; each purges its own.
-                    let (rs, re) = dir_region(key.pid);
-                    for o in m.owners_of(rs, re) {
-                        if o != owner {
-                            push(&mut groups, o, ShardOp::Purge(key.pid));
-                        }
-                    }
-                }
-                TxnOp::ExpectEmptyDir { dir } => {
-                    let (rs, re) = dir_region(*dir);
-                    for o in m.owners_of(rs, re) {
-                        push(&mut groups, o, ShardOp::Op(op));
-                    }
-                }
-                TxnOp::InsertUnique { key, .. }
-                | TxnOp::Put { key, .. }
-                | TxnOp::Delete { key }
-                | TxnOp::ExpectExists { key } => {
-                    let place = place_of(key);
-                    m.record_hit(place);
-                    push(&mut groups, m.owner(place), ShardOp::Op(op));
-                }
-            }
-        }
-        groups
-    }
-
-    /// Prepare phase of 2PC: validates `ops` and acquires their row locks on
-    /// every participating shard (one parallel RPC fan-out).
-    ///
-    /// # Errors
-    ///
-    /// On any failure all acquired locks are released and the error is
-    /// returned; [`MetaError::TxnConflict`] signals a retryable conflict,
-    /// [`MetaError::StaleRoute`] a shard-map change since `txn` routed.
-    pub fn prepare(&self, txn: TxnId, ops: &[TxnOp], stats: &mut OpStats) -> Result<Prepared> {
-        let m = self.shard_map();
-        let groups = self.group_ops(&m, txn, ops);
-        self.prepare_groups(txn, m.epoch(), &groups, stats)
-    }
-
-    fn prepare_groups(
-        &self,
-        txn: TxnId,
-        epoch: u64,
-        groups: &[(usize, Vec<ShardOp<'_>>)],
-        stats: &mut OpStats,
-    ) -> Result<Prepared> {
-        // One fan-out round trip covers the parallel per-shard prepares.
-        mantle_rpc::net_round_trip(&self.config);
-        let plan = self.faults.get();
-        let mut prepared = Vec::with_capacity(groups.len());
-        for (shard_idx, shard_ops) in groups {
-            let shard = &self.shards[*shard_idx];
-            // An injected participant failure during prepare: nothing was
-            // committed anywhere, so releasing the locks acquired so far
-            // and surfacing a retryable Transient is always safe.
-            let result = if plan
-                .as_ref()
-                .is_some_and(|p| p.txn_prepare_fails(shard.node.name()))
-            {
-                Err(MetaError::Transient {
-                    kind: "txn_prepare".to_string(),
-                    at: shard.node.name().to_string(),
-                })
-            } else {
-                // The round trip was already injected once for the fan-out.
-                shard
-                    .node
-                    .try_rpc_batched(stats, "txn_prepare", || {
-                        self.prepare_on_shard(*shard_idx, txn, epoch, shard_ops)
-                    })
-                    .and_then(|r| r)
-            };
-            match result {
-                Ok(sp) => prepared.push(sp),
-                Err(e) => {
-                    self.release_prepared(&prepared, txn, stats);
-                    self.txns_aborted.fetch_add(1, Ordering::Relaxed);
-                    self.metrics.txns_aborted.inc();
-                    return Err(e);
-                }
-            }
-        }
-        Ok(Prepared {
-            txn,
-            shards: prepared,
-        })
-    }
-
-    fn prepare_on_shard(
-        &self,
-        shard_idx: usize,
-        txn: TxnId,
-        epoch: u64,
-        ops: &[ShardOp<'_>],
-    ) -> Result<ShardPrepared> {
-        let shard = &self.shards[shard_idx];
-        // The in-flight window spans validation through lock acquisition;
-        // once locks are held, migration quiescence waits on them instead.
-        let _g = InFlight::enter(&shard.in_flight);
-        {
-            let current = self.map.read().epoch();
-            if shard.mig_active.load(Ordering::Acquire) || current != epoch {
-                return Err(MetaError::StaleRoute {
-                    seen: epoch,
-                    current,
-                });
-            }
-        }
-        let mut locks: Vec<RowKey> = Vec::new();
-        let mut remote_locks: Vec<(usize, RowKey)> = Vec::new();
-        let mut writes: Vec<WriteCmd> = Vec::new();
-
-        let fail = |locks: &[RowKey], remote: &[(usize, RowKey)], err: MetaError| -> MetaError {
-            shard.locks.unlock_all(locks, txn);
-            for (s, k) in remote {
-                self.shards[*s].locks.unlock(k, txn);
-            }
-            if matches!(err, MetaError::TxnConflict { .. }) {
-                self.metrics.lock_conflicts.inc();
-                mantle_obs::flight::annotate("tafdb:txn_conflict");
-            }
-            err
-        };
-
-        for sop in ops {
-            match sop {
-                ShardOp::Op(op) => match op {
-                    TxnOp::InsertUnique { key, row } => {
-                        if shard.locks.try_lock(key, txn, LockMode::Exclusive).is_err() {
-                            return Err(fail(
-                                &locks,
-                                &remote_locks,
-                                MetaError::TxnConflict { retries: 0 },
-                            ));
-                        }
-                        locks.push(key.clone());
-                        if shard.store.contains(key) {
-                            return Err(fail(
-                                &locks,
-                                &remote_locks,
-                                MetaError::AlreadyExists(key.name.to_string()),
-                            ));
-                        }
-                        writes.push(WriteCmd::Put(key.clone(), row.clone()));
-                    }
-                    TxnOp::Put { key, row } => {
-                        if shard.locks.try_lock(key, txn, LockMode::Exclusive).is_err() {
-                            return Err(fail(
-                                &locks,
-                                &remote_locks,
-                                MetaError::TxnConflict { retries: 0 },
-                            ));
-                        }
-                        locks.push(key.clone());
-                        writes.push(WriteCmd::Put(key.clone(), row.clone()));
-                    }
-                    TxnOp::Delete { key } => {
-                        if shard.locks.try_lock(key, txn, LockMode::Exclusive).is_err() {
-                            if key.name.as_ref() == ATTR_ROW_NAME {
-                                shard.record_abort(key.pid, &self.opts);
-                            }
-                            return Err(fail(
-                                &locks,
-                                &remote_locks,
-                                MetaError::TxnConflict { retries: 0 },
-                            ));
-                        }
-                        locks.push(key.clone());
-                        if !shard.store.contains(key) {
-                            return Err(fail(
-                                &locks,
-                                &remote_locks,
-                                MetaError::NotFound(key.name.to_string()),
-                            ));
-                        }
-                        writes.push(WriteCmd::Delete(key.clone()));
-                    }
-                    TxnOp::ExpectExists { key } => {
-                        if shard.locks.try_lock(key, txn, LockMode::Shared).is_err() {
-                            return Err(fail(
-                                &locks,
-                                &remote_locks,
-                                MetaError::TxnConflict { retries: 0 },
-                            ));
-                        }
-                        locks.push(key.clone());
-                        if !shard.store.contains(key) {
-                            return Err(fail(
-                                &locks,
-                                &remote_locks,
-                                MetaError::NotFound(key.name.to_string()),
-                            ));
-                        }
-                    }
-                    TxnOp::ExpectEmptyDir { dir } => {
-                        // Region-expanded: every owner checks its own slice.
-                        let has_children = shard
-                            .store
-                            .scan_dir(*dir, "", usize::MAX)
-                            .iter()
-                            .any(|(k, _)| k.name.as_ref() != ATTR_ROW_NAME);
-                        if has_children {
-                            return Err(fail(
-                                &locks,
-                                &remote_locks,
-                                MetaError::NotEmpty(format!("dir {dir}")),
-                            ));
-                        }
-                    }
-                    TxnOp::AttrUpdate { dir, delta } => {
-                        // Cold path (group_ops already peeled off hot ones):
-                        // exclusive lock + in-place merge at the base owner.
-                        let key = attr_key(*dir);
-                        if shard
-                            .locks
-                            .try_lock(&key, txn, LockMode::Exclusive)
-                            .is_err()
-                        {
-                            shard.record_abort(*dir, &self.opts);
-                            return Err(fail(
-                                &locks,
-                                &remote_locks,
-                                MetaError::TxnConflict { retries: 0 },
-                            ));
-                        }
-                        locks.push(key.clone());
-                        if !shard.store.contains(&key) {
-                            return Err(fail(
-                                &locks,
-                                &remote_locks,
-                                MetaError::NotFound(format!("dir {dir}")),
-                            ));
-                        }
-                        writes.push(WriteCmd::MergeAttr(key, *delta));
-                    }
-                },
-                ShardOp::HotAttr { dir, delta } => {
-                    // Exclusive lock on the (unique-ts) delta key: conflict-
-                    // free, but it makes the in-flight append visible to
-                    // migration quiescence on this shard.
-                    let dkey = delta_key(*dir, txn);
-                    if shard
-                        .locks
-                        .try_lock(&dkey, txn, LockMode::Exclusive)
-                        .is_err()
-                    {
-                        return Err(fail(
-                            &locks,
-                            &remote_locks,
-                            MetaError::TxnConflict { retries: 0 },
-                        ));
-                    }
-                    locks.push(dkey);
-                    // Fence: a shared lock on the base attribute row at its
-                    // owner, so rmdir's exclusive lock excludes in-flight
-                    // appends. Modeled as a lock service colocated with the
-                    // base row — no extra RPC (and on an unsplit region it
-                    // IS the local lock manager, the historical hot path).
-                    let akey = attr_key(*dir);
-                    let base_owner = self.map.read().owner(place_of(&akey));
-                    let base = &self.shards[base_owner];
-                    if base.locks.try_lock(&akey, txn, LockMode::Shared).is_err() {
-                        return Err(fail(
-                            &locks,
-                            &remote_locks,
-                            MetaError::TxnConflict { retries: 0 },
-                        ));
-                    }
-                    if base_owner == shard_idx {
-                        locks.push(akey.clone());
-                    } else {
-                        remote_locks.push((base_owner, akey.clone()));
-                    }
-                    if !base.store.contains(&akey) {
-                        return Err(fail(
-                            &locks,
-                            &remote_locks,
-                            MetaError::NotFound(format!("dir {dir}")),
-                        ));
-                    }
-                    writes.push(WriteCmd::AppendDelta(*dir, txn, *delta));
-                }
-                ShardOp::Purge(dir) => {
-                    // Lock every local delta record of the dying directory;
-                    // the base owner's exclusive attr lock (same txn) blocks
-                    // new appends, so the set is stable through commit.
-                    let local: Vec<RowKey> = shard
-                        .store
-                        .scan_versions(*dir, ATTR_ROW_NAME)
-                        .into_iter()
-                        .filter(|(k, _)| k.ts != TxnId::BASE)
-                        .map(|(k, _)| k)
-                        .collect();
-                    for k in local {
-                        if shard.locks.try_lock(&k, txn, LockMode::Exclusive).is_err() {
-                            return Err(fail(
-                                &locks,
-                                &remote_locks,
-                                MetaError::TxnConflict { retries: 0 },
-                            ));
-                        }
-                        locks.push(k);
-                    }
-                    writes.push(WriteCmd::PurgeDeltas(*dir));
-                }
-            }
-        }
-        Ok(ShardPrepared {
-            shard: shard_idx,
-            locks,
-            remote_locks,
-            writes,
-        })
-    }
-
-    /// Commit phase of 2PC: applies planned writes, makes them durable, and
-    /// releases locks (one parallel RPC fan-out).
-    pub fn commit(&self, prepared: Prepared, stats: &mut OpStats) {
-        mantle_rpc::net_round_trip(&self.config);
-        let plan = self.faults.get();
-        for sp in &prepared.shards {
-            let shard = &self.shards[sp.shard];
-            if plan
-                .as_ref()
-                .is_some_and(|p| p.txn_commit_hiccups(shard.node.name()))
-            {
-                // The commit decision is already durable: the participant
-                // missed the first delivery and the coordinator re-sends —
-                // one extra round trip, the transaction still commits
-                // exactly once (2PC commit-phase retry semantics).
-                stats.transient_retries += 1;
-                stats.rpc();
-                mantle_rpc::net_round_trip(&self.config);
-            }
-            shard.node.rpc_batched(stats, "txn_commit", || {
-                for w in &sp.writes {
-                    self.apply_write(sp.shard, w);
-                }
-                if !sp.writes.is_empty() {
-                    shard.wal.append();
-                }
-                shard.locks.unlock_all(&sp.locks, prepared.txn);
-                for (s, k) in &sp.remote_locks {
-                    self.shards[*s].locks.unlock(k, prepared.txn);
-                }
-            });
-        }
-        self.txns_committed.fetch_add(1, Ordering::Relaxed);
-        self.metrics.txns_committed.inc();
-    }
-
-    /// Aborts a prepared transaction, releasing every acquired lock.
-    pub fn abort(&self, prepared: Prepared, stats: &mut OpStats) {
-        self.release_prepared(&prepared.shards, prepared.txn, stats);
-        self.txns_aborted.fetch_add(1, Ordering::Relaxed);
-        self.metrics.txns_aborted.inc();
-    }
-
-    fn release_prepared(&self, shards: &[ShardPrepared], txn: TxnId, stats: &mut OpStats) {
-        if shards.is_empty() {
-            return;
-        }
-        mantle_rpc::net_round_trip(&self.config);
-        for sp in shards {
-            let shard = &self.shards[sp.shard];
-            shard.node.rpc_batched(stats, "txn_abort", || {
-                shard.locks.unlock_all(&sp.locks, txn);
-                for (s, k) in &sp.remote_locks {
-                    self.shards[*s].locks.unlock(k, txn);
-                }
-            });
-        }
-    }
-
-    fn execute_single_shard(
-        &self,
-        txn: TxnId,
-        epoch: u64,
-        group: &(usize, Vec<ShardOp<'_>>),
-        stats: &mut OpStats,
-    ) -> Result<TxnId> {
-        let (shard_idx, ops) = group;
-        let shard = &self.shards[*shard_idx];
-        shard.node.try_rpc_named(stats, "txn_1shard", || {
-            let sp = match self.prepare_on_shard(*shard_idx, txn, epoch, ops) {
-                Ok(sp) => sp,
-                Err(e) => {
-                    self.txns_aborted.fetch_add(1, Ordering::Relaxed);
-                    self.metrics.txns_aborted.inc();
-                    return Err(e);
-                }
-            };
-            for w in &sp.writes {
-                self.apply_write(*shard_idx, w);
-            }
-            if !sp.writes.is_empty() {
-                shard.wal.append();
-            }
-            shard.locks.unlock_all(&sp.locks, txn);
-            for (s, k) in &sp.remote_locks {
-                self.shards[*s].locks.unlock(k, txn);
-            }
-            self.txns_committed.fetch_add(1, Ordering::Relaxed);
-            self.metrics.txns_committed.inc();
-            Ok(txn)
-        })?
-    }
-
-    fn apply_write(&self, shard_idx: usize, w: &WriteCmd) {
-        let shard = &self.shards[shard_idx];
-        match w {
-            WriteCmd::Put(key, row) => {
-                shard.store.put(key.clone(), row.clone());
-            }
-            WriteCmd::Delete(key) => {
-                Self::delete_with_deltas(shard, key);
-            }
-            WriteCmd::MergeAttr(key, delta) => {
-                shard.store.update(key, |cur| match cur {
-                    Some(Row::DirAttr(a)) => {
-                        let mut merged = a.clone();
-                        merged.apply_delta(delta);
-                        (Some(Row::DirAttr(merged)), ())
-                    }
-                    other => (other.cloned(), ()),
-                });
-                self.inplace_updates.fetch_add(1, Ordering::Relaxed);
-                self.metrics.inplace_updates.inc();
-            }
-            WriteCmd::AppendDelta(dir, ts, delta) => {
-                shard.store.put(delta_key(*dir, *ts), Row::Delta(*delta));
-                shard.delta_dirs.lock().insert(*dir);
-                self.delta_appends.fetch_add(1, Ordering::Relaxed);
-                self.metrics.delta_appends.inc();
-            }
-            WriteCmd::PurgeDeltas(dir) => {
-                shard.delta_dirs.lock().remove(dir);
-                shard.store.with_write(|map| {
-                    let from = RowKey::delta(*dir, ATTR_ROW_NAME, TxnId(1));
-                    let deltas: Vec<RowKey> = map
-                        .range((Bound::Included(from), Bound::Unbounded))
-                        .take_while(|(k, _)| k.pid == *dir && k.name.as_ref() == ATTR_ROW_NAME)
-                        .map(|(k, _)| k.clone())
-                        .collect();
-                    for k in deltas {
-                        map.remove(&k);
-                    }
-                });
-            }
-        }
-    }
-
-    /// Deletes `key`; when it is an attribute row, its directory's delta
-    /// records *on this shard* go with it (under the compaction latch).
-    /// Returns whether the base row existed.
-    fn delete_with_deltas(shard: &Shard, key: &RowKey) -> bool {
-        if key.name.as_ref() != ATTR_ROW_NAME {
-            return shard.store.delete(key).is_some();
-        }
-        let _latch = shard.latches.exclusive(&key.pid.raw());
-        shard.delta_dirs.lock().remove(&key.pid);
-        shard.store.with_write(|map| {
-            let existed = map.remove(key).is_some();
-            let from = RowKey::delta(key.pid, ATTR_ROW_NAME, TxnId(1));
-            let deltas: Vec<RowKey> = map
-                .range((Bound::Included(from), Bound::Unbounded))
-                .take_while(|(k, _)| k.pid == key.pid && k.name.as_ref() == ATTR_ROW_NAME)
-                .map(|(k, _)| k.clone())
-                .collect();
-            for k in deltas {
-                map.remove(&k);
-            }
-            existed
-        })
-    }
-
-    fn backoff(&self, attempt: u32) {
+    pub(crate) fn backoff(&self, attempt: u32) {
         if self.config.rtt_micros == 0 {
             std::thread::yield_now();
             return;
         }
         let micros = (50u64 << attempt.min(6)).min(3_000);
         clock::sleep_as(TimeCategory::Backoff, Duration::from_micros(micros));
-    }
-
-    // --- placement plane ----------------------------------------------------
-
-    /// Metadata-only range split at `at` within the range owning `place`
-    /// (both halves keep their shard; no rows move). Returns whether the
-    /// split happened — `false` when `at` no longer falls strictly inside
-    /// the range (a concurrent mutation got there first).
-    pub fn split_range(&self, place: u64, at: u64) -> bool {
-        let _mg = self.migration_lock.lock();
-        let changed = {
-            let mut w = self.map.write();
-            let idx = w.range_index(place);
-            let r = w.range(idx);
-            if at <= r.start || at > r.end {
-                false
-            } else {
-                let new = w.with_split(idx, at);
-                new.check_invariants();
-                *w = Arc::new(new);
-                true
-            }
-        };
-        if changed {
-            self.shard_splits.fetch_add(1, Ordering::Relaxed);
-            self.metrics.shard_splits.inc();
-        }
-        changed
-    }
-
-    /// Metadata-only cuts isolating the directory region around `place`
-    /// inside its current range, so the hot region becomes its own range.
-    fn isolate_region(&self, place: u64) -> bool {
-        let rs = place & !(DIR_REGION_SPAN - 1);
-        let re = rs | (DIR_REGION_SPAN - 1);
-        let _mg = self.migration_lock.lock();
-        let cut_count = {
-            let mut w = self.map.write();
-            let idx = w.range_index(place);
-            let r = w.range(idx);
-            let mut cuts = Vec::new();
-            if r.start < rs && rs <= r.end {
-                cuts.push(rs);
-            }
-            // (re < r.end also rules out re == u64::MAX, so re + 1 is safe.)
-            if re < r.end {
-                cuts.push(re + 1);
-            }
-            if cuts.is_empty() {
-                0
-            } else {
-                let new = w.with_cuts(idx, &cuts);
-                new.check_invariants();
-                *w = Arc::new(new);
-                cuts.len() as u64
-            }
-        };
-        if cut_count > 0 {
-            self.shard_splits.fetch_add(cut_count, Ordering::Relaxed);
-            self.metrics.shard_splits.add(cut_count);
-        }
-        cut_count > 0
-    }
-
-    /// Merges the range owning `place` with its right neighbour when both
-    /// are on the same shard (metadata-only).
-    fn merge_at(&self, place: u64) -> bool {
-        let _mg = self.migration_lock.lock();
-        let merged = {
-            let mut w = self.map.write();
-            let idx = w.range_index(place);
-            match w.with_merge(idx) {
-                Some(new) => {
-                    new.check_invariants();
-                    *w = Arc::new(new);
-                    true
-                }
-                None => false,
-            }
-        };
-        if merged {
-            self.shard_merges.fetch_add(1, Ordering::Relaxed);
-            self.metrics.shard_merges.inc();
-        }
-        merged
-    }
-
-    /// Waits for writes on `src` to drain after the migration marker went
-    /// up: one observation of `in_flight == 0` proves no prepare is between
-    /// marker-check and lock acquisition; after that, the remaining lock
-    /// holders (pre-marker transactions) release at commit/abort. Bounded;
-    /// returns `false` on timeout.
-    fn quiesce(src: &Shard, start: u64, end: u64) -> bool {
-        let in_range = |k: &RowKey| {
-            let p = place_of(k);
-            start <= p && p <= end
-        };
-        for _ in 0..5_000_000u64 {
-            if src.in_flight.load(Ordering::Acquire) == 0 && !src.locks.any_held(in_range) {
-                return true;
-            }
-            std::thread::yield_now();
-        }
-        false
-    }
-
-    /// Migrates the whole range owning `place` to shard `to`: marker →
-    /// quiesce → WAL-logged batched copy → map swap (epoch bump, the commit
-    /// point) → source delete. Crash hooks `split_prepare` (before any row
-    /// copies) and `split_commit` (after the copy, before the swap) abort
-    /// the migration with the source left fully authoritative.
-    ///
-    /// # Errors
-    ///
-    /// [`MetaError::Transient`] on an injected crash or a quiescence
-    /// timeout; the migration is rolled back and can simply be retried.
-    pub fn migrate_range(&self, place: u64, to: usize) -> Result<usize> {
-        let _mg = self.migration_lock.lock();
-        let m = self.map.read().clone();
-        let idx = m.range_index(place);
-        let r = m.range(idx);
-        let (start, end, from) = (r.start, r.end, r.shard);
-        if from == to || to >= self.shards.len() {
-            return Ok(0);
-        }
-        let src = &self.shards[from];
-        let tgt = &self.shards[to];
-
-        mantle_obs::flight::annotate_with(|| {
-            format!(
-                "tafdb:migrate from={} to={}",
-                src.node.name(),
-                tgt.node.name()
-            )
-        });
-        // Raise the marker: new writes on the source bounce with StaleRoute.
-        *src.mig_range.lock() = Some((start, end));
-        src.mig_active.store(true, Ordering::Release);
-        src.wal.append(); // durable migration intent
-        let clear = || {
-            src.mig_active.store(false, Ordering::Release);
-            *src.mig_range.lock() = None;
-        };
-
-        let plan = self.faults.get();
-        if plan
-            .as_ref()
-            .is_some_and(|p| p.split_prepare_fails(src.node.name()))
-        {
-            clear();
-            return Err(MetaError::Transient {
-                kind: "split_prepare".to_string(),
-                at: src.node.name().to_string(),
-            });
-        }
-
-        if !Self::quiesce(src, start, end) {
-            clear();
-            return Err(MetaError::Transient {
-                kind: "split_quiesce".to_string(),
-                at: src.node.name().to_string(),
-            });
-        }
-
-        // One consistent snapshot of the moving rows.
-        let rows: Vec<(RowKey, Row)> = src.store.with_read(|map| {
-            map.iter()
-                .filter(|(k, _)| {
-                    let p = place_of(k);
-                    start <= p && p <= end
-                })
-                .map(|(k, v)| (k.clone(), v.clone()))
-                .collect()
-        });
-        let keys: Vec<RowKey> = rows.iter().map(|(k, _)| k.clone()).collect();
-
-        // WAL-logged batched copy to the target.
-        let batch = self.opts.placement.migration_batch.max(1);
-        for chunk in rows.chunks(batch) {
-            mantle_rpc::net_round_trip(&self.config);
-            tgt.store.apply_batch(chunk.to_vec(), &[]);
-            tgt.wal.append();
-        }
-        // Register moved delta records with the target's compactor.
-        let moved_delta_dirs: HashSet<InodeId> = rows
-            .iter()
-            .filter(|(k, _)| k.ts != TxnId::BASE && k.name.as_ref() == ATTR_ROW_NAME)
-            .map(|(k, _)| k.pid)
-            .collect();
-        if !moved_delta_dirs.is_empty() {
-            tgt.delta_dirs
-                .lock()
-                .extend(moved_delta_dirs.iter().copied());
-        }
-
-        if plan
-            .as_ref()
-            .is_some_and(|p| p.split_commit_fails(src.node.name()))
-        {
-            // Abort: discard the target copies; the map never changed, so
-            // the source stayed authoritative throughout.
-            tgt.store.delete_batch(&keys);
-            tgt.wal.append();
-            clear();
-            return Err(MetaError::Transient {
-                kind: "split_commit".to_string(),
-                at: src.node.name().to_string(),
-            });
-        }
-
-        // Hand over contention state for directories whose base attribute
-        // row moved (delta-mode decisions consult the base owner).
-        let moved_attr_dirs: Vec<InodeId> = rows
-            .iter()
-            .filter(|(k, _)| k.ts == TxnId::BASE && k.name.as_ref() == ATTR_ROW_NAME)
-            .map(|(k, _)| k.pid)
-            .collect();
-        if !moved_attr_dirs.is_empty() {
-            let mut sh = src.hot.lock();
-            let mut th = tgt.hot.lock();
-            for d in moved_attr_dirs {
-                if let Some(state) = sh.remove(&d) {
-                    th.insert(d, state);
-                }
-            }
-        }
-
-        // Commit point: swap the map. Readers that raced the swap validate
-        // ownership after reading and retry; the source rows are only
-        // deleted afterwards.
-        {
-            let mut w = self.map.write();
-            let new = w.with_reassign(idx, to);
-            new.check_invariants();
-            *w = Arc::new(new);
-        }
-        src.wal.append();
-        src.store.delete_batch(&keys);
-        clear();
-
-        self.range_migrations.fetch_add(1, Ordering::Relaxed);
-        self.metrics.range_migrations.inc();
-        self.rows_migrated
-            .fetch_add(keys.len() as u64, Ordering::Relaxed);
-        self.metrics.rows_migrated.add(keys.len() as u64);
-        Ok(keys.len())
-    }
-
-    /// Checkpoints shard `i` (DESIGN.md §4.11): serializes every row into a
-    /// checksummed image, acknowledges it with a WAL checkpoint record
-    /// (recovery then truncates the shard's log to it), and retains the
-    /// image as the shard's recovery point. Returns the rows captured.
-    ///
-    /// # Errors
-    ///
-    /// [`MetaError::Transient`] when an injected `snap_write` fault crashes
-    /// the image write or the checkpoint record's fsync is torn; either way
-    /// the previous checkpoint stays authoritative — the same
-    /// discard-on-abort discipline as range migration.
-    pub fn checkpoint_shard(&self, i: usize) -> Result<usize> {
-        let shard = &self.shards[i];
-        let _span = mantle_obs::trace::span(
-            "shard_checkpoint",
-            shard.node.name(),
-            mantle_obs::trace::SpanKind::Local,
-        );
-        let rows = shard.store.export_rows();
-        let mut w = mantle_types::snapshot::SnapshotWriter::new();
-        w.u64(rows.len() as u64);
-        for (k, row) in &rows {
-            crate::schema::write_row(&mut w, k, row);
-        }
-        let framed = mantle_types::snapshot::frame(w.finish());
-        if self
-            .faults
-            .get()
-            .is_some_and(|p| p.snapshot_write_fails(shard.node.name()))
-        {
-            self.metrics.checkpoint_aborts.inc();
-            mantle_obs::flight::annotate_with(|| {
-                format!("tafdb:checkpoint phase=abort_write shard={i}")
-            });
-            return Err(MetaError::Transient {
-                kind: "snap_write".to_string(),
-                at: shard.node.name().to_string(),
-            });
-        }
-        shard.wal.append_checkpoint(rows.len() as u64)?;
-        *shard.snap.lock() = Some(Arc::new(framed));
-        self.metrics.checkpoints.inc();
-        mantle_obs::flight::annotate_with(|| {
-            format!("tafdb:checkpoint shard={i} rows={}", rows.len())
-        });
-        Ok(rows.len())
-    }
-
-    /// Checkpoints every shard; returns the total rows captured across the
-    /// shards that succeeded and the index of any shard whose checkpoint
-    /// aborted on an injected fault.
-    pub fn checkpoint_all(&self) -> (usize, Vec<usize>) {
-        let mut total = 0;
-        let mut failed = Vec::new();
-        for i in 0..self.shards.len() {
-            match self.checkpoint_shard(i) {
-                Ok(n) => total += n,
-                Err(_) => failed.push(i),
-            }
-        }
-        (total, failed)
-    }
-
-    /// Restores shard `i` from its latest known-good checkpoint, replacing
-    /// the live rows and rebuilding the delta-record registry from the
-    /// restored keys. Returns `false` (leaving the shard untouched) when no
-    /// checkpoint exists or the image fails checksum validation (a torn
-    /// write) — the caller falls back to full WAL replay.
-    pub fn restore_shard(&self, i: usize) -> bool {
-        let shard = &self.shards[i];
-        let Some(framed) = shard.snap.lock().clone() else {
-            return false;
-        };
-        let Some(image) = mantle_types::snapshot::unframe(&framed) else {
-            self.metrics.checkpoint_aborts.inc();
-            return false;
-        };
-        let mut r = mantle_types::snapshot::SnapshotReader::new(image);
-        let n = r.u64() as usize;
-        let mut rows = Vec::with_capacity(n);
-        for _ in 0..n {
-            rows.push(crate::schema::read_row(&mut r));
-        }
-        let dirs: HashSet<InodeId> = rows
-            .iter()
-            .filter(|(k, _)| k.ts != TxnId::BASE && k.name.as_ref() == ATTR_ROW_NAME)
-            .map(|(k, _)| k.pid)
-            .collect();
-        shard.store.replace_all(rows);
-        *shard.delta_dirs.lock() = dirs;
-        mantle_obs::flight::annotate_with(|| format!("tafdb:checkpoint_restore shard={i}"));
-        true
-    }
-
-    /// One placement-controller tick: refresh per-shard load gauges from
-    /// busy-time deltas; when the max/mean ratio exceeds the configured
-    /// threshold, act on the hottest shard's hottest range — isolate the
-    /// sampled hot directory region (metadata-only), halve the range and
-    /// migrate the upper half to the coldest shard, or move the whole range
-    /// when it is too narrow to split. When balanced, opportunistically
-    /// merge the coldest same-shard neighbour pair. Public so tests and
-    /// benches can drive the controller deterministically.
-    ///
-    /// Returns the max/mean busy-time ratio observed this tick (`1.0` when
-    /// there was no load), so callers can drive ticks to convergence — the
-    /// busy deltas fold in real contention waits, making any single tick's
-    /// view noisy.
-    pub fn rebalance_once(&self) -> f64 {
-        let n = self.shards.len();
-        let busy: Vec<u64> = self
-            .shards
-            .iter()
-            .map(|s| s.node.snapshot().busy_nanos)
-            .collect();
-        let deltas: Vec<u64> = {
-            let mut last = self.last_busy.lock();
-            let d = busy
-                .iter()
-                .zip(last.iter())
-                .map(|(b, l)| b.saturating_sub(*l))
-                .collect();
-            *last = busy;
-            d
-        };
-        for (i, d) in deltas.iter().enumerate() {
-            self.metrics.shard_load[i].set(*d as i64);
-        }
-        // Fold the flight recorder's per-node critical-path attribution into
-        // per-shard phase gauges, so the controller's view says not just
-        // *that* a shard is hot but *which phase* (fsync vs queue vs fault)
-        // its time goes to: `tafdb_shard_phase_nanos{shard=...,phase=...}`.
-        if let Some(recorder) = mantle_obs::flight::effective_recorder() {
-            for (node, attr) in recorder.node_phases() {
-                if !node.starts_with("tafdb") {
-                    continue;
-                }
-                for cat in mantle_types::clock::TimeCategory::ALL {
-                    let nanos = attr.nanos(cat);
-                    if nanos > 0 {
-                        mantle_obs::gauge(
-                            "tafdb_shard_phase_nanos",
-                            &[("shard", node.as_str()), ("phase", cat.label())],
-                        )
-                        .set(nanos as i64);
-                    }
-                }
-            }
-        }
-        let total: u64 = deltas.iter().sum();
-        if total == 0 || n < 2 {
-            return 1.0;
-        }
-        let mean = total as f64 / n as f64;
-        let (hot_shard, &max_d) = deltas
-            .iter()
-            .enumerate()
-            .max_by_key(|(_, d)| **d)
-            .expect("n >= 2");
-        let cold_shard = deltas
-            .iter()
-            .enumerate()
-            .min_by_key(|(_, d)| **d)
-            .map(|(i, _)| i)
-            .expect("n >= 2");
-        let m = self.shard_map();
-
-        let ratio = max_d as f64 / mean;
-        if ratio < self.opts.placement.imbalance_threshold {
-            // Balanced: shrink the map back while it stays balanced.
-            if m.n_ranges() > n {
-                let coldest_pair = m
-                    .ranges()
-                    .windows(2)
-                    .filter(|w| w[0].shard == w[1].shard)
-                    .min_by_key(|w| w[0].hits() + w[1].hits())
-                    .map(|w| w[0].start);
-                if let Some(place) = coldest_pair {
-                    self.merge_at(place);
-                }
-            }
-            return ratio;
-        }
-
-        let Some(r) = m
-            .ranges()
-            .iter()
-            .filter(|r| r.shard == hot_shard)
-            .max_by_key(|r| r.hits())
-        else {
-            return ratio;
-        };
-        if r.hits() == 0 {
-            return ratio;
-        }
-        let place = r.hot_place();
-        let (rs, re) = (
-            place & !(DIR_REGION_SPAN - 1),
-            place | (DIR_REGION_SPAN - 1),
-        );
-        if (r.start < rs || re < r.end) && m.n_ranges() < self.opts.placement.max_ranges {
-            // The range spans more than the sampled hot directory region:
-            // carve the region out first so the next tick acts on it alone.
-            self.isolate_region(place);
-            return ratio;
-        }
-        if cold_shard == hot_shard {
-            return ratio;
-        }
-        if r.end - r.start >= MIN_SPLIT_SPAN && m.n_ranges() < self.opts.placement.max_ranges {
-            // Halve the hot range — down to *within* a single directory —
-            // and move the upper half to the coldest shard.
-            let mid = r.start + (r.end - r.start) / 2 + 1;
-            if self.split_range(r.start, mid) {
-                let _ = self.migrate_range(mid, cold_shard);
-            }
-        } else {
-            // Too narrow to split further: move it wholesale.
-            let _ = self.migrate_range(r.start, cold_shard);
-        }
-        ratio
-    }
-
-    // --- compaction ---------------------------------------------------------
-
-    /// One compactor sweep: on the shard owning a directory's base
-    /// attribute row, folds outstanding delta records into it (§5.2.1); on
-    /// other owners of a split region, coalesces local delta records into
-    /// the earliest local one so garbage stays bounded without a
-    /// cross-shard write. Public so tests and benches can force a
-    /// deterministic fold.
-    pub fn compact_once(&self) {
-        for (shard_idx, shard) in self.shards.iter().enumerate() {
-            if shard.mig_active.load(Ordering::Acquire) {
-                continue; // a migration owns this shard's stores right now
-            }
-            let dirs: Vec<InodeId> = shard.delta_dirs.lock().iter().copied().collect();
-            for dir in dirs {
-                let owns_base = self.map.read().owner(place_of(&attr_key(dir))) == shard_idx;
-                // Shared latch: deletion of the directory is excluded while
-                // folding, but concurrent delta appends proceed.
-                let _latch = shard.latches.shared(&dir.raw());
-                let folded = shard.store.with_write(|map| {
-                    let from = RowKey::delta(dir, ATTR_ROW_NAME, TxnId(1));
-                    let deltas: Vec<(RowKey, AttrDelta)> = map
-                        .range((Bound::Included(from), Bound::Unbounded))
-                        .take_while(|(k, _)| k.pid == dir && k.name.as_ref() == ATTR_ROW_NAME)
-                        .filter_map(|(k, v)| match v {
-                            Row::Delta(d) => Some((k.clone(), *d)),
-                            _ => None,
-                        })
-                        .collect();
-                    if owns_base {
-                        let base = attr_key(dir);
-                        let Some(Row::DirAttr(mut attrs)) = map.get(&base).cloned() else {
-                            return 0;
-                        };
-                        if deltas.is_empty() {
-                            return 0;
-                        }
-                        for (_, d) in &deltas {
-                            attrs.apply_delta(d);
-                        }
-                        map.insert(base, Row::DirAttr(attrs));
-                        for (k, _) in &deltas {
-                            map.remove(k);
-                        }
-                        deltas.len()
-                    } else {
-                        // Base row lives elsewhere: coalesce into the first
-                        // local delta (its key already routes here, so the
-                        // placement invariant holds).
-                        if deltas.len() <= 1 {
-                            return 0;
-                        }
-                        let mut sum = deltas[0].1;
-                        for (_, d) in &deltas[1..] {
-                            sum.nlink += d.nlink;
-                            sum.entries += d.entries;
-                            sum.mtime = sum.mtime.max(d.mtime);
-                        }
-                        map.insert(deltas[0].0.clone(), Row::Delta(sum));
-                        for (k, _) in &deltas[1..] {
-                            map.remove(k);
-                        }
-                        deltas.len() - 1
-                    }
-                });
-                if folded > 0 {
-                    self.compactions.fetch_add(1, Ordering::Relaxed);
-                    self.metrics.compactions.inc();
-                }
-                // Deregister only if no deltas snuck in after the fold.
-                let mut reg = shard.delta_dirs.lock();
-                let still_has = shard
-                    .store
-                    .scan_versions(dir, ATTR_ROW_NAME)
-                    .iter()
-                    .any(|(k, _)| k.ts != TxnId::BASE);
-                if !still_has {
-                    reg.remove(&dir);
-                }
-            }
-        }
     }
 }
 

@@ -22,14 +22,32 @@
 //!   *within* a single hot directory), migrates them to cold shards under a
 //!   short write quiescence, and merges cold neighbours back. Stale routing
 //!   snapshots are rejected with `MetaError::StaleRoute` and retried after
-//!   a map refresh.
+//!   a map refresh;
+//! * **pluggable storage engines** (DESIGN.md §4.12) — each shard's row
+//!   organisation sits behind [`mantle_engine::StorageEngine`]: the
+//!   default `btree` engine preserves the historical reader-writer-locked
+//!   structure, while the `mvcc` engine serves `readdir`/`list`/`dirstat`
+//!   scans from pinned copy-on-write snapshots so they never block (or are
+//!   blocked by) the write path. Select via `MANTLE_ENGINE` or
+//!   [`TafDbOptions::engine`].
+//!
+//! The implementation is layered accordingly: [`db`] (core + options),
+//! [`shard`](crate::shard) (per-shard runtime), [`router`](crate::router)
+//! (map routing + reads), [`exec`](crate::exec) (transactions), and
+//! [`migrate`](crate::migrate) (placement plane).
 
 pub mod db;
+mod exec;
+mod metrics;
+mod migrate;
+mod router;
 pub mod schema;
+mod shard;
 pub mod shardmap;
 pub mod txn;
 
 pub use db::{DbCounters, TafDb, TafDbOptions};
+pub use mantle_engine::EngineKind;
 pub use schema::{attr_key, entry_key, Row};
 pub use shardmap::{dir_region, place_of, ShardMap};
 pub use txn::{Prepared, TxnOp};

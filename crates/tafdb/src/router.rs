@@ -1,0 +1,385 @@
+//! Routing and the read paths: every row routes through the
+//! epoch-versioned [`ShardMap`] and every read validates ownership after
+//! reading (the map swap precedes source-row deletion, so an unchanged
+//! owner proves the value was authoritative), absorbing races with a
+//! `StaleRoute` bounce-and-retry.
+
+use std::sync::Arc;
+
+use mantle_store::RowKey;
+use mantle_types::record::ATTR_ROW_NAME;
+use mantle_types::{
+    AttrDelta, DirAttrMeta, DirEntry, EntryKind, InodeId, MetaError, ObjectMeta, OpStats,
+    Permission, Result, TxnId,
+};
+
+use crate::db::TafDb;
+use crate::schema::{attr_key, entry_key, Row};
+use crate::shard::Shard;
+use crate::shardmap::{dir_region, place_of, ShardMap};
+
+/// Internal retry cap for read paths racing a map change; past it the last
+/// (per-shard consistent) result is returned best-effort.
+const READ_ROUTE_RETRIES: u32 = 8;
+
+impl TafDb {
+    // --- routing ------------------------------------------------------------
+
+    /// The current shard-map snapshot (cheap: an `Arc` clone).
+    pub fn shard_map(&self) -> Arc<ShardMap> {
+        self.map.read().clone()
+    }
+
+    /// The shard owning the *start* of `pid`'s directory region. While the
+    /// region is unsplit (always true with the controller off) this is the
+    /// owner of every row of the directory — the dynamic replacement for
+    /// the historical fixed hash.
+    pub fn shard_of(&self, pid: InodeId) -> usize {
+        self.map.read().owner(dir_region(pid).0)
+    }
+
+    pub(crate) fn owner_of(&self, key: &RowKey) -> usize {
+        self.map.read().owner(place_of(key))
+    }
+
+    /// Routes one placement key: records a load sample on its range and
+    /// returns `(owner shard, map epoch)`.
+    pub(crate) fn route(&self, place: u64) -> (usize, u64) {
+        let m = self.map.read();
+        m.record_hit(place);
+        (m.owner(place), m.epoch())
+    }
+
+    /// Validates that `shard_idx` still owns `place` and is not migrating.
+    /// Called *inside* a write's `in_flight` window: if it passes, a racing
+    /// migration cannot copy the range until this write lands (quiescence
+    /// observes `in_flight == 0` strictly after the marker is visible).
+    pub(crate) fn check_route(&self, shard_idx: usize, place: u64, seen: u64) -> Result<()> {
+        let m = self.map.read();
+        if self.shards[shard_idx]
+            .mig_active
+            .load(std::sync::atomic::Ordering::Acquire)
+            || m.owner(place) != shard_idx
+        {
+            return Err(MetaError::StaleRoute {
+                seen,
+                current: m.epoch(),
+            });
+        }
+        Ok(())
+    }
+
+    /// Books a stale-route retry (per-op stats + global counters).
+    pub(crate) fn note_stale(&self, stats: &mut OpStats) {
+        stats.stale_route_retries += 1;
+        self.stale_routes
+            .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        self.metrics.stale_routes.inc();
+        mantle_obs::flight::annotate("tafdb:stale_route");
+        std::thread::yield_now();
+    }
+
+    // --- reads (one RPC to the owning shard) -------------------------------
+
+    /// Reads the entry row of `name` under `pid`.
+    pub fn get_entry(&self, pid: InodeId, name: &str, stats: &mut OpStats) -> Option<Row> {
+        let key = entry_key(pid, name);
+        let place = place_of(&key);
+        loop {
+            let (owner, _) = self.route(place);
+            let shard = &self.shards[owner];
+            let row = shard
+                .node
+                .rpc_named(stats, "get_entry", || shard.engine.get(&key));
+            // Owner unchanged ⇒ the shard was authoritative for the whole
+            // read (map swaps precede source-row deletion).
+            if self.map.read().owner(place) == owner {
+                return row;
+            }
+            self.note_stale(stats);
+        }
+    }
+
+    /// Entry read that does *not* inject a network round trip — for callers
+    /// modelling a parallel fan-out where one injected round trip covers a
+    /// whole batch of concurrently issued queries (InfiniFS's speculative
+    /// resolution). The RPC is still counted and still consumes shard-node
+    /// capacity.
+    pub fn get_entry_batched(&self, pid: InodeId, name: &str, stats: &mut OpStats) -> Option<Row> {
+        let key = entry_key(pid, name);
+        let place = place_of(&key);
+        loop {
+            let (owner, _) = self.route(place);
+            let shard = &self.shards[owner];
+            let row = shard
+                .node
+                .rpc_batched(stats, "get_entry", || shard.engine.get(&key));
+            if self.map.read().owner(place) == owner {
+                return row;
+            }
+            self.note_stale(stats);
+        }
+    }
+
+    /// Fallible entry read: surfaces injected transport faults (partitions,
+    /// drops, timeouts) as [`MetaError::Transient`] instead of absorbing
+    /// them. The error-returning read paths build on this so chaos tests
+    /// can observe a partitioned shard.
+    fn try_get_entry(&self, pid: InodeId, name: &str, stats: &mut OpStats) -> Result<Option<Row>> {
+        let key = entry_key(pid, name);
+        let place = place_of(&key);
+        loop {
+            let (owner, _) = self.route(place);
+            let shard = &self.shards[owner];
+            let row = shard
+                .node
+                .try_rpc_named(stats, "get_entry", || shard.engine.get(&key))?;
+            if self.map.read().owner(place) == owner {
+                return Ok(row);
+            }
+            self.note_stale(stats);
+        }
+    }
+
+    /// One step of level-by-level path resolution: child directory id and
+    /// permission of `name` under `pid`.
+    ///
+    /// # Errors
+    ///
+    /// [`MetaError::NotFound`] if absent, [`MetaError::NotADirectory`] if
+    /// the entry is an object, [`MetaError::Transient`] on an injected
+    /// transport fault (retryable).
+    pub fn resolve_step(
+        &self,
+        pid: InodeId,
+        name: &str,
+        stats: &mut OpStats,
+    ) -> Result<(InodeId, Permission)> {
+        match self.try_get_entry(pid, name, stats)? {
+            Some(Row::DirAccess { id, permission }) => Ok((id, permission)),
+            Some(_) => Err(MetaError::NotADirectory(name.to_string())),
+            None => Err(MetaError::NotFound(name.to_string())),
+        }
+    }
+
+    /// Reads object metadata.
+    ///
+    /// # Errors
+    ///
+    /// [`MetaError::NotFound`] / [`MetaError::IsADirectory`] /
+    /// [`MetaError::Transient`].
+    pub fn get_object(&self, pid: InodeId, name: &str, stats: &mut OpStats) -> Result<ObjectMeta> {
+        match self.try_get_entry(pid, name, stats)? {
+            Some(Row::Object(o)) => Ok(o),
+            Some(_) => Err(MetaError::IsADirectory(name.to_string())),
+            None => Err(MetaError::NotFound(name.to_string())),
+        }
+    }
+
+    /// Folds a `scan_versions` result (possibly assembled from several
+    /// region owners) into merged directory attributes.
+    fn merge_attr_rows(dir: InodeId, rows: Vec<(RowKey, Row)>) -> Result<DirAttrMeta> {
+        let mut attrs: Option<DirAttrMeta> = None;
+        let mut deltas: Vec<AttrDelta> = Vec::new();
+        for (key, row) in rows {
+            match row {
+                Row::DirAttr(a) => {
+                    debug_assert_eq!(key.ts, TxnId::BASE);
+                    attrs = Some(a);
+                }
+                Row::Delta(d) => deltas.push(d),
+                _ => {}
+            }
+        }
+        let Some(mut attrs) = attrs else {
+            return Err(MetaError::NotFound(format!("dir {dir}")));
+        };
+        for d in &deltas {
+            attrs.apply_delta(d);
+        }
+        Ok(attrs)
+    }
+
+    /// An engine version scan of `dir`'s attribute rows, booked against the
+    /// range-scan volume counter.
+    fn scan_attr_rows(&self, shard: &Shard, dir: InodeId) -> Vec<(RowKey, Row)> {
+        let rows = mantle_engine::scan_versions(&*shard.engine, dir, ATTR_ROW_NAME);
+        self.metrics.range_scan_rows.add(rows.len() as u64);
+        rows
+    }
+
+    /// Reads a directory's attributes, merging outstanding delta records
+    /// (the read-side cost of §5.2.1). When the directory's region is split
+    /// across shards, one fan-out round trip gathers every owner's rows.
+    ///
+    /// # Errors
+    ///
+    /// [`MetaError::NotFound`] when the directory has no attribute row.
+    pub fn dir_stat(&self, dir: InodeId, stats: &mut OpStats) -> Result<DirAttrMeta> {
+        let aplace = place_of(&attr_key(dir));
+        let (rs, re) = dir_region(dir);
+        let mut attempt = 0;
+        loop {
+            let m = self.shard_map();
+            m.record_hit(aplace);
+            let owners = m.owners_of(rs, re);
+            let merged = if owners.len() == 1 {
+                let shard = &self.shards[owners[0]];
+                shard.node.try_rpc_named(stats, "dir_stat", || {
+                    Self::merge_attr_rows(dir, self.scan_attr_rows(shard, dir))
+                })?
+            } else {
+                // One fan-out round trip covers the parallel per-owner scans.
+                mantle_rpc::net_round_trip(&self.config);
+                let mut rows = Vec::new();
+                for &o in &owners {
+                    let shard = &self.shards[o];
+                    let mut part = shard
+                        .node
+                        .try_rpc_batched(stats, "dir_stat", || self.scan_attr_rows(shard, dir))?;
+                    rows.append(&mut part);
+                }
+                Self::merge_attr_rows(dir, rows)
+            };
+            if self.map.read().epoch() == m.epoch() || attempt >= READ_ROUTE_RETRIES {
+                return merged;
+            }
+            attempt += 1;
+            self.note_stale(stats);
+        }
+    }
+
+    /// One shard's contribution to a page listing: up to `limit + 1`
+    /// matching entries (the sentinel extra reveals truncation), via a
+    /// bounded engine range scan.
+    fn scan_page(
+        &self,
+        shard: &Shard,
+        pid: InodeId,
+        start_after: Option<&str>,
+        limit: usize,
+    ) -> Vec<DirEntry> {
+        let from = start_after.unwrap_or("");
+        let rows = mantle_engine::scan_dir(&*shard.engine, pid, from, limit + 3);
+        self.metrics.range_scan_rows.add(rows.len() as u64);
+        rows.into_iter()
+            .filter(|(k, _)| {
+                k.name.as_ref() != ATTR_ROW_NAME && start_after.is_none_or(|a| k.name.as_ref() > a)
+            })
+            .filter_map(|(k, row)| match row {
+                Row::DirAccess { id, .. } => Some(DirEntry {
+                    name: k.name.to_string(),
+                    kind: EntryKind::Dir,
+                    id,
+                }),
+                Row::Object(o) => Some(DirEntry {
+                    name: k.name.to_string(),
+                    kind: EntryKind::Object,
+                    id: o.id,
+                }),
+                _ => None,
+            })
+            .take(limit + 1)
+            .collect()
+    }
+
+    /// Paged child listing: up to `limit` entries of `pid` with names
+    /// strictly after `start_after` — a bounded range scan on the ordered
+    /// shard engine (the backing of the COSS `LIST` API). The second return
+    /// is whether more entries follow. Split regions merge per-owner pages.
+    pub fn readdir_page(
+        &self,
+        pid: InodeId,
+        start_after: Option<&str>,
+        limit: usize,
+        stats: &mut OpStats,
+    ) -> (Vec<DirEntry>, bool) {
+        let (rs, re) = dir_region(pid);
+        let mut attempt = 0;
+        loop {
+            let m = self.shard_map();
+            m.record_hit(rs);
+            let owners = m.owners_of(rs, re);
+            let mut rows: Vec<DirEntry> = if owners.len() == 1 {
+                let shard = &self.shards[owners[0]];
+                shard
+                    .node
+                    .rpc(stats, || self.scan_page(shard, pid, start_after, limit))
+            } else {
+                mantle_rpc::net_round_trip(&self.config);
+                let mut all = Vec::new();
+                for &o in &owners {
+                    let shard = &self.shards[o];
+                    let mut part = shard.node.rpc_batched(stats, "readdir", || {
+                        self.scan_page(shard, pid, start_after, limit)
+                    });
+                    all.append(&mut part);
+                }
+                // Each owner returned its first `limit + 1` matches, so the
+                // union contains the global first `limit + 1` by name.
+                all.sort_by(|a, b| a.name.cmp(&b.name));
+                all
+            };
+            let truncated = rows.len() > limit;
+            rows.truncate(limit);
+            if self.map.read().epoch() == m.epoch() || attempt >= READ_ROUTE_RETRIES {
+                return (rows, truncated);
+            }
+            attempt += 1;
+            self.note_stale(stats);
+        }
+    }
+
+    /// Lists the direct children of `pid` (split regions merge per-owner
+    /// scans; entries stay in name order). On the MVCC engine the unbounded
+    /// scan walks a pinned snapshot without holding the shard's write path
+    /// back (DESIGN.md §4.12).
+    pub fn readdir(&self, pid: InodeId, stats: &mut OpStats) -> Vec<DirEntry> {
+        let (rs, re) = dir_region(pid);
+        let mut attempt = 0;
+        loop {
+            let m = self.shard_map();
+            m.record_hit(rs);
+            let owners = m.owners_of(rs, re);
+            let scan = |shard: &Shard| -> Vec<DirEntry> {
+                let rows = mantle_engine::scan_dir(&*shard.engine, pid, "", usize::MAX);
+                self.metrics.range_scan_rows.add(rows.len() as u64);
+                rows.into_iter()
+                    .filter(|(k, _)| k.name.as_ref() != ATTR_ROW_NAME)
+                    .filter_map(|(k, row)| match row {
+                        Row::DirAccess { id, .. } => Some(DirEntry {
+                            name: k.name.to_string(),
+                            kind: EntryKind::Dir,
+                            id,
+                        }),
+                        Row::Object(o) => Some(DirEntry {
+                            name: k.name.to_string(),
+                            kind: EntryKind::Object,
+                            id: o.id,
+                        }),
+                        _ => None,
+                    })
+                    .collect()
+            };
+            let rows: Vec<DirEntry> = if owners.len() == 1 {
+                let shard = &self.shards[owners[0]];
+                shard.node.rpc(stats, || scan(shard))
+            } else {
+                mantle_rpc::net_round_trip(&self.config);
+                let mut all = Vec::new();
+                for &o in &owners {
+                    let shard = &self.shards[o];
+                    let mut part = shard.node.rpc_batched(stats, "readdir", || scan(shard));
+                    all.append(&mut part);
+                }
+                all.sort_by(|a, b| a.name.cmp(&b.name));
+                all
+            };
+            if self.map.read().epoch() == m.epoch() || attempt >= READ_ROUTE_RETRIES {
+                return rows;
+            }
+            attempt += 1;
+            self.note_stale(stats);
+        }
+    }
+}

@@ -64,80 +64,88 @@ pub fn delta_key(dir: InodeId, ts: TxnId) -> RowKey {
     RowKey::delta(dir, ATTR_ROW_NAME, ts)
 }
 
-/// Serializes one `(key, row)` pair into a shard checkpoint image
-/// (DESIGN.md §4.11). Fixed layout so two shards holding the same rows
-/// produce byte-identical images.
-pub fn write_row(w: &mut mantle_types::snapshot::SnapshotWriter, key: &RowKey, row: &Row) {
-    w.u64(key.pid.0);
-    w.str(&key.name);
-    w.u64(key.ts.0);
-    match row {
-        Row::DirAccess { id, permission } => {
-            w.u8(0);
-            w.u64(id.0);
-            w.u16(permission.0);
+/// [`Row`]'s checkpoint-image codec (DESIGN.md §4.11): a tag byte plus
+/// the variant payload, in a fixed layout so two engines holding the same
+/// rows produce byte-identical images regardless of internal structure.
+impl mantle_engine::EngineValue for Row {
+    fn encode(&self, w: &mut mantle_types::snapshot::SnapshotWriter) {
+        match self {
+            Row::DirAccess { id, permission } => {
+                w.u8(0);
+                w.u64(id.0);
+                w.u16(permission.0);
+            }
+            Row::DirAttr(a) => {
+                w.u8(1);
+                w.i64(a.nlink);
+                w.i64(a.entries);
+                w.u64(a.ctime);
+                w.u64(a.mtime);
+                w.u32(a.owner);
+            }
+            Row::Delta(d) => {
+                w.u8(2);
+                w.i64(d.nlink);
+                w.i64(d.entries);
+                w.u64(d.mtime);
+            }
+            Row::Object(o) => {
+                w.u8(3);
+                w.u64(o.pid.0);
+                w.str(&o.name);
+                w.u64(o.id.0);
+                w.u64(o.size);
+                w.u64(o.blob);
+                w.u64(o.ctime);
+                w.u16(o.permission.0);
+            }
         }
-        Row::DirAttr(a) => {
-            w.u8(1);
-            w.i64(a.nlink);
-            w.i64(a.entries);
-            w.u64(a.ctime);
-            w.u64(a.mtime);
-            w.u32(a.owner);
-        }
-        Row::Delta(d) => {
-            w.u8(2);
-            w.i64(d.nlink);
-            w.i64(d.entries);
-            w.u64(d.mtime);
-        }
-        Row::Object(o) => {
-            w.u8(3);
-            w.u64(o.pid.0);
-            w.str(&o.name);
-            w.u64(o.id.0);
-            w.u64(o.size);
-            w.u64(o.blob);
-            w.u64(o.ctime);
-            w.u16(o.permission.0);
+    }
+
+    fn decode(r: &mut mantle_types::snapshot::SnapshotReader<'_>) -> Self {
+        match r.u8() {
+            0 => Row::DirAccess {
+                id: InodeId(r.u64()),
+                permission: Permission(r.u16()),
+            },
+            1 => Row::DirAttr(DirAttrMeta {
+                nlink: r.i64(),
+                entries: r.i64(),
+                ctime: r.u64(),
+                mtime: r.u64(),
+                owner: r.u32(),
+            }),
+            2 => Row::Delta(AttrDelta {
+                nlink: r.i64(),
+                entries: r.i64(),
+                mtime: r.u64(),
+            }),
+            3 => Row::Object(ObjectMeta {
+                pid: InodeId(r.u64()),
+                name: r.str(),
+                id: InodeId(r.u64()),
+                size: r.u64(),
+                blob: r.u64(),
+                ctime: r.u64(),
+                permission: Permission(r.u16()),
+            }),
+            tag => unreachable!("unknown row tag {tag} in checkpoint image"),
         }
     }
 }
 
+/// Serializes one `(key, row)` pair into a shard checkpoint image.
+pub fn write_row(w: &mut mantle_types::snapshot::SnapshotWriter, key: &RowKey, row: &Row) {
+    use mantle_engine::EngineValue as _;
+    mantle_engine::write_key(w, key);
+    row.encode(w);
+}
+
 /// Reads one `(key, row)` pair written by [`write_row`].
 pub fn read_row(r: &mut mantle_types::snapshot::SnapshotReader<'_>) -> (RowKey, Row) {
-    let pid = InodeId(r.u64());
-    let name = r.str();
-    let ts = TxnId(r.u64());
-    let key = RowKey::delta(pid, &name, ts);
-    let row = match r.u8() {
-        0 => Row::DirAccess {
-            id: InodeId(r.u64()),
-            permission: Permission(r.u16()),
-        },
-        1 => Row::DirAttr(DirAttrMeta {
-            nlink: r.i64(),
-            entries: r.i64(),
-            ctime: r.u64(),
-            mtime: r.u64(),
-            owner: r.u32(),
-        }),
-        2 => Row::Delta(AttrDelta {
-            nlink: r.i64(),
-            entries: r.i64(),
-            mtime: r.u64(),
-        }),
-        3 => Row::Object(ObjectMeta {
-            pid: InodeId(r.u64()),
-            name: r.str(),
-            id: InodeId(r.u64()),
-            size: r.u64(),
-            blob: r.u64(),
-            ctime: r.u64(),
-            permission: Permission(r.u16()),
-        }),
-        tag => unreachable!("unknown row tag {tag} in checkpoint image"),
-    };
+    use mantle_engine::EngineValue as _;
+    let key = mantle_engine::read_key(r);
+    let row = Row::decode(r);
     (key, row)
 }
 

@@ -1,0 +1,448 @@
+//! The per-shard runtime: engine + row locks + WAL + fault points.
+//!
+//! A [`Shard`] bundles one [`StorageEngine`] with everything TafDB layers
+//! above it: the no-wait row-lock table and latches (transaction
+//! isolation), the group-commit WAL (durability), the simulated server
+//! (RPC cost modeling and admission), contention tracking for delta-mode
+//! activation, and the migration marker. This module also owns the
+//! engine-facing write plumbing — applying prepared writes, the
+//! delta-dragging delete, compaction folds, and checkpoint/restore — plus
+//! the single-row baseline write paths.
+
+use std::collections::{HashMap, HashSet};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+use parking_lot::Mutex;
+
+use mantle_engine::{update_versions, StorageEngine, WriteOp};
+use mantle_rpc::SimNode;
+use mantle_store::{GroupCommitWal, LockManager, RowKey};
+use mantle_sync::LatchTable;
+use mantle_types::record::ATTR_ROW_NAME;
+use mantle_types::{AttrDelta, InodeId, MetaError, OpStats, Result, TxnId};
+
+use crate::db::{TafDb, TafDbOptions};
+use crate::schema::{attr_key, delta_key, Row};
+use crate::shardmap::place_of;
+use crate::txn::WriteCmd;
+
+// Contention tracking is cross-thread shared state, so it stays on wall
+// time: per-thread virtual timestamps from different writers are not
+// comparable, and abort bursts are a real-concurrency phenomenon either
+// way (see DESIGN.md "Time model").
+#[derive(Default)]
+pub(crate) struct HotState {
+    pub(crate) aborts: u32,
+    pub(crate) window_start: Option<Instant>,
+    pub(crate) hot_until: Option<Instant>,
+}
+
+pub(crate) struct Shard {
+    /// The pluggable row organisation (DESIGN.md §4.12). Everything below
+    /// the trait — structure, versioning, scan consistency — is the
+    /// engine's business; everything above stays in this runtime.
+    pub(crate) engine: Arc<dyn StorageEngine<Row>>,
+    pub(crate) locks: LockManager,
+    pub(crate) latches: LatchTable,
+    pub(crate) wal: GroupCommitWal,
+    pub(crate) node: Arc<SimNode>,
+    /// Directories with (possibly) outstanding delta records on this shard.
+    pub(crate) delta_dirs: Mutex<HashSet<InodeId>>,
+    /// Contention tracker for selective delta activation (kept on the shard
+    /// owning the directory's base attribute row; migrations move it).
+    pub(crate) hot: Mutex<HashMap<InodeId, HotState>>,
+    /// Writes currently between marker-check and engine mutation. Migration
+    /// quiescence waits for this to drain once after raising the marker.
+    pub(crate) in_flight: AtomicU64,
+    /// Fast flag: a range migration off this shard is in progress; writes
+    /// bounce with `StaleRoute` until it completes or aborts.
+    pub(crate) mig_active: AtomicBool,
+    /// The inclusive placement range being migrated (diagnostics).
+    pub(crate) mig_range: Mutex<Option<(u64, u64)>>,
+    /// Latest known-good checkpoint image (framed; DESIGN.md §4.11). Only
+    /// replaced by a fully written, WAL-acknowledged successor.
+    pub(crate) snap: Mutex<Option<Arc<Vec<u8>>>>,
+}
+
+impl Shard {
+    pub(crate) fn record_abort(&self, dir: InodeId, opts: &TafDbOptions) {
+        let mut hot = self.hot.lock();
+        let state = hot.entry(dir).or_default();
+        let now = Instant::now();
+        match state.window_start {
+            Some(w) if now.duration_since(w) <= opts.hot_window => state.aborts += 1,
+            _ => {
+                state.window_start = Some(now);
+                state.aborts = 1;
+            }
+        }
+        if state.aborts >= opts.delta_abort_threshold {
+            state.hot_until = Some(now + opts.hot_ttl);
+        }
+    }
+
+    /// Whether `dir` is in delta mode; refreshes the mode's TTL when it is
+    /// (delta mode persists while the directory keeps being updated).
+    pub(crate) fn is_hot(&self, dir: InodeId, opts: &TafDbOptions) -> bool {
+        let mut hot = self.hot.lock();
+        let Some(state) = hot.get_mut(&dir) else {
+            return false;
+        };
+        let now = Instant::now();
+        match state.hot_until {
+            Some(until) if until > now => {
+                state.hot_until = Some(now + opts.hot_ttl);
+                true
+            }
+            _ => false,
+        }
+    }
+}
+
+/// RAII increment of a shard's in-flight write counter.
+pub(crate) struct InFlight<'a>(&'a AtomicU64);
+
+impl<'a> InFlight<'a> {
+    pub(crate) fn enter(counter: &'a AtomicU64) -> Self {
+        counter.fetch_add(1, Ordering::AcqRel);
+        InFlight(counter)
+    }
+}
+
+impl Drop for InFlight<'_> {
+    fn drop(&mut self) {
+        self.0.fetch_sub(1, Ordering::AcqRel);
+    }
+}
+
+impl TafDb {
+    // --- single-row (baseline) write paths ---------------------------------
+
+    /// Inserts a row if absent, with WAL durability — the relaxed-
+    /// consistency single-row write Tectonic uses (§6.1: "we relax the
+    /// consistency and avoid using distributed transactions").
+    ///
+    /// # Errors
+    ///
+    /// [`MetaError::AlreadyExists`] when the key is taken.
+    pub fn insert_row(&self, key: RowKey, row: Row, stats: &mut OpStats) -> Result<()> {
+        let place = place_of(&key);
+        loop {
+            let (owner, epoch) = self.route(place);
+            let shard = &self.shards[owner];
+            let out = shard.node.try_rpc_named(stats, "insert_row", || {
+                let _g = InFlight::enter(&shard.in_flight);
+                self.check_route(owner, place, epoch)?;
+                if !shard.engine.put_if_absent(key.clone(), row.clone()) {
+                    return Err(MetaError::AlreadyExists(key.name.to_string()));
+                }
+                shard.wal.append();
+                Ok(())
+            })?;
+            match out {
+                Err(MetaError::StaleRoute { .. }) => self.note_stale(stats),
+                other => return other,
+            }
+        }
+    }
+
+    /// Deletes a row (attr rows drag their delta records along), with WAL
+    /// durability.
+    ///
+    /// # Errors
+    ///
+    /// [`MetaError::NotFound`] when the key is absent.
+    pub fn delete_row(&self, key: RowKey, stats: &mut OpStats) -> Result<()> {
+        let place = place_of(&key);
+        loop {
+            let (owner, epoch) = self.route(place);
+            let shard = &self.shards[owner];
+            let out = shard.node.try_rpc_named(stats, "delete_row", || {
+                let _g = InFlight::enter(&shard.in_flight);
+                self.check_route(owner, place, epoch)?;
+                let existed = Self::delete_with_deltas(shard, &key);
+                if !existed {
+                    return Err(MetaError::NotFound(key.name.to_string()));
+                }
+                shard.wal.append();
+                Ok(())
+            })?;
+            match out {
+                Err(MetaError::StaleRoute { .. }) => self.note_stale(stats),
+                other => return other,
+            }
+        }
+    }
+
+    /// Serialized (blocking-latch) attribute update — the baseline behaviour
+    /// the paper attributes to Tectonic and LocoFS under mkdir-s (§6.3).
+    ///
+    /// # Errors
+    ///
+    /// [`MetaError::NotFound`] when the directory's attribute row is gone.
+    pub fn update_attr_latched(
+        &self,
+        dir: InodeId,
+        delta: AttrDelta,
+        stats: &mut OpStats,
+    ) -> Result<()> {
+        let place = place_of(&attr_key(dir));
+        loop {
+            let (owner, epoch) = self.route(place);
+            let shard = &self.shards[owner];
+            let out = shard.node.try_rpc_named(stats, "update_attr", || {
+                let _g = InFlight::enter(&shard.in_flight);
+                self.check_route(owner, place, epoch)?;
+                let _latch = shard.latches.exclusive(&dir.raw());
+                let found = shard.engine.update(&attr_key(dir), &mut |cur| match cur {
+                    Some(Row::DirAttr(a)) => {
+                        let mut merged = a.clone();
+                        merged.apply_delta(&delta);
+                        (Some(Row::DirAttr(merged)), true)
+                    }
+                    other => (other.cloned(), false),
+                });
+                if !found {
+                    return Err(MetaError::NotFound(format!("dir {dir}")));
+                }
+                shard.wal.append();
+                self.latched_updates.fetch_add(1, Ordering::Relaxed);
+                self.metrics.latched_updates.inc();
+                Ok(())
+            })?;
+            match out {
+                Err(MetaError::StaleRoute { .. }) => self.note_stale(stats),
+                other => return other,
+            }
+        }
+    }
+
+    // --- engine-facing write plumbing --------------------------------------
+
+    pub(crate) fn apply_write(&self, shard_idx: usize, w: &WriteCmd) {
+        let shard = &self.shards[shard_idx];
+        match w {
+            WriteCmd::Put(key, row) => {
+                shard.engine.put(key.clone(), row.clone());
+            }
+            WriteCmd::Delete(key) => {
+                Self::delete_with_deltas(shard, key);
+            }
+            WriteCmd::MergeAttr(key, delta) => {
+                shard.engine.update(key, &mut |cur| match cur {
+                    Some(Row::DirAttr(a)) => {
+                        let mut merged = a.clone();
+                        merged.apply_delta(delta);
+                        (Some(Row::DirAttr(merged)), true)
+                    }
+                    other => (other.cloned(), true),
+                });
+                self.inplace_updates.fetch_add(1, Ordering::Relaxed);
+                self.metrics.inplace_updates.inc();
+            }
+            WriteCmd::AppendDelta(dir, ts, delta) => {
+                shard.engine.put(delta_key(*dir, *ts), Row::Delta(*delta));
+                shard.delta_dirs.lock().insert(*dir);
+                self.delta_appends.fetch_add(1, Ordering::Relaxed);
+                self.metrics.delta_appends.inc();
+            }
+            WriteCmd::PurgeDeltas(dir) => {
+                shard.delta_dirs.lock().remove(dir);
+                // Atomic range transform: a concurrent dirstat scan never
+                // sees a partially purged delta set.
+                update_versions(&*shard.engine, *dir, ATTR_ROW_NAME, &mut |rows| {
+                    rows.iter()
+                        .filter(|(k, _)| k.ts != TxnId::BASE)
+                        .map(|(k, _)| WriteOp::Delete(k.clone()))
+                        .collect()
+                });
+            }
+        }
+    }
+
+    /// Deletes `key`; when it is an attribute row, its directory's delta
+    /// records *on this shard* go with it (under the compaction latch).
+    /// Returns whether the base row existed.
+    pub(crate) fn delete_with_deltas(shard: &Shard, key: &RowKey) -> bool {
+        if key.name.as_ref() != ATTR_ROW_NAME {
+            return shard.engine.delete(key);
+        }
+        let _latch = shard.latches.exclusive(&key.pid.raw());
+        shard.delta_dirs.lock().remove(&key.pid);
+        let mut existed = false;
+        update_versions(&*shard.engine, key.pid, ATTR_ROW_NAME, &mut |rows| {
+            existed = rows.iter().any(|(k, _)| k.ts == TxnId::BASE);
+            rows.iter()
+                .map(|(k, _)| WriteOp::Delete(k.clone()))
+                .collect()
+        });
+        existed
+    }
+
+    // --- compaction --------------------------------------------------------
+
+    /// One compactor sweep: on the shard owning a directory's base
+    /// attribute row, folds outstanding delta records into it (§5.2.1); on
+    /// other owners of a split region, coalesces local delta records into
+    /// the earliest local one so garbage stays bounded without a
+    /// cross-shard write. Public so tests and benches can force a
+    /// deterministic fold.
+    pub fn compact_once(&self) {
+        for (shard_idx, shard) in self.shards.iter().enumerate() {
+            if shard.mig_active.load(Ordering::Acquire) {
+                continue; // a migration owns this shard's engine right now
+            }
+            let dirs: Vec<InodeId> = shard.delta_dirs.lock().iter().copied().collect();
+            for dir in dirs {
+                let owns_base = self.map.read().owner(place_of(&attr_key(dir))) == shard_idx;
+                // Shared latch: deletion of the directory is excluded while
+                // folding, but concurrent delta appends proceed.
+                let _latch = shard.latches.shared(&dir.raw());
+                let mut folded = 0usize;
+                update_versions(&*shard.engine, dir, ATTR_ROW_NAME, &mut |rows| {
+                    let deltas: Vec<(RowKey, AttrDelta)> = rows
+                        .iter()
+                        .filter_map(|(k, v)| match v {
+                            Row::Delta(d) if k.ts != TxnId::BASE => Some((k.clone(), *d)),
+                            _ => None,
+                        })
+                        .collect();
+                    if owns_base {
+                        let base = attr_key(dir);
+                        let Some(Row::DirAttr(mut attrs)) = rows
+                            .iter()
+                            .find(|(k, _)| k == &base)
+                            .map(|(_, v)| v.clone())
+                        else {
+                            return Vec::new();
+                        };
+                        if deltas.is_empty() {
+                            return Vec::new();
+                        }
+                        for (_, d) in &deltas {
+                            attrs.apply_delta(d);
+                        }
+                        folded = deltas.len();
+                        let mut ops = vec![WriteOp::Put(base, Row::DirAttr(attrs))];
+                        ops.extend(deltas.iter().map(|(k, _)| WriteOp::Delete(k.clone())));
+                        ops
+                    } else {
+                        // Base row lives elsewhere: coalesce into the first
+                        // local delta (its key already routes here, so the
+                        // placement invariant holds).
+                        if deltas.len() <= 1 {
+                            return Vec::new();
+                        }
+                        let mut sum = deltas[0].1;
+                        for (_, d) in &deltas[1..] {
+                            sum.nlink += d.nlink;
+                            sum.entries += d.entries;
+                            sum.mtime = sum.mtime.max(d.mtime);
+                        }
+                        folded = deltas.len() - 1;
+                        let mut ops = vec![WriteOp::Put(deltas[0].0.clone(), Row::Delta(sum))];
+                        ops.extend(deltas[1..].iter().map(|(k, _)| WriteOp::Delete(k.clone())));
+                        ops
+                    }
+                });
+                if folded > 0 {
+                    self.compactions.fetch_add(1, Ordering::Relaxed);
+                    self.metrics.compactions.inc();
+                }
+                // Deregister only if no deltas snuck in after the fold.
+                let mut reg = shard.delta_dirs.lock();
+                let still_has = mantle_engine::scan_versions(&*shard.engine, dir, ATTR_ROW_NAME)
+                    .iter()
+                    .any(|(k, _)| k.ts != TxnId::BASE);
+                if !still_has {
+                    reg.remove(&dir);
+                }
+            }
+        }
+    }
+
+    // --- checkpoint / restore ----------------------------------------------
+
+    /// Checkpoints shard `i` (DESIGN.md §4.11): the engine serializes every
+    /// live row into a checksummed image ([`StorageEngine::checkpoint`]),
+    /// the WAL acknowledges it with a checkpoint record (recovery then
+    /// truncates the shard's log to it), and the image is retained as the
+    /// shard's recovery point. Returns the rows captured.
+    ///
+    /// # Errors
+    ///
+    /// [`MetaError::Transient`] when an injected `snap_write` fault crashes
+    /// the image write or the checkpoint record's fsync is torn; either way
+    /// the previous checkpoint stays authoritative — the same
+    /// discard-on-abort discipline as range migration.
+    pub fn checkpoint_shard(&self, i: usize) -> Result<usize> {
+        let shard = &self.shards[i];
+        let _span = mantle_obs::trace::span(
+            "shard_checkpoint",
+            shard.node.name(),
+            mantle_obs::trace::SpanKind::Local,
+        );
+        let framed = shard.engine.checkpoint();
+        let n = mantle_engine::image_row_count(&framed).expect("self-framed image") as usize;
+        if self
+            .faults
+            .get()
+            .is_some_and(|p| p.snapshot_write_fails(shard.node.name()))
+        {
+            self.metrics.checkpoint_aborts.inc();
+            mantle_obs::flight::annotate_with(|| {
+                format!("tafdb:checkpoint phase=abort_write shard={i}")
+            });
+            return Err(MetaError::Transient {
+                kind: "snap_write".to_string(),
+                at: shard.node.name().to_string(),
+            });
+        }
+        shard.wal.append_checkpoint(n as u64)?;
+        *shard.snap.lock() = Some(Arc::new(framed));
+        self.metrics.checkpoints.inc();
+        mantle_obs::flight::annotate_with(|| format!("tafdb:checkpoint shard={i} rows={n}"));
+        Ok(n)
+    }
+
+    /// Checkpoints every shard; returns the total rows captured across the
+    /// shards that succeeded and the index of any shard whose checkpoint
+    /// aborted on an injected fault.
+    pub fn checkpoint_all(&self) -> (usize, Vec<usize>) {
+        let mut total = 0;
+        let mut failed = Vec::new();
+        for i in 0..self.shards.len() {
+            match self.checkpoint_shard(i) {
+                Ok(n) => total += n,
+                Err(_) => failed.push(i),
+            }
+        }
+        (total, failed)
+    }
+
+    /// Restores shard `i` from its latest known-good checkpoint, replacing
+    /// the live rows and rebuilding the delta-record registry from the
+    /// restored keys. Returns `false` (leaving the shard untouched) when no
+    /// checkpoint exists or the image fails checksum validation (a torn
+    /// write) — the caller falls back to full WAL replay.
+    pub fn restore_shard(&self, i: usize) -> bool {
+        let shard = &self.shards[i];
+        let Some(framed) = shard.snap.lock().clone() else {
+            return false;
+        };
+        let Some(rows) = shard.engine.restore(&framed) else {
+            self.metrics.checkpoint_aborts.inc();
+            return false;
+        };
+        let dirs: HashSet<InodeId> = rows
+            .iter()
+            .filter(|(k, _)| k.ts != TxnId::BASE && k.name.as_ref() == ATTR_ROW_NAME)
+            .map(|(k, _)| k.pid)
+            .collect();
+        *shard.delta_dirs.lock() = dirs;
+        mantle_obs::flight::annotate_with(|| format!("tafdb:checkpoint_restore shard={i}"));
+        true
+    }
+}

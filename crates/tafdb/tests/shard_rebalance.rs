@@ -10,7 +10,8 @@ use proptest::prelude::*;
 use mantle_rpc::faults::{FaultPlan, FaultProfile};
 use mantle_tafdb::shardmap::DIR_REGION_SPAN;
 use mantle_tafdb::{
-    attr_key, dir_region, entry_key, place_of, Row, ShardMap, TafDb, TafDbOptions, TxnOp,
+    attr_key, dir_region, entry_key, place_of, EngineKind, Row, ShardMap, TafDb, TafDbOptions,
+    TxnOp,
 };
 use mantle_types::{AttrDelta, DirAttrMeta, InodeId, MetaError, OpStats, Permission, SimConfig};
 
@@ -248,6 +249,21 @@ fn split_crash_chaos_loses_and_duplicates_nothing() {
                     }
                     other => panic!("seed {seed}: forced crash not surfaced: {other:?}"),
                 }
+                // The aborted copy must leave no staged rows on the target:
+                // the migrating range routes wholly to the source, so any
+                // row of it on the target is a straggler.
+                let (mr_start, mr_end) = {
+                    let m = db.shard_map();
+                    let r = m.range(m.range_index(place));
+                    (r.start, r.end)
+                };
+                if db.shard_map().owner(place) != tgt {
+                    assert_eq!(
+                        db.shard_rows_in_place_range(tgt, mr_start, mr_end),
+                        0,
+                        "seed {seed}: aborted migration left staged rows on target"
+                    );
+                }
                 // Retry until clean: quiescence can transiently fail while
                 // writers hammer the range, but the forced crash is spent,
                 // so the migration itself must eventually go through.
@@ -286,5 +302,94 @@ fn split_crash_chaos_loses_and_duplicates_nothing() {
             0,
             "seed {seed}: deltas left dangling"
         );
+    }
+}
+
+// --- migration abort drops staged engine state, on both engines --------------
+
+/// Single-threaded and deterministic: crash a migration at `split_commit`
+/// (after the whole copy staged onto the target) and check, for each
+/// engine, that the abort discarded every staged row AND every engine-
+/// internal version the staging created — then that a clean retry works.
+#[test]
+fn migration_abort_drops_staged_engine_state_on_both_engines() {
+    for engine in [EngineKind::Btree, EngineKind::Mvcc] {
+        let opts = TafDbOptions {
+            engine,
+            ..TafDbOptions::default()
+        };
+        let db = TafDb::new(SimConfig::instant(), opts);
+        let dir = InodeId(9001);
+        mkdir(&db, dir);
+        for i in 0..40 {
+            create(&db, dir, &format!("e{i}")).unwrap();
+        }
+        let mut stats = OpStats::new();
+        let listing_before = db.readdir(dir, &mut stats);
+        assert_eq!(listing_before.len(), 40);
+
+        let (rs, _) = dir_region(dir);
+        let src = db.shard_map().owner(rs);
+        let tgt = (src + 1) % db.n_shards();
+        let (mr_start, mr_end) = {
+            let m = db.shard_map();
+            let r = m.range(m.range_index(rs));
+            (r.start, r.end)
+        };
+        let tgt_rows_before = db.shard_rows(tgt);
+
+        let plan = FaultPlan::new(3, FaultProfile::zeroed());
+        db.install_faults(Some(plan.clone()));
+        plan.force_split_commit_failure(&format!("tafdb{src}"), 1);
+        match db.migrate_range(rs, tgt) {
+            Err(MetaError::Transient { kind, .. }) => assert_eq!(
+                kind,
+                "split_commit",
+                "{}: expected the forced commit crash",
+                engine.name()
+            ),
+            other => panic!("{}: forced crash not surfaced: {other:?}", engine.name()),
+        }
+        db.install_faults(None);
+
+        // Staged rows are gone from the target...
+        assert_eq!(
+            db.shard_rows_in_place_range(tgt, mr_start, mr_end),
+            0,
+            "{}: staged rows survived the abort",
+            engine.name()
+        );
+        assert_eq!(
+            db.shard_rows(tgt),
+            tgt_rows_before,
+            "{}: target live-row count changed across an aborted migration",
+            engine.name()
+        );
+        // ...and so are the versions staging created (the abort path runs
+        // the engine's GC; with nothing pinned, retained versions must
+        // collapse to exactly the live rows).
+        assert_eq!(
+            db.shard_versions(tgt),
+            db.shard_rows(tgt),
+            "{}: aborted staging left garbage versions on the target",
+            engine.name()
+        );
+
+        // The source stayed authoritative throughout.
+        assert_eq!(db.readdir(dir, &mut stats), listing_before);
+
+        // The crash is spent: a clean retry migrates for real.
+        let moved = db.migrate_range(rs, tgt).expect("clean retry");
+        assert!(moved > 0, "{}: retry moved no rows", engine.name());
+        assert_eq!(db.shard_map().owner(rs), tgt);
+        assert_eq!(db.readdir(dir, &mut stats), listing_before);
+        // Post-commit the *source* ran its GC too: no residue there either.
+        assert_eq!(
+            db.shard_rows_in_place_range(src, mr_start, mr_end),
+            0,
+            "{}: committed migration left rows on the source",
+            engine.name()
+        );
+        assert_eq!(db.shard_versions(src), db.shard_rows(src));
     }
 }

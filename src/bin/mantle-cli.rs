@@ -204,7 +204,7 @@ fn run_command(
             let db = cluster.db().counters();
             let caches = cluster.index().cache_stats();
             let mut out = format!(
-                "tafdb: {} rows, {} txns committed, {} aborted, {} delta appends, {} compactions\nindex: {} dirs, caches {:?}\n--- metrics registry (Prometheus text) ---\n",
+                "tafdb: {} rows, {} txns committed, {} aborted, {} delta appends, {} compactions\nindex: {} dirs, caches {:?}\n",
                 cluster.db().total_rows(),
                 db.txns_committed,
                 db.txns_aborted,
@@ -213,6 +213,22 @@ fn run_command(
                 cluster.index().table_len(),
                 caches
             );
+            // Per-shard row/version counts make MVCC garbage visible:
+            // versions > rows means uncollected history on that shard.
+            out.push_str(&format!(
+                "engine: {} ({} lock waits, {} us blocked)\n",
+                cluster.db().engine_name(),
+                cluster.db().engine_lock_waits(),
+                cluster.db().engine_lock_wait_nanos() / 1_000
+            ));
+            for shard in 0..cluster.db().n_shards() {
+                out.push_str(&format!(
+                    "  shard {shard}: {} rows, {} versions\n",
+                    cluster.db().shard_rows(shard),
+                    cluster.db().shard_versions(shard)
+                ));
+            }
+            out.push_str("--- metrics registry (Prometheus text) ---\n");
             out.push_str(&mantle::obs::snapshot().to_prometheus_text());
             Some(out.trim_end().to_string())
         }

@@ -42,7 +42,7 @@ chaos:
 		cargo test -q --test chaos -- --nocapture
 
 chaos-sweep:
-	@failed=""; for seed in $$(seq 0 47); do \
+	@failed=""; for seed in $$(seq 0 63); do \
 		echo "== chaos seed $$seed =="; \
 		MANTLE_FAULT_SEED=$$seed cargo test -q --test chaos || failed="$$failed $$seed"; \
 	done; \

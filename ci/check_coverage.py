@@ -1,0 +1,72 @@
+#!/usr/bin/env python3
+"""Enforce per-path line-coverage floors over an lcov trace.
+
+Usage: check_coverage.py <lcov.info> <coverage_floor.json>
+
+The floor file pins minimum line coverage for the paths where untested
+logic is most expensive (the storage layer, the path-lease cache). Floors
+are deliberately below current coverage: the gate catches *drops*, not
+ordinary drift. Raise a floor in the same PR that raises the coverage.
+"""
+
+import json
+import sys
+
+
+def parse_lcov(path):
+    """Returns {source_file: (lines_hit, lines_found)}."""
+    per_file = {}
+    current = None
+    hit = found = 0
+    with open(path) as f:
+        for raw in f:
+            line = raw.strip()
+            if line.startswith("SF:"):
+                current = line[3:]
+                hit = found = 0
+            elif line.startswith("DA:"):
+                found += 1
+                if int(line[3:].split(",")[1]) > 0:
+                    hit += 1
+            elif line == "end_of_record" and current is not None:
+                h, f0 = per_file.get(current, (0, 0))
+                per_file[current] = (h + hit, f0 + found)
+                current = None
+    return per_file
+
+
+def main():
+    if len(sys.argv) != 3:
+        sys.exit(__doc__)
+    lcov_path, floor_path = sys.argv[1], sys.argv[2]
+    per_file = parse_lcov(lcov_path)
+    floors = json.load(open(floor_path))["floors"]
+
+    failed = False
+    for floor in floors:
+        prefix = floor["path"]
+        minimum = floor["min_line_coverage"]
+        hit = found = 0
+        for source, (h, f) in per_file.items():
+            if prefix in source:
+                hit += h
+                found += f
+        if found == 0:
+            print(f"FAIL {prefix}: no lines in the lcov trace (floor misconfigured?)")
+            failed = True
+            continue
+        pct = hit / found
+        verdict = "ok  " if pct >= minimum else "FAIL"
+        if pct < minimum:
+            failed = True
+        print(f"{verdict} {prefix}: {pct:.1%} line coverage "
+              f"({hit}/{found} lines, floor {minimum:.0%})")
+
+    if failed:
+        print("coverage floor violated; add tests or (if intentional) "
+              "lower the floor in ci/coverage_floor.json with justification")
+        sys.exit(1)
+
+
+if __name__ == "__main__":
+    main()

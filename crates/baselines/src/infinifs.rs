@@ -21,6 +21,7 @@ use std::sync::Arc;
 
 use parking_lot::Mutex;
 
+use mantle_core::pathcache::{LeaseProbe, PathLeaseCache, PathLeaseConfig};
 use mantle_index::TopDirPathCache;
 use mantle_rpc::SimNode;
 use mantle_sync::Semaphore;
@@ -102,6 +103,12 @@ pub struct InfiniFs {
     rename_locks: Mutex<HashSet<MetaPath>>,
     /// AM-Cache: full-path resolution cache (k = 0).
     amcache: TopDirPathCache,
+    /// Client-side path-lease cache — the same cache Mantle's proxy gets
+    /// (Table-1 fairness). InfiniFS has no namespace-version metadata, so
+    /// an expired lease revalidates with a full speculative re-resolve.
+    pcache: PathLeaseCache,
+    /// Fault plan for the `LeaseExpire`/`StaleRead` probe faults.
+    pcache_faults: mantle_rpc::FaultSlot,
     ids: IdAllocator,
     clock: std::sync::atomic::AtomicU64,
 }
@@ -124,6 +131,8 @@ impl InfiniFs {
             coordinator: SimNode::new("infinifs-coord", sim.index_node_permits, sim),
             rename_locks: Mutex::new(HashSet::new()),
             amcache: TopDirPathCache::new(0, opts.amcache),
+            pcache: PathLeaseCache::new(PathLeaseConfig::from_env(), "infinifs"),
+            pcache_faults: mantle_rpc::FaultSlot::new(),
             ids: IdAllocator::new(),
             clock: std::sync::atomic::AtomicU64::new(1),
         })
@@ -138,7 +147,13 @@ impl InfiniFs {
     /// coordinator node.
     pub fn install_faults(&self, plan: Option<Arc<mantle_rpc::FaultPlan>>) {
         self.db.install_faults(plan.clone());
-        self.coordinator.set_faults(plan);
+        self.coordinator.set_faults(plan.clone());
+        self.pcache_faults.install(plan);
+    }
+
+    /// The client-side path-lease cache (statistics, test inspection).
+    pub fn path_cache(&self) -> &PathLeaseCache {
+        &self.pcache
     }
 
     fn now(&self) -> u64 {
@@ -146,8 +161,7 @@ impl InfiniFs {
             .fetch_add(1, std::sync::atomic::Ordering::Relaxed)
     }
 
-    /// Speculative parallel resolution with sequential fallback on
-    /// misprediction.
+    /// Path resolution, optionally short-circuited by the path-lease cache.
     fn resolve_dir(&self, path: &MetaPath, stats: &mut OpStats) -> Result<ResolvedPath> {
         if path.is_root() {
             return Ok(ResolvedPath {
@@ -155,6 +169,83 @@ impl InfiniFs {
                 permission: Permission::ALL,
             });
         }
+        if self.pcache.enabled() {
+            return self.leased_resolve(path, stats);
+        }
+        self.speculative_resolve(path, stats)
+    }
+
+    /// Resolution through the path-lease cache. Without version metadata a
+    /// revalidation is a full speculative re-resolve whose pid is compared
+    /// against the cached one; leases here save RPCs only while live.
+    fn leased_resolve(&self, path: &MetaPath, stats: &mut OpStats) -> Result<ResolvedPath> {
+        let ttl = self.pcache.config().lease_ttl;
+        let force_expire = self
+            .pcache_faults
+            .get()
+            .is_some_and(|plan| plan.lease_expires("infinifs-proxy"));
+        let probe = self.pcache.probe(path, force_expire);
+        match probe {
+            LeaseProbe::Hit(lease) => {
+                stats.cache_hits += 1;
+                return Ok(ResolvedPath {
+                    id: lease.pid,
+                    permission: lease.permission,
+                });
+            }
+            LeaseProbe::NegativeHit => {
+                stats.cache_hits += 1;
+                return Err(MetaError::NotFound(path.to_string()));
+            }
+            _ => {}
+        }
+        let expired = match probe {
+            LeaseProbe::Expired(old) => Some(old),
+            _ => {
+                stats.cache_misses += 1;
+                None
+            }
+        };
+        let token = self.pcache.begin();
+        match self.speculative_resolve(path, stats) {
+            Ok(resolved) => {
+                let fresh = mantle_types::LeasedPath {
+                    resolved,
+                    version: 0,
+                    lease_ttl: ttl,
+                };
+                if let Some(old) = expired {
+                    let stale_read = self
+                        .pcache_faults
+                        .get()
+                        .is_some_and(|plan| plan.stale_read_fires("infinifs-proxy"));
+                    let matched = resolved.id == old.pid && !stale_read;
+                    let dropped = self.pcache.revalidated(path, matched, &fresh, token);
+                    if matched {
+                        stats.cache_revalidations += 1;
+                    } else {
+                        stats.cache_invalidations += dropped as u32;
+                    }
+                } else {
+                    self.pcache.fill(path, &fresh, token);
+                }
+                Ok(resolved)
+            }
+            Err(e @ MetaError::NotFound(_)) => {
+                if expired.is_some() {
+                    stats.cache_invalidations += self.pcache.revalidated_gone(path, token) as u32;
+                } else {
+                    self.pcache.fill_negative(path, token);
+                }
+                Err(e)
+            }
+            Err(e) => Err(e),
+        }
+    }
+
+    /// Speculative parallel resolution with sequential fallback on
+    /// misprediction.
+    fn speculative_resolve(&self, path: &MetaPath, stats: &mut OpStats) -> Result<ResolvedPath> {
         if let Some(prefix) = self.amcache.prefix_of(path) {
             if let Some(hit) = self.amcache.get(&prefix) {
                 stats.cache_hits += 1;
@@ -327,6 +418,8 @@ impl MetadataService for InfiniFs {
                 },
                 stats,
             )?;
+            // Scrub any cached NotFound verdict for the new directory.
+            self.pcache.invalidate_exact(path);
             Ok(id)
         })
     }
@@ -351,6 +444,7 @@ impl MetadataService for InfiniFs {
                 stats,
             )?;
             self.amcache.invalidate_subtree(path);
+            stats.cache_invalidations += self.pcache.invalidate_subtree(path) as u32;
             Ok(())
         })
     }
@@ -544,6 +638,8 @@ impl MetadataService for InfiniFs {
             // no-wait conflicts under dirrename-s retry inside execute().
             self.db.execute(&ops, stats)?;
             self.amcache.invalidate_subtree(src);
+            stats.cache_invalidations += self.pcache.invalidate_subtree(src) as u32;
+            stats.cache_invalidations += self.pcache.invalidate_subtree(dst) as u32;
             Ok(())
         });
         let mut unlock_stats = OpStats::new();
@@ -715,7 +811,14 @@ mod tests {
         f.bulk_dir(&p("/a/b/c"));
         let mut s1 = OpStats::new();
         f.lookup(&p("/a/b/c"), &mut s1).unwrap();
-        assert_eq!(s1.cache_misses, 1);
+        // With MANTLE_PATH_CACHE=on the path-lease cache records its own
+        // miss before the AM-Cache does, so the cold lookup counts two.
+        let expected_misses = if PathLeaseConfig::from_env().enabled {
+            2
+        } else {
+            1
+        };
+        assert_eq!(s1.cache_misses, expected_misses);
         assert_eq!(s1.rpcs, 3);
         let mut s2 = OpStats::new();
         f.lookup(&p("/a/b/c"), &mut s2).unwrap();

@@ -186,6 +186,7 @@ impl LocoSm {
                 id,
                 permission: Permission::ALL,
                 lock: None,
+                version: 1,
             },
         );
         self.attrs.lock().insert(id, DirAttrMeta::new(now, 0));
@@ -355,6 +356,7 @@ impl StateMachine for LocoSm {
                     id,
                     permission,
                     lock: None,
+                    version: 1,
                 },
             );
         }

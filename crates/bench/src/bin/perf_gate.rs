@@ -18,7 +18,7 @@ use std::sync::{Barrier, Mutex};
 
 use serde::Serialize;
 
-use mantle_core::{MantleCluster, MantleConfig};
+use mantle_core::{MantleCluster, MantleConfig, PathLeaseConfig};
 use mantle_tafdb::{dir_region, entry_key, EngineKind, Row, TafDb, TafDbOptions};
 use mantle_types::hist::Histogram;
 use mantle_types::stats::OpStatsAgg;
@@ -99,6 +99,118 @@ fn run_suite() -> Vec<GateRow> {
         });
     }
     rows
+}
+
+// --- path-lease cache workloads (DESIGN.md §4.13) --------------------------
+
+/// Minimum cache hit rate the warm stat workload must sustain.
+const CACHE_HIT_RATE_FLOOR: f64 = 0.90;
+
+/// A gate cluster with the path-lease cache forced on or off, independent
+/// of `MANTLE_PATH_CACHE`. The on-config pins a long lease so the row
+/// measures warm hits, not TTL churn.
+fn cache_config(enabled: bool) -> MantleConfig {
+    let mut config = MantleConfig::with_sim(SimConfig::default(), 4);
+    config.index.follower_reads = false;
+    config.pcache = if enabled {
+        PathLeaseConfig {
+            lease_ttl: std::time::Duration::from_secs(60),
+            ..PathLeaseConfig::enabled()
+        }
+    } else {
+        PathLeaseConfig::default()
+    };
+    config
+}
+
+/// The two cache rows plus their contract failures:
+///
+/// * `WarmStat[cache]` — a stat-heavy workload over a small working set
+///   with the cache on. Contract: hit rate above
+///   [`CACHE_HIT_RATE_FLOOR`], and mean RPCs/op strictly below a
+///   cache-off twin of the same workload (the cache must actually remove
+///   round trips, not just exist). Baseline-gated like every row.
+/// * `RenameInval[cache]` — a rename-heavy workload with the cache on:
+///   every op invalidates, so this row pins the coherence overhead.
+///   Single-threaded, because cross-thread invalidation interleaving
+///   would break the two-pass determinism contract. Baseline-gated: a
+///   >10% regression in its latency or RPCs fails the gate.
+fn run_cache_rows() -> (Vec<GateRow>, Vec<String>) {
+    let mut failures = Vec::new();
+    let stat_cfg = MdtestConfig {
+        threads: 8,
+        ops_per_thread: 150,
+        depth: 6,
+        op: MdOp::ObjStat,
+        conflict: ConflictMode::Exclusive,
+        working_set: 64,
+        seed: 7,
+        hotspot: None,
+    };
+    let off = {
+        let cluster = MantleCluster::with_config(cache_config(false));
+        run(&*cluster.service(), stat_cfg)
+    };
+    let cluster = MantleCluster::with_config(cache_config(true));
+    let on = run(&*cluster.service(), stat_cfg);
+    let cache = cluster.path_cache_stats();
+    let probes = (cache.hits + cache.misses).max(1);
+    let hit_rate = cache.hits as f64 / probes as f64;
+    let off_rpcs = off.agg.rpcs as f64 / off.completed.max(1) as f64;
+    let on_rpcs = on.agg.rpcs as f64 / on.completed.max(1) as f64;
+    println!(
+        "WarmStat[cache]: hit rate {:.1}% ({}h/{}m), rpcs/op {on_rpcs:.2} on vs {off_rpcs:.2} off",
+        hit_rate * 100.0,
+        cache.hits,
+        cache.misses
+    );
+    if hit_rate < CACHE_HIT_RATE_FLOOR {
+        failures.push(format!(
+            "warm-stat cache hit rate {:.1}% is below the {:.0}% floor",
+            hit_rate * 100.0,
+            CACHE_HIT_RATE_FLOOR * 100.0
+        ));
+    }
+    if on_rpcs >= off_rpcs {
+        failures.push(format!(
+            "warm-stat rpcs/op with the cache on ({on_rpcs:.2}) does not \
+             beat cache-off ({off_rpcs:.2})"
+        ));
+    }
+    let mut rows = vec![GateRow {
+        op: "WarmStat[cache]".to_string(),
+        threads: stat_cfg.threads,
+        completed: on.completed,
+        failed: on.failed,
+        rpcs: on.agg.rpcs,
+        mean_us: on.mean_latency_micros(),
+        p99_us: on.latency.quantile(0.99) as f64 / 1_000.0,
+        lock_wait_us: 0.0,
+    }];
+
+    let rename_cfg = MdtestConfig {
+        threads: 1,
+        ops_per_thread: 200,
+        depth: 6,
+        op: MdOp::DirRename,
+        conflict: ConflictMode::Exclusive,
+        working_set: 64,
+        seed: 7,
+        hotspot: None,
+    };
+    let cluster = MantleCluster::with_config(cache_config(true));
+    let rn = run(&*cluster.service(), rename_cfg);
+    rows.push(GateRow {
+        op: "RenameInval[cache]".to_string(),
+        threads: rename_cfg.threads,
+        completed: rn.completed,
+        failed: rn.failed,
+        rpcs: rn.agg.rpcs,
+        mean_us: rn.mean_latency_micros(),
+        p99_us: rn.latency.quantile(0.99) as f64 / 1_000.0,
+        lock_wait_us: 0.0,
+    });
+    (rows, failures)
 }
 
 // --- mixed scan+create workload (engine comparison row) --------------------
@@ -405,6 +517,24 @@ fn main() {
     }
     rows.extend(mixed.into_iter().map(|m| m.row));
 
+    // Path-lease cache rows, same two-pass determinism contract.
+    let (cache_a, cache_failures) = run_cache_rows();
+    let (cache_b, _) = run_cache_rows();
+    for (a, b) in cache_a.iter().zip(&cache_b) {
+        assert_eq!(
+            (a.completed, a.failed, a.rpcs),
+            (b.completed, b.failed, b.rpcs),
+            "{}: op results differ between passes — the cache workload is \
+             not deterministic and cannot gate",
+            a.op
+        );
+    }
+    rows.extend(cache_a.iter().zip(&cache_b).map(|(a, b)| GateRow {
+        mean_us: a.mean_us.min(b.mean_us),
+        p99_us: a.p99_us.min(b.p99_us),
+        ..a.clone()
+    }));
+
     if std::env::var_os("MANTLE_PERF_UPDATE_BASELINE").is_some_and(|v| v != "0") {
         let payload = serde_json::json!({
             "tolerance": TOLERANCE,
@@ -472,6 +602,10 @@ fn main() {
     for msg in &engine_failures {
         println!("ENGINE CHECK FAILED: {msg}");
         failures.push("Mixed[mvcc]".into());
+    }
+    for msg in &cache_failures {
+        println!("CACHE CHECK FAILED: {msg}");
+        failures.push("WarmStat[cache]".into());
     }
 
     let payload = serde_json::json!({

@@ -11,8 +11,9 @@ pub struct Report {
     title: &'static str,
     rows: Vec<serde_json::Value>,
     /// Live scrape endpoint held for the duration of the run (with
-    /// `MANTLE_OBS_ADDR` set); dropping the report stops it.
-    _obs_server: Option<mantle_obs::http::ObsServer>,
+    /// `MANTLE_OBS_ADDR` set); [`Report::finish`] stops it explicitly,
+    /// after the result artifacts are on disk.
+    obs_server: Option<mantle_obs::http::ObsServer>,
 }
 
 impl Report {
@@ -27,7 +28,7 @@ impl Report {
             name,
             title,
             rows: Vec::new(),
-            _obs_server: mantle_obs::http::serve_if_configured(),
+            obs_server: mantle_obs::http::serve_if_configured(),
         }
     }
 
@@ -46,10 +47,11 @@ impl Report {
     /// `MANTLE_METRICS=1` a snapshot of the global metrics registry is also
     /// persisted to `results/<name>.metrics.json` (see DESIGN.md
     /// §Observability).
-    pub fn finish(self) {
+    pub fn finish(mut self) {
         let dir = PathBuf::from("results");
         if std::fs::create_dir_all(&dir).is_err() {
             eprintln!("warning: cannot create results/; skipping JSON dump");
+            self.stop_obs_server();
             return;
         }
         let path = dir.join(format!("{}.json", self.name));
@@ -84,6 +86,19 @@ impl Report {
                 Ok(()) => println!("[slow ops written to {}]", spath.display()),
                 Err(e) => eprintln!("warning: cannot write {}: {e}", spath.display()),
             }
+        }
+        self.stop_obs_server();
+    }
+
+    /// Stops the scrape endpoint, last: every artifact is on disk before
+    /// the port goes away, so a scraper that saw the results line can no
+    /// longer race a half-written run, and one mid-request gets served
+    /// (drop joins the acceptor rather than aborting it).
+    fn stop_obs_server(&mut self) {
+        if let Some(server) = self.obs_server.take() {
+            let addr = server.local_addr();
+            drop(server);
+            eprintln!("mantle-obs: stopped scrape endpoint on http://{addr}");
         }
     }
 }

@@ -30,6 +30,7 @@ use mantle_types::{
 };
 
 use crate::data::DataService;
+use crate::pathcache::{LeaseProbe, PathCacheStats, PathLeaseCache, PathLeaseConfig};
 
 /// Per-operation service counters (`service_ops_total{system,op}`), created
 /// once per cluster so the per-op cost is a single atomic increment.
@@ -104,6 +105,10 @@ pub struct MantleConfig {
     /// Equip the proxy with an AM-Cache-style full-path metadata cache
     /// (the Figure 20 experiment; off in Mantle's normal configuration).
     pub amcache: bool,
+    /// Client-side path-lease cache (DESIGN.md §4.13). Defaults from the
+    /// `MANTLE_PATH_CACHE*` environment — off unless opted in, which keeps
+    /// the cache-off latency pins byte-identical.
+    pub pcache: PathLeaseConfig,
 }
 
 impl Default for MantleConfig {
@@ -116,6 +121,7 @@ impl Default for MantleConfig {
             rename_retries: 10_000,
             unavailable_retries: 600,
             amcache: false,
+            pcache: PathLeaseConfig::from_env(),
         }
     }
 }
@@ -146,6 +152,11 @@ pub struct MantleCluster {
     root: InodeId,
     /// Proxy-side AM-Cache (Figure 20): full-path resolutions, k = 0.
     amcache: TopDirPathCache,
+    /// Client-side path-lease cache (DESIGN.md §4.13).
+    pcache: PathLeaseCache,
+    /// Fault plan driving the `LeaseExpire`/`StaleRead` probe faults; the
+    /// proxy has no `SimNode` of its own, so the cache gets its own slot.
+    pcache_faults: mantle_rpc::FaultSlot,
     ops: SvcMetrics,
 }
 
@@ -185,6 +196,8 @@ impl MantleCluster {
             clock: AtomicU64::new(1),
             root,
             amcache: TopDirPathCache::new(0, config.amcache),
+            pcache: PathLeaseCache::new(config.pcache, "mantle"),
+            pcache_faults: mantle_rpc::FaultSlot::new(),
             ops: SvcMetrics::new("mantle"),
         })
     }
@@ -260,6 +273,8 @@ impl MantleCluster {
                     .set_permission(parent.id, &name, permission, path, stats)
             })?;
             self.amcache.invalidate_subtree(path);
+            // Aggregated permissions changed for everything underneath.
+            stats.cache_invalidations += self.pcache.invalidate_subtree(path) as u32;
             Ok(())
         })
     }
@@ -325,6 +340,7 @@ impl MantleCluster {
         self.index.install_faults(Some(plan.clone()));
         self.db.install_faults(Some(plan.clone()));
         self.data.install_faults(Some(plan.clone()));
+        self.pcache_faults.install(Some(plan.clone()));
     }
 
     /// Removes a previously installed fault plan from every component.
@@ -332,11 +348,25 @@ impl MantleCluster {
         self.index.install_faults(None);
         self.db.install_faults(None);
         self.data.install_faults(None);
+        self.pcache_faults.install(None);
+    }
+
+    /// The client-side path-lease cache (statistics, test inspection).
+    pub fn path_cache(&self) -> &PathLeaseCache {
+        &self.pcache
+    }
+
+    /// Path-lease cache statistics snapshot.
+    pub fn path_cache_stats(&self) -> PathCacheStats {
+        self.pcache.stats()
     }
 
     /// One path resolution, optionally short-circuited by the proxy-side
-    /// AM-Cache (Figure 20).
+    /// path-lease cache (DESIGN.md §4.13) or AM-Cache (Figure 20).
     fn cached_lookup(&self, path: &MetaPath, stats: &mut OpStats) -> Result<ResolvedPath> {
+        if self.pcache.enabled() {
+            return self.leased_lookup(path, stats);
+        }
         if let Some(prefix) = self.amcache.prefix_of(path) {
             if let Some(hit) = self.amcache.get(&prefix) {
                 stats.cache_hits += 1;
@@ -359,6 +389,77 @@ impl MantleCluster {
             );
         }
         Ok(resolved)
+    }
+
+    /// Resolution through the path-lease cache: a live entry answers with
+    /// zero RPCs; an expired one is revalidated with a single version-check
+    /// RPC; a miss resolves fully and installs a lease. The `LeaseExpire`
+    /// fault demotes live hits and `StaleRead` vetoes matching
+    /// revalidations — both only *add* coherence work, never skip it.
+    fn leased_lookup(&self, path: &MetaPath, stats: &mut OpStats) -> Result<ResolvedPath> {
+        let ttl = self.pcache.config().lease_ttl;
+        let force_expire = self
+            .pcache_faults
+            .get()
+            .is_some_and(|plan| plan.lease_expires("proxy"));
+        match self.pcache.probe(path, force_expire) {
+            LeaseProbe::Hit(lease) => {
+                stats.cache_hits += 1;
+                Ok(ResolvedPath {
+                    id: lease.pid,
+                    permission: lease.permission,
+                })
+            }
+            LeaseProbe::NegativeHit => {
+                stats.cache_hits += 1;
+                Err(MetaError::NotFound(path.to_string()))
+            }
+            LeaseProbe::Expired(old) => {
+                let token = self.pcache.begin();
+                match self.with_failover(stats, |stats| self.index.lease_check(path, ttl, stats)) {
+                    Ok(fresh) => {
+                        let stale_read = self
+                            .pcache_faults
+                            .get()
+                            .is_some_and(|plan| plan.stale_read_fires("proxy"));
+                        let matched = fresh.resolved.id == old.pid
+                            && fresh.version == old.version
+                            && !stale_read;
+                        let dropped = self.pcache.revalidated(path, matched, &fresh, token);
+                        if matched {
+                            stats.cache_revalidations += 1;
+                        } else {
+                            stats.cache_invalidations += dropped as u32;
+                        }
+                        Ok(fresh.resolved)
+                    }
+                    Err(e @ MetaError::NotFound(_)) => {
+                        // The directory is gone: the lease (and anything
+                        // cached beneath it) is dead.
+                        stats.cache_invalidations +=
+                            self.pcache.revalidated_gone(path, token) as u32;
+                        Err(e)
+                    }
+                    Err(e) => Err(e),
+                }
+            }
+            LeaseProbe::Miss | LeaseProbe::Disabled => {
+                stats.cache_misses += 1;
+                let token = self.pcache.begin();
+                match self.with_failover(stats, |stats| self.index.lookup_leased(path, ttl, stats))
+                {
+                    Ok(fresh) => {
+                        self.pcache.fill(path, &fresh, token);
+                        Ok(fresh.resolved)
+                    }
+                    Err(e @ MetaError::NotFound(_)) => {
+                        self.pcache.fill_negative(path, token);
+                        Err(e)
+                    }
+                    Err(e) => Err(e),
+                }
+            }
+        }
     }
 
     /// Resolves the parent directory of `path` and returns
@@ -424,6 +525,8 @@ impl MetadataService for MantleCluster {
                 self.index
                     .insert_dir(parent.id, &name, id, Permission::ALL, stats)
             })?;
+            // Scrub any cached NotFound verdict for the new directory.
+            self.pcache.invalidate_exact(path);
             Ok(id)
         })
     }
@@ -464,6 +567,7 @@ impl MetadataService for MantleCluster {
                 self.index.remove_dir(parent.id, &name, path, stats)
             })?;
             self.amcache.invalidate_subtree(path);
+            stats.cache_invalidations += self.pcache.invalidate_subtree(path) as u32;
             Ok(())
         })
     }
@@ -757,6 +861,11 @@ impl MantleCluster {
                         self.index.rename_commit(&grant, src, dst, uuid, stats)
                     })?;
                     self.amcache.invalidate_subtree(src);
+                    // Both subtrees: sources go stale, and the destination
+                    // side may hold negative verdicts for paths that exist
+                    // now that the subtree moved in.
+                    stats.cache_invalidations += self.pcache.invalidate_subtree(src) as u32;
+                    stats.cache_invalidations += self.pcache.invalidate_subtree(dst) as u32;
                     Ok(())
                 }
                 Err(e) => {

@@ -28,10 +28,12 @@
 
 pub mod cluster;
 pub mod data;
+pub mod pathcache;
 pub mod populate;
 pub mod region;
 
 pub use cluster::{MantleCluster, MantleConfig};
 pub use data::DataService;
+pub use pathcache::{PathLeaseCache, PathLeaseConfig};
 pub use populate::Populator;
 pub use region::MantleRegion;

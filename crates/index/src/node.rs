@@ -12,6 +12,7 @@ use mantle_rpc::SimNode;
 use mantle_types::{
     ClientUuid,
     InodeId,
+    LeasedPath,
     MetaError,
     MetaPath,
     OpStats,
@@ -238,6 +239,50 @@ impl IndexNode {
     /// Resolution errors pass through; [`MetaError::Unavailable`] when no
     /// replica can serve consistently.
     pub fn lookup(&self, path: &MetaPath, stats: &mut OpStats) -> Result<ResolvedPath> {
+        self.resolve_rpc(path, "resolve", stats).map(|o| o.0)
+    }
+
+    /// [`Self::lookup`] stamped with the leaf's namespace version and a
+    /// client-supplied lease TTL (DESIGN.md §4.13). Same single RPC.
+    pub fn lookup_leased(
+        &self,
+        path: &MetaPath,
+        lease_ttl: Duration,
+        stats: &mut OpStats,
+    ) -> Result<LeasedPath> {
+        let (resolved, version) = self.resolve_rpc(path, "resolve", stats)?;
+        Ok(LeasedPath {
+            resolved,
+            version,
+            lease_ttl,
+        })
+    }
+
+    /// Revalidates an expired path lease with a single version-check RPC:
+    /// the server re-resolves the full path (so renamed *ancestors* are
+    /// caught even though only the moved entry's version bumps) and returns
+    /// a fresh lease. The client compares `(pid, version)` against its
+    /// cached entry: a match renews, a mismatch invalidates the subtree.
+    pub fn lease_check(
+        &self,
+        path: &MetaPath,
+        lease_ttl: Duration,
+        stats: &mut OpStats,
+    ) -> Result<LeasedPath> {
+        let (resolved, version) = self.resolve_rpc(path, "lease_check", stats)?;
+        Ok(LeasedPath {
+            resolved,
+            version,
+            lease_ttl,
+        })
+    }
+
+    fn resolve_rpc(
+        &self,
+        path: &MetaPath,
+        rpc_name: &'static str,
+        stats: &mut OpStats,
+    ) -> Result<(ResolvedPath, u64)> {
         let replica = self.pick_read_replica()?;
         if !replica.is_leader() {
             self.metrics.follower_reads.inc();
@@ -245,7 +290,7 @@ impl IndexNode {
         }
         let outcome: ResolveOutcome = replica
             .node()
-            .try_rpc_named(stats, "resolve", || replica.state_machine().resolve(path))?;
+            .try_rpc_named(stats, rpc_name, || replica.state_machine().resolve(path))?;
         if outcome.cacheable {
             if outcome.cache_hit {
                 stats.cache_hits += 1;
@@ -258,7 +303,7 @@ impl IndexNode {
         self.metrics
             .resolve_levels
             .record(outcome.levels_walked as u64);
-        outcome.result
+        outcome.result.map(|r| (r, outcome.leaf_version))
     }
 
     /// Replicates a directory insertion (mkdir's IndexTable refresh).
@@ -511,6 +556,7 @@ impl IndexNode {
                     id,
                     permission,
                     lock: None,
+                    version: 1,
                 },
             );
         }

@@ -119,6 +119,10 @@ pub struct ResolveOutcome {
     pub cacheable: bool,
     /// IndexTable levels walked.
     pub levels_walked: usize,
+    /// Namespace version of the leaf entry when resolution succeeded
+    /// (0 for the root, which has no entry and never moves). Stamped onto
+    /// leased resolution replies (DESIGN.md §4.13).
+    pub leaf_version: u64,
 }
 
 /// Per-replica IndexNode state: IndexTable + TopDirPathCache + RemovalList.
@@ -172,6 +176,7 @@ impl IndexSm {
                 cache_hit: false,
                 cacheable: false,
                 levels_walked: 0,
+                leaf_version: 0,
             };
         }
         // Step 1: scan the RemovalList (lock-free when empty).
@@ -187,18 +192,25 @@ impl IndexSm {
         // Step 2: probe TopDirPathCache with the truncated prefix.
         if let Some(ref prefix) = prefix {
             if let Some(hit) = self.cache.get(prefix) {
-                let (result, levels) = self.walk(path, prefix.depth(), hit.pid, hit.permission);
+                let (result, levels, mut leaf_version) =
+                    self.walk(path, prefix.depth(), hit.pid, hit.permission);
+                if levels == 0 && result.is_ok() {
+                    // k = 0 caches the full path: the walk touched no entry,
+                    // so re-derive the leaf's version from the table.
+                    leaf_version = self.leaf_version_of(path);
+                }
                 return ResolveOutcome {
                     result,
                     cache_hit: true,
                     cacheable,
                     levels_walked: levels,
+                    leaf_version,
                 };
             }
         }
 
         // Step 3: full level-by-level walk through the IndexTable.
-        let (result, levels) = self.walk(path, 0, self.root, Permission::ALL);
+        let (result, levels, leaf_version) = self.walk(path, 0, self.root, Permission::ALL);
 
         // Cache fill: only when the prefix was cacheable, resolution
         // succeeded, and no modification raced us (timestamp check).
@@ -219,33 +231,42 @@ impl IndexSm {
             cache_hit: false,
             cacheable,
             levels_walked: levels,
+            leaf_version,
         }
     }
 
     /// Walks `path` components `[start_depth, ..)` from `pid`, intersecting
-    /// permissions. Returns the result and the number of levels walked.
+    /// permissions. Returns the result, the number of levels walked, and
+    /// the namespace version of the leaf entry (0 on error or for walks
+    /// ending at the starting pid).
     fn walk(
         &self,
         path: &MetaPath,
         start_depth: usize,
         mut pid: InodeId,
         mut permission: Permission,
-    ) -> (Result<ResolvedPath>, usize) {
+    ) -> (Result<ResolvedPath>, usize, u64) {
         let mut levels = 0;
+        let mut version = 0;
         for comp in path.components().skip(start_depth) {
             levels += 1;
             if !permission.allows_traverse() {
                 self.charge_levels(levels);
-                return (Err(MetaError::PermissionDenied(path.to_string())), levels);
+                return (
+                    Err(MetaError::PermissionDenied(path.to_string())),
+                    levels,
+                    0,
+                );
             }
             match self.table.get(pid, comp) {
                 Some(entry) => {
                     pid = entry.id;
                     permission = permission.intersect(entry.permission);
+                    version = entry.version;
                 }
                 None => {
                     self.charge_levels(levels);
-                    return (Err(MetaError::NotFound(path.to_string())), levels);
+                    return (Err(MetaError::NotFound(path.to_string())), levels, 0);
                 }
             }
         }
@@ -256,6 +277,7 @@ impl IndexSm {
                 permission,
             }),
             levels,
+            version,
         )
     }
 
@@ -266,6 +288,24 @@ impl IndexSm {
         mantle_rpc::inject_delay(std::time::Duration::from_micros(
             self.config.index_level_micros * levels as u64,
         ));
+    }
+
+    /// Re-derives the leaf entry's namespace version by walking the table
+    /// without injected cost (the charged walk already paid for the levels;
+    /// this only runs on the k = 0 full-path cache-hit corner).
+    fn leaf_version_of(&self, path: &MetaPath) -> u64 {
+        let mut pid = self.root;
+        let mut version = 0;
+        for comp in path.components() {
+            match self.table.get(pid, comp) {
+                Some(entry) => {
+                    version = entry.version;
+                    pid = entry.id;
+                }
+                None => return 0,
+            }
+        }
+        version
     }
 
     /// Re-derives `(pid, permission)` at `depth` along `path` without
@@ -301,6 +341,7 @@ impl StateMachine for IndexSm {
                         id: *id,
                         permission: *permission,
                         lock: None,
+                        version: 1,
                     },
                 );
             }
@@ -317,8 +358,10 @@ impl StateMachine for IndexSm {
                 // Block cache use for the subtree while the change lands,
                 // exactly the dirrename dance but without a lock bit.
                 self.removal.insert(path.clone());
-                self.table
-                    .update(*pid, name, |e| e.permission = *permission);
+                self.table.update(*pid, name, |e| {
+                    e.permission = *permission;
+                    e.version += 1;
+                });
                 self.cache.invalidate_subtree(path);
                 self.removal.remove(path);
             }
@@ -341,6 +384,8 @@ impl StateMachine for IndexSm {
             } => {
                 if let Some(mut entry) = self.table.remove(*src_pid, src_name) {
                     entry.lock = None;
+                    // The moved directory's leases must all revalidate.
+                    entry.version += 1;
                     self.table.insert(*dst_pid, dst_name, entry);
                 }
                 self.cache.invalidate_subtree(src_path);
@@ -372,6 +417,7 @@ impl StateMachine for IndexSm {
             w.str(&name);
             w.u64(e.id.0);
             w.u16(e.permission.0);
+            w.u64(e.version);
             match e.lock {
                 Some(uuid) => {
                     w.u8(1);
@@ -413,6 +459,7 @@ impl StateMachine for IndexSm {
             let name = r.str();
             let id = InodeId(r.u64());
             let permission = Permission(r.u16());
+            let version = r.u64();
             let lock = if r.u8() == 1 {
                 Some(ClientUuid(r.u128()))
             } else {
@@ -425,6 +472,7 @@ impl StateMachine for IndexSm {
                     id,
                     permission,
                     lock,
+                    version,
                 },
             );
         }

@@ -18,6 +18,11 @@ pub struct IndexEntry {
     pub permission: Permission,
     /// Rename lock bit: the UUID of the request holding it (§5.2.2/§5.3).
     pub lock: Option<ClientUuid>,
+    /// Monotonic namespace version of this entry (DESIGN.md §4.13): starts
+    /// at 1 on insert and bumps on every committed rename/chmod of the
+    /// directory. Stamped onto path-resolution replies so client path-lease
+    /// caches can revalidate `(pid, version)` with a single RPC.
+    pub version: u64,
 }
 
 type Key = (InodeId, Arc<str>);
@@ -181,6 +186,7 @@ mod tests {
             id: InodeId(id),
             permission: Permission::ALL,
             lock: None,
+            version: 1,
         }
     }
 

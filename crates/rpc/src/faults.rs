@@ -73,6 +73,13 @@ pub enum FaultKind {
     /// A follower crashed while installing a received snapshot (the
     /// pre-install state stays authoritative; the leader retries).
     SnapshotInstall,
+    /// A client-side path-lease was force-expired: the cache must treat a
+    /// still-valid entry as expired and revalidate it (extra work only —
+    /// coherence steps are never skipped).
+    LeaseExpire,
+    /// A path-lease revalidation was forced to report a stale read: the
+    /// cache must drop the subtree and re-resolve from the authority.
+    StaleRead,
 }
 
 impl FaultKind {
@@ -91,6 +98,8 @@ impl FaultKind {
             FaultKind::SplitCommit => "split_commit",
             FaultKind::SnapshotWrite => "snap_write",
             FaultKind::SnapshotInstall => "snap_install",
+            FaultKind::LeaseExpire => "lease_expire",
+            FaultKind::StaleRead => "stale_read",
         }
     }
 
@@ -108,6 +117,8 @@ impl FaultKind {
             FaultKind::SplitCommit => 10,
             FaultKind::SnapshotWrite => 11,
             FaultKind::SnapshotInstall => 12,
+            FaultKind::LeaseExpire => 13,
+            FaultKind::StaleRead => 14,
         }
     }
 }
@@ -152,6 +163,12 @@ pub struct FaultProfile {
     /// Probability a snapshot install crashes before the image is applied
     /// (the pre-install state stays authoritative; the leader retries).
     pub snapshot_install_fail_prob: f64,
+    /// Probability a still-valid client path-lease is treated as expired
+    /// (forces a revalidation RPC; never skips a coherence step).
+    pub lease_expire_prob: f64,
+    /// Probability a path-lease revalidation is forced to report staleness
+    /// (forces subtree invalidation + full re-resolution).
+    pub stale_read_prob: f64,
 }
 
 impl FaultProfile {
@@ -174,6 +191,8 @@ impl FaultProfile {
             split_commit_fail_prob: 0.0,
             snapshot_write_fail_prob: 0.0,
             snapshot_install_fail_prob: 0.0,
+            lease_expire_prob: 0.0,
+            stale_read_prob: 0.0,
         }
     }
 
@@ -197,6 +216,8 @@ impl FaultProfile {
             split_commit_fail_prob: 0.0,
             snapshot_write_fail_prob: 0.0,
             snapshot_install_fail_prob: 0.0,
+            lease_expire_prob: 0.0,
+            stale_read_prob: 0.0,
         }
     }
 
@@ -217,6 +238,20 @@ impl FaultProfile {
         FaultProfile {
             snapshot_write_fail_prob: 0.25,
             snapshot_install_fail_prob: 0.25,
+            ..FaultProfile::storm()
+        }
+    }
+
+    /// The storm profile plus path-lease faults — forced lease expiry and
+    /// forced-stale revalidations — for chaos runs exercising the client
+    /// path-resolution cache (nightly seeds 48..63). Both faults only add
+    /// work (a revalidation RPC, a subtree drop + re-resolve); they never
+    /// let the cache skip a coherence step, so every correctness invariant
+    /// of the storm suite must keep holding with the cache enabled.
+    pub fn lease_storm() -> Self {
+        FaultProfile {
+            lease_expire_prob: 0.25,
+            stale_read_prob: 0.15,
             ..FaultProfile::storm()
         }
     }
@@ -773,6 +808,36 @@ impl FaultPlan {
             .is_some()
         {
             self.record(FaultKind::SnapshotWrite, site, "write".to_string());
+            return true;
+        }
+        false
+    }
+
+    // ---- path-lease faults ----------------------------------------------
+
+    /// Decides whether a still-valid path-lease probed at `site` is treated
+    /// as expired. The cache then revalidates with a version-check RPC —
+    /// strictly extra work, never a skipped coherence step.
+    pub fn lease_expires(&self, site: &str) -> bool {
+        if self
+            .roll(FaultKind::LeaseExpire, site, self.profile.lease_expire_prob)
+            .is_some()
+        {
+            self.record(FaultKind::LeaseExpire, site, "probe".to_string());
+            return true;
+        }
+        false
+    }
+
+    /// Decides whether a successful path-lease revalidation at `site` is
+    /// forced to report staleness. The cache drops the cached subtree and
+    /// re-resolves from the authority.
+    pub fn stale_read_fires(&self, site: &str) -> bool {
+        if self
+            .roll(FaultKind::StaleRead, site, self.profile.stale_read_prob)
+            .is_some()
+        {
+            self.record(FaultKind::StaleRead, site, "revalidate".to_string());
             return true;
         }
         false

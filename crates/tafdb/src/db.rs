@@ -142,6 +142,13 @@ pub struct TafDb {
     pub(crate) stale_routes: AtomicU64,
     pub(crate) metrics: DbMetrics,
     pub(crate) faults: FaultSlot,
+    /// Monotonic per-directory namespace versions (DESIGN.md §4.13): bumped
+    /// whenever a committed write touches the directory's access row —
+    /// rename (delete src + put dst), rmdir/delete, and chmod all land here
+    /// via [`TafDb::apply_write`] or the direct write paths. The versioned
+    /// path-lease protocol uses this as the durable authority that cached
+    /// `(pid, version)` pairs are validated against.
+    pub(crate) ns_versions: Mutex<HashMap<InodeId, u64>>,
 }
 
 impl TafDb {
@@ -196,6 +203,7 @@ impl TafDb {
             stale_routes: AtomicU64::new(0),
             metrics: DbMetrics::new(opts.n_shards),
             faults: FaultSlot::new(),
+            ns_versions: Mutex::new(HashMap::new()),
         });
         db.raw_put(attr_key(ROOT_ID), Row::DirAttr(DirAttrMeta::new(0, 0)));
 
@@ -321,9 +329,29 @@ impl TafDb {
     // --- direct (population / test) access --------------------------------
 
     /// Writes a row directly, bypassing RPC, locking and the WAL. Used only
-    /// for bulk namespace population before an experiment.
+    /// for bulk namespace population before an experiment (and by the
+    /// non-transactional `setattr` path, which is why it still bumps the
+    /// directory's namespace version).
     pub fn raw_put(&self, key: RowKey, row: Row) {
+        if let Row::DirAccess { id, .. } = &row {
+            self.bump_ns_version(*id);
+        }
         self.shards[self.owner_of(&key)].engine.put(key, row);
+    }
+
+    /// The current namespace version of directory `dir` (0 until its access
+    /// row is first written). Monotonic: every committed rename/delete/chmod
+    /// touching the directory's access row bumps it exactly once per write.
+    pub fn ns_version(&self, dir: InodeId) -> u64 {
+        self.ns_versions.lock().get(&dir).copied().unwrap_or(0)
+    }
+
+    /// Bumps and returns `dir`'s namespace version.
+    pub(crate) fn bump_ns_version(&self, dir: InodeId) -> u64 {
+        let mut map = self.ns_versions.lock();
+        let v = map.entry(dir).or_insert(0);
+        *v += 1;
+        *v
     }
 
     /// Reads a row directly (tests/diagnostics).

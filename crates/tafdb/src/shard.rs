@@ -138,6 +138,9 @@ impl TafDb {
                 if !shard.engine.put_if_absent(key.clone(), row.clone()) {
                     return Err(MetaError::AlreadyExists(key.name.to_string()));
                 }
+                if let Row::DirAccess { id, .. } = &row {
+                    self.bump_ns_version(*id);
+                }
                 shard.wal.append();
                 Ok(())
             })?;
@@ -162,9 +165,13 @@ impl TafDb {
             let out = shard.node.try_rpc_named(stats, "delete_row", || {
                 let _g = InFlight::enter(&shard.in_flight);
                 self.check_route(owner, place, epoch)?;
+                let removed_dir = shard.engine.get(&key).and_then(|r| r.as_dir_access());
                 let existed = Self::delete_with_deltas(shard, &key);
                 if !existed {
                     return Err(MetaError::NotFound(key.name.to_string()));
+                }
+                if let Some((id, _)) = removed_dir {
+                    self.bump_ns_version(id);
                 }
                 shard.wal.append();
                 Ok(())
@@ -225,9 +232,21 @@ impl TafDb {
         let shard = &self.shards[shard_idx];
         match w {
             WriteCmd::Put(key, row) => {
+                // Namespace-version bump (DESIGN.md §4.13): a committed
+                // write of a directory's access row — rename's dst insert,
+                // chmod's permission rewrite — advances that directory's
+                // monotonic version at exactly commit-apply time.
+                if let Row::DirAccess { id, .. } = row {
+                    self.bump_ns_version(*id);
+                }
                 shard.engine.put(key.clone(), row.clone());
             }
             WriteCmd::Delete(key) => {
+                // rename's src removal and rmdir both land here; read the
+                // dying access row first to learn which directory moves.
+                if let Some(Row::DirAccess { id, .. }) = shard.engine.get(key) {
+                    self.bump_ns_version(id);
+                }
                 Self::delete_with_deltas(shard, key);
             }
             WriteCmd::MergeAttr(key, delta) => {

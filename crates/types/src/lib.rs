@@ -47,6 +47,7 @@ pub use record::{
     DirEntry,
     DirStat,
     EntryKind,
+    LeasedPath,
     ObjectMeta,
     ResolvedPath, //
 };

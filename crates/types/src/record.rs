@@ -126,6 +126,23 @@ pub struct ResolvedPath {
     pub permission: Permission,
 }
 
+/// A versioned path-resolution reply (DESIGN.md §4.13): the resolved
+/// target plus the namespace version of its leaf entry and the lease
+/// duration the resolving service grants. Clients stamp
+/// `expires = now + lease_ttl` on their own virtual clock at fill time;
+/// an expired entry must be revalidated (one version-check RPC) before
+/// the cached id may be used again.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct LeasedPath {
+    /// The resolved target.
+    pub resolved: ResolvedPath,
+    /// Monotonic namespace version of the leaf entry at resolution time
+    /// (bumped by rename/chmod of the entry; see DESIGN.md §4.13).
+    pub version: u64,
+    /// Lease duration granted by the resolver.
+    pub lease_ttl: std::time::Duration,
+}
+
 /// A full directory status (base attributes merged with pending deltas).
 #[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
 pub struct DirStat {

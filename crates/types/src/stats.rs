@@ -60,10 +60,14 @@ pub struct OpStats {
     pub transient_retries: u32,
     /// Stale shard-map rejections absorbed by a map refresh + retry.
     pub stale_route_retries: u32,
-    /// TopDirPathCache (or AM-Cache) hits.
+    /// TopDirPathCache (or AM-Cache / path-lease-cache) hits.
     pub cache_hits: u32,
     /// Cache misses.
     pub cache_misses: u32,
+    /// Expired path-lease entries revalidated with a version-check RPC.
+    pub cache_revalidations: u32,
+    /// Cached path entries dropped by a subtree invalidation.
+    pub cache_invalidations: u32,
     current: Option<(usize, SimInstant)>,
 }
 
@@ -145,6 +149,8 @@ impl OpStats {
         self.stale_route_retries += other.stale_route_retries;
         self.cache_hits += other.cache_hits;
         self.cache_misses += other.cache_misses;
+        self.cache_revalidations += other.cache_revalidations;
+        self.cache_invalidations += other.cache_invalidations;
     }
 }
 
@@ -169,6 +175,10 @@ pub struct OpStatsAgg {
     pub cache_hits: u64,
     /// Sum of cache misses.
     pub cache_misses: u64,
+    /// Sum of path-lease revalidations.
+    pub cache_revalidations: u64,
+    /// Sum of path-lease invalidations.
+    pub cache_invalidations: u64,
 }
 
 impl OpStatsAgg {
@@ -185,6 +195,8 @@ impl OpStatsAgg {
         self.stale_route_retries += s.stale_route_retries as u64;
         self.cache_hits += s.cache_hits as u64;
         self.cache_misses += s.cache_misses as u64;
+        self.cache_revalidations += s.cache_revalidations as u64;
+        self.cache_invalidations += s.cache_invalidations as u64;
     }
 
     /// Merges another aggregate (for combining per-thread aggregates).
@@ -200,6 +212,8 @@ impl OpStatsAgg {
         self.stale_route_retries += other.stale_route_retries;
         self.cache_hits += other.cache_hits;
         self.cache_misses += other.cache_misses;
+        self.cache_revalidations += other.cache_revalidations;
+        self.cache_invalidations += other.cache_invalidations;
     }
 
     /// Mean nanoseconds per op charged to `phase`.

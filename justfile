@@ -47,12 +47,12 @@ chaos SEED="0":
         cargo test -q --test chaos -- --nocapture
 
 # The full nightly sweep, locally (0..31 base storm, 32..47 snapshot
-# storm).
+# storm, 48..63 lease storm).
 chaos-sweep:
     #!/usr/bin/env bash
     set -u
     failed=""
-    for seed in $(seq 0 47); do
+    for seed in $(seq 0 63); do
         echo "== chaos seed $seed =="
         MANTLE_FAULT_SEED=$seed cargo test -q --test chaos || failed="$failed $seed"
     done

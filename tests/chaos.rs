@@ -14,8 +14,9 @@
 //!   acknowledged namespace exactly after the storm heals.
 //!
 //! The seed sweep is driven by `MANTLE_FAULT_SEED` (one seed per process,
-//! as the nightly chaos CI job does for seeds 0..47; the 32..47 band
-//! selects the snapshot-storm profile) and defaults to a
+//! as the nightly chaos CI job does for seeds 0..63; the 32..47 band
+//! selects the snapshot-storm profile and 48..63 the lease-storm profile
+//! with the path-lease cache forced on) and defaults to a
 //! small fixed set for plain `cargo test`. On failure the panic reporter
 //! prints the seed + profile, and `MANTLE_CHAOS_BUNDLE_DIR` captures a
 //! repro bundle. Set `MANTLE_CHAOS_TIMELINE=1` to dump the fault timeline
@@ -43,11 +44,16 @@ fn seeds_under_test() -> Vec<u64> {
     }
 }
 
-/// Storm profile for a seed: the nightly sweep's upper seed band (32..48)
-/// layers snapshot-write and snapshot-install crashes on top of the base
-/// storm, exercising §4.11's discard-on-abort windows.
+/// Storm profile for a seed: the nightly sweep's seed bands select the
+/// fault mix. 0..32 runs the base storm; 32..48 layers snapshot-write and
+/// snapshot-install crashes on top (§4.11's discard-on-abort windows);
+/// 48..64 runs the lease storm, which adds forced lease expiry and
+/// stale-read vetoes against the path-lease cache (DESIGN.md §4.13) —
+/// coherence-only faults that are inert while the cache is off.
 fn storm_profile(seed: u64) -> FaultProfile {
-    if seed >= 32 {
+    if seed >= 48 {
+        FaultProfile::lease_storm()
+    } else if seed >= 32 {
         FaultProfile::snapshot_storm()
     } else {
         FaultProfile::storm()
@@ -57,11 +63,20 @@ fn storm_profile(seed: u64) -> FaultProfile {
 /// A cluster with fast elections so crash storms resolve quickly, and
 /// aggressive snapshotting so storms overlap compaction windows.
 fn chaos_cluster() -> Arc<MantleCluster> {
+    chaos_cluster_for(0)
+}
+
+/// Seed-aware variant: the lease-storm band forces the path-lease cache on
+/// (it is what those seeds' faults target), regardless of the environment.
+fn chaos_cluster_for(seed: u64) -> Arc<MantleCluster> {
     let mut config = MantleConfig::with_sim(SimConfig::instant(), 4);
     config.index.raft.election_timeout_min = Duration::from_millis(40);
     config.index.raft.election_timeout_max = Duration::from_millis(80);
     config.index.raft.heartbeat_interval = Duration::from_millis(10);
     config.index.raft.snapshot_every = 64;
+    if seed >= 48 {
+        config.pcache = mantle::core::PathLeaseConfig::enabled();
+    }
     MantleCluster::with_config(config)
 }
 
@@ -86,7 +101,7 @@ fn retry<R>(mut f: impl FnMut(&mut OpStats) -> Result<R>) -> R {
 #[test]
 fn chaos_storm_preserves_acknowledged_namespace() {
     for seed in seeds_under_test() {
-        let cluster = chaos_cluster();
+        let cluster = chaos_cluster_for(seed);
         let svc = cluster.service();
         let mut stats = OpStats::new();
         svc.mkdir(&p("/w"), &mut stats).unwrap();

@@ -50,12 +50,18 @@ fn matrix<S: MetadataService + BulkLoad + Sync>(
         assert_eq!(report.completed, 48, "{} {op:?}/{conflict:?}", svc.name());
         assert!(report.latency.count() == 48);
         if op == MdOp::Lookup {
-            assert!(
-                report.agg.mean_rpcs() >= expected_min_rpcs,
-                "{}: lookup rpcs {} < {expected_min_rpcs}",
-                svc.name(),
-                report.agg.mean_rpcs()
-            );
+            // The per-level RPC floors document each system's *uncached*
+            // resolution cost; the opt-in path-lease cache (DESIGN.md
+            // §4.13) exists precisely to beat them, so they only hold
+            // while it is off.
+            if !mantle::core::PathLeaseConfig::from_env().enabled {
+                assert!(
+                    report.agg.mean_rpcs() >= expected_min_rpcs,
+                    "{}: lookup rpcs {} < {expected_min_rpcs}",
+                    svc.name(),
+                    report.agg.mean_rpcs()
+                );
+            }
             assert!(report.agg.mean_phase_nanos(Phase::Lookup) > 0.0);
         }
     }

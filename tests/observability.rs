@@ -285,6 +285,10 @@ fn chaos_sweep_attributes_slow_ops_and_serves_live_metrics() {
         config.index.raft.election_timeout_min = std::time::Duration::from_millis(40);
         config.index.raft.election_timeout_max = std::time::Duration::from_millis(80);
         config.index.raft.heartbeat_interval = std::time::Duration::from_millis(10);
+        // Pin the path-lease cache off regardless of MANTLE_PATH_CACHE: the
+        // manufactured outlier relies on creates paying failover retries
+        // through the index, which cached parent resolution would skip.
+        config.pcache = mantle::core::PathLeaseConfig::default();
         let cluster = MantleCluster::with_config(config);
         let svc = cluster.service();
         let mut stats = OpStats::new();

@@ -265,7 +265,11 @@ fn same_seed_and_faults_reproduce_identical_histograms_and_events() {
 fn op_results_and_rpc_counts_are_clock_independent() {
     // Runs in both modes; the constants below are the mode-independent
     // ground truth (64 ops, exactly one RPC per instant-mode lookup).
-    let cluster = MantleCluster::build(SimConfig::instant(), 4);
+    // The path-lease cache is pinned off regardless of MANTLE_PATH_CACHE:
+    // warm hits would drop the per-lookup RPC floor below 1.
+    let mut config = MantleConfig::with_sim(SimConfig::instant(), 4);
+    config.pcache = mantle::core::PathLeaseConfig::default();
+    let cluster = MantleCluster::with_config(config);
     let report = run(
         &*cluster.service(),
         MdtestConfig {

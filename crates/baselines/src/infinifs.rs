@@ -23,29 +23,13 @@ use parking_lot::Mutex;
 
 use mantle_core::pathcache::{LeaseProbe, PathLeaseCache, PathLeaseConfig};
 use mantle_index::TopDirPathCache;
-use mantle_rpc::SimNode;
+use mantle_rpc::{RetryPolicy, SimNode};
 use mantle_sync::Semaphore;
 use mantle_tafdb::{attr_key, entry_key, Row, TafDb, TafDbOptions};
 use mantle_types::{
-    id::IdAllocator,
-    AttrDelta,
-    BulkLoad,
-    DirAttrMeta,
-    DirEntry,
-    DirStat,
-    InodeId,
-    MetaError,
-    MetaPath,
-    MetadataService,
-    ObjectMeta,
-    OpStats,
-    Permission,
-    Phase,
-    ResolvedPath,
-    Result,
-    SimConfig,
-    ROOT_ID,
-    SCALED_DB_SHARDS, //
+    id::IdAllocator, AttrDelta, BulkLoad, DirAttrMeta, DirEntry, DirStat, InodeId, MetaError,
+    MetaPath, MetadataService, ObjectMeta, Permission, Phase, RequestCtx, ResolvedPath, Result,
+    RetryClass, SimConfig, ROOT_ID, SCALED_DB_SHARDS,
 };
 
 /// InfiniFS deployment options.
@@ -162,7 +146,7 @@ impl InfiniFs {
     }
 
     /// Path resolution, optionally short-circuited by the path-lease cache.
-    fn resolve_dir(&self, path: &MetaPath, stats: &mut OpStats) -> Result<ResolvedPath> {
+    fn resolve_dir(&self, path: &MetaPath, stats: &mut RequestCtx) -> Result<ResolvedPath> {
         if path.is_root() {
             return Ok(ResolvedPath {
                 id: ROOT_ID,
@@ -178,7 +162,7 @@ impl InfiniFs {
     /// Resolution through the path-lease cache. Without version metadata a
     /// revalidation is a full speculative re-resolve whose pid is compared
     /// against the cached one; leases here save RPCs only while live.
-    fn leased_resolve(&self, path: &MetaPath, stats: &mut OpStats) -> Result<ResolvedPath> {
+    fn leased_resolve(&self, path: &MetaPath, stats: &mut RequestCtx) -> Result<ResolvedPath> {
         let ttl = self.pcache.config().lease_ttl;
         let force_expire = self
             .pcache_faults
@@ -220,22 +204,23 @@ impl InfiniFs {
                         .get()
                         .is_some_and(|plan| plan.stale_read_fires("infinifs-proxy"));
                     let matched = resolved.id == old.pid && !stale_read;
-                    let dropped = self.pcache.revalidated(path, matched, &fresh, token);
+                    let dropped = self.pcache.revalidated(path, matched, &fresh, token, stats);
                     if matched {
                         stats.cache_revalidations += 1;
                     } else {
                         stats.cache_invalidations += dropped as u32;
                     }
                 } else {
-                    self.pcache.fill(path, &fresh, token);
+                    self.pcache.fill(path, &fresh, token, stats);
                 }
                 Ok(resolved)
             }
             Err(e @ MetaError::NotFound(_)) => {
                 if expired.is_some() {
-                    stats.cache_invalidations += self.pcache.revalidated_gone(path, token) as u32;
+                    stats.cache_invalidations +=
+                        self.pcache.revalidated_gone(path, token, stats) as u32;
                 } else {
-                    self.pcache.fill_negative(path, token);
+                    self.pcache.fill_negative(path, token, stats);
                 }
                 Err(e)
             }
@@ -245,7 +230,7 @@ impl InfiniFs {
 
     /// Speculative parallel resolution with sequential fallback on
     /// misprediction.
-    fn speculative_resolve(&self, path: &MetaPath, stats: &mut OpStats) -> Result<ResolvedPath> {
+    fn speculative_resolve(&self, path: &MetaPath, stats: &mut RequestCtx) -> Result<ResolvedPath> {
         if let Some(prefix) = self.amcache.prefix_of(path) {
             if let Some(hit) = self.amcache.get(&prefix) {
                 stats.cache_hits += 1;
@@ -330,7 +315,7 @@ impl InfiniFs {
     fn resolve_parent(
         &self,
         path: &MetaPath,
-        stats: &mut OpStats,
+        stats: &mut RequestCtx,
     ) -> Result<(ResolvedPath, String)> {
         let parent = path
             .parent()
@@ -340,7 +325,12 @@ impl InfiniFs {
     }
 
     /// Acquires the coordinator's rename lock on `src` (one RPC).
-    fn coordinator_lock(&self, src: &MetaPath, dst: &MetaPath, stats: &mut OpStats) -> Result<()> {
+    fn coordinator_lock(
+        &self,
+        src: &MetaPath,
+        dst: &MetaPath,
+        stats: &mut RequestCtx,
+    ) -> Result<()> {
         self.coordinator.rpc(stats, || {
             let mut locks = self.rename_locks.lock();
             let conflict = locks.iter().any(|locked| {
@@ -357,7 +347,7 @@ impl InfiniFs {
         })
     }
 
-    fn coordinator_unlock(&self, src: &MetaPath, stats: &mut OpStats) {
+    fn coordinator_unlock(&self, src: &MetaPath, stats: &mut RequestCtx) {
         self.coordinator.rpc(stats, || {
             self.rename_locks.lock().remove(src);
         });
@@ -369,11 +359,11 @@ impl MetadataService for InfiniFs {
         "infinifs"
     }
 
-    fn lookup(&self, path: &MetaPath, stats: &mut OpStats) -> Result<ResolvedPath> {
+    fn lookup(&self, path: &MetaPath, stats: &mut RequestCtx) -> Result<ResolvedPath> {
         stats.time(Phase::Lookup, |stats| self.resolve_dir(path, stats))
     }
 
-    fn mkdir(&self, path: &MetaPath, stats: &mut OpStats) -> Result<InodeId> {
+    fn mkdir(&self, path: &MetaPath, stats: &mut RequestCtx) -> Result<InodeId> {
         let (parent, name) = stats.time(Phase::Lookup, |stats| self.resolve_parent(path, stats))?;
         stats.time(Phase::Execute, |stats| {
             if !parent.permission.allows(Permission::WRITE) {
@@ -424,7 +414,7 @@ impl MetadataService for InfiniFs {
         })
     }
 
-    fn rmdir(&self, path: &MetaPath, stats: &mut OpStats) -> Result<()> {
+    fn rmdir(&self, path: &MetaPath, stats: &mut RequestCtx) -> Result<()> {
         let (parent, name) = stats.time(Phase::Lookup, |stats| self.resolve_parent(path, stats))?;
         stats.time(Phase::Execute, |stats| {
             let (dir, _) = self.db.resolve_step(parent.id, &name, stats)?;
@@ -449,7 +439,7 @@ impl MetadataService for InfiniFs {
         })
     }
 
-    fn create(&self, path: &MetaPath, size: u64, stats: &mut OpStats) -> Result<InodeId> {
+    fn create(&self, path: &MetaPath, size: u64, stats: &mut RequestCtx) -> Result<InodeId> {
         let (parent, name) = stats.time(Phase::Lookup, |stats| self.resolve_parent(path, stats))?;
         stats.time(Phase::Execute, |stats| {
             if !parent.permission.allows(Permission::WRITE) {
@@ -483,7 +473,7 @@ impl MetadataService for InfiniFs {
         })
     }
 
-    fn delete(&self, path: &MetaPath, stats: &mut OpStats) -> Result<()> {
+    fn delete(&self, path: &MetaPath, stats: &mut RequestCtx) -> Result<()> {
         let (parent, name) = stats.time(Phase::Lookup, |stats| self.resolve_parent(path, stats))?;
         stats.time(Phase::Execute, |stats| {
             self.db.get_object(parent.id, &name, stats)?;
@@ -502,7 +492,7 @@ impl MetadataService for InfiniFs {
         })
     }
 
-    fn objstat(&self, path: &MetaPath, stats: &mut OpStats) -> Result<ObjectMeta> {
+    fn objstat(&self, path: &MetaPath, stats: &mut RequestCtx) -> Result<ObjectMeta> {
         // InfiniFS "bypasses the execution phase for objstat, handling it
         // in the lookup phase" (§6.3): the final level rides the same
         // speculative fan-out.
@@ -512,7 +502,7 @@ impl MetadataService for InfiniFs {
         })
     }
 
-    fn dirstat(&self, path: &MetaPath, stats: &mut OpStats) -> Result<DirStat> {
+    fn dirstat(&self, path: &MetaPath, stats: &mut RequestCtx) -> Result<DirStat> {
         let dir = stats.time(Phase::Lookup, |stats| self.resolve_dir(path, stats))?;
         stats.time(Phase::Execute, |stats| {
             let attrs = self.db.dir_stat(dir.id, stats)?;
@@ -524,7 +514,7 @@ impl MetadataService for InfiniFs {
         })
     }
 
-    fn readdir(&self, path: &MetaPath, stats: &mut OpStats) -> Result<Vec<DirEntry>> {
+    fn readdir(&self, path: &MetaPath, stats: &mut RequestCtx) -> Result<Vec<DirEntry>> {
         let dir = stats.time(Phase::Lookup, |stats| self.resolve_dir(path, stats))?;
         stats.time(Phase::Execute, |stats| Ok(self.db.readdir(dir.id, stats)))
     }
@@ -534,7 +524,7 @@ impl MetadataService for InfiniFs {
         path: &MetaPath,
         start_after: Option<&str>,
         limit: usize,
-        stats: &mut OpStats,
+        stats: &mut RequestCtx,
     ) -> Result<(Vec<DirEntry>, bool)> {
         // InfiniFS stores entries in the ordered shard store too, so paging
         // is a bounded engine range scan rather than the readdir fallback.
@@ -544,7 +534,7 @@ impl MetadataService for InfiniFs {
         })
     }
 
-    fn rename_dir(&self, src: &MetaPath, dst: &MetaPath, stats: &mut OpStats) -> Result<()> {
+    fn rename_dir(&self, src: &MetaPath, dst: &MetaPath, stats: &mut RequestCtx) -> Result<()> {
         if src.is_root() || dst.is_root() {
             return Err(MetaError::InvalidRename("root cannot be renamed".into()));
         }
@@ -561,36 +551,19 @@ impl MetadataService for InfiniFs {
         })?;
 
         // Coordinator lock with retry (the paper's rename coordinator runs
-        // on its own servers; conflicts abort and retry).
-        let mut attempts = 0u32;
-        loop {
-            match stats.time(Phase::LoopDetect, |stats| {
-                self.coordinator_lock(src, dst, stats)
-            }) {
-                Ok(()) => break,
-                Err(MetaError::RenameLocked(_)) if attempts < self.opts.rename_retries => {
-                    attempts += 1;
-                    stats.rename_retries += 1;
-                    let backoff =
-                        std::time::Duration::from_micros((50u64 << attempts.min(6)).min(3_000));
-                    if mantle_types::clock::is_virtual() {
-                        // Charge the modeled backoff to this client's
-                        // timeline (instant), then yield so the lock holder
-                        // can release in real time.
-                        mantle_types::clock::sleep_as(
-                            mantle_types::clock::TimeCategory::Backoff,
-                            backoff,
-                        );
-                        std::thread::yield_now();
-                    } else if self.config.rtt_micros == 0 {
-                        std::thread::yield_now();
-                    } else {
-                        std::thread::sleep(backoff);
-                    }
-                }
-                Err(e) => return Err(e),
-            }
-        }
+        // on its own servers; conflicts abort and retry). Only
+        // `RenameLocked` re-arms the lock attempt — everything else
+        // (including conflicts from the metadata transaction below) aborts.
+        RetryPolicy::rename(self.opts.rename_retries, self.config.rtt_micros == 0).run(
+            stats,
+            |e| matches!(e, MetaError::RenameLocked(_)).then_some(RetryClass::Rename),
+            |_, _| {},
+            |stats| {
+                stats.time(Phase::LoopDetect, |stats| {
+                    self.coordinator_lock(src, dst, stats)
+                })
+            },
+        )?;
 
         let out = stats.time(Phase::Execute, |stats| {
             let (src_id, src_perm) = self.db.resolve_step(src_parent.id, &src_name, stats)?;
@@ -642,7 +615,7 @@ impl MetadataService for InfiniFs {
             stats.cache_invalidations += self.pcache.invalidate_subtree(dst) as u32;
             Ok(())
         });
-        let mut unlock_stats = OpStats::new();
+        let mut unlock_stats = RequestCtx::new();
         self.coordinator_unlock(src, &mut unlock_stats);
         stats.absorb(&unlock_stats);
         out
@@ -740,7 +713,7 @@ mod tests {
     fn speculative_lookup_resolves_unrenamed_chain() {
         let f = svc();
         f.bulk_dir(&p("/a/b/c/d/e"));
-        let mut stats = OpStats::new();
+        let mut stats = RequestCtx::new();
         let resolved = f.lookup(&p("/a/b/c/d/e"), &mut stats).unwrap();
         assert_eq!(resolved.id, predict(&p("/a/b/c/d/e")));
         // All five levels queried (speculatively), none sequentially re-run.
@@ -752,12 +725,12 @@ mod tests {
         let f = svc();
         f.bulk_dir(&p("/a/b/c"));
         f.bulk_dir(&p("/z"));
-        let mut stats = OpStats::new();
+        let mut stats = RequestCtx::new();
         f.rename_dir(&p("/a/b"), &p("/z/b2"), &mut stats).unwrap();
         // The moved directory kept its old id (= predict("/a/b")), so the
         // speculative query for level "c" under predict("/z/b2") misses and
         // resolution falls back to sequential steps — but still succeeds.
-        let mut lstats = OpStats::new();
+        let mut lstats = RequestCtx::new();
         let resolved = f.lookup(&p("/z/b2/c"), &mut lstats).unwrap();
         assert_eq!(resolved.id, predict(&p("/a/b/c")));
         assert!(
@@ -770,7 +743,7 @@ mod tests {
     #[test]
     fn object_lifecycle_with_cfs_mkdir() {
         let f = svc();
-        let mut stats = OpStats::new();
+        let mut stats = RequestCtx::new();
         f.mkdir(&p("/d"), &mut stats).unwrap();
         f.mkdir(&p("/d/e"), &mut stats).unwrap();
         f.create(&p("/d/e/o"), 11, &mut stats).unwrap();
@@ -788,7 +761,7 @@ mod tests {
         f.bulk_dir(&p("/t1"));
         f.bulk_dir(&p("/t2"));
         // Hold the lock manually, then observe the conflict.
-        let mut stats = OpStats::new();
+        let mut stats = RequestCtx::new();
         f.coordinator_lock(&p("/s"), &p("/t1/x"), &mut stats)
             .unwrap();
         assert!(matches!(
@@ -809,7 +782,7 @@ mod tests {
         };
         let f = InfiniFs::new(SimConfig::instant(), opts);
         f.bulk_dir(&p("/a/b/c"));
-        let mut s1 = OpStats::new();
+        let mut s1 = RequestCtx::new();
         f.lookup(&p("/a/b/c"), &mut s1).unwrap();
         // With MANTLE_PATH_CACHE=on the path-lease cache records its own
         // miss before the AM-Cache does, so the cold lookup counts two.
@@ -820,7 +793,7 @@ mod tests {
         };
         assert_eq!(s1.cache_misses, expected_misses);
         assert_eq!(s1.rpcs, 3);
-        let mut s2 = OpStats::new();
+        let mut s2 = RequestCtx::new();
         f.lookup(&p("/a/b/c"), &mut s2).unwrap();
         assert_eq!(s2.cache_hits, 1);
         assert_eq!(s2.rpcs, 0, "AM-Cache hit should bypass all metadata RPCs");

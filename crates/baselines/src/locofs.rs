@@ -25,26 +25,9 @@ use mantle_raft::{RaftGroup, RaftOptions, RaftReplica, StateMachine};
 use mantle_rpc::SimNode;
 use mantle_tafdb::{entry_key, Row, TafDb, TafDbOptions};
 use mantle_types::{
-    id::IdAllocator,
-    AttrDelta,
-    BulkLoad,
-    DirAttrMeta,
-    DirEntry,
-    DirStat,
-    EntryKind,
-    InodeId,
-    MetaError,
-    MetaPath,
-    MetadataService,
-    ObjectMeta,
-    OpStats,
-    Permission,
-    Phase,
-    ResolvedPath,
-    Result,
-    SimConfig,
-    ROOT_ID,
-    SCALED_DB_SHARDS, //
+    id::IdAllocator, AttrDelta, BulkLoad, DirAttrMeta, DirEntry, DirStat, EntryKind, InodeId,
+    MetaError, MetaPath, MetadataService, ObjectMeta, Permission, Phase, RequestCtx, ResolvedPath,
+    Result, SimConfig, ROOT_ID, SCALED_DB_SHARDS,
 };
 
 /// LocoFS deployment options.
@@ -450,7 +433,7 @@ impl LocoFs {
     /// One RPC to the directory server running `f` against its local state.
     fn dir_rpc<R>(
         &self,
-        stats: &mut OpStats,
+        stats: &mut RequestCtx,
         f: impl FnOnce(&Arc<RaftReplica<LocoSm>>) -> Result<R>,
     ) -> Result<R> {
         let leader = self.leader()?;
@@ -462,7 +445,7 @@ impl LocoFs {
     /// replication wait is I/O bounded by the (unbatched) Raft pipeline.
     fn dir_rpc_propose<R>(
         &self,
-        stats: &mut OpStats,
+        stats: &mut RequestCtx,
         f: impl FnOnce(&Arc<RaftReplica<LocoSm>>) -> Result<(R, LocoCmd)>,
     ) -> Result<R> {
         let leader = self.leader()?;
@@ -484,13 +467,13 @@ impl MetadataService for LocoFs {
         "locofs"
     }
 
-    fn lookup(&self, path: &MetaPath, stats: &mut OpStats) -> Result<ResolvedPath> {
+    fn lookup(&self, path: &MetaPath, stats: &mut RequestCtx) -> Result<ResolvedPath> {
         stats.time(Phase::Lookup, |stats| {
             self.dir_rpc(stats, |l| l.state_machine().resolve(path))
         })
     }
 
-    fn mkdir(&self, path: &MetaPath, stats: &mut OpStats) -> Result<InodeId> {
+    fn mkdir(&self, path: &MetaPath, stats: &mut RequestCtx) -> Result<InodeId> {
         let parent = path
             .parent()
             .ok_or_else(|| MetaError::InvalidPath("operation on root".into()))?;
@@ -530,7 +513,7 @@ impl MetadataService for LocoFs {
         })
     }
 
-    fn rmdir(&self, path: &MetaPath, stats: &mut OpStats) -> Result<()> {
+    fn rmdir(&self, path: &MetaPath, stats: &mut RequestCtx) -> Result<()> {
         let parent = path
             .parent()
             .ok_or_else(|| MetaError::InvalidPath("operation on root".into()))?;
@@ -563,7 +546,7 @@ impl MetadataService for LocoFs {
         Ok(())
     }
 
-    fn create(&self, path: &MetaPath, size: u64, stats: &mut OpStats) -> Result<InodeId> {
+    fn create(&self, path: &MetaPath, size: u64, stats: &mut RequestCtx) -> Result<InodeId> {
         let parent = path
             .parent()
             .ok_or_else(|| MetaError::InvalidPath("operation on root".into()))?;
@@ -616,7 +599,7 @@ impl MetadataService for LocoFs {
         })
     }
 
-    fn delete(&self, path: &MetaPath, stats: &mut OpStats) -> Result<()> {
+    fn delete(&self, path: &MetaPath, stats: &mut RequestCtx) -> Result<()> {
         let parent = path
             .parent()
             .ok_or_else(|| MetaError::InvalidPath("operation on root".into()))?;
@@ -645,7 +628,7 @@ impl MetadataService for LocoFs {
         })
     }
 
-    fn objstat(&self, path: &MetaPath, stats: &mut OpStats) -> Result<ObjectMeta> {
+    fn objstat(&self, path: &MetaPath, stats: &mut RequestCtx) -> Result<ObjectMeta> {
         let parent = path
             .parent()
             .ok_or_else(|| MetaError::InvalidPath("operation on root".into()))?;
@@ -659,7 +642,7 @@ impl MetadataService for LocoFs {
         })
     }
 
-    fn dirstat(&self, path: &MetaPath, stats: &mut OpStats) -> Result<DirStat> {
+    fn dirstat(&self, path: &MetaPath, stats: &mut RequestCtx) -> Result<DirStat> {
         // Resolution happens inside the directory-server visit — LocoFS
         // "resolves paths during the execution phase for directory
         // operations" (§6.3).
@@ -686,7 +669,7 @@ impl MetadataService for LocoFs {
     // splits a listing across the Raft state machine (subdirectories) and
     // the object DB, so there is no single ordered store to range-scan —
     // the merge below is the real cost of its layout.
-    fn readdir(&self, path: &MetaPath, stats: &mut OpStats) -> Result<Vec<DirEntry>> {
+    fn readdir(&self, path: &MetaPath, stats: &mut RequestCtx) -> Result<Vec<DirEntry>> {
         let (dir, mut entries) = stats.time(Phase::Execute, |stats| {
             self.dir_rpc(stats, |l| {
                 let sm = l.state_machine();
@@ -715,7 +698,7 @@ impl MetadataService for LocoFs {
         Ok(entries)
     }
 
-    fn rename_dir(&self, src: &MetaPath, dst: &MetaPath, stats: &mut OpStats) -> Result<()> {
+    fn rename_dir(&self, src: &MetaPath, dst: &MetaPath, stats: &mut RequestCtx) -> Result<()> {
         if src.is_root() || dst.is_root() {
             return Err(MetaError::InvalidRename("root cannot be renamed".into()));
         }
@@ -831,7 +814,7 @@ mod tests {
     fn lookup_is_single_rpc() {
         let l = svc();
         l.bulk_dir(&p("/a/b/c/d/e"));
-        let mut stats = OpStats::new();
+        let mut stats = RequestCtx::new();
         l.lookup(&p("/a/b/c/d/e"), &mut stats).unwrap();
         assert_eq!(stats.rpcs, 1);
     }
@@ -839,9 +822,9 @@ mod tests {
     #[test]
     fn object_lifecycle_spans_both_components() {
         let l = svc();
-        let mut stats = OpStats::new();
+        let mut stats = RequestCtx::new();
         l.mkdir(&p("/d"), &mut stats).unwrap();
-        let mut cstats = OpStats::new();
+        let mut cstats = RequestCtx::new();
         l.create(&p("/d/o"), 33, &mut cstats).unwrap();
         // Dir-server resolve + DB insert + dir-server bump = 3 RPCs, the
         // cross-component coordination overhead of §3.3.
@@ -857,7 +840,7 @@ mod tests {
     #[test]
     fn readdir_merges_dirs_and_objects() {
         let l = svc();
-        let mut stats = OpStats::new();
+        let mut stats = RequestCtx::new();
         l.bulk_dir(&p("/d/sub"));
         l.bulk_object(&p("/d/obj"), 1);
         let names: Vec<String> = l
@@ -872,7 +855,7 @@ mod tests {
     #[test]
     fn rename_moves_subtree_and_detects_loops() {
         let l = svc();
-        let mut stats = OpStats::new();
+        let mut stats = RequestCtx::new();
         l.bulk_dir(&p("/x/y"));
         l.bulk_object(&p("/x/y/o"), 5);
         l.bulk_dir(&p("/z"));
@@ -891,7 +874,7 @@ mod tests {
     #[test]
     fn rmdir_nonempty_rejected_via_attr_counts() {
         let l = svc();
-        let mut stats = OpStats::new();
+        let mut stats = RequestCtx::new();
         l.bulk_dir(&p("/d"));
         l.bulk_object(&p("/d/o"), 1);
         assert!(matches!(

@@ -11,24 +11,9 @@ use std::sync::Arc;
 
 use mantle_tafdb::{attr_key, entry_key, Row, TafDb, TafDbOptions};
 use mantle_types::{
-    id::IdAllocator,
-    AttrDelta,
-    BulkLoad,
-    DirAttrMeta,
-    DirEntry,
-    DirStat,
-    InodeId,
-    MetaError,
-    MetaPath,
-    MetadataService,
-    ObjectMeta,
-    OpStats,
-    Permission,
-    Phase,
-    ResolvedPath,
-    Result,
-    SimConfig,
-    ROOT_ID, //
+    id::IdAllocator, AttrDelta, BulkLoad, DirAttrMeta, DirEntry, DirStat, InodeId, MetaError,
+    MetaPath, MetadataService, ObjectMeta, Permission, Phase, RequestCtx, ResolvedPath, Result,
+    SimConfig, ROOT_ID,
 };
 
 /// Tectonic deployment options.
@@ -100,7 +85,7 @@ impl Tectonic {
 
     /// Level-by-level traversal: one RPC per component (the dotted arrows
     /// of Figure 2), with a permission check at each step.
-    fn resolve_dir(&self, path: &MetaPath, stats: &mut OpStats) -> Result<ResolvedPath> {
+    fn resolve_dir(&self, path: &MetaPath, stats: &mut RequestCtx) -> Result<ResolvedPath> {
         let mut pid = ROOT_ID;
         let mut permission = Permission::ALL;
         for comp in path.components() {
@@ -120,7 +105,7 @@ impl Tectonic {
     fn resolve_parent(
         &self,
         path: &MetaPath,
-        stats: &mut OpStats,
+        stats: &mut RequestCtx,
     ) -> Result<(ResolvedPath, String)> {
         let parent = path
             .parent()
@@ -135,11 +120,11 @@ impl MetadataService for Tectonic {
         "tectonic"
     }
 
-    fn lookup(&self, path: &MetaPath, stats: &mut OpStats) -> Result<ResolvedPath> {
+    fn lookup(&self, path: &MetaPath, stats: &mut RequestCtx) -> Result<ResolvedPath> {
         stats.time(Phase::Lookup, |stats| self.resolve_dir(path, stats))
     }
 
-    fn mkdir(&self, path: &MetaPath, stats: &mut OpStats) -> Result<InodeId> {
+    fn mkdir(&self, path: &MetaPath, stats: &mut RequestCtx) -> Result<InodeId> {
         let (parent, name) = stats.time(Phase::Lookup, |stats| self.resolve_parent(path, stats))?;
         stats.time(Phase::Execute, |stats| {
             if !parent.permission.allows(Permission::WRITE) {
@@ -199,7 +184,7 @@ impl MetadataService for Tectonic {
         })
     }
 
-    fn rmdir(&self, path: &MetaPath, stats: &mut OpStats) -> Result<()> {
+    fn rmdir(&self, path: &MetaPath, stats: &mut RequestCtx) -> Result<()> {
         let (dir, parent, name) = stats.time(Phase::Lookup, |stats| {
             let (parent, name) = self.resolve_parent(path, stats)?;
             let (id, _) = self.db.resolve_step(parent.id, &name, stats)?;
@@ -226,7 +211,7 @@ impl MetadataService for Tectonic {
         })
     }
 
-    fn create(&self, path: &MetaPath, size: u64, stats: &mut OpStats) -> Result<InodeId> {
+    fn create(&self, path: &MetaPath, size: u64, stats: &mut RequestCtx) -> Result<InodeId> {
         let (parent, name) = stats.time(Phase::Lookup, |stats| self.resolve_parent(path, stats))?;
         stats.time(Phase::Execute, |stats| {
             if !parent.permission.allows(Permission::WRITE) {
@@ -260,7 +245,7 @@ impl MetadataService for Tectonic {
         })
     }
 
-    fn delete(&self, path: &MetaPath, stats: &mut OpStats) -> Result<()> {
+    fn delete(&self, path: &MetaPath, stats: &mut RequestCtx) -> Result<()> {
         let (parent, name) = stats.time(Phase::Lookup, |stats| self.resolve_parent(path, stats))?;
         stats.time(Phase::Execute, |stats| {
             self.db.get_object(parent.id, &name, stats)?;
@@ -279,14 +264,14 @@ impl MetadataService for Tectonic {
         })
     }
 
-    fn objstat(&self, path: &MetaPath, stats: &mut OpStats) -> Result<ObjectMeta> {
+    fn objstat(&self, path: &MetaPath, stats: &mut RequestCtx) -> Result<ObjectMeta> {
         let (parent, name) = stats.time(Phase::Lookup, |stats| self.resolve_parent(path, stats))?;
         stats.time(Phase::Execute, |stats| {
             self.db.get_object(parent.id, &name, stats)
         })
     }
 
-    fn dirstat(&self, path: &MetaPath, stats: &mut OpStats) -> Result<DirStat> {
+    fn dirstat(&self, path: &MetaPath, stats: &mut RequestCtx) -> Result<DirStat> {
         let dir = stats.time(Phase::Lookup, |stats| self.resolve_dir(path, stats))?;
         stats.time(Phase::Execute, |stats| {
             let attrs = self.db.dir_stat(dir.id, stats)?;
@@ -298,7 +283,7 @@ impl MetadataService for Tectonic {
         })
     }
 
-    fn readdir(&self, path: &MetaPath, stats: &mut OpStats) -> Result<Vec<DirEntry>> {
+    fn readdir(&self, path: &MetaPath, stats: &mut RequestCtx) -> Result<Vec<DirEntry>> {
         let dir = stats.time(Phase::Lookup, |stats| self.resolve_dir(path, stats))?;
         stats.time(Phase::Execute, |stats| Ok(self.db.readdir(dir.id, stats)))
     }
@@ -308,7 +293,7 @@ impl MetadataService for Tectonic {
         path: &MetaPath,
         start_after: Option<&str>,
         limit: usize,
-        stats: &mut OpStats,
+        stats: &mut RequestCtx,
     ) -> Result<(Vec<DirEntry>, bool)> {
         // Tectonic's shard store is ordered, so a page is a bounded engine
         // range scan — not the default full-readdir-then-slice fallback.
@@ -318,7 +303,7 @@ impl MetadataService for Tectonic {
         })
     }
 
-    fn rename_dir(&self, src: &MetaPath, dst: &MetaPath, stats: &mut OpStats) -> Result<()> {
+    fn rename_dir(&self, src: &MetaPath, dst: &MetaPath, stats: &mut RequestCtx) -> Result<()> {
         if src.is_root() || dst.is_root() {
             return Err(MetaError::InvalidRename("root cannot be renamed".into()));
         }
@@ -508,7 +493,7 @@ mod tests {
     fn lookup_costs_one_rpc_per_level() {
         let t = svc();
         t.bulk_dir(&p("/a/b/c/d/e"));
-        let mut lstats = OpStats::new();
+        let mut lstats = RequestCtx::new();
         let resolved = t.lookup(&p("/a/b/c/d/e"), &mut lstats).unwrap();
         assert!(resolved.id.raw() > 1);
         assert_eq!(
@@ -520,7 +505,7 @@ mod tests {
     #[test]
     fn object_lifecycle() {
         let t = svc();
-        let mut stats = OpStats::new();
+        let mut stats = RequestCtx::new();
         t.mkdir(&p("/d"), &mut stats).unwrap();
         t.create(&p("/d/o"), 64, &mut stats).unwrap();
         assert_eq!(t.objstat(&p("/d/o"), &mut stats).unwrap().size, 64);
@@ -533,7 +518,7 @@ mod tests {
     #[test]
     fn rename_moves_subtree() {
         let t = svc();
-        let mut stats = OpStats::new();
+        let mut stats = RequestCtx::new();
         t.bulk_dir(&p("/x/y"));
         t.bulk_object(&p("/x/y/o"), 7);
         t.bulk_dir(&p("/z"));
@@ -549,7 +534,7 @@ mod tests {
     #[test]
     fn rmdir_nonempty_rejected() {
         let t = svc();
-        let mut stats = OpStats::new();
+        let mut stats = RequestCtx::new();
         t.bulk_dir(&p("/d"));
         t.bulk_object(&p("/d/o"), 1);
         assert!(matches!(

@@ -11,7 +11,9 @@ use mantle_baselines::{Tectonic, TectonicOptions};
 use mantle_core::MantleCluster;
 use mantle_index::IndexSm;
 use mantle_raft::StateMachine;
-use mantle_types::{BulkLoad, InodeId, MetaPath, MetadataService, OpStats, Permission, SimConfig};
+use mantle_types::{
+    BulkLoad, InodeId, MetaPath, MetadataService, Permission, RequestCtx, SimConfig,
+};
 
 fn deep_path(depth: usize) -> MetaPath {
     let mut p = MetaPath::root();
@@ -70,14 +72,14 @@ fn bench_end_to_end_lookup(c: &mut Criterion) {
     let mantle = MantleCluster::build(SimConfig::instant(), 4);
     mantle.bulk_dir(&path);
     group.bench_function("mantle", |b| {
-        let mut stats = OpStats::new();
+        let mut stats = RequestCtx::new();
         b.iter(|| mantle.lookup(&path, &mut stats).unwrap())
     });
 
     let tectonic = Tectonic::new(SimConfig::instant(), TectonicOptions::default());
     tectonic.bulk_dir(&path);
     group.bench_function("tectonic", |b| {
-        let mut stats = OpStats::new();
+        let mut stats = RequestCtx::new();
         b.iter(|| tectonic.lookup(&path, &mut stats).unwrap())
     });
     group.finish();

@@ -7,7 +7,7 @@ use criterion::{criterion_group, criterion_main, Criterion};
 
 use mantle_raft::{RaftGroup, RaftOptions, StateMachine};
 use mantle_rpc::SimNode;
-use mantle_types::{OpStats, SimConfig};
+use mantle_types::{RequestCtx, SimConfig};
 
 struct NopSm;
 
@@ -59,12 +59,12 @@ fn bench_read_index(c: &mut Criterion) {
         leader.propose(i).unwrap();
     }
     bench_group.bench_function("leader_local", |b| {
-        let mut stats = OpStats::new();
+        let mut stats = RequestCtx::new();
         b.iter(|| leader.read_index(&mut stats).unwrap())
     });
     let learner = g.replica(3).clone();
     bench_group.bench_function("learner_readindex", |b| {
-        let mut stats = OpStats::new();
+        let mut stats = RequestCtx::new();
         b.iter(|| learner.read_index(&mut stats).unwrap())
     });
     bench_group.finish();

@@ -4,7 +4,7 @@
 use criterion::{criterion_group, criterion_main, Criterion};
 
 use mantle_tafdb::{attr_key, entry_key, Row, TafDb, TafDbOptions, TxnOp};
-use mantle_types::{AttrDelta, DirAttrMeta, InodeId, OpStats, Permission, SimConfig, ROOT_ID};
+use mantle_types::{AttrDelta, DirAttrMeta, InodeId, Permission, RequestCtx, SimConfig, ROOT_ID};
 
 fn db(delta: bool) -> std::sync::Arc<TafDb> {
     let opts = TafDbOptions {
@@ -21,7 +21,7 @@ fn bench_txn_commit(c: &mut Criterion) {
     let single = db(true);
     let mut n = 0u64;
     group.bench_function("single_shard_insert", |b| {
-        let mut stats = OpStats::new();
+        let mut stats = RequestCtx::new();
         b.iter(|| {
             n += 1;
             let ops = [
@@ -54,7 +54,7 @@ fn bench_txn_commit(c: &mut Criterion) {
     let multi = db(true);
     let mut m = 0u64;
     group.bench_function("two_phase_mkdir", |b| {
-        let mut stats = OpStats::new();
+        let mut stats = RequestCtx::new();
         b.iter(|| {
             m += 1;
             let id = InodeId(1_000_000 + m);
@@ -99,14 +99,14 @@ fn bench_attr_update_paths(c: &mut Criterion) {
     // In-place (cold directory).
     let inplace = db(false);
     group.bench_function("in_place", |b| {
-        let mut stats = OpStats::new();
+        let mut stats = RequestCtx::new();
         b.iter(|| inplace.execute(&ops, &mut stats).unwrap())
     });
 
     // Latched (the Tectonic/LocoFS baseline path).
     let latched = db(false);
     group.bench_function("latched", |b| {
-        let mut stats = OpStats::new();
+        let mut stats = RequestCtx::new();
         b.iter(|| {
             latched
                 .update_attr_latched(
@@ -139,7 +139,7 @@ fn bench_dirstat_with_deltas(c: &mut Criterion) {
             );
         }
         group.bench_function(format!("merge_{n_deltas}_deltas"), |b| {
-            let mut stats = OpStats::new();
+            let mut stats = RequestCtx::new();
             b.iter(|| db.dir_stat(ROOT_ID, &mut stats).unwrap())
         });
     }

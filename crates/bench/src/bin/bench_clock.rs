@@ -76,6 +76,7 @@ fn run_suite() -> SuiteResult {
                 working_set: 64,
                 seed: 7,
                 hotspot: None,
+                open_loop: None,
             },
         );
         ops.push(OpResult {

@@ -15,7 +15,7 @@ use mantle_bench::report::fmt_us;
 use mantle_bench::{Report, Scale, SystemUnderTest};
 use mantle_core::MantleConfig;
 use mantle_types::hist::Histogram;
-use mantle_types::{MetadataService, OpStats, SimConfig};
+use mantle_types::{MetadataService, RequestCtx, SimConfig};
 use mantle_workloads::{NamespaceHandle, NamespaceSpec};
 
 #[derive(Serialize)]
@@ -83,7 +83,7 @@ fn main() {
                 let merged = &merged;
                 scope.spawn(move || {
                     let mut h = Histogram::new();
-                    let mut stats = OpStats::new();
+                    let mut stats = RequestCtx::new();
                     loop {
                         let i = next.fetch_add(1, Ordering::Relaxed);
                         if i >= total {

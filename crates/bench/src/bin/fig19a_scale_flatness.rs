@@ -25,7 +25,7 @@ use serde::Serialize;
 use mantle_bench::report::fmt_ops;
 use mantle_bench::{Report, Scale, SystemUnderTest};
 use mantle_core::MantleConfig;
-use mantle_types::{MetaPath, MetadataService, OpStats, PlacementConfig, SimConfig};
+use mantle_types::{MetaPath, MetadataService, PlacementConfig, RequestCtx, SimConfig};
 use mantle_workloads::mdtest::{self, ConflictMode, Hotspot, MdOp, MdtestConfig};
 
 #[derive(Serialize)]
@@ -111,6 +111,7 @@ fn main() {
                     working_set: 64,
                     seed,
                     hotspot: Some(hotspot),
+                    open_loop: None,
                 },
             )
         };
@@ -118,7 +119,7 @@ fn main() {
         // the heuristic state handover, and under the virtual clock the
         // abort bursts that flip it naturally are rarer than in reality).
         let refresh_hot = || {
-            let mut scratch = OpStats::new();
+            let mut scratch = RequestCtx::new();
             for k in 0..hotspot.parents {
                 if let Ok(r) = cluster.lookup(&hot_parent(scale.depth, k), &mut scratch) {
                     db.force_hot(r.id);

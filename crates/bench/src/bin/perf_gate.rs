@@ -22,8 +22,8 @@ use mantle_core::{MantleCluster, MantleConfig, PathLeaseConfig};
 use mantle_tafdb::{dir_region, entry_key, EngineKind, Row, TafDb, TafDbOptions};
 use mantle_types::hist::Histogram;
 use mantle_types::stats::OpStatsAgg;
-use mantle_types::{clock, InodeId, OpStats, Permission, SimConfig};
-use mantle_workloads::mdtest::{run, ConflictMode, MdOp, MdtestConfig};
+use mantle_types::{clock, InodeId, Permission, RequestCtx, SimConfig};
+use mantle_workloads::mdtest::{run, ConflictMode, MdOp, MdtestConfig, OpenLoop};
 
 /// Committed baseline, resolved relative to the repo root (override with
 /// `MANTLE_PERF_BASELINE` when running from elsewhere).
@@ -51,6 +51,9 @@ struct GateRow {
     /// dependent, unlike the virtual-clock metrics above. The mixed
     /// scan+create rows compare it *between engines* instead.
     lock_wait_us: f64,
+    /// Ops shed by a bounded admission queue. Zero everywhere except the
+    /// `Overload` row, where sheds are the point of the experiment.
+    shed: u64,
 }
 
 impl GateRow {
@@ -85,6 +88,7 @@ fn run_suite() -> Vec<GateRow> {
                 working_set: 64,
                 seed: 7,
                 hotspot: None,
+                open_loop: None,
             },
         );
         rows.push(GateRow {
@@ -96,6 +100,7 @@ fn run_suite() -> Vec<GateRow> {
             mean_us: report.mean_latency_micros(),
             p99_us: report.latency.quantile(0.99) as f64 / 1_000.0,
             lock_wait_us: 0.0,
+            shed: 0,
         });
     }
     rows
@@ -146,6 +151,7 @@ fn run_cache_rows() -> (Vec<GateRow>, Vec<String>) {
         working_set: 64,
         seed: 7,
         hotspot: None,
+        open_loop: None,
     };
     let off = {
         let cluster = MantleCluster::with_config(cache_config(false));
@@ -186,6 +192,7 @@ fn run_cache_rows() -> (Vec<GateRow>, Vec<String>) {
         mean_us: on.mean_latency_micros(),
         p99_us: on.latency.quantile(0.99) as f64 / 1_000.0,
         lock_wait_us: 0.0,
+        shed: 0,
     }];
 
     let rename_cfg = MdtestConfig {
@@ -197,6 +204,7 @@ fn run_cache_rows() -> (Vec<GateRow>, Vec<String>) {
         working_set: 64,
         seed: 7,
         hotspot: None,
+        open_loop: None,
     };
     let cluster = MantleCluster::with_config(cache_config(true));
     let rn = run(&*cluster.service(), rename_cfg);
@@ -209,6 +217,7 @@ fn run_cache_rows() -> (Vec<GateRow>, Vec<String>) {
         mean_us: rn.mean_latency_micros(),
         p99_us: rn.latency.quantile(0.99) as f64 / 1_000.0,
         lock_wait_us: 0.0,
+        shed: 0,
     });
     (rows, failures)
 }
@@ -307,7 +316,7 @@ fn run_mixed(engine: EngineKind) -> MixedOutcome {
                 let mut hist = Histogram::new();
                 barrier.wait();
                 for _ in 0..MIX_SCANS {
-                    let mut stats = OpStats::new();
+                    let mut stats = RequestCtx::new();
                     let begin = clock::now();
                     let entries = db.readdir(scan_pid, &mut stats);
                     stats.end();
@@ -327,7 +336,7 @@ fn run_mixed(engine: EngineKind) -> MixedOutcome {
                 let mut hist = Histogram::new();
                 barrier.wait();
                 for i in 0..MIX_CREATES {
-                    let mut stats = OpStats::new();
+                    let mut stats = RequestCtx::new();
                     let begin = clock::now();
                     let out = db.insert_row(
                         entry_key(cpid, &format!("c{t}_{i:05}")),
@@ -358,7 +367,7 @@ fn run_mixed(engine: EngineKind) -> MixedOutcome {
 
     // Fold the final listings in too: identical acknowledged writes must
     // leave identical readable state on both engines.
-    let mut end_stats = OpStats::new();
+    let mut end_stats = RequestCtx::new();
     for &cpid in &creator_pids {
         let entries = db.readdir(cpid, &mut end_stats);
         checksum.fetch_add(digest(&entries), Ordering::Relaxed);
@@ -379,6 +388,7 @@ fn run_mixed(engine: EngineKind) -> MixedOutcome {
             mean_us: agg.mean_total_micros(),
             p99_us: hist.quantile(0.99) as f64 / 1_000.0,
             lock_wait_us: lock_wait_nanos as f64 / 1_000.0,
+            shed: 0,
         },
         lock_wait_nanos,
         checksum: checksum.load(Ordering::Relaxed),
@@ -418,6 +428,81 @@ fn check(op: &str, metric: &str, measured: f64, baseline: f64) -> Result<String,
         Err(line)
     } else {
         Ok(line)
+    }
+}
+
+// --- overload row (DESIGN.md §4.14) ----------------------------------------
+
+/// Bounded admission-queue depth for the overload row.
+const OVERLOAD_CAP: usize = 64;
+/// Offered operations (single-threaded, open loop).
+const OVERLOAD_OPS: usize = 200;
+/// Goodput floor under 2x offered load with this cap/run length.
+const OVERLOAD_GOODPUT_FLOOR: f64 = 0.80;
+
+/// The `Overload` row: single-threaded open-loop Lookup offered at twice
+/// the index leader's modeled service capacity, against a bounded
+/// admission queue. Sheds are expected (and reported in the `shed`
+/// column); any failure that is not a clean shed or deadline abort fails
+/// the gate. Deterministic under the virtual clock: arrivals are pure
+/// stamps and the modeled backlog is a ratchet, so two passes must agree
+/// byte-for-byte on counts.
+fn run_overload() -> GateRow {
+    let sim = SimConfig {
+        queue_cap: OVERLOAD_CAP,
+        ..SimConfig::default()
+    };
+    let mut config = MantleConfig::with_sim(sim, 4);
+    config.index.follower_reads = false;
+    let cluster = MantleCluster::with_config(config);
+    // Each Lookup costs the leader one service time; offering one op every
+    // half service time is 2x capacity.
+    let interarrival = (sim.service().as_nanos() as u64 / 2).max(1);
+    let report = run(
+        &*cluster.service(),
+        MdtestConfig {
+            threads: 1,
+            ops_per_thread: OVERLOAD_OPS,
+            depth: 6,
+            op: MdOp::Lookup,
+            conflict: ConflictMode::Exclusive,
+            working_set: 64,
+            seed: 7,
+            hotspot: None,
+            open_loop: Some(OpenLoop {
+                interarrival_nanos: interarrival,
+                retry_budget: 0,
+            }),
+        },
+    );
+    assert!(
+        report.shed > 0,
+        "Overload: expected nonzero sheds at 2x load"
+    );
+    assert_eq!(
+        report.failed,
+        report.shed + report.deadline_aborted,
+        "Overload: {} failures were neither sheds nor deadline aborts",
+        report.failed - report.shed - report.deadline_aborted
+    );
+    let offered = report.completed + report.failed;
+    let goodput = report.completed as f64 / offered.max(1) as f64;
+    assert!(
+        goodput >= OVERLOAD_GOODPUT_FLOOR,
+        "Overload: goodput {goodput:.3} below {OVERLOAD_GOODPUT_FLOOR}"
+    );
+    GateRow {
+        op: "Overload".to_string(),
+        threads: 1,
+        completed: report.completed,
+        // Every failure was asserted above to be a clean shed/abort; the
+        // gate-wide failed==0 invariant stays meaningful.
+        failed: 0,
+        rpcs: report.agg.rpcs,
+        mean_us: report.mean_latency_micros(),
+        p99_us: report.latency.quantile(0.99) as f64 / 1_000.0,
+        lock_wait_us: 0.0,
+        shed: report.shed,
     }
 }
 
@@ -534,6 +619,22 @@ fn main() {
         p99_us: a.p99_us.min(b.p99_us),
         ..a.clone()
     }));
+
+    // Overload row, same two-pass determinism contract (shed counts
+    // included: the admission model must be a pure function of the
+    // offered arrival schedule).
+    let over_a = run_overload();
+    let over_b = run_overload();
+    assert_eq!(
+        (over_a.completed, over_a.failed, over_a.shed, over_a.rpcs),
+        (over_b.completed, over_b.failed, over_b.shed, over_b.rpcs),
+        "Overload: op results differ between passes"
+    );
+    rows.push(GateRow {
+        mean_us: over_a.mean_us.min(over_b.mean_us),
+        p99_us: over_a.p99_us.min(over_b.p99_us),
+        ..over_a.clone()
+    });
 
     if std::env::var_os("MANTLE_PERF_UPDATE_BASELINE").is_some_and(|v| v != "0") {
         let payload = serde_json::json!({

@@ -104,6 +104,7 @@ pub fn measure(sut: &SystemUnderTest, op: MdOp, conflict: ConflictMode, scale: S
         working_set: 1024,
         seed: 11,
         hotspot: None,
+        open_loop: None,
     };
     let report = mdtest::run(sut.svc().as_ref(), config);
     OpRow::from_report(sut.label(), &report)
@@ -127,6 +128,7 @@ pub fn measure_at(
         working_set: 1024,
         seed: 11,
         hotspot: None,
+        open_loop: None,
     };
     let report = mdtest::run(sut.svc().as_ref(), config);
     OpRow::from_report(sut.label(), &report)

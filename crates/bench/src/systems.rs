@@ -134,14 +134,14 @@ impl SystemUnderTest {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use mantle_types::{MetaPath, OpStats};
+    use mantle_types::{MetaPath, RequestCtx};
 
     #[test]
     fn all_four_systems_serve_the_same_workload() {
         for kind in SystemKind::ALL {
             let sut = SystemUnderTest::build(kind, SimConfig::instant());
             let svc = sut.svc();
-            let mut stats = OpStats::new();
+            let mut stats = RequestCtx::new();
             let dir = MetaPath::parse("/a/b/c").unwrap();
             svc.bulk_dir(&dir);
             svc.bulk_object(&dir.child("o"), 5);

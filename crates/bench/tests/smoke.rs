@@ -56,6 +56,7 @@ fn mdtest_config_matches_harness_expectations() {
         working_set: 8,
         seed: 1,
         hotspot: None,
+        open_loop: None,
     };
     assert_eq!(config.threads * config.ops_per_thread, 8);
 }

@@ -3,13 +3,12 @@
 
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
-use std::time::Duration;
 
 use mantle_index::cache::CachedPrefix;
 use mantle_index::{IndexNode, IndexOptions, TopDirPathCache};
+use mantle_rpc::{classify_failover, classify_rename, RetryPolicy};
 use mantle_tafdb::{attr_key, entry_key, Row, TafDb, TafDbOptions, TxnOp};
 use mantle_types::{
-    clock::{self, TimeCategory},
     id::IdAllocator,
     AttrDelta,
     ClientUuid,
@@ -21,9 +20,9 @@ use mantle_types::{
     MetaPath,
     MetadataService,
     ObjectMeta,
-    OpStats,
     Permission,
     Phase,
+    RequestCtx,
     ResolvedPath,
     Result,
     SimConfig, //
@@ -250,7 +249,7 @@ impl MantleCluster {
         &self,
         path: &MetaPath,
         permission: Permission,
-        stats: &mut OpStats,
+        stats: &mut RequestCtx,
     ) -> Result<()> {
         self.ops.setattr.inc();
         let (parent, name) = stats.time(Phase::Lookup, |stats| self.resolve_parent(path, stats))?;
@@ -293,44 +292,29 @@ impl MantleCluster {
     /// UUID so server-side replays stay idempotent.
     fn with_failover<R>(
         &self,
-        stats: &mut OpStats,
-        mut f: impl FnMut(&mut OpStats) -> Result<R>,
+        stats: &mut RequestCtx,
+        f: impl FnMut(&mut RequestCtx) -> Result<R>,
     ) -> Result<R> {
-        let mut attempts = 0;
-        loop {
-            match f(stats) {
-                Err(
-                    e @ (MetaError::Unavailable(_)
-                    | MetaError::Transient { .. }
-                    | MetaError::StaleRoute { .. }),
-                ) if attempts < self.config.unavailable_retries => {
-                    // StaleRoute: the DB's shard map moved under the op; the
-                    // retry re-routes against the refreshed snapshot.
-                    if matches!(e, MetaError::Transient { .. }) {
-                        stats.transient_retries += 1;
-                    } else if matches!(e, MetaError::StaleRoute { .. }) {
-                        stats.stale_route_retries += 1;
+        // StaleRoute: the DB's shard map moved under the op; the retry
+        // re-routes against the refreshed snapshot. The engine books the
+        // per-class retry stat and paces (modeled backoff plus real pacing
+        // under the virtual clock, since leader re-election runs on the
+        // real-time control plane).
+        RetryPolicy::failover(self.config.unavailable_retries).run(
+            stats,
+            classify_failover,
+            |_, e| {
+                mantle_obs::flight::annotate_with(|| match e {
+                    MetaError::Unavailable(at) => format!("failover:unavailable at={at}"),
+                    MetaError::Transient { kind, at } => {
+                        format!("failover:transient kind={kind} at={at}")
                     }
-                    mantle_obs::flight::annotate_with(|| match &e {
-                        MetaError::Unavailable(at) => format!("failover:unavailable at={at}"),
-                        MetaError::Transient { kind, at } => {
-                            format!("failover:transient kind={kind} at={at}")
-                        }
-                        _ => "failover:stale_route".to_string(),
-                    });
-                    attempts += 1;
-                    let backoff = Duration::from_micros((100u64 << attempts.min(6)).min(5_000));
-                    clock::sleep_as(TimeCategory::Backoff, backoff);
-                    if clock::is_virtual() {
-                        // The modeled backoff above was instant, but leader
-                        // re-election runs on the real-time control plane;
-                        // pace the retry loop against it.
-                        std::thread::sleep(backoff);
-                    }
-                }
-                other => return other,
-            }
-        }
+                    MetaError::Overloaded(at) => format!("failover:overloaded at={at}"),
+                    _ => "failover:stale_route".to_string(),
+                });
+            },
+            f,
+        )
     }
 
     /// Installs a deterministic fault plan across every component: the
@@ -363,7 +347,7 @@ impl MantleCluster {
 
     /// One path resolution, optionally short-circuited by the proxy-side
     /// path-lease cache (DESIGN.md §4.13) or AM-Cache (Figure 20).
-    fn cached_lookup(&self, path: &MetaPath, stats: &mut OpStats) -> Result<ResolvedPath> {
+    fn cached_lookup(&self, path: &MetaPath, stats: &mut RequestCtx) -> Result<ResolvedPath> {
         if self.pcache.enabled() {
             return self.leased_lookup(path, stats);
         }
@@ -396,7 +380,7 @@ impl MantleCluster {
     /// RPC; a miss resolves fully and installs a lease. The `LeaseExpire`
     /// fault demotes live hits and `StaleRead` vetoes matching
     /// revalidations — both only *add* coherence work, never skip it.
-    fn leased_lookup(&self, path: &MetaPath, stats: &mut OpStats) -> Result<ResolvedPath> {
+    fn leased_lookup(&self, path: &MetaPath, stats: &mut RequestCtx) -> Result<ResolvedPath> {
         let ttl = self.pcache.config().lease_ttl;
         let force_expire = self
             .pcache_faults
@@ -425,7 +409,7 @@ impl MantleCluster {
                         let matched = fresh.resolved.id == old.pid
                             && fresh.version == old.version
                             && !stale_read;
-                        let dropped = self.pcache.revalidated(path, matched, &fresh, token);
+                        let dropped = self.pcache.revalidated(path, matched, &fresh, token, stats);
                         if matched {
                             stats.cache_revalidations += 1;
                         } else {
@@ -437,7 +421,7 @@ impl MantleCluster {
                         // The directory is gone: the lease (and anything
                         // cached beneath it) is dead.
                         stats.cache_invalidations +=
-                            self.pcache.revalidated_gone(path, token) as u32;
+                            self.pcache.revalidated_gone(path, token, stats) as u32;
                         Err(e)
                     }
                     Err(e) => Err(e),
@@ -449,11 +433,11 @@ impl MantleCluster {
                 match self.with_failover(stats, |stats| self.index.lookup_leased(path, ttl, stats))
                 {
                     Ok(fresh) => {
-                        self.pcache.fill(path, &fresh, token);
+                        self.pcache.fill(path, &fresh, token, stats);
                         Ok(fresh.resolved)
                     }
                     Err(e @ MetaError::NotFound(_)) => {
-                        self.pcache.fill_negative(path, token);
+                        self.pcache.fill_negative(path, token, stats);
                         Err(e)
                     }
                     Err(e) => Err(e),
@@ -467,7 +451,7 @@ impl MantleCluster {
     fn resolve_parent(
         &self,
         path: &MetaPath,
-        stats: &mut OpStats,
+        stats: &mut RequestCtx,
     ) -> Result<(ResolvedPath, String)> {
         let parent = path
             .parent()
@@ -483,12 +467,12 @@ impl MetadataService for MantleCluster {
         "mantle"
     }
 
-    fn lookup(&self, path: &MetaPath, stats: &mut OpStats) -> Result<ResolvedPath> {
+    fn lookup(&self, path: &MetaPath, stats: &mut RequestCtx) -> Result<ResolvedPath> {
         self.ops.lookup.inc();
         stats.time(Phase::Lookup, |stats| self.cached_lookup(path, stats))
     }
 
-    fn mkdir(&self, path: &MetaPath, stats: &mut OpStats) -> Result<InodeId> {
+    fn mkdir(&self, path: &MetaPath, stats: &mut RequestCtx) -> Result<InodeId> {
         self.ops.mkdir.inc();
         let (parent, name) = stats.time(Phase::Lookup, |stats| self.resolve_parent(path, stats))?;
         stats.time(Phase::Execute, |stats| {
@@ -531,7 +515,7 @@ impl MetadataService for MantleCluster {
         })
     }
 
-    fn rmdir(&self, path: &MetaPath, stats: &mut OpStats) -> Result<()> {
+    fn rmdir(&self, path: &MetaPath, stats: &mut RequestCtx) -> Result<()> {
         self.ops.rmdir.inc();
         let (dir, parent, name) = stats.time(Phase::Lookup, |stats| {
             let dir = self.with_failover(stats, |stats| self.index.lookup(path, stats))?;
@@ -572,7 +556,7 @@ impl MetadataService for MantleCluster {
         })
     }
 
-    fn create(&self, path: &MetaPath, size: u64, stats: &mut OpStats) -> Result<InodeId> {
+    fn create(&self, path: &MetaPath, size: u64, stats: &mut RequestCtx) -> Result<InodeId> {
         self.ops.create.inc();
         let (parent, name) = stats.time(Phase::Lookup, |stats| self.resolve_parent(path, stats))?;
         stats.time(Phase::Execute, |stats| {
@@ -608,7 +592,7 @@ impl MetadataService for MantleCluster {
         })
     }
 
-    fn delete(&self, path: &MetaPath, stats: &mut OpStats) -> Result<()> {
+    fn delete(&self, path: &MetaPath, stats: &mut RequestCtx) -> Result<()> {
         self.ops.delete.inc();
         let (parent, name) = stats.time(Phase::Lookup, |stats| self.resolve_parent(path, stats))?;
         stats.time(Phase::Execute, |stats| {
@@ -633,7 +617,7 @@ impl MetadataService for MantleCluster {
         })
     }
 
-    fn objstat(&self, path: &MetaPath, stats: &mut OpStats) -> Result<ObjectMeta> {
+    fn objstat(&self, path: &MetaPath, stats: &mut RequestCtx) -> Result<ObjectMeta> {
         self.ops.objstat.inc();
         let (parent, name) = stats.time(Phase::Lookup, |stats| self.resolve_parent(path, stats))?;
         stats.time(Phase::Execute, |stats| {
@@ -644,7 +628,7 @@ impl MetadataService for MantleCluster {
         })
     }
 
-    fn dirstat(&self, path: &MetaPath, stats: &mut OpStats) -> Result<DirStat> {
+    fn dirstat(&self, path: &MetaPath, stats: &mut RequestCtx) -> Result<DirStat> {
         self.ops.dirstat.inc();
         let dir = stats.time(Phase::Lookup, |stats| self.cached_lookup(path, stats))?;
         stats.time(Phase::Execute, |stats| {
@@ -657,7 +641,7 @@ impl MetadataService for MantleCluster {
         })
     }
 
-    fn readdir(&self, path: &MetaPath, stats: &mut OpStats) -> Result<Vec<DirEntry>> {
+    fn readdir(&self, path: &MetaPath, stats: &mut RequestCtx) -> Result<Vec<DirEntry>> {
         self.ops.readdir.inc();
         let dir = stats.time(Phase::Lookup, |stats| self.cached_lookup(path, stats))?;
         stats.time(Phase::Execute, |stats| {
@@ -673,7 +657,7 @@ impl MetadataService for MantleCluster {
         path: &MetaPath,
         start_after: Option<&str>,
         limit: usize,
-        stats: &mut OpStats,
+        stats: &mut RequestCtx,
     ) -> Result<(Vec<DirEntry>, bool)> {
         self.ops.list.inc();
         let dir = stats.time(Phase::Lookup, |stats| self.cached_lookup(path, stats))?;
@@ -685,45 +669,27 @@ impl MetadataService for MantleCluster {
         })
     }
 
-    fn rename_dir(&self, src: &MetaPath, dst: &MetaPath, stats: &mut OpStats) -> Result<()> {
+    fn rename_dir(&self, src: &MetaPath, dst: &MetaPath, stats: &mut RequestCtx) -> Result<()> {
         self.ops.rename.inc();
         // Each retry of the whole operation keeps the same client UUID so a
         // lock left by an earlier (failed) attempt is re-entered (§5.3).
         let uuid = ClientUuid::generate();
-        let mut attempts = 0u32;
-        loop {
-            match self.try_rename(src, dst, uuid, stats) {
-                Err(
-                    e @ (MetaError::RenameLocked(_)
-                    | MetaError::TxnConflict { .. }
-                    | MetaError::Transient { .. }
-                    | MetaError::StaleRoute { .. }),
-                ) if attempts < self.config.rename_retries => {
-                    attempts += 1;
-                    if matches!(e, MetaError::Transient { .. }) {
-                        stats.transient_retries += 1;
-                    } else if matches!(e, MetaError::StaleRoute { .. }) {
-                        stats.stale_route_retries += 1;
-                    } else {
-                        stats.rename_retries += 1;
-                        mantle_obs::flight::annotate("rename:lock_conflict");
-                    }
-                    let backoff = Duration::from_micros((50u64 << attempts.min(6)).min(3_000));
-                    if clock::is_virtual() {
-                        // Charge the modeled backoff to this client's
-                        // timeline (instant), then yield so the conflicting
-                        // client can release the lock in real time.
-                        clock::sleep_as(TimeCategory::Backoff, backoff);
-                        std::thread::yield_now();
-                    } else if self.config.sim.rtt_micros == 0 {
-                        std::thread::yield_now();
-                    } else {
-                        std::thread::sleep(backoff);
-                    }
+        // The engine's rename pacing charges the modeled backoff to this
+        // client's timeline and yields so the conflicting client can release
+        // the lock in real time (or plain yields when RTT is zero).
+        RetryPolicy::rename(self.config.rename_retries, self.config.sim.rtt_micros == 0).run(
+            stats,
+            classify_rename,
+            |_, e| {
+                if matches!(
+                    e,
+                    MetaError::RenameLocked(_) | MetaError::TxnConflict { .. }
+                ) {
+                    mantle_obs::flight::annotate("rename:lock_conflict");
                 }
-                other => return other,
-            }
-        }
+            },
+            |stats| self.try_rename(src, dst, uuid, stats),
+        )
     }
 }
 
@@ -800,7 +766,7 @@ impl MantleCluster {
         src: &MetaPath,
         dst: &MetaPath,
         uuid: ClientUuid,
-        stats: &mut OpStats,
+        stats: &mut RequestCtx,
     ) -> Result<()> {
         // Figure 9 steps 1–7: resolution + lock + loop detection, one RPC.
         // Mantle "records zero lookup time in dirrename since it is merged

@@ -12,7 +12,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use parking_lot::Mutex;
 
 use mantle_rpc::SimNode;
-use mantle_types::{MetaError, OpStats, Result, SimConfig};
+use mantle_types::{MetaError, RequestCtx, Result, SimConfig};
 
 /// A pool of simulated data servers.
 pub struct DataService {
@@ -53,7 +53,7 @@ impl DataService {
     }
 
     /// Writes an object of `size` bytes, returning its blob handle.
-    pub fn write(&self, size: u64, stats: &mut OpStats) -> u64 {
+    pub fn write(&self, size: u64, stats: &mut RequestCtx) -> u64 {
         let blob = self.next_blob.fetch_add(1, Ordering::Relaxed);
         self.node().rpc(stats, || {
             mantle_rpc::device_access(&self.config);
@@ -67,7 +67,7 @@ impl DataService {
     /// # Errors
     ///
     /// [`MetaError::NotFound`] for an unknown handle.
-    pub fn read(&self, blob: u64, stats: &mut OpStats) -> Result<u64> {
+    pub fn read(&self, blob: u64, stats: &mut RequestCtx) -> Result<u64> {
         self.node().rpc(stats, || {
             mantle_rpc::device_access(&self.config);
             self.blobs
@@ -80,7 +80,7 @@ impl DataService {
 
     /// Deletes a blob. Unknown handles are ignored (idempotent GC-style
     /// deletion, as in real object stores).
-    pub fn delete(&self, blob: u64, stats: &mut OpStats) {
+    pub fn delete(&self, blob: u64, stats: &mut RequestCtx) {
         self.node().rpc(stats, || {
             mantle_rpc::device_access(&self.config);
             self.blobs.lock().remove(&blob);
@@ -112,7 +112,7 @@ mod tests {
     #[test]
     fn write_read_delete_cycle() {
         let data = DataService::new(SimConfig::instant(), 4);
-        let mut stats = OpStats::new();
+        let mut stats = RequestCtx::new();
         let blob = data.write(4096, &mut stats);
         assert_eq!(data.read(blob, &mut stats).unwrap(), 4096);
         data.delete(blob, &mut stats);
@@ -128,7 +128,7 @@ mod tests {
     fn raw_write_skips_accounting() {
         let data = DataService::new(SimConfig::instant(), 1);
         let blob = data.raw_write(100);
-        let mut stats = OpStats::new();
+        let mut stats = RequestCtx::new();
         assert_eq!(data.read(blob, &mut stats).unwrap(), 100);
         assert_eq!(data.len(), 1);
     }

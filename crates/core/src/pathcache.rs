@@ -33,7 +33,9 @@ use mantle_types::{
     InodeId,
     LeasedPath,
     MetaPath,
-    Permission, //
+    OpStats,
+    Permission,
+    RetryClass, //
 };
 
 /// Path-lease cache configuration.
@@ -184,6 +186,14 @@ struct Inner {
 }
 
 impl Inner {
+    /// Books a rejected fill: the cache-wide counter plus the op's own
+    /// [`RetryClass::RejectedFill`] stat, so per-op aggregates can tell
+    /// which requests raced an invalidation.
+    fn reject_fill(&mut self, stats: &mut OpStats) {
+        self.rejected_fills += 1;
+        stats.note_retry(RetryClass::RejectedFill);
+    }
+
     fn touch(&mut self, path: &MetaPath) {
         let seq = self.next_seq;
         self.next_seq += 1;
@@ -363,14 +373,14 @@ impl PathLeaseCache {
     }
 
     /// Caches a fresh positive resolution obtained under `token`.
-    pub fn fill(&self, path: &MetaPath, lease: &LeasedPath, token: u64) {
+    pub fn fill(&self, path: &MetaPath, lease: &LeasedPath, token: u64, stats: &mut OpStats) {
         if !self.config.enabled {
             return;
         }
         let expires = clock::now() + lease.lease_ttl;
         let mut inner = self.inner.lock();
         if inner.epoch != token {
-            inner.rejected_fills += 1;
+            inner.reject_fill(stats);
             return;
         }
         inner.insert(
@@ -387,14 +397,14 @@ impl PathLeaseCache {
 
     /// Caches a fresh `NotFound` verdict (obtained under `token`) with the
     /// negative TTL.
-    pub fn fill_negative(&self, path: &MetaPath, token: u64) {
+    pub fn fill_negative(&self, path: &MetaPath, token: u64, stats: &mut OpStats) {
         if !self.config.enabled {
             return;
         }
         let expires = clock::now() + self.config.negative_ttl;
         let mut inner = self.inner.lock();
         if inner.epoch != token {
-            inner.rejected_fills += 1;
+            inner.reject_fill(stats);
             return;
         }
         inner.insert(path.clone(), LeaseValue::Negative, expires);
@@ -413,6 +423,7 @@ impl PathLeaseCache {
         matched: bool,
         fresh: &LeasedPath,
         token: u64,
+        stats: &mut OpStats,
     ) -> usize {
         if !self.config.enabled {
             return 0;
@@ -423,7 +434,7 @@ impl PathLeaseCache {
             inner.revalidations += 1;
             self.metrics.revalidations.inc();
             if inner.epoch != token {
-                inner.rejected_fills += 1;
+                inner.reject_fill(stats);
                 return 0;
             }
             if let Some(e) = inner.map.get_mut(path) {
@@ -455,7 +466,7 @@ impl PathLeaseCache {
                 );
                 inner.evict_to_capacity(self.config.capacity);
             } else {
-                inner.rejected_fills += 1;
+                inner.reject_fill(stats);
             }
             n
         }
@@ -465,7 +476,7 @@ impl PathLeaseCache {
     /// `NotFound`: the directory is gone, so the subtree drops, and a
     /// negative verdict is installed unless a foreign invalidation raced
     /// the check. Returns the number of entries invalidated.
-    pub fn revalidated_gone(&self, path: &MetaPath, token: u64) -> usize {
+    pub fn revalidated_gone(&self, path: &MetaPath, token: u64, stats: &mut OpStats) -> usize {
         if !self.config.enabled {
             return 0;
         }
@@ -476,7 +487,7 @@ impl PathLeaseCache {
             inner.insert(path.clone(), LeaseValue::Negative, expires);
             inner.evict_to_capacity(self.config.capacity);
         } else {
-            inner.rejected_fills += 1;
+            inner.reject_fill(stats);
         }
         n
     }
@@ -559,7 +570,7 @@ mod tests {
     fn disabled_cache_is_inert() {
         let c = PathLeaseCache::new(PathLeaseConfig::default(), "test");
         assert_eq!(c.probe(&p("/a"), false), LeaseProbe::Disabled);
-        c.fill(&p("/a"), &lease(1, 1, 1000), c.begin());
+        c.fill(&p("/a"), &lease(1, 1, 1000), c.begin(), &mut OpStats::new());
         assert_eq!(c.probe(&p("/a"), false), LeaseProbe::Disabled);
         assert_eq!(c.stats().entries, 0);
     }
@@ -568,7 +579,12 @@ mod tests {
     fn fill_then_hit() {
         let c = cache(8);
         assert_eq!(c.probe(&p("/a/b"), false), LeaseProbe::Miss);
-        c.fill(&p("/a/b"), &lease(7, 3, 1_000), c.begin());
+        c.fill(
+            &p("/a/b"),
+            &lease(7, 3, 1_000),
+            c.begin(),
+            &mut OpStats::new(),
+        );
         match c.probe(&p("/a/b"), false) {
             LeaseProbe::Hit(l) => {
                 assert_eq!(l.pid, InodeId(7));
@@ -583,12 +599,18 @@ mod tests {
     #[test]
     fn expiry_demotes_to_revalidation() {
         let c = cache(8);
-        c.fill(&p("/a"), &lease(7, 1, 1), c.begin());
+        c.fill(&p("/a"), &lease(7, 1, 1), c.begin(), &mut OpStats::new());
         clock::sleep(Duration::from_millis(5));
         assert!(matches!(c.probe(&p("/a"), false), LeaseProbe::Expired(_)));
         // A matching revalidation renews the lease in place.
         assert_eq!(
-            c.revalidated(&p("/a"), true, &lease(7, 1, 1_000), c.begin()),
+            c.revalidated(
+                &p("/a"),
+                true,
+                &lease(7, 1, 1_000),
+                c.begin(),
+                &mut OpStats::new()
+            ),
             0
         );
         assert!(matches!(c.probe(&p("/a"), false), LeaseProbe::Hit(_)));
@@ -598,21 +620,47 @@ mod tests {
     #[test]
     fn force_expire_fault_demotes_live_entry() {
         let c = cache(8);
-        c.fill(&p("/a"), &lease(7, 1, 60_000), c.begin());
+        c.fill(
+            &p("/a"),
+            &lease(7, 1, 60_000),
+            c.begin(),
+            &mut OpStats::new(),
+        );
         assert!(matches!(c.probe(&p("/a"), true), LeaseProbe::Expired(_)));
     }
 
     #[test]
     fn mismatch_invalidates_subtree_and_reinserts() {
         let c = cache(8);
-        c.fill(&p("/a"), &lease(1, 1, 1), c.begin());
-        c.fill(&p("/a/b"), &lease(2, 1, 60_000), c.begin());
-        c.fill(&p("/a/b/c"), &lease(3, 1, 60_000), c.begin());
-        c.fill(&p("/x"), &lease(9, 1, 60_000), c.begin());
+        c.fill(&p("/a"), &lease(1, 1, 1), c.begin(), &mut OpStats::new());
+        c.fill(
+            &p("/a/b"),
+            &lease(2, 1, 60_000),
+            c.begin(),
+            &mut OpStats::new(),
+        );
+        c.fill(
+            &p("/a/b/c"),
+            &lease(3, 1, 60_000),
+            c.begin(),
+            &mut OpStats::new(),
+        );
+        c.fill(
+            &p("/x"),
+            &lease(9, 1, 60_000),
+            c.begin(),
+            &mut OpStats::new(),
+        );
         clock::sleep(Duration::from_millis(5));
         // /a was renamed elsewhere: version check mismatches, the whole
         // subtree drops, the fresh mapping is re-cached.
-        let dropped = c.revalidated(&p("/a"), false, &lease(11, 2, 60_000), c.begin());
+        let dropped = c.revalidated(
+            &p("/a"),
+            false,
+            &lease(11, 2, 60_000),
+            c.begin(),
+            &mut OpStats::new(),
+        );
         assert_eq!(dropped, 3);
         assert!(matches!(c.probe(&p("/a/b"), false), LeaseProbe::Miss));
         assert!(matches!(c.probe(&p("/x"), false), LeaseProbe::Hit(_)));
@@ -632,7 +680,7 @@ mod tests {
             },
             "test",
         );
-        c.fill_negative(&p("/ghost"), c.begin());
+        c.fill_negative(&p("/ghost"), c.begin(), &mut OpStats::new());
         assert_eq!(c.probe(&p("/ghost"), false), LeaseProbe::NegativeHit);
         clock::sleep(Duration::from_millis(5));
         // Expired absence is a plain miss, not a revalidation.
@@ -643,7 +691,7 @@ mod tests {
     #[test]
     fn creation_scrubs_negative_entry() {
         let c = cache(8);
-        c.fill_negative(&p("/new"), c.begin());
+        c.fill_negative(&p("/new"), c.begin(), &mut OpStats::new());
         assert!(c.invalidate_exact(&p("/new")));
         assert_eq!(c.probe(&p("/new"), false), LeaseProbe::Miss);
     }
@@ -652,11 +700,21 @@ mod tests {
     fn lru_evicts_oldest() {
         let c = cache(3);
         for i in 0..3 {
-            c.fill(&p(&format!("/d{i}")), &lease(i, 1, 60_000), c.begin());
+            c.fill(
+                &p(&format!("/d{i}")),
+                &lease(i, 1, 60_000),
+                c.begin(),
+                &mut OpStats::new(),
+            );
         }
         // Touch /d0 so /d1 is the LRU victim.
         assert!(matches!(c.probe(&p("/d0"), false), LeaseProbe::Hit(_)));
-        c.fill(&p("/d3"), &lease(3, 1, 60_000), c.begin());
+        c.fill(
+            &p("/d3"),
+            &lease(3, 1, 60_000),
+            c.begin(),
+            &mut OpStats::new(),
+        );
         assert_eq!(c.stats().entries, 3);
         assert!(matches!(c.probe(&p("/d1"), false), LeaseProbe::Miss));
         assert!(matches!(c.probe(&p("/d0"), false), LeaseProbe::Hit(_)));
@@ -667,7 +725,12 @@ mod tests {
     fn stats_balance_across_churn() {
         let c = cache(64);
         for i in 0..10 {
-            c.fill(&p(&format!("/a/d{i}")), &lease(i, 1, 60_000), c.begin());
+            c.fill(
+                &p(&format!("/a/d{i}")),
+                &lease(i, 1, 60_000),
+                c.begin(),
+                &mut OpStats::new(),
+            );
         }
         assert_eq!(c.invalidate_subtree(&p("/a")), 10);
         assert_eq!(c.stats().entries, 0);
@@ -683,24 +746,29 @@ mod tests {
         // dropped, else the cache would serve the pre-rename pid forever.
         let token = c.begin();
         c.invalidate_subtree(&p("/a"));
-        c.fill(&p("/a/b"), &lease(7, 1, 60_000), token);
+        c.fill(&p("/a/b"), &lease(7, 1, 60_000), token, &mut OpStats::new());
         assert_eq!(c.probe(&p("/a/b"), false), LeaseProbe::Miss);
         assert_eq!(c.stats().rejected_fills, 1);
         // Same for a NotFound verdict racing a creation of the path.
         let token = c.begin();
         c.invalidate_exact(&p("/new"));
-        c.fill_negative(&p("/new"), token);
+        c.fill_negative(&p("/new"), token, &mut OpStats::new());
         assert_eq!(c.probe(&p("/new"), false), LeaseProbe::Miss);
         assert_eq!(c.stats().rejected_fills, 2);
         // A fresh token fills normally.
-        c.fill(&p("/a/b"), &lease(7, 1, 60_000), c.begin());
+        c.fill(
+            &p("/a/b"),
+            &lease(7, 1, 60_000),
+            c.begin(),
+            &mut OpStats::new(),
+        );
         assert!(matches!(c.probe(&p("/a/b"), false), LeaseProbe::Hit(_)));
     }
 
     #[test]
     fn racing_invalidation_rejects_stale_renewal() {
         let c = cache(8);
-        c.fill(&p("/a"), &lease(7, 1, 1), c.begin());
+        c.fill(&p("/a"), &lease(7, 1, 1), c.begin(), &mut OpStats::new());
         clock::sleep(Duration::from_millis(5));
         assert!(matches!(c.probe(&p("/a"), false), LeaseProbe::Expired(_)));
         let token = c.begin();
@@ -708,7 +776,13 @@ mod tests {
         // matching verdict is stale and must not resurrect the entry.
         c.invalidate_subtree(&p("/a"));
         assert_eq!(
-            c.revalidated(&p("/a"), true, &lease(7, 1, 60_000), token),
+            c.revalidated(
+                &p("/a"),
+                true,
+                &lease(7, 1, 60_000),
+                token,
+                &mut OpStats::new()
+            ),
             0
         );
         assert_eq!(c.probe(&p("/a"), false), LeaseProbe::Miss);

@@ -132,7 +132,8 @@ impl<'a> Populator<'a> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use mantle_types::{MetadataService, OpStats, SimConfig};
+    use mantle_types::RequestCtx;
+    use mantle_types::{MetadataService, SimConfig};
 
     fn p(s: &str) -> MetaPath {
         MetaPath::parse(s).unwrap()
@@ -155,7 +156,7 @@ mod tests {
             );
         }
         let svc = cluster.service();
-        let mut stats = OpStats::new();
+        let mut stats = RequestCtx::new();
         // Lookups, stats and listings all see the populated state.
         assert_eq!(
             svc.objstat(&p("/a/b/c/obj1"), &mut stats).unwrap().size,

@@ -99,7 +99,8 @@ impl MantleRegion {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use mantle_types::{BulkLoad, MetaPath, MetadataService, OpStats, SimConfig};
+    use mantle_types::RequestCtx;
+    use mantle_types::{BulkLoad, MetaPath, MetadataService, SimConfig};
 
     fn p(s: &str) -> MetaPath {
         MetaPath::parse(s).unwrap()
@@ -116,7 +117,7 @@ mod tests {
         let ns_b = region.create_namespace("tenant-b").unwrap();
         assert_ne!(ns_a.root(), ns_b.root());
 
-        let mut stats = OpStats::new();
+        let mut stats = RequestCtx::new();
         // The same path in both namespaces holds different content.
         ns_a.mkdir(&p("/data"), &mut stats).unwrap();
         ns_a.create(&p("/data/obj"), 111, &mut stats).unwrap();
@@ -155,7 +156,7 @@ mod tests {
         let region = region();
         let ns_a = region.create_namespace("a").unwrap();
         let ns_b = region.create_namespace("b").unwrap();
-        let mut stats = OpStats::new();
+        let mut stats = RequestCtx::new();
 
         ns_a.bulk_dir(&p("/x/y/z"));
         ns_a.bulk_object(&p("/x/y/z/o"), 5);
@@ -180,7 +181,7 @@ mod tests {
         std::thread::scope(|s| {
             for (i, ns) in tenants.iter().enumerate() {
                 s.spawn(move || {
-                    let mut stats = OpStats::new();
+                    let mut stats = RequestCtx::new();
                     ns.mkdir(&p("/w"), &mut stats).unwrap();
                     for j in 0..30 {
                         ns.create(&p(&format!("/w/o{j}")), (i * 100 + j) as u64, &mut stats)
@@ -189,7 +190,7 @@ mod tests {
                 });
             }
         });
-        let mut stats = OpStats::new();
+        let mut stats = RequestCtx::new();
         for ns in &tenants {
             assert_eq!(ns.dirstat(&p("/w"), &mut stats).unwrap().attrs.entries, 30);
         }

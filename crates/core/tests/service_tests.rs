@@ -3,7 +3,7 @@
 use std::sync::Arc;
 
 use mantle_core::{MantleCluster, MantleConfig};
-use mantle_types::{MetaError, MetaPath, MetadataService, OpStats, Phase, SimConfig};
+use mantle_types::{MetaError, MetaPath, MetadataService, Phase, RequestCtx, SimConfig};
 
 fn p(s: &str) -> MetaPath {
     MetaPath::parse(s).unwrap()
@@ -16,7 +16,7 @@ fn cluster() -> Arc<MantleCluster> {
 #[test]
 fn full_object_lifecycle() {
     let svc = cluster();
-    let mut stats = OpStats::new();
+    let mut stats = RequestCtx::new();
     svc.mkdir(&p("/data"), &mut stats).unwrap();
     svc.create(&p("/data/obj"), 4096, &mut stats).unwrap();
     let meta = svc.objstat(&p("/data/obj"), &mut stats).unwrap();
@@ -41,7 +41,7 @@ fn full_object_lifecycle() {
 #[test]
 fn mkdir_requires_existing_parent() {
     let svc = cluster();
-    let mut stats = OpStats::new();
+    let mut stats = RequestCtx::new();
     assert!(matches!(
         svc.mkdir(&p("/missing/child"), &mut stats),
         Err(MetaError::NotFound(_))
@@ -51,7 +51,7 @@ fn mkdir_requires_existing_parent() {
 #[test]
 fn duplicate_mkdir_and_create_rejected() {
     let svc = cluster();
-    let mut stats = OpStats::new();
+    let mut stats = RequestCtx::new();
     svc.mkdir(&p("/d"), &mut stats).unwrap();
     assert!(matches!(
         svc.mkdir(&p("/d"), &mut stats),
@@ -67,7 +67,7 @@ fn duplicate_mkdir_and_create_rejected() {
 #[test]
 fn rmdir_of_non_empty_dir_fails() {
     let svc = cluster();
-    let mut stats = OpStats::new();
+    let mut stats = RequestCtx::new();
     svc.mkdir(&p("/d"), &mut stats).unwrap();
     svc.create(&p("/d/o"), 1, &mut stats).unwrap();
     assert!(matches!(
@@ -81,7 +81,7 @@ fn rmdir_of_non_empty_dir_fails() {
 #[test]
 fn delete_of_directory_and_objstat_of_dir_rejected() {
     let svc = cluster();
-    let mut stats = OpStats::new();
+    let mut stats = RequestCtx::new();
     svc.mkdir(&p("/d"), &mut stats).unwrap();
     assert!(matches!(
         svc.delete(&p("/d"), &mut stats),
@@ -104,13 +104,13 @@ fn deep_lookup_is_single_rpc_for_metadata() {
     let mut config = MantleConfig::with_sim(SimConfig::fast(), 4);
     config.index.follower_reads = false;
     let svc = MantleCluster::with_config(config);
-    let mut stats = OpStats::new();
+    let mut stats = RequestCtx::new();
     let mut path = MetaPath::root();
     for i in 0..10 {
         path = path.child(&format!("level{i}"));
         svc.mkdir(&path, &mut stats).unwrap();
     }
-    let mut lstats = OpStats::new();
+    let mut lstats = RequestCtx::new();
     let resolved = svc.lookup(&path, &mut lstats).unwrap();
     assert!(resolved.id.raw() > 1);
     assert_eq!(lstats.rpcs, 1, "10-level lookup must be a single RPC");
@@ -123,7 +123,7 @@ fn rename_moves_directory_across_parents() {
     // Non-zero modeled delays: the LoopDetect phase assertion needs
     // modeled time under the virtual clock.
     let svc = MantleCluster::build(SimConfig::fast(), 4);
-    let mut stats = OpStats::new();
+    let mut stats = RequestCtx::new();
     svc.mkdir(&p("/src"), &mut stats).unwrap();
     svc.mkdir(&p("/src/inner"), &mut stats).unwrap();
     svc.create(&p("/src/inner/obj"), 9, &mut stats).unwrap();
@@ -157,7 +157,7 @@ fn rename_moves_directory_across_parents() {
 #[test]
 fn rename_into_own_subtree_rejected() {
     let svc = cluster();
-    let mut stats = OpStats::new();
+    let mut stats = RequestCtx::new();
     svc.mkdir(&p("/a"), &mut stats).unwrap();
     svc.mkdir(&p("/a/b"), &mut stats).unwrap();
     assert!(matches!(
@@ -169,7 +169,7 @@ fn rename_into_own_subtree_rejected() {
 #[test]
 fn rename_onto_existing_object_aborts_and_unlocks() {
     let svc = cluster();
-    let mut stats = OpStats::new();
+    let mut stats = RequestCtx::new();
     svc.mkdir(&p("/a"), &mut stats).unwrap();
     svc.mkdir(&p("/b"), &mut stats).unwrap();
     svc.create(&p("/b/taken"), 1, &mut stats).unwrap();
@@ -188,13 +188,13 @@ fn rename_onto_existing_object_aborts_and_unlocks() {
 #[test]
 fn concurrent_creates_in_shared_directory_all_succeed() {
     let svc = cluster();
-    let mut stats = OpStats::new();
+    let mut stats = RequestCtx::new();
     svc.mkdir(&p("/shared"), &mut stats).unwrap();
     std::thread::scope(|s| {
         for t in 0..8 {
             let svc = &svc;
             s.spawn(move || {
-                let mut stats = OpStats::new();
+                let mut stats = RequestCtx::new();
                 for i in 0..25 {
                     svc.create(&p(&format!("/shared/obj_{t}_{i}")), 1, &mut stats)
                         .unwrap();
@@ -217,7 +217,7 @@ fn concurrent_renames_into_shared_target_serialize_correctly() {
     // The Spark-analytics commit pattern: every task renames its temp dir
     // into one shared output directory (§3.2).
     let svc = cluster();
-    let mut stats = OpStats::new();
+    let mut stats = RequestCtx::new();
     svc.mkdir(&p("/out"), &mut stats).unwrap();
     for t in 0..8 {
         svc.mkdir(&p(&format!("/tmp{t}")), &mut stats).unwrap();
@@ -228,7 +228,7 @@ fn concurrent_renames_into_shared_target_serialize_correctly() {
         for t in 0..8 {
             let svc = &svc;
             s.spawn(move || {
-                let mut stats = OpStats::new();
+                let mut stats = RequestCtx::new();
                 svc.rename_dir(
                     &p(&format!("/tmp{t}")),
                     &p(&format!("/out/task{t}")),
@@ -260,7 +260,7 @@ fn index_leader_failover_is_transparent() {
     config.index.raft.election_timeout_min = std::time::Duration::from_millis(50);
     config.index.raft.election_timeout_max = std::time::Duration::from_millis(100);
     let svc = MantleCluster::with_config(config);
-    let mut stats = OpStats::new();
+    let mut stats = RequestCtx::new();
     svc.mkdir(&p("/d"), &mut stats).unwrap();
     svc.create(&p("/d/o"), 7, &mut stats).unwrap();
 
@@ -276,7 +276,7 @@ fn index_leader_failover_is_transparent() {
 #[test]
 fn data_service_round_trip_with_metadata() {
     let svc = cluster();
-    let mut stats = OpStats::new();
+    let mut stats = RequestCtx::new();
     svc.mkdir(&p("/d"), &mut stats).unwrap();
     svc.create(&p("/d/o"), 128, &mut stats).unwrap();
     let blob = svc.data().raw_write(128);

@@ -10,16 +10,8 @@ use parking_lot::Mutex;
 use mantle_raft::{RaftError, RaftGroup, RaftOptions, RaftReplica};
 use mantle_rpc::SimNode;
 use mantle_types::{
-    ClientUuid,
-    InodeId,
-    LeasedPath,
-    MetaError,
-    MetaPath,
-    OpStats,
-    Permission,
-    ResolvedPath,
-    Result,
-    SimConfig, //
+    ClientUuid, InodeId, LeasedPath, MetaError, MetaPath, Permission, RequestCtx, ResolvedPath,
+    Result, SimConfig,
 };
 
 use crate::cache::CacheStats;
@@ -210,6 +202,9 @@ impl IndexNode {
     }
 
     fn map_raft(e: RaftError) -> MetaError {
+        if e == RaftError::DeadlineExceeded {
+            return MetaError::DeadlineExceeded("IndexNode raft read path".into());
+        }
         mantle_obs::flight::annotate_with(|| format!("index:raft_unavailable err={e}"));
         MetaError::Unavailable(format!("IndexNode raft: {e}"))
     }
@@ -238,7 +233,7 @@ impl IndexNode {
     ///
     /// Resolution errors pass through; [`MetaError::Unavailable`] when no
     /// replica can serve consistently.
-    pub fn lookup(&self, path: &MetaPath, stats: &mut OpStats) -> Result<ResolvedPath> {
+    pub fn lookup(&self, path: &MetaPath, stats: &mut RequestCtx) -> Result<ResolvedPath> {
         self.resolve_rpc(path, "resolve", stats).map(|o| o.0)
     }
 
@@ -248,7 +243,7 @@ impl IndexNode {
         &self,
         path: &MetaPath,
         lease_ttl: Duration,
-        stats: &mut OpStats,
+        stats: &mut RequestCtx,
     ) -> Result<LeasedPath> {
         let (resolved, version) = self.resolve_rpc(path, "resolve", stats)?;
         Ok(LeasedPath {
@@ -267,7 +262,7 @@ impl IndexNode {
         &self,
         path: &MetaPath,
         lease_ttl: Duration,
-        stats: &mut OpStats,
+        stats: &mut RequestCtx,
     ) -> Result<LeasedPath> {
         let (resolved, version) = self.resolve_rpc(path, "lease_check", stats)?;
         Ok(LeasedPath {
@@ -281,7 +276,7 @@ impl IndexNode {
         &self,
         path: &MetaPath,
         rpc_name: &'static str,
-        stats: &mut OpStats,
+        stats: &mut RequestCtx,
     ) -> Result<(ResolvedPath, u64)> {
         let replica = self.pick_read_replica()?;
         if !replica.is_leader() {
@@ -313,7 +308,7 @@ impl IndexNode {
         name: &str,
         id: InodeId,
         permission: Permission,
-        stats: &mut OpStats,
+        stats: &mut RequestCtx,
     ) -> Result<()> {
         self.propose(
             IndexCmd::InsertDir {
@@ -332,7 +327,7 @@ impl IndexNode {
         pid: InodeId,
         name: &str,
         path: &MetaPath,
-        stats: &mut OpStats,
+        stats: &mut RequestCtx,
     ) -> Result<()> {
         self.propose(
             IndexCmd::RemoveDir {
@@ -351,7 +346,7 @@ impl IndexNode {
         name: &str,
         permission: Permission,
         path: &MetaPath,
-        stats: &mut OpStats,
+        stats: &mut RequestCtx,
     ) -> Result<()> {
         self.propose(
             IndexCmd::SetPermission {
@@ -364,7 +359,7 @@ impl IndexNode {
         )
     }
 
-    fn propose(&self, cmd: IndexCmd, stats: &mut OpStats) -> Result<()> {
+    fn propose(&self, cmd: IndexCmd, stats: &mut RequestCtx) -> Result<()> {
         let leader = self.leader()?;
         // Admission + CPU inside the node's capacity envelope; the wait for
         // replication is I/O and does not occupy a core — the Raft
@@ -391,7 +386,7 @@ impl IndexNode {
         src: &MetaPath,
         dst: &MetaPath,
         uuid: ClientUuid,
-        stats: &mut OpStats,
+        stats: &mut RequestCtx,
     ) -> Result<RenameGrant> {
         if src.is_root() || dst.is_root() {
             return Err(MetaError::InvalidRename("root cannot be renamed".into()));
@@ -508,7 +503,7 @@ impl IndexNode {
         src: &MetaPath,
         dst: &MetaPath,
         uuid: ClientUuid,
-        stats: &mut OpStats,
+        stats: &mut RequestCtx,
     ) -> Result<()> {
         self.propose(
             IndexCmd::RenameCommit {
@@ -529,7 +524,7 @@ impl IndexNode {
         grant: &RenameGrant,
         src: &MetaPath,
         uuid: ClientUuid,
-        stats: &mut OpStats,
+        stats: &mut RequestCtx,
     ) -> Result<()> {
         self.propose(
             IndexCmd::RenameAbort {

@@ -2,7 +2,7 @@
 //! follower reads, rename coordination.
 
 use mantle_index::{IndexNode, IndexOptions};
-use mantle_types::{ClientUuid, InodeId, MetaError, MetaPath, OpStats, Permission, SimConfig};
+use mantle_types::{ClientUuid, InodeId, MetaError, MetaPath, Permission, RequestCtx, SimConfig};
 
 fn p(s: &str) -> MetaPath {
     MetaPath::parse(s).unwrap()
@@ -17,7 +17,7 @@ fn node() -> IndexNode {
 }
 
 /// Builds `/a/b/c/d` through the replicated write path, returning the ids.
-fn build_chain(node: &IndexNode, stats: &mut OpStats) -> Vec<InodeId> {
+fn build_chain(node: &IndexNode, stats: &mut RequestCtx) -> Vec<InodeId> {
     let names = ["a", "b", "c", "d"];
     let mut pid = mantle_types::ROOT_ID;
     let mut ids = Vec::new();
@@ -34,10 +34,10 @@ fn build_chain(node: &IndexNode, stats: &mut OpStats) -> Vec<InodeId> {
 #[test]
 fn insert_then_lookup_single_rpc() {
     let node = node();
-    let mut stats = OpStats::new();
+    let mut stats = RequestCtx::new();
     build_chain(&node, &mut stats);
 
-    let mut lstats = OpStats::new();
+    let mut lstats = RequestCtx::new();
     let resolved = node.lookup(&p("/a/b/c/d"), &mut lstats).unwrap();
     assert_eq!(resolved.id, InodeId(13));
     // Leader lookup: exactly one RPC, no matter the depth.
@@ -51,12 +51,12 @@ fn follower_lookup_is_consistent_after_write() {
         ..IndexOptions::default()
     };
     let node = node_with(opts);
-    let mut stats = OpStats::new();
+    let mut stats = RequestCtx::new();
     build_chain(&node, &mut stats);
     // Round-robin will hit followers and learners; every replica must serve
     // the committed directory chain (ReadIndex waits for apply).
     for _ in 0..20 {
-        let mut lstats = OpStats::new();
+        let mut lstats = RequestCtx::new();
         let resolved = node.lookup(&p("/a/b/c/d"), &mut lstats).unwrap();
         assert_eq!(resolved.id, InodeId(13));
     }
@@ -65,7 +65,7 @@ fn follower_lookup_is_consistent_after_write() {
 #[test]
 fn lookup_missing_path_not_found() {
     let node = node();
-    let mut stats = OpStats::new();
+    let mut stats = RequestCtx::new();
     build_chain(&node, &mut stats);
     assert!(matches!(
         node.lookup(&p("/a/b/zzz"), &mut stats),
@@ -81,13 +81,13 @@ fn cache_hit_counted_on_deep_paths() {
         ..IndexOptions::default()
     };
     let node = node_with(opts);
-    let mut stats = OpStats::new();
+    let mut stats = RequestCtx::new();
     build_chain(&node, &mut stats);
 
-    let mut s1 = OpStats::new();
+    let mut s1 = RequestCtx::new();
     node.lookup(&p("/a/b/c/d"), &mut s1).unwrap();
     assert_eq!(s1.cache_misses, 1);
-    let mut s2 = OpStats::new();
+    let mut s2 = RequestCtx::new();
     node.lookup(&p("/a/b/c/d"), &mut s2).unwrap();
     assert_eq!(s2.cache_hits, 1);
 }
@@ -95,7 +95,7 @@ fn cache_hit_counted_on_deep_paths() {
 #[test]
 fn remove_dir_then_lookup_fails() {
     let node = node();
-    let mut stats = OpStats::new();
+    let mut stats = RequestCtx::new();
     let ids = build_chain(&node, &mut stats);
     node.remove_dir(ids[2], "d", &p("/a/b/c/d"), &mut stats)
         .unwrap();
@@ -109,7 +109,7 @@ fn remove_dir_then_lookup_fails() {
 #[test]
 fn rename_prepare_commit_moves_subtree() {
     let node = node();
-    let mut stats = OpStats::new();
+    let mut stats = RequestCtx::new();
     build_chain(&node, &mut stats);
     node.insert_dir(
         mantle_types::ROOT_ID,
@@ -141,7 +141,7 @@ fn rename_prepare_commit_moves_subtree() {
 #[test]
 fn rename_loop_detected() {
     let node = node();
-    let mut stats = OpStats::new();
+    let mut stats = RequestCtx::new();
     build_chain(&node, &mut stats);
     let uuid = ClientUuid::generate();
     assert!(matches!(
@@ -160,7 +160,7 @@ fn rename_loop_detected() {
 #[test]
 fn conflicting_rename_sees_lock_and_retry_after_abort() {
     let node = node();
-    let mut stats = OpStats::new();
+    let mut stats = RequestCtx::new();
     build_chain(&node, &mut stats);
 
     let u1 = ClientUuid::generate();
@@ -222,7 +222,7 @@ fn conflicting_rename_sees_lock_and_retry_after_abort() {
 #[test]
 fn rename_to_existing_destination_rejected() {
     let node = node();
-    let mut stats = OpStats::new();
+    let mut stats = RequestCtx::new();
     build_chain(&node, &mut stats);
     node.insert_dir(
         mantle_types::ROOT_ID,
@@ -251,7 +251,7 @@ fn rename_invalidates_follower_caches() {
         ..IndexOptions::default()
     };
     let node = node_with(opts);
-    let mut stats = OpStats::new();
+    let mut stats = RequestCtx::new();
     build_chain(&node, &mut stats);
 
     // Warm every replica's cache via round-robin lookups.
@@ -278,7 +278,7 @@ fn rename_invalidates_follower_caches() {
 #[test]
 fn leader_crash_lookup_fails_over_to_new_leader() {
     let node = node();
-    let mut stats = OpStats::new();
+    let mut stats = RequestCtx::new();
     build_chain(&node, &mut stats);
 
     let leader = node.group().leader().unwrap();
@@ -300,7 +300,7 @@ fn leader_crash_lookup_fails_over_to_new_leader() {
 #[test]
 fn raw_insert_matches_replicated_insert() {
     let node = node();
-    let mut stats = OpStats::new();
+    let mut stats = RequestCtx::new();
     node.raw_insert_dir(mantle_types::ROOT_ID, "bulk", InodeId(5), Permission::ALL);
     assert_eq!(node.lookup(&p("/bulk"), &mut stats).unwrap().id, InodeId(5));
     assert_eq!(node.table_len(), 1);

@@ -180,7 +180,7 @@ impl<SM: StateMachine> Drop for RaftGroup<SM> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use mantle_types::OpStats;
+    use mantle_types::RequestCtx;
     use parking_lot::Mutex as PlMutex;
     use std::sync::atomic::{AtomicU64, Ordering};
 
@@ -315,7 +315,7 @@ mod tests {
         }
         let learner = group.replica(3);
         assert!(learner.is_learner());
-        let mut stats = OpStats::new();
+        let mut stats = RequestCtx::new();
         let ci = learner.read_index(&mut stats).unwrap();
         assert!(ci >= 10);
         assert!(learner.last_applied() >= 10);

@@ -11,7 +11,7 @@ use mantle_rpc::SimNode;
 use mantle_store::GroupCommitWal;
 use mantle_types::clock::{self, TimeCategory};
 use mantle_types::snapshot::{frame, unframe};
-use mantle_types::{OpStats, SimConfig};
+use mantle_types::{RequestCtx, SimConfig};
 
 /// Group-shared role-change signal: bumped whenever any replica's role (or
 /// liveness) changes, so waiters like [`crate::RaftGroup::await_leader`]
@@ -197,6 +197,9 @@ pub enum RaftError {
     Unavailable,
     /// The proposed entry was overwritten by a newer leader before commit.
     Superseded,
+    /// The request's propagated deadline expired before the read path could
+    /// issue its ReadIndex query (§4.14 deadline propagation).
+    DeadlineExceeded,
 }
 
 impl std::fmt::Display for RaftError {
@@ -205,6 +208,7 @@ impl std::fmt::Display for RaftError {
             RaftError::NotLeader(hint) => write!(f, "not leader (hint: {hint:?})"),
             RaftError::Unavailable => write!(f, "replica unavailable"),
             RaftError::Superseded => write!(f, "entry superseded by new leader"),
+            RaftError::DeadlineExceeded => write!(f, "read deadline exceeded"),
         }
     }
 }
@@ -664,9 +668,13 @@ impl<SM: StateMachine> RaftReplica<SM> {
     ///
     /// [`RaftError::Unavailable`] when no leader is reachable or this
     /// replica dies while waiting.
-    pub fn read_index(&self, stats: &mut OpStats) -> Result<u64, RaftError> {
+    pub fn read_index(&self, stats: &mut RequestCtx) -> Result<u64, RaftError> {
         if !self.alive() {
             return Err(RaftError::Unavailable);
+        }
+        if stats.deadline_expired() {
+            self.node.note_deadline_abort("read_index");
+            return Err(RaftError::DeadlineExceeded);
         }
         {
             let g = self.inner.lock();

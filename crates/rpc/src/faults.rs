@@ -361,6 +361,7 @@ impl FaultPlan {
 
     /// Raw deterministic variate in `[0, 1)` for decision `n` of
     /// `(kind, site)`. Pure function of `(seed, kind, site, n)`.
+    /// Finalized with [`splitmix64`].
     fn variate(&self, kind: FaultKind, site: &str, n: u64) -> f64 {
         let mut h = self.seed.wrapping_mul(0x9e37_79b9_7f4a_7c15)
             ^ kind.idx().wrapping_mul(0xbf58_476d_1ce4_e5b9);
@@ -1069,6 +1070,17 @@ impl FaultSlot {
         }
         self.plan.read().clone()
     }
+}
+
+/// splitmix64 finalizer — the same mixer the fault plane's deterministic
+/// rolls use. Exposed so the retry engine's optional backoff jitter draws
+/// from the fault-plane PRNG family: a pure function of its input, so
+/// seeded runs stay byte-identical.
+pub fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
 }
 
 #[cfg(test)]

@@ -2,12 +2,11 @@
 
 use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
 use std::sync::Arc;
-use std::time::Instant;
 
 use mantle_obs::{trace, Counter, Gauge, HistogramMetric};
 use mantle_sync::Semaphore;
 use mantle_types::clock::{self, TimeCategory};
-use mantle_types::{MetaError, OpStats, SimConfig};
+use mantle_types::{MetaError, OpStats, RequestCtx, RetryClass, SimConfig};
 
 use crate::faults::{self, FaultPlan, FaultSlot, RpcFault};
 
@@ -24,6 +23,12 @@ struct NodeMetrics {
     queue_depth: Gauge,
     /// `simnode_queue_depth_hwm{node=...}` — queue-depth high-water mark.
     queue_hwm: Gauge,
+    /// `simnode_shed_total{node=...}` — requests rejected by the bounded
+    /// admission queue (`MetaError::Overloaded`).
+    shed: Counter,
+    /// `simnode_deadline_aborts_total{node=...}` — requests aborted
+    /// server-side because their propagated deadline had expired.
+    deadline_aborts: Counter,
 }
 
 impl NodeMetrics {
@@ -35,6 +40,8 @@ impl NodeMetrics {
             permit_wait: mantle_obs::histogram("simnode_permit_wait_nanos", &labels),
             queue_depth: mantle_obs::gauge("simnode_queue_depth", &labels),
             queue_hwm: mantle_obs::gauge("simnode_queue_depth_hwm", &labels),
+            shed: mantle_obs::counter("simnode_shed_total", &labels),
+            deadline_aborts: mantle_obs::counter("simnode_deadline_aborts_total", &labels),
         }
     }
 }
@@ -52,6 +59,13 @@ pub struct SimNode {
     served: AtomicU64,
     busy_nanos: AtomicU64,
     in_queue: AtomicI64,
+    /// Modeled single-server busy-until time (nanos on the simulation
+    /// clock) used by bounded admission: each admitted request ratchets it
+    /// forward by one service time, so the backlog ahead of an arrival is
+    /// `(next_free - arrival) / service`. Untouched when `queue_cap == 0`.
+    vq_next_free: AtomicU64,
+    shed: AtomicU64,
+    deadline_aborts: AtomicU64,
     metrics: NodeMetrics,
     faults: FaultSlot,
 }
@@ -68,6 +82,9 @@ impl SimNode {
             served: AtomicU64::new(0),
             busy_nanos: AtomicU64::new(0),
             in_queue: AtomicI64::new(0),
+            vq_next_free: AtomicU64::new(0),
+            shed: AtomicU64::new(0),
+            deadline_aborts: AtomicU64::new(0),
             metrics,
             faults: FaultSlot::new(),
         }
@@ -97,8 +114,8 @@ impl SimNode {
     /// Executes `f` as a *remote* request against this node: injects one
     /// network round trip, waits for an execution permit, charges the
     /// service time, and records the RPC in `stats`.
-    pub fn rpc<R>(&self, stats: &mut OpStats, f: impl FnOnce() -> R) -> R {
-        self.rpc_named(stats, "rpc", f)
+    pub fn rpc<R>(&self, ctx: &mut RequestCtx, f: impl FnOnce() -> R) -> R {
+        self.rpc_named(ctx, "rpc", f)
     }
 
     /// [`SimNode::rpc`] with an operation name recorded on the trace span.
@@ -109,12 +126,13 @@ impl SimNode {
     /// RPC, and bumps `stats.transient_retries`. Topology faults
     /// (partitions, crashed nodes) are only enforced on the fallible
     /// [`SimNode::try_rpc_named`] path, which services with an error
-    /// channel use.
-    pub fn rpc_named<R>(&self, stats: &mut OpStats, op: &str, f: impl FnOnce() -> R) -> R {
-        stats.rpc();
+    /// channel use — as are admission sheds and deadline aborts, which
+    /// need an error channel too.
+    pub fn rpc_named<R>(&self, ctx: &mut RequestCtx, op: &str, f: impl FnOnce() -> R) -> R {
+        ctx.rpc();
         self.metrics.rpcs.inc();
         let _span = trace::rpc_span(op, &self.name);
-        self.absorb_transport_faults(stats, op);
+        self.absorb_transport_faults(ctx, op);
         trace::note_injected_on_current(self.config.rtt().as_nanos() as u64);
         crate::net_round_trip(&self.config);
         self.execute(f)
@@ -126,11 +144,11 @@ impl SimNode {
     /// so a caller retry never duplicates work (request-loss semantics).
     pub fn try_rpc_named<R>(
         &self,
-        stats: &mut OpStats,
+        ctx: &mut RequestCtx,
         op: &str,
         f: impl FnOnce() -> R,
     ) -> Result<R, MetaError> {
-        stats.rpc();
+        ctx.rpc();
         self.metrics.rpcs.inc();
         let _span = trace::rpc_span(op, &self.name);
         if let Some(fault) = self.decide_fault(op) {
@@ -160,6 +178,7 @@ impl SimNode {
         }
         trace::note_injected_on_current(self.config.rtt().as_nanos() as u64);
         crate::net_round_trip(&self.config);
+        self.admit(ctx, op)?;
         Ok(self.execute(f))
     }
 
@@ -168,11 +187,11 @@ impl SimNode {
     /// once): records the RPC in `stats` and on the trace, but injects no
     /// network delay of its own. Absorbs probabilistic faults like
     /// [`SimNode::rpc_named`].
-    pub fn rpc_batched<R>(&self, stats: &mut OpStats, op: &str, f: impl FnOnce() -> R) -> R {
-        stats.rpc();
+    pub fn rpc_batched<R>(&self, ctx: &mut RequestCtx, op: &str, f: impl FnOnce() -> R) -> R {
+        ctx.rpc();
         self.metrics.rpcs.inc();
         let _span = trace::rpc_span(op, &self.name);
-        self.absorb_transport_faults(stats, op);
+        self.absorb_transport_faults(ctx, op);
         self.execute(f)
     }
 
@@ -180,11 +199,11 @@ impl SimNode {
     /// see [`SimNode::try_rpc_named`].
     pub fn try_rpc_batched<R>(
         &self,
-        stats: &mut OpStats,
+        ctx: &mut RequestCtx,
         op: &str,
         f: impl FnOnce() -> R,
     ) -> Result<R, MetaError> {
-        stats.rpc();
+        ctx.rpc();
         self.metrics.rpcs.inc();
         let _span = trace::rpc_span(op, &self.name);
         if let Some(fault) = self.decide_fault(op) {
@@ -212,6 +231,7 @@ impl SimNode {
                 }
             }
         }
+        self.admit(ctx, op)?;
         Ok(self.execute(f))
     }
 
@@ -244,13 +264,103 @@ impl SimNode {
                     mantle_obs::flight::annotate_with(|| {
                         format!("fault:resend node={} op={op}", self.name)
                     });
-                    stats.transient_retries += 1;
+                    stats.note_retry(RetryClass::Transient);
                     stats.rpc();
                     self.metrics.rpcs.inc();
                     crate::inject_delay_as(TimeCategory::Fault, wait);
                 }
             }
         }
+    }
+
+    /// Admission control for the fallible RPC paths, in DESIGN.md §4.14
+    /// order: bounded-queue shed check, then deadline check, both *before*
+    /// any service time is charged.
+    ///
+    /// With `queue_cap == 0` (the default) and no deadline on the request
+    /// this is a branch and nothing else — no clock reads, no atomics — so
+    /// the legacy configuration stays byte-identical.
+    ///
+    /// The queue bound uses a modeled single-server backlog: every
+    /// admitted request ratchets `vq_next_free` forward by one service
+    /// time, and a new arrival is shed when the work already admitted
+    /// ahead of it exceeds `queue_cap` service times. The arrival instant
+    /// is the open-loop driver's offered stamp when present
+    /// ([`RequestCtx::arrival_nanos`]), else the calling thread's current
+    /// sim time; the model therefore sees *offered* load even though the
+    /// simulation is driven by closed-loop threads. The live `in_queue`
+    /// depth is checked as well so real (wall-clock) contention sheds too.
+    fn admit(&self, ctx: &RequestCtx, op: &str) -> Result<(), MetaError> {
+        let cap = self.config.queue_cap;
+        if cap == 0 && ctx.deadline.is_none() {
+            return Ok(());
+        }
+        if cap != 0 {
+            let service = self.config.service().as_nanos() as u64;
+            let arrival = ctx.arrival_nanos.unwrap_or_else(|| clock::now().as_nanos());
+            let backlog = self
+                .vq_next_free
+                .load(Ordering::Relaxed)
+                .saturating_sub(arrival)
+                .checked_div(service)
+                .unwrap_or(0);
+            let live = self.in_queue.load(Ordering::Relaxed).max(0) as u64;
+            if backlog >= cap as u64 || live >= cap as u64 {
+                self.shed.fetch_add(1, Ordering::Relaxed);
+                self.metrics.shed.inc();
+                mantle_obs::flight::annotate_with(|| {
+                    format!("admission:shed node={} op={op}", self.name)
+                });
+                return Err(MetaError::Overloaded(self.name.clone()));
+            }
+            self.check_deadline(ctx, op)?;
+            if service > 0 {
+                // Admitted: ratchet the modeled server forward and charge
+                // this request its modeled queue wait (virtual clock only;
+                // under the wall clock the permit semaphore produces the
+                // real wait).
+                let mut wait = 0u64;
+                let _ =
+                    self.vq_next_free
+                        .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |nf| {
+                            let start = nf.max(arrival);
+                            wait = start - arrival;
+                            Some(start + service)
+                        });
+                if wait > 0 {
+                    let waited = std::time::Duration::from_nanos(wait);
+                    clock::fold_model(TimeCategory::Queue, waited);
+                    self.metrics.permit_wait.record(wait);
+                    trace::note_queue_on_current(wait);
+                }
+            }
+            return Ok(());
+        }
+        self.check_deadline(ctx, op)
+    }
+
+    /// The deadline half of [`SimNode::admit`]: aborts server-side (and
+    /// accounts the abort) when the request's propagated deadline has
+    /// already passed on the simulation clock.
+    fn check_deadline(&self, ctx: &RequestCtx, op: &str) -> Result<(), MetaError> {
+        if ctx.deadline_expired() {
+            return Err(self.note_deadline_abort(op));
+        }
+        Ok(())
+    }
+
+    /// Records a server-side deadline abort decided by this node and returns
+    /// the error to propagate. Exposed so layers that abort outside
+    /// [`SimNode::admit`] (e.g. the Raft read path refusing to issue a
+    /// ReadIndex query for an already-expired request) keep
+    /// `simnode_deadline_aborts_total` authoritative for every abort.
+    pub fn note_deadline_abort(&self, op: &str) -> MetaError {
+        self.deadline_aborts.fetch_add(1, Ordering::Relaxed);
+        self.metrics.deadline_aborts.inc();
+        mantle_obs::flight::annotate_with(|| {
+            format!("admission:deadline_abort node={} op={op}", self.name)
+        });
+        MetaError::DeadlineExceeded(self.name.clone())
     }
 
     /// Executes `f` as *node-local* work: admission + service time, no
@@ -269,10 +379,9 @@ impl SimNode {
         let (_permit, waited) = match self.capacity.try_acquire() {
             Some(permit) => (permit, 0u64),
             None => {
-                let wait_start = Instant::now();
+                let wait = clock::real_stopwatch();
                 let permit = self.capacity.acquire();
-                let waited = wait_start.elapsed();
-                clock::fold_real(TimeCategory::Queue, waited);
+                let waited = wait.fold(TimeCategory::Queue);
                 (permit, waited.as_nanos() as u64)
             }
         };
@@ -297,6 +406,9 @@ impl SimNode {
             served: self.served.load(Ordering::Relaxed),
             busy_nanos: self.busy_nanos.load(Ordering::Relaxed),
             permits: self.capacity.capacity(),
+            queue_cap: self.config.queue_cap,
+            shed: self.shed.load(Ordering::Relaxed),
+            deadline_aborts: self.deadline_aborts.load(Ordering::Relaxed),
         }
     }
 }
@@ -324,18 +436,24 @@ pub struct NodeSnapshot {
     pub busy_nanos: u64,
     /// Configured permit count.
     pub permits: usize,
+    /// Configured admission-queue depth cap (0 = unbounded).
+    pub queue_cap: usize,
+    /// Requests shed by the bounded admission queue.
+    pub shed: u64,
+    /// Requests aborted server-side on an expired deadline.
+    pub deadline_aborts: u64,
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use std::sync::Arc;
-    use std::time::Duration;
+    use std::time::{Duration, Instant};
 
     #[test]
     fn rpc_counts_and_serves() {
         let node = SimNode::new("db0", usize::MAX, SimConfig::instant());
-        let mut stats = OpStats::new();
+        let mut stats = RequestCtx::new();
         let out = node.rpc(&mut stats, || 7);
         assert_eq!(out, 7);
         assert_eq!(stats.rpcs, 1);
@@ -357,7 +475,7 @@ mod tests {
         let mut config = SimConfig::instant();
         config.rtt_micros = 2_000;
         let node = SimNode::new("db0", usize::MAX, config);
-        let mut stats = OpStats::new();
+        let mut stats = RequestCtx::new();
         let t0 = clock::now();
         node.rpc(&mut stats, || ());
         assert!(t0.elapsed() >= Duration::from_micros(2_000));
@@ -372,7 +490,7 @@ mod tests {
         let mut config = SimConfig::instant();
         config.rtt_micros = 50_000;
         let node = SimNode::new("db0", usize::MAX, config);
-        let mut stats = OpStats::new();
+        let mut stats = RequestCtx::new();
         let t0 = clock::now();
         let out = node.rpc_batched(&mut stats, "get_entry", || 3);
         assert_eq!(out, 3);
@@ -386,7 +504,7 @@ mod tests {
     #[test]
     fn rpc_records_trace_span() {
         let node = SimNode::new("db7", usize::MAX, SimConfig::instant());
-        let mut stats = OpStats::new();
+        let mut stats = RequestCtx::new();
         let guard = mantle_obs::trace::start_forced("test_op").expect("trace starts");
         node.rpc_named(&mut stats, "ping", || ());
         node.rpc_batched(&mut stats, "ping_batched", || ());

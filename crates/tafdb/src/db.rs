@@ -23,7 +23,6 @@ use mantle_rpc::faults::{FaultPlan, FaultSlot};
 use mantle_rpc::SimNode;
 use mantle_store::{GroupCommitWal, LockManager, RowKey};
 use mantle_sync::LatchTable;
-use mantle_types::clock::{self, TimeCategory};
 use mantle_types::record::ATTR_ROW_NAME;
 use mantle_types::{
     DirAttrMeta,
@@ -403,15 +402,6 @@ impl TafDb {
                 start <= p && p <= end
             })
             .count()
-    }
-
-    pub(crate) fn backoff(&self, attempt: u32) {
-        if self.config.rtt_micros == 0 {
-            std::thread::yield_now();
-            return;
-        }
-        let micros = (50u64 << attempt.min(6)).min(3_000);
-        clock::sleep_as(TimeCategory::Backoff, Duration::from_micros(micros));
     }
 }
 

@@ -9,9 +9,10 @@
 
 use std::sync::atomic::Ordering;
 
+use mantle_rpc::{classify_txn, RetryPolicy};
 use mantle_store::{LockMode, RowKey};
 use mantle_types::record::ATTR_ROW_NAME;
-use mantle_types::{AttrDelta, InodeId, MetaError, OpStats, Result, TxnId};
+use mantle_types::{AttrDelta, InodeId, MetaError, RequestCtx, Result, RetryClass, TxnId};
 
 use crate::db::TafDb;
 use crate::schema::{attr_key, delta_key};
@@ -44,39 +45,34 @@ impl TafDb {
     ///
     /// Validation errors pass through; [`MetaError::TxnConflict`] is
     /// returned once retries are exhausted.
-    pub fn execute(&self, ops: &[TxnOp], stats: &mut OpStats) -> Result<TxnId> {
-        let mut attempt: u32 = 0;
-        loop {
-            let txn = self.begin();
-            let m = self.shard_map();
-            let groups = self.group_ops(&m, txn, ops);
-            let outcome = if groups.len() == 1 {
-                self.execute_single_shard(txn, m.epoch(), &groups[0], stats)
-            } else {
-                match self.prepare_groups(txn, m.epoch(), &groups, stats) {
-                    Ok(p) => {
-                        self.commit(p, stats);
-                        Ok(txn)
-                    }
-                    Err(e) => Err(e),
+    pub fn execute(&self, ops: &[TxnOp], stats: &mut RequestCtx) -> Result<TxnId> {
+        let policy = RetryPolicy::txn(self.opts.max_txn_retries, self.config.rtt_micros == 0);
+        let (outcome, attempts) = policy.run_counted(
+            stats,
+            classify_txn,
+            |_, e| {
+                // The engine books the per-op retry stat; stale routes also
+                // bump the db-wide counters and yield to the migrator.
+                if matches!(e, MetaError::StaleRoute { .. }) {
+                    self.note_stale_effects();
                 }
-            };
-            match outcome {
-                Ok(txn) => return Ok(txn),
-                Err(e) if e.is_retryable() && attempt < self.opts.max_txn_retries => {
-                    if matches!(e, MetaError::StaleRoute { .. }) {
-                        self.note_stale(stats);
-                    } else {
-                        stats.txn_retries += 1;
-                    }
-                    attempt += 1;
-                    self.backoff(attempt);
+            },
+            |stats| {
+                let txn = self.begin();
+                let m = self.shard_map();
+                let groups = self.group_ops(&m, txn, ops);
+                if groups.len() == 1 {
+                    self.execute_single_shard(txn, m.epoch(), &groups[0], stats)
+                } else {
+                    let p = self.prepare_groups(txn, m.epoch(), &groups, stats)?;
+                    self.commit(p, stats);
+                    Ok(txn)
                 }
-                Err(MetaError::TxnConflict { .. }) => {
-                    return Err(MetaError::TxnConflict { retries: attempt })
-                }
-                Err(e) => return Err(e),
-            }
+            },
+        );
+        match outcome {
+            Err(MetaError::TxnConflict { .. }) => Err(MetaError::TxnConflict { retries: attempts }),
+            other => other,
         }
     }
 
@@ -163,7 +159,7 @@ impl TafDb {
     /// On any failure all acquired locks are released and the error is
     /// returned; [`MetaError::TxnConflict`] signals a retryable conflict,
     /// [`MetaError::StaleRoute`] a shard-map change since `txn` routed.
-    pub fn prepare(&self, txn: TxnId, ops: &[TxnOp], stats: &mut OpStats) -> Result<Prepared> {
+    pub fn prepare(&self, txn: TxnId, ops: &[TxnOp], stats: &mut RequestCtx) -> Result<Prepared> {
         let m = self.shard_map();
         let groups = self.group_ops(&m, txn, ops);
         self.prepare_groups(txn, m.epoch(), &groups, stats)
@@ -174,7 +170,7 @@ impl TafDb {
         txn: TxnId,
         epoch: u64,
         groups: &[(usize, Vec<ShardOp<'_>>)],
-        stats: &mut OpStats,
+        stats: &mut RequestCtx,
     ) -> Result<Prepared> {
         // One fan-out round trip covers the parallel per-shard prepares.
         mantle_rpc::net_round_trip(&self.config);
@@ -445,7 +441,7 @@ impl TafDb {
 
     /// Commit phase of 2PC: applies planned writes, makes them durable, and
     /// releases locks (one parallel RPC fan-out).
-    pub fn commit(&self, prepared: Prepared, stats: &mut OpStats) {
+    pub fn commit(&self, prepared: Prepared, stats: &mut RequestCtx) {
         mantle_rpc::net_round_trip(&self.config);
         let plan = self.faults.get();
         for sp in &prepared.shards {
@@ -458,7 +454,7 @@ impl TafDb {
                 // missed the first delivery and the coordinator re-sends —
                 // one extra round trip, the transaction still commits
                 // exactly once (2PC commit-phase retry semantics).
-                stats.transient_retries += 1;
+                stats.note_retry(RetryClass::Transient);
                 stats.rpc();
                 mantle_rpc::net_round_trip(&self.config);
             }
@@ -480,13 +476,13 @@ impl TafDb {
     }
 
     /// Aborts a prepared transaction, releasing every acquired lock.
-    pub fn abort(&self, prepared: Prepared, stats: &mut OpStats) {
+    pub fn abort(&self, prepared: Prepared, stats: &mut RequestCtx) {
         self.release_prepared(&prepared.shards, prepared.txn, stats);
         self.txns_aborted.fetch_add(1, Ordering::Relaxed);
         self.metrics.txns_aborted.inc();
     }
 
-    fn release_prepared(&self, shards: &[ShardPrepared], txn: TxnId, stats: &mut OpStats) {
+    fn release_prepared(&self, shards: &[ShardPrepared], txn: TxnId, stats: &mut RequestCtx) {
         if shards.is_empty() {
             return;
         }
@@ -507,7 +503,7 @@ impl TafDb {
         txn: TxnId,
         epoch: u64,
         group: &(usize, Vec<ShardOp<'_>>),
-        stats: &mut OpStats,
+        stats: &mut RequestCtx,
     ) -> Result<TxnId> {
         let (shard_idx, ops) = group;
         let shard = &self.shards[*shard_idx];

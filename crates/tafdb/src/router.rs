@@ -9,8 +9,8 @@ use std::sync::Arc;
 use mantle_store::RowKey;
 use mantle_types::record::ATTR_ROW_NAME;
 use mantle_types::{
-    AttrDelta, DirAttrMeta, DirEntry, EntryKind, InodeId, MetaError, ObjectMeta, OpStats,
-    Permission, Result, TxnId,
+    AttrDelta, DirAttrMeta, DirEntry, EntryKind, InodeId, MetaError, ObjectMeta, Permission,
+    RequestCtx, Result, RetryClass, TxnId,
 };
 
 use crate::db::TafDb;
@@ -70,8 +70,16 @@ impl TafDb {
     }
 
     /// Books a stale-route retry (per-op stats + global counters).
-    pub(crate) fn note_stale(&self, stats: &mut OpStats) {
-        stats.stale_route_retries += 1;
+    pub(crate) fn note_stale(&self, stats: &mut RequestCtx) {
+        stats.note_retry(RetryClass::StaleRoute);
+        self.note_stale_effects();
+    }
+
+    /// The stats-free half of [`TafDb::note_stale`]: global counters,
+    /// flight-recorder annotation, and a scheduler yield. The retry engine's
+    /// `on_retry` hook uses this because the engine books the per-op stat
+    /// itself.
+    pub(crate) fn note_stale_effects(&self) {
         self.stale_routes
             .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
         self.metrics.stale_routes.inc();
@@ -82,7 +90,7 @@ impl TafDb {
     // --- reads (one RPC to the owning shard) -------------------------------
 
     /// Reads the entry row of `name` under `pid`.
-    pub fn get_entry(&self, pid: InodeId, name: &str, stats: &mut OpStats) -> Option<Row> {
+    pub fn get_entry(&self, pid: InodeId, name: &str, stats: &mut RequestCtx) -> Option<Row> {
         let key = entry_key(pid, name);
         let place = place_of(&key);
         loop {
@@ -105,7 +113,12 @@ impl TafDb {
     /// whole batch of concurrently issued queries (InfiniFS's speculative
     /// resolution). The RPC is still counted and still consumes shard-node
     /// capacity.
-    pub fn get_entry_batched(&self, pid: InodeId, name: &str, stats: &mut OpStats) -> Option<Row> {
+    pub fn get_entry_batched(
+        &self,
+        pid: InodeId,
+        name: &str,
+        stats: &mut RequestCtx,
+    ) -> Option<Row> {
         let key = entry_key(pid, name);
         let place = place_of(&key);
         loop {
@@ -125,7 +138,12 @@ impl TafDb {
     /// drops, timeouts) as [`MetaError::Transient`] instead of absorbing
     /// them. The error-returning read paths build on this so chaos tests
     /// can observe a partitioned shard.
-    fn try_get_entry(&self, pid: InodeId, name: &str, stats: &mut OpStats) -> Result<Option<Row>> {
+    fn try_get_entry(
+        &self,
+        pid: InodeId,
+        name: &str,
+        stats: &mut RequestCtx,
+    ) -> Result<Option<Row>> {
         let key = entry_key(pid, name);
         let place = place_of(&key);
         loop {
@@ -153,7 +171,7 @@ impl TafDb {
         &self,
         pid: InodeId,
         name: &str,
-        stats: &mut OpStats,
+        stats: &mut RequestCtx,
     ) -> Result<(InodeId, Permission)> {
         match self.try_get_entry(pid, name, stats)? {
             Some(Row::DirAccess { id, permission }) => Ok((id, permission)),
@@ -168,7 +186,12 @@ impl TafDb {
     ///
     /// [`MetaError::NotFound`] / [`MetaError::IsADirectory`] /
     /// [`MetaError::Transient`].
-    pub fn get_object(&self, pid: InodeId, name: &str, stats: &mut OpStats) -> Result<ObjectMeta> {
+    pub fn get_object(
+        &self,
+        pid: InodeId,
+        name: &str,
+        stats: &mut RequestCtx,
+    ) -> Result<ObjectMeta> {
         match self.try_get_entry(pid, name, stats)? {
             Some(Row::Object(o)) => Ok(o),
             Some(_) => Err(MetaError::IsADirectory(name.to_string())),
@@ -215,7 +238,7 @@ impl TafDb {
     /// # Errors
     ///
     /// [`MetaError::NotFound`] when the directory has no attribute row.
-    pub fn dir_stat(&self, dir: InodeId, stats: &mut OpStats) -> Result<DirAttrMeta> {
+    pub fn dir_stat(&self, dir: InodeId, stats: &mut RequestCtx) -> Result<DirAttrMeta> {
         let aplace = place_of(&attr_key(dir));
         let (rs, re) = dir_region(dir);
         let mut attempt = 0;
@@ -292,7 +315,7 @@ impl TafDb {
         pid: InodeId,
         start_after: Option<&str>,
         limit: usize,
-        stats: &mut OpStats,
+        stats: &mut RequestCtx,
     ) -> (Vec<DirEntry>, bool) {
         let (rs, re) = dir_region(pid);
         let mut attempt = 0;
@@ -334,7 +357,7 @@ impl TafDb {
     /// scans; entries stay in name order). On the MVCC engine the unbounded
     /// scan walks a pinned snapshot without holding the shard's write path
     /// back (DESIGN.md §4.12).
-    pub fn readdir(&self, pid: InodeId, stats: &mut OpStats) -> Vec<DirEntry> {
+    pub fn readdir(&self, pid: InodeId, stats: &mut RequestCtx) -> Vec<DirEntry> {
         let (rs, re) = dir_region(pid);
         let mut attempt = 0;
         loop {

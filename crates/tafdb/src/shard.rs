@@ -21,7 +21,7 @@ use mantle_rpc::SimNode;
 use mantle_store::{GroupCommitWal, LockManager, RowKey};
 use mantle_sync::LatchTable;
 use mantle_types::record::ATTR_ROW_NAME;
-use mantle_types::{AttrDelta, InodeId, MetaError, OpStats, Result, TxnId};
+use mantle_types::{AttrDelta, InodeId, MetaError, RequestCtx, Result, TxnId};
 
 use crate::db::{TafDb, TafDbOptions};
 use crate::schema::{attr_key, delta_key, Row};
@@ -127,7 +127,7 @@ impl TafDb {
     /// # Errors
     ///
     /// [`MetaError::AlreadyExists`] when the key is taken.
-    pub fn insert_row(&self, key: RowKey, row: Row, stats: &mut OpStats) -> Result<()> {
+    pub fn insert_row(&self, key: RowKey, row: Row, stats: &mut RequestCtx) -> Result<()> {
         let place = place_of(&key);
         loop {
             let (owner, epoch) = self.route(place);
@@ -157,7 +157,7 @@ impl TafDb {
     /// # Errors
     ///
     /// [`MetaError::NotFound`] when the key is absent.
-    pub fn delete_row(&self, key: RowKey, stats: &mut OpStats) -> Result<()> {
+    pub fn delete_row(&self, key: RowKey, stats: &mut RequestCtx) -> Result<()> {
         let place = place_of(&key);
         loop {
             let (owner, epoch) = self.route(place);
@@ -193,7 +193,7 @@ impl TafDb {
         &self,
         dir: InodeId,
         delta: AttrDelta,
-        stats: &mut OpStats,
+        stats: &mut RequestCtx,
     ) -> Result<()> {
         let place = place_of(&attr_key(dir));
         loop {

@@ -6,7 +6,7 @@ use std::sync::Arc;
 
 use mantle_tafdb::{attr_key, entry_key, Row, TafDb, TafDbOptions, TxnOp};
 use mantle_types::{
-    AttrDelta, DirAttrMeta, InodeId, MetaError, OpStats, Permission, SimConfig, ROOT_ID,
+    AttrDelta, DirAttrMeta, InodeId, MetaError, Permission, RequestCtx, SimConfig, ROOT_ID,
 };
 
 fn db_with(opts: TafDbOptions) -> Arc<TafDb> {
@@ -20,7 +20,7 @@ fn db() -> Arc<TafDb> {
 #[test]
 fn mkdir_txn_commits_all_rows() {
     let db = db();
-    let mut stats = OpStats::new();
+    let mut stats = RequestCtx::new();
     let ops = vec![
         TxnOp::InsertUnique {
             key: entry_key(ROOT_ID, "a"),
@@ -54,7 +54,7 @@ fn mkdir_txn_commits_all_rows() {
 #[test]
 fn duplicate_insert_fails_with_already_exists() {
     let db = db();
-    let mut stats = OpStats::new();
+    let mut stats = RequestCtx::new();
     let op = |id: u64| {
         vec![TxnOp::InsertUnique {
             key: entry_key(ROOT_ID, "dup"),
@@ -74,7 +74,7 @@ fn duplicate_insert_fails_with_already_exists() {
 #[test]
 fn attr_update_on_missing_dir_is_not_found() {
     let db = db();
-    let mut stats = OpStats::new();
+    let mut stats = RequestCtx::new();
     let ops = vec![TxnOp::AttrUpdate {
         dir: InodeId(999),
         delta: AttrDelta {
@@ -92,7 +92,7 @@ fn attr_update_on_missing_dir_is_not_found() {
 #[test]
 fn cross_shard_txn_uses_two_phase_commit() {
     let db = db();
-    let mut stats = OpStats::new();
+    let mut stats = RequestCtx::new();
     // Find two directories living on different shards.
     let a = InodeId(2);
     let b = (3..100)
@@ -131,7 +131,7 @@ fn cross_shard_txn_uses_two_phase_commit() {
 #[test]
 fn single_shard_txn_is_one_rpc() {
     let db = db();
-    let mut stats = OpStats::new();
+    let mut stats = RequestCtx::new();
     let ops = vec![TxnOp::AttrUpdate {
         dir: ROOT_ID,
         delta: AttrDelta {
@@ -171,7 +171,7 @@ fn contention_activates_delta_records_and_compaction_folds() {
         for _ in 0..threads {
             let db = &db;
             s.spawn(move || {
-                let mut stats = OpStats::new();
+                let mut stats = RequestCtx::new();
                 for _ in 0..per_thread {
                     let ops = vec![TxnOp::AttrUpdate {
                         dir: ROOT_ID,
@@ -194,7 +194,7 @@ fn contention_activates_delta_records_and_compaction_folds() {
 
     // dirstat merges base + outstanding deltas: the count must be exact
     // regardless of compaction progress.
-    let mut stats = OpStats::new();
+    let mut stats = RequestCtx::new();
     let attrs = db.dir_stat(ROOT_ID, &mut stats).unwrap();
     assert_eq!(attrs.entries, (threads * per_thread) as i64);
 
@@ -221,7 +221,7 @@ fn delta_disabled_still_correct_but_aborts_more() {
             for _ in 0..8 {
                 let db = &db;
                 s.spawn(move || {
-                    let mut stats = OpStats::new();
+                    let mut stats = RequestCtx::new();
                     for _ in 0..30 {
                         let ops = vec![TxnOp::AttrUpdate {
                             dir: ROOT_ID,
@@ -236,7 +236,7 @@ fn delta_disabled_still_correct_but_aborts_more() {
                 });
             }
         });
-        let mut stats = OpStats::new();
+        let mut stats = RequestCtx::new();
         let entries = db.dir_stat(ROOT_ID, &mut stats).unwrap().entries;
         (db.counters().txns_aborted, entries)
     };
@@ -260,7 +260,7 @@ fn delta_disabled_still_correct_but_aborts_more() {
 #[test]
 fn rmdir_deletes_attr_row_and_lingering_deltas() {
     let db = db();
-    let mut stats = OpStats::new();
+    let mut stats = RequestCtx::new();
     let dir = InodeId(50);
     db.raw_put(
         entry_key(ROOT_ID, "d"),
@@ -297,7 +297,7 @@ fn rmdir_deletes_attr_row_and_lingering_deltas() {
 #[test]
 fn expect_empty_dir_blocks_rmdir_of_populated_dir() {
     let db = db();
-    let mut stats = OpStats::new();
+    let mut stats = RequestCtx::new();
     let dir = InodeId(60);
     db.raw_put(attr_key(dir), Row::DirAttr(DirAttrMeta::new(0, 0)));
     db.raw_put(
@@ -322,7 +322,7 @@ fn expect_empty_dir_blocks_rmdir_of_populated_dir() {
 #[test]
 fn readdir_lists_children_and_skips_attr_rows() {
     let db = db();
-    let mut stats = OpStats::new();
+    let mut stats = RequestCtx::new();
     db.raw_put(
         entry_key(ROOT_ID, "dir1"),
         Row::DirAccess {
@@ -359,7 +359,7 @@ fn latched_update_serializes_without_aborts() {
         for _ in 0..8 {
             let (db, done) = (&db, done.clone());
             s.spawn(move || {
-                let mut stats = OpStats::new();
+                let mut stats = RequestCtx::new();
                 for _ in 0..50 {
                     db.update_attr_latched(
                         ROOT_ID,
@@ -377,7 +377,7 @@ fn latched_update_serializes_without_aborts() {
         }
     });
     assert_eq!(done.load(Ordering::SeqCst), 400);
-    let mut stats = OpStats::new();
+    let mut stats = RequestCtx::new();
     assert_eq!(db.dir_stat(ROOT_ID, &mut stats).unwrap().entries, 400);
     assert_eq!(db.counters().txns_aborted, 0);
     assert_eq!(db.counters().latched_updates, 400);
@@ -386,7 +386,7 @@ fn latched_update_serializes_without_aborts() {
 #[test]
 fn insert_and_delete_row_roundtrip() {
     let db = db();
-    let mut stats = OpStats::new();
+    let mut stats = RequestCtx::new();
     let key = entry_key(ROOT_ID, "x");
     db.insert_row(
         key.clone(),
@@ -418,7 +418,7 @@ fn insert_and_delete_row_roundtrip() {
 #[test]
 fn resolve_step_distinguishes_kinds() {
     let db = db();
-    let mut stats = OpStats::new();
+    let mut stats = RequestCtx::new();
     db.raw_put(
         entry_key(ROOT_ID, "d"),
         Row::DirAccess {
@@ -463,7 +463,7 @@ fn checkpoint_restore_round_trips_shard_state() {
         n_shards: 1,
         ..TafDbOptions::default()
     });
-    let mut stats = OpStats::new();
+    let mut stats = RequestCtx::new();
     let ops = vec![
         TxnOp::InsertUnique {
             key: entry_key(ROOT_ID, "kept"),
@@ -523,7 +523,7 @@ fn aborted_checkpoint_leaves_previous_one_authoritative() {
         n_shards: 1,
         ..TafDbOptions::default()
     });
-    let mut stats = OpStats::new();
+    let mut stats = RequestCtx::new();
     db.execute(
         &[TxnOp::InsertUnique {
             key: entry_key(ROOT_ID, "v1"),

@@ -13,7 +13,7 @@ use mantle_tafdb::{
     attr_key, dir_region, entry_key, place_of, EngineKind, Row, ShardMap, TafDb, TafDbOptions,
     TxnOp,
 };
-use mantle_types::{AttrDelta, DirAttrMeta, InodeId, MetaError, OpStats, Permission, SimConfig};
+use mantle_types::{AttrDelta, DirAttrMeta, InodeId, MetaError, Permission, RequestCtx, SimConfig};
 
 // --- property: routing is total and non-overlapping at every epoch ---------
 
@@ -68,7 +68,7 @@ proptest! {
 // --- helpers ----------------------------------------------------------------
 
 fn mkdir(db: &TafDb, dir: InodeId) {
-    let mut stats = OpStats::new();
+    let mut stats = RequestCtx::new();
     db.execute(
         &[TxnOp::Put {
             key: attr_key(dir),
@@ -80,7 +80,7 @@ fn mkdir(db: &TafDb, dir: InodeId) {
 }
 
 fn create(db: &TafDb, dir: InodeId, name: &str) -> Result<(), MetaError> {
-    let mut stats = OpStats::new();
+    let mut stats = RequestCtx::new();
     db.execute(
         &[
             TxnOp::InsertUnique {
@@ -108,7 +108,7 @@ fn create(db: &TafDb, dir: InodeId, name: &str) -> Result<(), MetaError> {
 /// exactly the acked creates, and no shard may hold a row the map does not
 /// route to it (no stragglers from an aborted or completed migration).
 fn verify_exactly_once(db: &TafDb, dir: InodeId, acked: &HashSet<String>) {
-    let mut stats = OpStats::new();
+    let mut stats = RequestCtx::new();
     for name in acked {
         assert!(
             db.get_entry(dir, name, &mut stats).is_some(),
@@ -324,7 +324,7 @@ fn migration_abort_drops_staged_engine_state_on_both_engines() {
         for i in 0..40 {
             create(&db, dir, &format!("e{i}")).unwrap();
         }
-        let mut stats = OpStats::new();
+        let mut stats = RequestCtx::new();
         let listing_before = db.readdir(dir, &mut stats);
         assert_eq!(listing_before.len(), 40);
 

@@ -268,6 +268,35 @@ pub fn sleep(d: Duration) {
     sleep_as(TimeCategory::Other, d);
 }
 
+/// Stopwatch over the *real* monotonic clock, for the few sites that
+/// measure an actual cross-thread wait (e.g. `SimNode` permit acquisition)
+/// and then fold it into the simulated timeline. Keeping the measurement
+/// inside this module means no data-path crate touches
+/// `std::time::Instant` directly, so wall and virtual mode cannot diverge
+/// on how real waits are captured.
+#[derive(Clone, Copy, Debug)]
+pub struct RealStopwatch(Instant);
+
+impl RealStopwatch {
+    /// Real time elapsed since [`real_stopwatch`] was called.
+    pub fn elapsed(&self) -> Duration {
+        self.0.elapsed()
+    }
+
+    /// Folds the elapsed real time into the simulated timeline under
+    /// `cat` (see [`fold_real`]) and returns the measured duration.
+    pub fn fold(self, cat: TimeCategory) -> Duration {
+        let d = self.elapsed();
+        fold_real(cat, d);
+        d
+    }
+}
+
+/// Starts a [`RealStopwatch`] at the current real time.
+pub fn real_stopwatch() -> RealStopwatch {
+    RealStopwatch(Instant::now())
+}
+
 /// Fold *measured real* time into the simulated timeline — e.g. the wall
 /// time a request actually waited for a `SimNode` permit. Under the wall
 /// clock the wait already happened, so only the ledger is updated; under

@@ -94,6 +94,20 @@ pub struct SimConfig {
     /// LocoFS directory server, InfiniFS rename coordinator; the paper gives
     /// these 64-core machines).
     pub index_node_permits: usize,
+    /// Admission-queue depth cap per simulated node. `0` (the default)
+    /// means unbounded queueing — the pre-admission-control behaviour.
+    /// When non-zero, a node sheds requests with `MetaError::Overloaded`
+    /// once its modeled backlog reaches the cap (DESIGN.md §4.14).
+    /// Overridable via `MANTLE_QUEUE_CAP` for constructor defaults.
+    pub queue_cap: usize,
+}
+
+/// `MANTLE_QUEUE_CAP`, parsed on every constructor call (tests mutate it).
+fn env_queue_cap() -> usize {
+    std::env::var("MANTLE_QUEUE_CAP")
+        .ok()
+        .and_then(|v| v.trim().parse::<usize>().ok())
+        .unwrap_or(0)
 }
 
 impl Default for SimConfig {
@@ -106,6 +120,7 @@ impl Default for SimConfig {
             index_level_micros: 2,
             db_node_permits: 16,
             index_node_permits: 8,
+            queue_cap: env_queue_cap(),
         }
     }
 }
@@ -122,6 +137,7 @@ impl SimConfig {
             index_level_micros: 0,
             db_node_permits: usize::MAX,
             index_node_permits: usize::MAX,
+            queue_cap: env_queue_cap(),
         }
     }
 
@@ -136,6 +152,7 @@ impl SimConfig {
             index_level_micros: 1,
             db_node_permits: 16,
             index_node_permits: 32,
+            queue_cap: env_queue_cap(),
         }
     }
 
@@ -170,6 +187,15 @@ mod tests {
         assert_eq!(c.rtt(), Duration::ZERO);
         assert_eq!(c.fsync(), Duration::ZERO);
         assert_eq!(c.device(), Duration::ZERO);
+    }
+
+    #[test]
+    fn queue_cap_defaults_to_unbounded() {
+        // MANTLE_QUEUE_CAP is unset in the test environment, so every
+        // constructor yields the legacy unbounded-queue behaviour.
+        assert_eq!(SimConfig::default().queue_cap, 0);
+        assert_eq!(SimConfig::instant().queue_cap, 0);
+        assert_eq!(SimConfig::fast().queue_cap, 0);
     }
 
     #[test]

@@ -62,6 +62,14 @@ pub enum MetaError {
     },
     /// The operation timed out.
     Timeout(String),
+    /// A node's bounded admission queue was full and shed the request
+    /// before queueing it (load shedding; see DESIGN.md §4.14). Safe to
+    /// retry: nothing executed.
+    Overloaded(String),
+    /// The request's propagated deadline expired before a server started
+    /// work on it; the server aborted without burning service time. Not
+    /// retryable — the client has already given up on the op.
+    DeadlineExceeded(String),
     /// Internal invariant violation; indicates a bug.
     Internal(String),
 }
@@ -77,6 +85,7 @@ impl MetaError {
                 | MetaError::Transient { .. }
                 | MetaError::StaleRoute { .. }
                 | MetaError::Timeout(_)
+                | MetaError::Overloaded(_)
         )
     }
 }
@@ -107,6 +116,8 @@ impl fmt::Display for MetaError {
                 write!(f, "stale shard-map epoch {seen} (current {current})")
             }
             MetaError::Timeout(m) => write!(f, "timed out: {m}"),
+            MetaError::Overloaded(n) => write!(f, "shed by admission queue at {n}"),
+            MetaError::DeadlineExceeded(n) => write!(f, "deadline exceeded at {n}"),
             MetaError::Internal(m) => write!(f, "internal error: {m}"),
         }
     }
@@ -136,6 +147,8 @@ mod tests {
             current: 5
         }
         .is_retryable());
+        assert!(MetaError::Overloaded("index0".into()).is_retryable());
+        assert!(!MetaError::DeadlineExceeded("index0".into()).is_retryable());
         assert!(!MetaError::NotFound("/a".into()).is_retryable());
         assert!(!MetaError::RenameLoop {
             src: "/a".into(),

@@ -24,6 +24,7 @@
 
 pub mod clock;
 pub mod config;
+pub mod ctx;
 pub mod error;
 pub mod hist;
 pub mod id;
@@ -36,6 +37,7 @@ pub mod stats;
 
 pub use clock::{ClockMode, SimInstant, TimeCategory, TimeStats};
 pub use config::{PlacementConfig, SimConfig, SCALED_DB_SHARDS};
+pub use ctx::{PriorityClass, RequestCtx};
 pub use error::{MetaError, Result};
 pub use id::{ClientUuid, InodeId, TxnId, ROOT_ID, ROOT_PARENT_ID};
 pub use path::MetaPath;
@@ -52,4 +54,4 @@ pub use record::{
     ResolvedPath, //
 };
 pub use service::{BulkLoad, MetadataService};
-pub use stats::{OpStats, Phase};
+pub use stats::{OpStats, OpStatsAgg, Phase, RetryClass};

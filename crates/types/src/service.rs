@@ -6,17 +6,19 @@
 //! LocoFS all implement this trait so workloads and benchmark harnesses are
 //! generic over the system under test.
 
+use crate::ctx::RequestCtx;
 use crate::error::Result;
 use crate::id::InodeId;
 use crate::path::MetaPath;
 use crate::record::{DirEntry, DirStat, ObjectMeta, ResolvedPath};
-use crate::stats::OpStats;
 
 /// A hierarchical metadata service as seen from the COSS proxy layer.
 ///
-/// Every method takes an [`OpStats`] recorder; implementations charge wall
-/// time to the appropriate [`crate::Phase`] and count RPCs so the harnesses
-/// can regenerate the paper's latency breakdowns.
+/// Every method takes a [`RequestCtx`]; implementations charge wall time
+/// to the appropriate [`crate::Phase`] on its embedded stats recorder,
+/// count RPCs, honour the propagated deadline and draw on its retry
+/// budget, so the harnesses can regenerate the paper's latency breakdowns
+/// and overload figures.
 pub trait MetadataService: Send + Sync {
     /// Short system name used in benchmark output ("mantle", "tectonic", …).
     fn name(&self) -> &'static str;
@@ -26,34 +28,34 @@ pub trait MetadataService: Send + Sync {
     /// For a path naming an object, resolves the *parent* chain; services
     /// resolve all non-final components and check traversal permission at
     /// each level (§2.3).
-    fn lookup(&self, path: &MetaPath, stats: &mut OpStats) -> Result<ResolvedPath>;
+    fn lookup(&self, path: &MetaPath, ctx: &mut RequestCtx) -> Result<ResolvedPath>;
 
     /// Creates a directory. Parents must already exist (COSS mkdir is not
     /// recursive).
-    fn mkdir(&self, path: &MetaPath, stats: &mut OpStats) -> Result<InodeId>;
+    fn mkdir(&self, path: &MetaPath, ctx: &mut RequestCtx) -> Result<InodeId>;
 
     /// Removes an empty directory.
-    fn rmdir(&self, path: &MetaPath, stats: &mut OpStats) -> Result<()>;
+    fn rmdir(&self, path: &MetaPath, ctx: &mut RequestCtx) -> Result<()>;
 
     /// Creates an object of `size` bytes, failing if it already exists.
-    fn create(&self, path: &MetaPath, size: u64, stats: &mut OpStats) -> Result<InodeId>;
+    fn create(&self, path: &MetaPath, size: u64, ctx: &mut RequestCtx) -> Result<InodeId>;
 
     /// Deletes an object.
-    fn delete(&self, path: &MetaPath, stats: &mut OpStats) -> Result<()>;
+    fn delete(&self, path: &MetaPath, ctx: &mut RequestCtx) -> Result<()>;
 
     /// Reads an object's metadata.
-    fn objstat(&self, path: &MetaPath, stats: &mut OpStats) -> Result<ObjectMeta>;
+    fn objstat(&self, path: &MetaPath, ctx: &mut RequestCtx) -> Result<ObjectMeta>;
 
     /// Reads a directory's merged attribute metadata.
-    fn dirstat(&self, path: &MetaPath, stats: &mut OpStats) -> Result<DirStat>;
+    fn dirstat(&self, path: &MetaPath, ctx: &mut RequestCtx) -> Result<DirStat>;
 
     /// Lists a directory's direct children.
-    fn readdir(&self, path: &MetaPath, stats: &mut OpStats) -> Result<Vec<DirEntry>>;
+    fn readdir(&self, path: &MetaPath, ctx: &mut RequestCtx) -> Result<Vec<DirEntry>>;
 
     /// Atomically renames directory `src` to `dst` (dst must not exist),
     /// including across parents. Must reject renames that would create a
     /// loop (dst inside src).
-    fn rename_dir(&self, src: &MetaPath, dst: &MetaPath, stats: &mut OpStats) -> Result<()>;
+    fn rename_dir(&self, src: &MetaPath, dst: &MetaPath, ctx: &mut RequestCtx) -> Result<()>;
 
     /// Paged listing, the COSS `LIST` API shape: up to `limit` children of
     /// `path` whose names sort strictly after `start_after` (ascending).
@@ -66,9 +68,9 @@ pub trait MetadataService: Send + Sync {
         path: &MetaPath,
         start_after: Option<&str>,
         limit: usize,
-        stats: &mut OpStats,
+        ctx: &mut RequestCtx,
     ) -> Result<(Vec<DirEntry>, bool)> {
-        let mut entries = self.readdir(path, stats)?;
+        let mut entries = self.readdir(path, ctx)?;
         entries.sort_by(|a, b| a.name.cmp(&b.name));
         let skip = match start_after {
             Some(after) => entries.partition_point(|e| e.name.as_str() <= after),
@@ -112,40 +114,40 @@ impl<S: MetadataService + ?Sized> MetadataService for std::sync::Arc<S> {
         (**self).name()
     }
 
-    fn lookup(&self, path: &MetaPath, stats: &mut OpStats) -> Result<ResolvedPath> {
-        (**self).lookup(path, stats)
+    fn lookup(&self, path: &MetaPath, ctx: &mut RequestCtx) -> Result<ResolvedPath> {
+        (**self).lookup(path, ctx)
     }
 
-    fn mkdir(&self, path: &MetaPath, stats: &mut OpStats) -> Result<InodeId> {
-        (**self).mkdir(path, stats)
+    fn mkdir(&self, path: &MetaPath, ctx: &mut RequestCtx) -> Result<InodeId> {
+        (**self).mkdir(path, ctx)
     }
 
-    fn rmdir(&self, path: &MetaPath, stats: &mut OpStats) -> Result<()> {
-        (**self).rmdir(path, stats)
+    fn rmdir(&self, path: &MetaPath, ctx: &mut RequestCtx) -> Result<()> {
+        (**self).rmdir(path, ctx)
     }
 
-    fn create(&self, path: &MetaPath, size: u64, stats: &mut OpStats) -> Result<InodeId> {
-        (**self).create(path, size, stats)
+    fn create(&self, path: &MetaPath, size: u64, ctx: &mut RequestCtx) -> Result<InodeId> {
+        (**self).create(path, size, ctx)
     }
 
-    fn delete(&self, path: &MetaPath, stats: &mut OpStats) -> Result<()> {
-        (**self).delete(path, stats)
+    fn delete(&self, path: &MetaPath, ctx: &mut RequestCtx) -> Result<()> {
+        (**self).delete(path, ctx)
     }
 
-    fn objstat(&self, path: &MetaPath, stats: &mut OpStats) -> Result<ObjectMeta> {
-        (**self).objstat(path, stats)
+    fn objstat(&self, path: &MetaPath, ctx: &mut RequestCtx) -> Result<ObjectMeta> {
+        (**self).objstat(path, ctx)
     }
 
-    fn dirstat(&self, path: &MetaPath, stats: &mut OpStats) -> Result<DirStat> {
-        (**self).dirstat(path, stats)
+    fn dirstat(&self, path: &MetaPath, ctx: &mut RequestCtx) -> Result<DirStat> {
+        (**self).dirstat(path, ctx)
     }
 
-    fn readdir(&self, path: &MetaPath, stats: &mut OpStats) -> Result<Vec<DirEntry>> {
-        (**self).readdir(path, stats)
+    fn readdir(&self, path: &MetaPath, ctx: &mut RequestCtx) -> Result<Vec<DirEntry>> {
+        (**self).readdir(path, ctx)
     }
 
-    fn rename_dir(&self, src: &MetaPath, dst: &MetaPath, stats: &mut OpStats) -> Result<()> {
-        (**self).rename_dir(src, dst, stats)
+    fn rename_dir(&self, src: &MetaPath, dst: &MetaPath, ctx: &mut RequestCtx) -> Result<()> {
+        (**self).rename_dir(src, dst, ctx)
     }
 
     fn list(
@@ -153,8 +155,8 @@ impl<S: MetadataService + ?Sized> MetadataService for std::sync::Arc<S> {
         path: &MetaPath,
         start_after: Option<&str>,
         limit: usize,
-        stats: &mut OpStats,
+        ctx: &mut RequestCtx,
     ) -> Result<(Vec<DirEntry>, bool)> {
-        (**self).list(path, start_after, limit, stats)
+        (**self).list(path, start_after, limit, ctx)
     }
 }

@@ -45,21 +45,83 @@ impl Phase {
     }
 }
 
+/// Why an operation retried (or had work rejected) at some layer.
+///
+/// One labelled counter map replaces the disjoint `txn_retries` /
+/// `rename_retries` / `transient_retries` / `stale_route_retries` /
+/// `rejected_fills` fields that had accreted on [`OpStats`]; the retry
+/// policy engine (`mantle-rpc`) keys its backoff curves off the same enum.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub enum RetryClass {
+    /// Transaction abort (write-write or lock conflict).
+    Txn,
+    /// Dirrename lock conflict (same-UUID retry loop).
+    Rename,
+    /// Transient transport fault (injected drop/timeout/partition)
+    /// absorbed by a retry loop.
+    Transient,
+    /// Component unavailability (leader down, re-election window) absorbed
+    /// by the failover loop.
+    Unavailable,
+    /// Stale shard-map rejection absorbed by a map refresh + retry.
+    StaleRoute,
+    /// Request shed by a node's bounded admission queue and retried.
+    Overload,
+    /// Path-cache fill/revalidation rejected (lease raced an
+    /// invalidation) — work discarded, resolution falls through uncached.
+    RejectedFill,
+}
+
+impl RetryClass {
+    /// All classes in display order.
+    pub const ALL: [RetryClass; 7] = [
+        RetryClass::Txn,
+        RetryClass::Rename,
+        RetryClass::Transient,
+        RetryClass::Unavailable,
+        RetryClass::StaleRoute,
+        RetryClass::Overload,
+        RetryClass::RejectedFill,
+    ];
+
+    /// Number of classes (size of the per-op counter map).
+    pub const COUNT: usize = Self::ALL.len();
+
+    #[inline]
+    fn idx(self) -> usize {
+        match self {
+            RetryClass::Txn => 0,
+            RetryClass::Rename => 1,
+            RetryClass::Transient => 2,
+            RetryClass::Unavailable => 3,
+            RetryClass::StaleRoute => 4,
+            RetryClass::Overload => 5,
+            RetryClass::RejectedFill => 6,
+        }
+    }
+
+    /// Stable label used in metrics and harness output.
+    pub fn label(self) -> &'static str {
+        match self {
+            RetryClass::Txn => "txn",
+            RetryClass::Rename => "rename",
+            RetryClass::Transient => "transient",
+            RetryClass::Unavailable => "unavailable",
+            RetryClass::StaleRoute => "stale_route",
+            RetryClass::Overload => "overload",
+            RetryClass::RejectedFill => "rejected_fill",
+        }
+    }
+}
+
 /// Accumulated statistics for one metadata operation.
 #[derive(Clone, Debug, Default)]
 pub struct OpStats {
     phase_nanos: [u64; 3],
     /// RPC round trips issued (proxy <-> metadata servers).
     pub rpcs: u32,
-    /// Transaction aborts that led to a retry.
-    pub txn_retries: u32,
-    /// Rename-lock conflicts that led to a retry.
-    pub rename_retries: u32,
-    /// Transient transport faults (injected drops/timeouts/partitions)
-    /// absorbed by a retry loop.
-    pub transient_retries: u32,
-    /// Stale shard-map rejections absorbed by a map refresh + retry.
-    pub stale_route_retries: u32,
+    /// Retries by [`RetryClass`] (see the derived accessors).
+    retries: [u32; RetryClass::COUNT],
     /// TopDirPathCache (or AM-Cache / path-lease-cache) hits.
     pub cache_hits: u32,
     /// Cache misses.
@@ -90,16 +152,28 @@ impl OpStats {
         }
     }
 
+    /// Index of the phase in progress, if any (for save/restore in the
+    /// `time` combinators here and on `RequestCtx`).
+    pub(crate) fn current_idx(&self) -> Option<usize> {
+        self.current.map(|(idx, _)| idx)
+    }
+
+    /// Restarts the phase saved by [`OpStats::current_idx`] at the current
+    /// sim time. No-op for `None`.
+    pub(crate) fn resume_idx(&mut self, idx: Option<usize>) {
+        if let Some(idx) = idx {
+            self.current = Some((idx, clock::now()));
+        }
+    }
+
     /// Runs `f` with its simulated time charged to `phase`, then restores
     /// the previously active phase (if any).
     pub fn time<R>(&mut self, phase: Phase, f: impl FnOnce(&mut Self) -> R) -> R {
-        let prev = self.current.map(|(idx, _)| idx);
+        let prev = self.current_idx();
         self.begin(phase);
         let out = f(self);
         self.end();
-        if let Some(idx) = prev {
-            self.current = Some((idx, clock::now()));
-        }
+        self.resume_idx(prev);
         out
     }
 
@@ -124,6 +198,62 @@ impl OpStats {
         self.rpcs += 1;
     }
 
+    /// Records one retry (or rejected fill) of the given class.
+    #[inline]
+    pub fn note_retry(&mut self, class: RetryClass) {
+        self.retries[class.idx()] += 1;
+    }
+
+    /// Retries recorded for `class`.
+    #[inline]
+    pub fn retry_count(&self, class: RetryClass) -> u32 {
+        self.retries[class.idx()]
+    }
+
+    /// Transaction aborts that led to a retry (derived accessor).
+    pub fn txn_retries(&self) -> u32 {
+        self.retry_count(RetryClass::Txn)
+    }
+
+    /// Rename-lock conflicts that led to a retry (derived accessor).
+    pub fn rename_retries(&self) -> u32 {
+        self.retry_count(RetryClass::Rename)
+    }
+
+    /// Transient transport faults absorbed by a retry loop (derived
+    /// accessor).
+    pub fn transient_retries(&self) -> u32 {
+        self.retry_count(RetryClass::Transient)
+    }
+
+    /// Stale shard-map rejections absorbed by a map refresh + retry
+    /// (derived accessor).
+    pub fn stale_route_retries(&self) -> u32 {
+        self.retry_count(RetryClass::StaleRoute)
+    }
+
+    /// Unavailability windows absorbed by the failover loop (derived
+    /// accessor).
+    pub fn unavailable_retries(&self) -> u32 {
+        self.retry_count(RetryClass::Unavailable)
+    }
+
+    /// Admission-queue sheds absorbed by a retry (derived accessor).
+    pub fn overload_retries(&self) -> u32 {
+        self.retry_count(RetryClass::Overload)
+    }
+
+    /// Path-cache fills/revalidations rejected by the lease protocol
+    /// (derived accessor).
+    pub fn rejected_fills(&self) -> u32 {
+        self.retry_count(RetryClass::RejectedFill)
+    }
+
+    /// Retries recorded across every class (derived accessor).
+    pub fn total_retries(&self) -> u32 {
+        self.retries.iter().sum()
+    }
+
     /// Merges another recorder's counters into this one (phase times add;
     /// used when an operation internally retries).
     ///
@@ -143,10 +273,9 @@ impl OpStats {
             self.phase_nanos[i] += other.phase_nanos[i];
         }
         self.rpcs += other.rpcs;
-        self.txn_retries += other.txn_retries;
-        self.rename_retries += other.rename_retries;
-        self.transient_retries += other.transient_retries;
-        self.stale_route_retries += other.stale_route_retries;
+        for i in 0..RetryClass::COUNT {
+            self.retries[i] += other.retries[i];
+        }
         self.cache_hits += other.cache_hits;
         self.cache_misses += other.cache_misses;
         self.cache_revalidations += other.cache_revalidations;
@@ -155,6 +284,10 @@ impl OpStats {
 }
 
 /// Aggregate of many operations' [`OpStats`], used by the figure harnesses.
+///
+/// The per-class retry counts stay flattened into named fields here so the
+/// serialized benchmark rows (and the perf-gate baselines derived from
+/// them) keep their schema.
 #[derive(Clone, Debug, Default)]
 pub struct OpStatsAgg {
     /// Number of operations aggregated.
@@ -171,6 +304,10 @@ pub struct OpStatsAgg {
     pub transient_retries: u64,
     /// Sum of stale-route retries.
     pub stale_route_retries: u64,
+    /// Sum of admission-shed retries.
+    pub overload_retries: u64,
+    /// Sum of rejected path-cache fills.
+    pub rejected_fills: u64,
     /// Sum of cache hits.
     pub cache_hits: u64,
     /// Sum of cache misses.
@@ -189,10 +326,12 @@ impl OpStatsAgg {
             self.phase_nanos[i] += s.phase_nanos(*p);
         }
         self.rpcs += s.rpcs as u64;
-        self.txn_retries += s.txn_retries as u64;
-        self.rename_retries += s.rename_retries as u64;
-        self.transient_retries += s.transient_retries as u64;
-        self.stale_route_retries += s.stale_route_retries as u64;
+        self.txn_retries += s.txn_retries() as u64;
+        self.rename_retries += s.rename_retries() as u64;
+        self.transient_retries += s.transient_retries() as u64;
+        self.stale_route_retries += s.stale_route_retries() as u64;
+        self.overload_retries += s.overload_retries() as u64;
+        self.rejected_fills += s.rejected_fills() as u64;
         self.cache_hits += s.cache_hits as u64;
         self.cache_misses += s.cache_misses as u64;
         self.cache_revalidations += s.cache_revalidations as u64;
@@ -210,6 +349,8 @@ impl OpStatsAgg {
         self.rename_retries += other.rename_retries;
         self.transient_retries += other.transient_retries;
         self.stale_route_retries += other.stale_route_retries;
+        self.overload_retries += other.overload_retries;
+        self.rejected_fills += other.rejected_fills;
         self.cache_hits += other.cache_hits;
         self.cache_misses += other.cache_misses;
         self.cache_revalidations += other.cache_revalidations;
@@ -278,15 +419,33 @@ mod tests {
     }
 
     #[test]
+    fn retry_classes_count_independently() {
+        let mut s = OpStats::new();
+        s.note_retry(RetryClass::Txn);
+        s.note_retry(RetryClass::Txn);
+        s.note_retry(RetryClass::StaleRoute);
+        assert_eq!(s.txn_retries(), 2);
+        assert_eq!(s.stale_route_retries(), 1);
+        assert_eq!(s.rename_retries(), 0);
+        assert_eq!(s.retry_count(RetryClass::Txn), 2);
+        for c in RetryClass::ALL {
+            assert!(!c.label().is_empty());
+        }
+    }
+
+    #[test]
     fn absorb_adds_counters() {
         let mut a = OpStats::new();
         a.rpc();
         let mut b = OpStats::new();
         b.rpc();
-        b.txn_retries = 2;
+        b.note_retry(RetryClass::Txn);
+        b.note_retry(RetryClass::Txn);
+        b.note_retry(RetryClass::Overload);
         a.absorb(&b);
         assert_eq!(a.rpcs, 2);
-        assert_eq!(a.txn_retries, 2);
+        assert_eq!(a.txn_retries(), 2);
+        assert_eq!(a.overload_retries(), 1);
     }
 
     #[test]
@@ -305,6 +464,18 @@ mod tests {
         other.add(&OpStats::new());
         agg.merge(&other);
         assert_eq!(agg.count, 5);
+    }
+
+    #[test]
+    fn aggregation_flattens_retry_classes() {
+        let mut s = OpStats::new();
+        s.note_retry(RetryClass::Transient);
+        s.note_retry(RetryClass::RejectedFill);
+        let mut agg = OpStatsAgg::default();
+        agg.add(&s);
+        assert_eq!(agg.transient_retries, 1);
+        assert_eq!(agg.rejected_fills, 1);
+        assert_eq!(agg.txn_retries, 0);
     }
 
     #[test]

@@ -9,7 +9,7 @@ use parking_lot::Mutex;
 use mantle_core::DataService;
 use mantle_types::clock;
 use mantle_types::hist::Histogram;
-use mantle_types::{BulkLoad, MetaPath, MetadataService, OpStats};
+use mantle_types::{BulkLoad, MetaPath, MetadataService, RequestCtx};
 
 /// Results of one application run.
 #[derive(Debug)]
@@ -111,7 +111,7 @@ pub fn run_analytics<S: MetadataService + BulkLoad + ?Sized + Sync>(
             let makespan_nanos = &makespan_nanos;
             scope.spawn(move || {
                 let begin = clock::now();
-                let mut stats = OpStats::new();
+                let mut stats = RequestCtx::new();
                 loop {
                     let task = next_task.fetch_add(1, Ordering::Relaxed);
                     if task >= total_tasks {
@@ -212,7 +212,7 @@ pub fn run_audio<S: MetadataService + BulkLoad + ?Sized + Sync>(
             let makespan_nanos = &makespan_nanos;
             scope.spawn(move || {
                 let begin = clock::now();
-                let mut stats = OpStats::new();
+                let mut stats = RequestCtx::new();
                 loop {
                     let f = next.fetch_add(1, Ordering::Relaxed);
                     if f >= inputs.len() {
@@ -274,7 +274,7 @@ mod tests {
         assert_eq!(report.op_latency["dirrename"].count(), 16);
         assert_eq!(report.op_latency["create"].count(), 32);
         // Every task's parts landed in the shared output directory.
-        let mut stats = OpStats::new();
+        let mut stats = RequestCtx::new();
         for task in 0..8 {
             let p = MetaPath::parse(&format!("/warehouse/out/q0/t{task}/part0")).unwrap();
             cluster.objstat(&p, &mut stats).unwrap();

@@ -16,7 +16,7 @@ use rand::{Rng, SeedableRng};
 use mantle_types::clock;
 use mantle_types::hist::Histogram;
 use mantle_types::stats::OpStatsAgg;
-use mantle_types::{BulkLoad, MetaPath, MetadataService, OpStats, Phase};
+use mantle_types::{BulkLoad, MetaPath, MetadataService, Phase, RequestCtx};
 
 /// The operation a run exercises (mdtest naming, §6.3).
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -76,6 +76,19 @@ pub struct Hotspot {
     pub s: f64,
 }
 
+/// Open-loop arrival schedule for overload experiments: every op is
+/// stamped with a deterministic virtual arrival time (`base + k * Δ`
+/// across all threads) instead of arriving whenever the previous op
+/// finished, so a node with a bounded admission queue sees a growing
+/// modeled backlog it can shed against (DESIGN.md §4.14).
+#[derive(Clone, Copy, Debug)]
+pub struct OpenLoop {
+    /// Spacing between successive arrivals, across all threads.
+    pub interarrival_nanos: u64,
+    /// Retry budget stamped on each op (0 = fail fast when shed).
+    pub retry_budget: u32,
+}
+
 /// One benchmark run's parameters.
 #[derive(Clone, Copy, Debug)]
 pub struct MdtestConfig {
@@ -96,6 +109,8 @@ pub struct MdtestConfig {
     /// Zipf-skewed parent selection (create/mkdir) and read-path sampling;
     /// `None` keeps the classic uniform mdtest behaviour.
     pub hotspot: Option<Hotspot>,
+    /// Open-loop arrival stamping; `None` keeps the classic closed loop.
+    pub open_loop: Option<OpenLoop>,
 }
 
 impl Default for MdtestConfig {
@@ -109,6 +124,7 @@ impl Default for MdtestConfig {
             working_set: 1024,
             seed: 7,
             hotspot: None,
+            open_loop: None,
         }
     }
 }
@@ -120,8 +136,14 @@ pub struct MdtestReport {
     pub config: MdtestConfig,
     /// Completed operations.
     pub completed: u64,
-    /// Failed operations (must be zero in healthy runs).
+    /// Failed operations (must be zero in healthy runs; in overload runs
+    /// every failure should be a shed or a deadline abort).
     pub failed: u64,
+    /// Failures shed by a bounded admission queue ([`MetaError::Overloaded`]).
+    pub shed: u64,
+    /// Failures aborted server-side on an expired deadline
+    /// ([`MetaError::DeadlineExceeded`]).
+    pub deadline_aborted: u64,
     /// Simulated makespan of the measured section: the longest per-thread
     /// timeline (wall-clock duration under `MANTLE_WALL_CLOCK=1`).
     pub wall: std::time::Duration,
@@ -263,6 +285,8 @@ pub fn run<S: MetadataService + BulkLoad + ?Sized + Sync>(
     // --- measured section ---------------------------------------------------
     let barrier = Barrier::new(threads);
     let failed = AtomicU64::new(0);
+    let shed = AtomicU64::new(0);
+    let deadline_aborted = AtomicU64::new(0);
     let merged: Mutex<(OpStatsAgg, Histogram)> =
         Mutex::new((OpStatsAgg::default(), Histogram::new()));
     let wall = Mutex::new(std::time::Duration::ZERO);
@@ -271,6 +295,8 @@ pub fn run<S: MetadataService + BulkLoad + ?Sized + Sync>(
         for t in 0..threads {
             let barrier = &barrier;
             let failed = &failed;
+            let shed = &shed;
+            let deadline_aborted = &deadline_aborted;
             let merged = &merged;
             let wall = &wall;
             let read_paths = &read_paths;
@@ -293,8 +319,15 @@ pub fn run<S: MetadataService + BulkLoad + ?Sized + Sync>(
                 );
                 barrier.wait();
                 let thread_start = clock::now();
+                let base_nanos = thread_start.as_nanos();
                 for i in 0..ops {
-                    let mut stats = OpStats::new();
+                    let mut stats = RequestCtx::new();
+                    if let Some(ol) = config.open_loop {
+                        let k = (i * threads + t) as u64;
+                        stats = stats
+                            .with_arrival_nanos(base_nanos + k * ol.interarrival_nanos)
+                            .with_budget(ol.retry_budget);
+                    }
                     // Flight-recorder scope: when a recorder is effective it
                     // runs the op under a detached trace (and keeps feeding
                     // the sampled ring itself); otherwise fall back to plain
@@ -370,6 +403,15 @@ pub fn run<S: MetadataService + BulkLoad + ?Sized + Sync>(
                             ops_counter.inc();
                         }
                         Err(e) => {
+                            match &e {
+                                mantle_types::MetaError::Overloaded(_) => {
+                                    shed.fetch_add(1, Ordering::Relaxed);
+                                }
+                                mantle_types::MetaError::DeadlineExceeded(_) => {
+                                    deadline_aborted.fetch_add(1, Ordering::Relaxed);
+                                }
+                                _ => {}
+                            }
                             if std::env::var_os("MANTLE_DEBUG_ERRORS").is_some() {
                                 eprintln!("mdtest {} failed: {e}", config.op.label());
                             }
@@ -401,6 +443,8 @@ pub fn run<S: MetadataService + BulkLoad + ?Sized + Sync>(
         config,
         completed: agg.count,
         failed: failed.load(Ordering::Relaxed),
+        shed: shed.load(Ordering::Relaxed),
+        deadline_aborted: deadline_aborted.load(Ordering::Relaxed),
         wall,
         agg,
         latency,
@@ -424,6 +468,7 @@ mod tests {
             working_set: 64,
             seed: 1,
             hotspot: None,
+            open_loop: None,
         };
         let report = run(&*cluster, config);
         assert_eq!(report.failed, 0, "{op:?}/{conflict:?} had failures");

@@ -260,7 +260,7 @@ fn sample_depth(rng: &mut StdRng, spec: &NamespaceSpec) -> usize {
 mod tests {
     use super::*;
     use mantle_core::MantleCluster;
-    use mantle_types::{MetadataService, OpStats, SimConfig};
+    use mantle_types::{MetadataService, RequestCtx, SimConfig};
 
     #[test]
     fn generated_shape_matches_spec() {
@@ -279,7 +279,7 @@ mod tests {
         assert!(stats.max_object_depth <= 21);
 
         // Every generated object is actually resolvable through the service.
-        let mut op = OpStats::new();
+        let mut op = RequestCtx::new();
         for path in ns.objects.iter().step_by(500) {
             cluster.objstat(path, &mut op).unwrap();
         }

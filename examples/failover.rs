@@ -15,7 +15,7 @@ fn main() -> Result<()> {
     config.index.raft.election_timeout_max = Duration::from_millis(200);
     let cluster = MantleCluster::with_config(config);
     let svc = cluster.service();
-    let mut stats = OpStats::new();
+    let mut stats = RequestCtx::new();
 
     svc.mkdir(&MetaPath::parse("/jobs")?, &mut stats)?;
     for i in 0..20 {

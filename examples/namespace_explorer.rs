@@ -47,7 +47,7 @@ fn main() {
     }
 
     // The populated namespace is immediately queryable.
-    let mut stats = OpStats::new();
+    let mut stats = RequestCtx::new();
     let sample = &ns.objects[ns.objects.len() / 2];
     let meta = cluster.objstat(sample, &mut stats).unwrap();
     println!(

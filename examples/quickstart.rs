@@ -13,7 +13,7 @@ fn main() -> Result<()> {
     // 100 µs fsyncs).
     let cluster = MantleCluster::build(SimConfig::default(), 8);
     let svc = cluster.service();
-    let mut stats = OpStats::new();
+    let mut stats = RequestCtx::new();
 
     // Build a small hierarchy.
     svc.mkdir(&MetaPath::parse("/datasets")?, &mut stats)?;
@@ -28,7 +28,7 @@ fn main() -> Result<()> {
     }
 
     // Single-RPC path lookup, no matter the depth.
-    let mut lookup_stats = OpStats::new();
+    let mut lookup_stats = RequestCtx::new();
     let resolved = svc.lookup(
         &MetaPath::parse("/datasets/train/batch0")?,
         &mut lookup_stats,
@@ -70,7 +70,8 @@ fn main() -> Result<()> {
 
     println!(
         "total: {} RPCs, {} txn retries across the session",
-        stats.rpcs, stats.txn_retries
+        stats.rpcs,
+        stats.txn_retries()
     );
     Ok(())
 }

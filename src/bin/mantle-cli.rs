@@ -49,7 +49,7 @@ fn main() {
             break;
         }
         let started = std::time::Instant::now();
-        let mut stats = OpStats::new();
+        let mut stats = RequestCtx::new();
         let flight_scope = if RECORDED_COMMANDS.contains(&cmd) {
             let depth = parts
                 .get(1)
@@ -69,7 +69,7 @@ fn main() {
                     "[{:?}, {} rpc, {} retries]",
                     started.elapsed(),
                     stats.rpcs,
-                    stats.txn_retries + stats.rename_retries
+                    stats.txn_retries() + stats.rename_retries()
                 );
             }
             Ok(None) => {}
@@ -86,7 +86,7 @@ fn run_command(
     cluster: &std::sync::Arc<MantleCluster>,
     cmd: &str,
     args: &[&str],
-    stats: &mut OpStats,
+    stats: &mut RequestCtx,
 ) -> Result<Option<String>> {
     let svc = cluster.service();
     let need = |n: usize| -> Result<()> {
@@ -226,6 +226,23 @@ fn run_command(
                     "  shard {shard}: {} rows, {} versions\n",
                     cluster.db().shard_rows(shard),
                     cluster.db().shard_versions(shard)
+                ));
+            }
+            // Per-node admission plane: queue cap, sheds, deadline aborts
+            // (DESIGN.md §4.14).
+            out.push_str("admission:\n");
+            for r in cluster.index().group().replicas() {
+                let s = r.node().snapshot();
+                out.push_str(&format!(
+                    "  {}: queue_cap={} shed={} deadline_aborts={}\n",
+                    s.name, s.queue_cap, s.shed, s.deadline_aborts
+                ));
+            }
+            for i in 0..cluster.db().n_shards() {
+                let s = cluster.db().shard_node(i).snapshot();
+                out.push_str(&format!(
+                    "  {}: queue_cap={} shed={} deadline_aborts={}\n",
+                    s.name, s.queue_cap, s.shed, s.deadline_aborts
                 ));
             }
             out.push_str("--- metrics registry (Prometheus text) ---\n");

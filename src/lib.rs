@@ -11,7 +11,7 @@
 //!
 //! let cluster = MantleCluster::build(SimConfig::instant(), 4);
 //! let svc = cluster.service();
-//! let mut stats = OpStats::new();
+//! let mut stats = RequestCtx::new();
 //! svc.mkdir(&MetaPath::parse("/data").unwrap(), &mut stats).unwrap();
 //! svc.create(&MetaPath::parse("/data/obj0").unwrap(), 4096, &mut stats).unwrap();
 //! let meta = svc.objstat(&MetaPath::parse("/data/obj0").unwrap(), &mut stats).unwrap();
@@ -36,13 +36,7 @@ pub mod prelude {
     pub use mantle_core::{MantleCluster, MantleConfig};
     pub use mantle_rpc::{FaultPlan, FaultProfile};
     pub use mantle_types::{
-        MetaError,
-        MetaPath,
-        MetadataService,
-        OpStats,
-        Permission,
-        Phase,
-        Result,
-        SimConfig, //
+        MetaError, MetaPath, MetadataService, OpStats, Permission, Phase, PriorityClass,
+        RequestCtx, Result, RetryClass, SimConfig,
     };
 }

@@ -49,7 +49,7 @@ impl Lcg {
 fn seeded_run(seed: u64) -> String {
     let cluster = cached_cluster(PathLeaseConfig::enabled());
     let svc = cluster.service();
-    let mut stats = OpStats::new();
+    let mut stats = RequestCtx::new();
     for d in 0..4 {
         svc.mkdir(&p(&format!("/d{d}")), &mut stats).unwrap();
         svc.create(&p(&format!("/d{d}/obj")), 1, &mut stats)
@@ -62,7 +62,7 @@ fn seeded_run(seed: u64) -> String {
     for i in 0..200 {
         let d = rng.next(4);
         let op = rng.next(4);
-        let mut stats = OpStats::new();
+        let mut stats = RequestCtx::new();
         let outcome = match op {
             0 => svc
                 .objstat(&p(&format!("/d{d}/obj")), &mut stats)
@@ -115,7 +115,7 @@ fn rename_then_stat_is_linearizable_under_partition_storm() {
     for seed in [0u64, 1, 2] {
         let cluster = cached_cluster(PathLeaseConfig::enabled());
         let svc = cluster.service();
-        let mut stats = OpStats::new();
+        let mut stats = RequestCtx::new();
         svc.mkdir(&p("/a"), &mut stats).unwrap();
         svc.mkdir(&p("/a/b"), &mut stats).unwrap();
         svc.create(&p("/a/b/obj"), 1, &mut stats).unwrap();
@@ -139,7 +139,7 @@ fn rename_then_stat_is_linearizable_under_partition_storm() {
                         // op that began after the ack is constrained (one
                         // concurrent with the rename may serialize first).
                         let was_renamed = renamed.load(Ordering::SeqCst);
-                        let mut stats = OpStats::new();
+                        let mut stats = RequestCtx::new();
                         let old = svc.objstat(&p("/a/b/obj"), &mut stats);
                         let new = svc.objstat(&p("/z/nb/obj"), &mut stats);
                         if was_renamed {
@@ -162,7 +162,7 @@ fn rename_then_stat_is_linearizable_under_partition_storm() {
                 plan.partition("client", "tafdb0");
                 std::thread::sleep(Duration::from_millis(5));
                 plan.heal_all();
-                let mut stats = OpStats::new();
+                let mut stats = RequestCtx::new();
                 loop {
                     match svc.rename_dir(&p("/a/b"), &p("/z/nb"), &mut stats) {
                         Ok(()) => break,
@@ -175,7 +175,7 @@ fn rename_then_stat_is_linearizable_under_partition_storm() {
         });
         cluster.clear_faults();
 
-        let mut stats = OpStats::new();
+        let mut stats = RequestCtx::new();
         assert!(svc.objstat(&p("/z/nb/obj"), &mut stats).is_ok());
         assert!(svc.objstat(&p("/a/b/obj"), &mut stats).is_err());
     }
@@ -190,7 +190,7 @@ fn negative_entries_expire_and_creation_scrubs() {
         ..PathLeaseConfig::enabled()
     });
     let svc = cluster.service();
-    let mut stats = OpStats::new();
+    let mut stats = RequestCtx::new();
     svc.mkdir(&p("/n"), &mut stats).unwrap();
 
     assert!(svc.lookup(&p("/n/ghost"), &mut stats).is_err());
@@ -226,7 +226,7 @@ fn negative_entries_expire_and_creation_scrubs() {
 fn tafdb_ns_version_is_monotonic() {
     let cluster = cached_cluster(PathLeaseConfig::enabled());
     let svc = cluster.service();
-    let mut stats = OpStats::new();
+    let mut stats = RequestCtx::new();
     svc.mkdir(&p("/v"), &mut stats).unwrap();
     let dir = svc.lookup(&p("/v"), &mut stats).unwrap().id;
     let db = cluster.db();
@@ -325,7 +325,7 @@ proptest! {
                         version: 1,
                         lease_ttl: Duration::from_secs(60),
                     };
-                    cache.fill(&p(MODEL_PATHS[i]), &lease, token);
+                    cache.fill(&p(MODEL_PATHS[i]), &lease, token, &mut OpStats::new());
                 }
                 ModelOp::Probe(i) => {
                     if let LeaseProbe::Hit(lease) = cache.probe(&p(MODEL_PATHS[i]), false) {

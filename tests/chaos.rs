@@ -82,8 +82,8 @@ fn chaos_cluster_for(seed: u64) -> Arc<MantleCluster> {
 
 /// Client-side retry: injected faults are request-loss only, so retrying
 /// any retryable error is safe (acknowledged work is never duplicated).
-fn retry<R>(mut f: impl FnMut(&mut OpStats) -> Result<R>) -> R {
-    let mut stats = OpStats::new();
+fn retry<R>(mut f: impl FnMut(&mut RequestCtx) -> Result<R>) -> R {
+    let mut stats = RequestCtx::new();
     for _ in 0..20_000 {
         match f(&mut stats) {
             Ok(r) => return r,
@@ -103,7 +103,7 @@ fn chaos_storm_preserves_acknowledged_namespace() {
     for seed in seeds_under_test() {
         let cluster = chaos_cluster_for(seed);
         let svc = cluster.service();
-        let mut stats = OpStats::new();
+        let mut stats = RequestCtx::new();
         svc.mkdir(&p("/w"), &mut stats).unwrap();
 
         let plan = FaultPlan::new(seed, storm_profile(seed)).activate();
@@ -189,7 +189,7 @@ fn zeroed_profile_injects_nothing() {
     let plan = FaultPlan::new(7, FaultProfile::zeroed());
     cluster.install_faults(&plan);
 
-    let mut stats = OpStats::new();
+    let mut stats = RequestCtx::new();
     svc.mkdir(&p("/quiet"), &mut stats).unwrap();
     for i in 0..20 {
         svc.create(&p(&format!("/quiet/o{i}")), 1, &mut stats)
@@ -203,7 +203,7 @@ fn zeroed_profile_injects_nothing() {
     );
 
     assert!(plan.events().is_empty(), "zeroed profile injected a fault");
-    assert_eq!(stats.transient_retries, 0);
+    assert_eq!(stats.transient_retries(), 0);
 }
 
 /// Builds a quiet TafDB whose only fault-roll consumer is the test thread:
@@ -225,7 +225,7 @@ fn fault_log_for(seed: u64) -> Vec<mantle::rpc::FaultEvent> {
     let db = deterministic_db();
     let plan = FaultPlan::new(seed, FaultProfile::storm());
     db.install_faults(Some(plan.clone()));
-    let mut stats = OpStats::new();
+    let mut stats = RequestCtx::new();
     let dirs: Vec<InodeId> = (1..6).map(|i| InodeId(i * 97)).collect();
     for dir in &dirs {
         db.raw_put(attr_key(*dir), Row::DirAttr(DirAttrMeta::new(0, 0)));
@@ -319,7 +319,7 @@ fn wal_recovery_keeps_acked_drops_torn_records() {
 fn rename_under_partition_is_atomic() {
     let cluster = chaos_cluster();
     let svc = cluster.service();
-    let mut stats = OpStats::new();
+    let mut stats = RequestCtx::new();
     svc.mkdir(&p("/a"), &mut stats).unwrap();
     svc.mkdir(&p("/a/d"), &mut stats).unwrap();
     svc.mkdir(&p("/b"), &mut stats).unwrap();
@@ -334,14 +334,14 @@ fn rename_under_partition_is_atomic() {
         let svc2 = svc.clone();
         let renamer = s.spawn(move || {
             let _id = faults::as_node("renamer");
-            let mut stats = OpStats::new();
+            let mut stats = RequestCtx::new();
             svc2.rename_dir(&p("/a/d"), &p("/b/d"), &mut stats).unwrap();
         });
 
         // While the rename is wedged on the partition, the namespace must
         // show exactly one of the two paths.
         for _ in 0..50 {
-            let mut stats = OpStats::new();
+            let mut stats = RequestCtx::new();
             let old = svc.lookup(&p("/a/d"), &mut stats).is_ok();
             let new = svc.lookup(&p("/b/d"), &mut stats).is_ok();
             assert!(
@@ -369,7 +369,7 @@ fn baseline_survives_storm() {
     for seed in seeds_under_test().into_iter().take(1) {
         let fs = InfiniFs::new(SimConfig::instant(), InfiniFsOptions::default());
         let svc: Arc<dyn MetadataService> = fs.clone();
-        let mut stats = OpStats::new();
+        let mut stats = RequestCtx::new();
         svc.mkdir(&p("/base"), &mut stats).unwrap();
 
         let plan = FaultPlan::new(seed, FaultProfile::storm());
@@ -379,7 +379,7 @@ fn baseline_survives_storm() {
             // attr update), so a fault between the two steps makes a blind
             // retry observe AlreadyExists — the baseline's weaker
             // idempotency story, accepted here as a committed create.
-            let mut stats = OpStats::new();
+            let mut stats = RequestCtx::new();
             loop {
                 match svc.create(&p(&format!("/base/o{i}")), 1, &mut stats) {
                     Ok(_) | Err(MetaError::AlreadyExists(_)) => break,

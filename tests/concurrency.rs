@@ -23,7 +23,7 @@ fn contended_counts<S: MetadataService + BulkLoad + Sync>(svc: &S) {
     std::thread::scope(|s| {
         for t in 0..8 {
             s.spawn(move || {
-                let mut stats = OpStats::new();
+                let mut stats = RequestCtx::new();
                 for i in 0..20 {
                     let path = p(&format!("/hot/o_{t}_{i}"));
                     svc.create(&path, 1, &mut stats).unwrap();
@@ -34,7 +34,7 @@ fn contended_counts<S: MetadataService + BulkLoad + Sync>(svc: &S) {
             });
         }
     });
-    let mut stats = OpStats::new();
+    let mut stats = RequestCtx::new();
     let expected: i64 = 8 * 10; // Half of the creates survive.
     assert_eq!(
         svc.dirstat(&p("/hot"), &mut stats).unwrap().attrs.entries,
@@ -81,7 +81,7 @@ fn lookups_never_see_stale_cache_across_rename() {
     config.index.k = 1; // Aggressive caching to maximize staleness risk.
     let cluster = MantleCluster::with_config(config);
     let svc = cluster.service();
-    let mut stats = OpStats::new();
+    let mut stats = RequestCtx::new();
     svc.mkdir(&p("/a"), &mut stats).unwrap();
     svc.mkdir(&p("/a/b"), &mut stats).unwrap();
     svc.mkdir(&p("/a/b/c"), &mut stats).unwrap();
@@ -95,7 +95,7 @@ fn lookups_never_see_stale_cache_across_rename() {
             let svc = &svc;
             let renamed = &renamed;
             s.spawn(move || {
-                let mut stats = OpStats::new();
+                let mut stats = RequestCtx::new();
                 // Linearizability: individual reads may straddle the
                 // rename's commit point (a pre-commit ReadIndex snapshot is
                 // a legal linearization), but once `rename_dir` has
@@ -120,7 +120,7 @@ fn lookups_never_see_stale_cache_across_rename() {
         let svc2 = &svc;
         let renamed = &renamed;
         s.spawn(move || {
-            let mut stats = OpStats::new();
+            let mut stats = RequestCtx::new();
             std::thread::yield_now();
             svc2.rename_dir(&p("/a/b"), &p("/z/nb"), &mut stats)
                 .unwrap();
@@ -129,7 +129,7 @@ fn lookups_never_see_stale_cache_across_rename() {
     });
 
     // Post-rename, the cache serves only the new location.
-    let mut stats = OpStats::new();
+    let mut stats = RequestCtx::new();
     for _ in 0..10 {
         assert_eq!(svc.objstat(&p("/z/nb/c/obj"), &mut stats).unwrap().size, 9);
         assert!(svc.objstat(&p("/a/b/c/obj"), &mut stats).is_err());
@@ -142,7 +142,7 @@ fn lookups_never_see_stale_cache_across_rename() {
 #[test]
 fn commit_storm_is_atomic_on_mantle_and_dbtable() {
     let run = |svc: &dyn MetadataService, bulk: &dyn Fn(&MetaPath)| {
-        let mut stats = OpStats::new();
+        let mut stats = RequestCtx::new();
         bulk(&p("/out"));
         for t in 0..8 {
             bulk(&p(&format!("/t{t}")));
@@ -151,7 +151,7 @@ fn commit_storm_is_atomic_on_mantle_and_dbtable() {
         std::thread::scope(|s| {
             for t in 0..8 {
                 s.spawn(move || {
-                    let mut stats = OpStats::new();
+                    let mut stats = RequestCtx::new();
                     svc.rename_dir(
                         &p(&format!("/t{t}/task")),
                         &p(&format!("/out/r{t}")),
@@ -201,13 +201,13 @@ fn commit_storm_is_atomic_on_mantle_and_dbtable() {
 fn delta_records_and_compactor_race_safely() {
     let cluster = MantleCluster::build(SimConfig::instant(), 4);
     let svc = cluster.service();
-    let mut stats = OpStats::new();
+    let mut stats = RequestCtx::new();
     svc.mkdir(&p("/hot"), &mut stats).unwrap();
     std::thread::scope(|s| {
         for t in 0..6 {
             let svc = &svc;
             s.spawn(move || {
-                let mut stats = OpStats::new();
+                let mut stats = RequestCtx::new();
                 for i in 0..50 {
                     svc.mkdir(&p(&format!("/hot/d_{t}_{i}")), &mut stats)
                         .unwrap();

@@ -172,7 +172,7 @@ fn random_path(rng: &mut StdRng, depth_max: usize) -> String {
 fn run_differential<S: MetadataService + BulkLoad>(svc: &S, seed: u64) {
     let mut rng = StdRng::seed_from_u64(seed);
     let mut model = Model::new();
-    let mut stats = OpStats::new();
+    let mut stats = RequestCtx::new();
 
     for step in 0..600 {
         let path = random_path(&mut rng, 4);

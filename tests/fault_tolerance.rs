@@ -22,7 +22,7 @@ fn p(s: &str) -> MetaPath {
 fn operations_survive_repeated_leader_crashes() {
     let cluster = fast_failover_cluster();
     let svc = cluster.service();
-    let mut stats = OpStats::new();
+    let mut stats = RequestCtx::new();
     svc.mkdir(&p("/work"), &mut stats).unwrap();
 
     for round in 0..3 {
@@ -53,7 +53,7 @@ fn operations_survive_repeated_leader_crashes() {
 fn recovered_replica_catches_up_and_serves_reads() {
     let cluster = fast_failover_cluster();
     let svc = cluster.service();
-    let mut stats = OpStats::new();
+    let mut stats = RequestCtx::new();
 
     let victim = cluster.index().group().leader().unwrap();
     cluster.index().group().crash(victim.id());
@@ -85,7 +85,7 @@ fn proxy_failure_mid_rename_is_recovered_by_uuid_retry() {
     // the request UUID and re-enters the lock instead of deadlocking.
     let cluster = fast_failover_cluster();
     let svc = cluster.service();
-    let mut stats = OpStats::new();
+    let mut stats = RequestCtx::new();
     svc.mkdir(&p("/src"), &mut stats).unwrap();
     svc.mkdir(&p("/src/victim"), &mut stats).unwrap();
     svc.mkdir(&p("/dst"), &mut stats).unwrap();
@@ -172,7 +172,7 @@ fn proxy_failure_mid_rename_is_recovered_by_uuid_retry() {
 fn tafdb_transactions_unaffected_by_index_failover() {
     let cluster = fast_failover_cluster();
     let svc = cluster.service();
-    let mut stats = OpStats::new();
+    let mut stats = RequestCtx::new();
     svc.mkdir(&p("/d"), &mut stats).unwrap();
 
     let leader = cluster.index().group().leader().unwrap();
@@ -184,7 +184,7 @@ fn tafdb_transactions_unaffected_by_index_failover() {
         for t in 0..4 {
             let svc = &svc;
             s.spawn(move || {
-                let mut stats = OpStats::new();
+                let mut stats = RequestCtx::new();
                 for i in 0..10 {
                     svc.create(&p(&format!("/d/o_{t}_{i}")), 1, &mut stats)
                         .unwrap();

@@ -20,7 +20,7 @@ fn fill<S: MetadataService + BulkLoad>(svc: &S, n: usize) {
 }
 
 fn drain_pages<S: MetadataService>(svc: &S, limit: usize) -> Vec<String> {
-    let mut stats = OpStats::new();
+    let mut stats = RequestCtx::new();
     let mut out: Vec<String> = Vec::new();
     let mut after: Option<String> = None;
     loop {
@@ -54,7 +54,7 @@ fn pagination_covers_everything_exactly_once() {
 fn page_entries_carry_kinds() {
     let cluster = MantleCluster::build(SimConfig::instant(), 4);
     fill(&*cluster, 10);
-    let mut stats = OpStats::new();
+    let mut stats = RequestCtx::new();
     let (page, truncated) = cluster.list(&p("/bucket"), None, 100, &mut stats).unwrap();
     assert!(!truncated);
     assert_eq!(page.len(), 10);
@@ -66,7 +66,7 @@ fn page_entries_carry_kinds() {
 fn start_after_is_exclusive_and_missing_dir_errors() {
     let cluster = MantleCluster::build(SimConfig::instant(), 4);
     fill(&*cluster, 5);
-    let mut stats = OpStats::new();
+    let mut stats = RequestCtx::new();
     let (page, _) = cluster
         .list(&p("/bucket"), Some("e002"), 10, &mut stats)
         .unwrap();
@@ -94,7 +94,7 @@ fn default_impl_matches_override() {
 fn empty_directory_lists_empty() {
     let cluster = MantleCluster::build(SimConfig::instant(), 4);
     cluster.bulk_dir(&p("/bucket"));
-    let mut stats = OpStats::new();
+    let mut stats = RequestCtx::new();
     let (page, truncated) = cluster.list(&p("/bucket"), None, 10, &mut stats).unwrap();
     assert!(page.is_empty());
     assert!(!truncated);

@@ -44,6 +44,7 @@ fn matrix<S: MetadataService + BulkLoad + Sync>(
             working_set: 48,
             seed: 3,
             hotspot: None,
+            open_loop: None,
         };
         let report = run(svc, config);
         assert_eq!(report.failed, 0, "{} {op:?}/{conflict:?}", svc.name());
@@ -120,7 +121,7 @@ fn locofs_full_matrix() {
 #[test]
 fn phase_attribution_differs_by_design() {
     let run_rename = |svc: &dyn MetadataService, bulk: &dyn Fn(&MetaPath)| -> OpStats {
-        let mut stats = OpStats::new();
+        let mut stats = RequestCtx::new();
         bulk(&MetaPath::parse("/s/a").unwrap());
         bulk(&MetaPath::parse("/t").unwrap());
         svc.rename_dir(
@@ -129,7 +130,7 @@ fn phase_attribution_differs_by_design() {
             &mut stats,
         )
         .unwrap();
-        stats
+        stats.stats
     };
 
     let mantle = MantleCluster::build(SimConfig::fast(), 4);

@@ -19,7 +19,7 @@ use mantle::workloads::mdtest::{self, ConflictMode, MdOp, MdtestConfig};
 
 /// Builds `/d0/d1/.../d{depth-1}` on `svc` and returns the leaf path.
 fn deep_path<S: MetadataService + ?Sized>(svc: &S, depth: usize) -> MetaPath {
-    let mut stats = OpStats::new();
+    let mut stats = RequestCtx::new();
     let mut path = MetaPath::root();
     for i in 0..depth {
         path = path.child(&format!("d{i}"));
@@ -38,7 +38,7 @@ fn trace_records_table1_rpc_counts() {
 
     let infinifs = InfiniFs::new(SimConfig::default(), InfiniFsOptions::default());
     let path = deep_path(&*infinifs, depth);
-    let mut stats = OpStats::new();
+    let mut stats = RequestCtx::new();
     let guard = trace::start_forced("lookup").expect("no active trace");
     infinifs.lookup(&path, &mut stats).expect("lookup");
     let t = guard.finish();
@@ -52,7 +52,7 @@ fn trace_records_table1_rpc_counts() {
     let cluster = MantleCluster::build(SimConfig::default(), 4);
     let svc = cluster.service();
     let path = deep_path(&*svc, depth);
-    let mut stats = OpStats::new();
+    let mut stats = RequestCtx::new();
     let guard = trace::start_forced("lookup").expect("no active trace");
     svc.lookup(&path, &mut stats).expect("lookup");
     let t = guard.finish();
@@ -124,6 +124,7 @@ fn workload_populates_registry_and_snapshot_serializes() {
                 working_set,
                 seed: 7,
                 hotspot: None,
+                open_loop: None,
             },
         );
         assert_eq!(report.failed, 0, "{op:?}");
@@ -168,6 +169,7 @@ fn quiet_db() -> Arc<TafDb> {
         index_level_micros: 0,
         db_node_permits: usize::MAX,
         index_node_permits: usize::MAX,
+        queue_cap: 0,
     };
     let opts = TafDbOptions {
         n_shards: 4,
@@ -194,7 +196,7 @@ fn flight_run(seed: u64) -> (String, String) {
     let db = quiet_db();
     let plan = FaultPlan::new(seed, FaultProfile::storm());
     db.install_faults(Some(plan));
-    let mut stats = OpStats::new();
+    let mut stats = RequestCtx::new();
     let dirs: Vec<InodeId> = (1..6).map(|i| InodeId(i * 97)).collect();
     for dir in &dirs {
         db.raw_put(attr_key(*dir), Row::DirAttr(DirAttrMeta::new(0, 0)));
@@ -291,7 +293,7 @@ fn chaos_sweep_attributes_slow_ops_and_serves_live_metrics() {
         config.pcache = mantle::core::PathLeaseConfig::default();
         let cluster = MantleCluster::with_config(config);
         let svc = cluster.service();
-        let mut stats = OpStats::new();
+        let mut stats = RequestCtx::new();
         svc.mkdir(&MetaPath::parse("/w").unwrap(), &mut stats)
             .unwrap();
         let plan = FaultPlan::new(seed, FaultProfile::storm()).activate();

@@ -12,7 +12,7 @@ fn p(s: &str) -> MetaPath {
 fn setattr_changes_aggregated_permissions() {
     let cluster = MantleCluster::build(SimConfig::instant(), 4);
     let svc = cluster.service();
-    let mut stats = OpStats::new();
+    let mut stats = RequestCtx::new();
     svc.mkdir(&p("/a"), &mut stats).unwrap();
     svc.mkdir(&p("/a/b"), &mut stats).unwrap();
     svc.mkdir(&p("/a/b/c"), &mut stats).unwrap();
@@ -48,7 +48,7 @@ fn setattr_invalidates_warm_cache_on_every_replica() {
     config.index.learners = 1;
     let cluster = MantleCluster::with_config(config);
     let svc = cluster.service();
-    let mut stats = OpStats::new();
+    let mut stats = RequestCtx::new();
     svc.mkdir(&p("/a"), &mut stats).unwrap();
     svc.mkdir(&p("/a/b"), &mut stats).unwrap();
     svc.mkdir(&p("/a/b/c"), &mut stats).unwrap();
@@ -75,7 +75,7 @@ fn setattr_invalidates_warm_cache_on_every_replica() {
 fn setattr_on_missing_or_object_path_fails() {
     let cluster = MantleCluster::build(SimConfig::instant(), 4);
     let svc = cluster.service();
-    let mut stats = OpStats::new();
+    let mut stats = RequestCtx::new();
     svc.mkdir(&p("/d"), &mut stats).unwrap();
     svc.create(&p("/d/o"), 1, &mut stats).unwrap();
     assert!(matches!(

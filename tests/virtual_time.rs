@@ -28,6 +28,7 @@ fn closed_form_sim() -> SimConfig {
         index_level_micros: 0,
         db_node_permits: usize::MAX,
         index_node_permits: usize::MAX,
+        queue_cap: 0,
     }
 }
 
@@ -44,13 +45,13 @@ fn deep_dir<S: MetadataService + BulkLoad + ?Sized>(svc: &S, depth: usize) -> Me
 /// Measures one call with a clean per-thread clock: returns the op's
 /// virtual latency, its `OpStats`, and the ledger delta.
 fn measure<R>(
-    f: impl FnOnce(&mut OpStats) -> Result<R>,
+    f: impl FnOnce(&mut RequestCtx) -> Result<R>,
 ) -> (Duration, OpStats, mantle::types::TimeStats) {
     clock::reset_thread_clock();
-    let mut stats = OpStats::new();
+    let mut stats = RequestCtx::new();
     let t0 = clock::now();
     f(&mut stats).expect("measured op must succeed");
-    (t0.elapsed(), stats, clock::thread_time_stats())
+    (t0.elapsed(), stats.stats, clock::thread_time_stats())
 }
 
 /// Asserts the Table-1 closed form for one operation: every nanosecond of
@@ -238,6 +239,7 @@ fn same_seed_and_faults_reproduce_identical_histograms_and_events() {
                 working_set: 16,
                 seed: 9,
                 hotspot: None,
+                open_loop: None,
             },
         );
         assert_eq!(report.failed, 0);
@@ -281,6 +283,7 @@ fn op_results_and_rpc_counts_are_clock_independent() {
             working_set: 32,
             seed: 5,
             hotspot: None,
+            open_loop: None,
         },
     );
     assert_eq!(report.failed, 0);
